@@ -1,0 +1,152 @@
+//! Random-walk affinity baselines (Eqs. 2 and 4).
+//!
+//! If users wandered between apps with no category preference, affinity
+//! would not be zero: two random apps can still share a category. The
+//! paper derives the exact base-case probability from the store's actual
+//! apps-per-category distribution. At depth 1 (Eq. 2) it is the chance
+//! that two distinct random apps share a category:
+//!
+//! `Aff_rw = Σ_i A(i)·(A(i)−1) / (A·(A−1))`
+//!
+//! and for arbitrary depth `d` (Eq. 4):
+//!
+//! `Aff_rw(d) = Σ_i A(i)·(A(i)−1) · d · Π_{k=2..d}(A−k) / Π_{k=0..d}(A−k)`
+//!
+//! For the Anzhi distribution the paper reports 0.14 / 0.28 / 0.42 at
+//! depths 1–3 — the horizontal lines in Figure 6.
+//!
+//! Note that Eq. 4 is a *union bound*: it sums the `d` pairwise match
+//! probabilities without subtracting overlaps, so for `d > 1` it slightly
+//! overestimates the true "at least one match in the window" probability
+//! and can even exceed 1 for extremely concentrated category
+//! distributions (a single category yields exactly `d`). We implement the
+//! formula as published — the paper's depth-2 and depth-3 baselines are
+//! exactly 2× and 3× the depth-1 value.
+
+/// Random-walk affinity at the given depth (Eq. 4; Eq. 2 when
+/// `depth == 1`, where it is exact) for a store whose category `i` holds
+/// `apps_per_category[i]` apps.
+///
+/// Returns `None` when `depth == 0`, the store has fewer than `depth + 1`
+/// apps (no window fits), or there are no apps at all.
+pub fn random_walk_affinity(apps_per_category: &[u64], depth: usize) -> Option<f64> {
+    if depth == 0 {
+        return None;
+    }
+    let total: u64 = apps_per_category.iter().sum();
+    if total < depth as u64 + 1 {
+        return None;
+    }
+    let a = total as f64;
+    let same_pairs: f64 = apps_per_category
+        .iter()
+        .map(|&ai| ai as f64 * (ai as f64 - 1.0))
+        .sum();
+    // Π_{k=2..d}(A−k) — empty product (1.0) for d == 1.
+    let mut numerator = same_pairs * depth as f64;
+    for k in 2..=depth as u64 {
+        numerator *= a - k as f64;
+    }
+    // Π_{k=0..d}(A−k)
+    let mut denominator = 1.0;
+    for k in 0..=depth as u64 {
+        denominator *= a - k as f64;
+    }
+    Some(numerator / denominator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+    use rand::seq::SliceRandom;
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_equal_categories_depth_one() {
+        // 2 categories × 2 apps: P(same category | distinct apps) =
+        // Σ 2·1 / (4·3) per category ⇒ 4/12 = 1/3.
+        assert!((random_walk_affinity(&[2, 2], 1).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_category_exposes_the_union_bound() {
+        // Depth 1 is exact: certainty.
+        assert!((random_walk_affinity(&[10], 1).unwrap() - 1.0).abs() < 1e-12);
+        // Deeper windows sum d pairwise probabilities without overlap
+        // correction, yielding exactly d for a single category.
+        assert!((random_walk_affinity(&[10], 3).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_app_per_category_is_impossible() {
+        assert_eq!(random_walk_affinity(&[1, 1, 1, 1], 1), Some(0.0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(random_walk_affinity(&[5, 5], 0), None);
+        assert_eq!(random_walk_affinity(&[], 1), None);
+        assert_eq!(random_walk_affinity(&[1], 1), None);
+        // depth 3 needs at least 4 apps.
+        assert_eq!(random_walk_affinity(&[2, 1], 3), None);
+    }
+
+    #[test]
+    fn deeper_windows_score_roughly_depth_times_base() {
+        // For many equal categories the union bound is tight:
+        // Aff(d) ≈ d · Aff(1).
+        let dist = vec![100u64; 30];
+        let base = random_walk_affinity(&dist, 1).unwrap();
+        for d in 2..=3 {
+            let deep = random_walk_affinity(&dist, d).unwrap();
+            assert!(
+                (deep - d as f64 * base).abs() / (d as f64 * base) < 0.01,
+                "depth {d}: {deep} vs {}",
+                d as f64 * base
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_matches_monte_carlo() {
+        // Uneven category sizes, sampled without replacement in pairs.
+        let dist = [50u64, 30, 15, 5];
+        let exact = random_walk_affinity(&dist, 1).unwrap();
+        // Build the app -> category table and simulate random distinct
+        // pairs.
+        let mut table = Vec::new();
+        for (cat, &n) in dist.iter().enumerate() {
+            table.extend(std::iter::repeat(cat).take(n as usize));
+        }
+        let mut rng = Seed::new(31).rng();
+        let trials = 200_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            let pair: Vec<&usize> = table.choose_multiple(&mut rng, 2).collect();
+            if pair[0] == pair[1] {
+                hits += 1;
+            }
+        }
+        let estimate = hits as f64 / trials as f64;
+        assert!(
+            (estimate - exact).abs() < 0.01,
+            "MC {estimate} vs exact {exact}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn baseline_bounded_by_depth(dist in proptest::collection::vec(0u64..200, 1..40), depth in 1usize..4) {
+            if let Some(p) = random_walk_affinity(&dist, depth) {
+                // Union bound: nonnegative and at most d (exactly a
+                // probability when depth == 1).
+                prop_assert!(p >= -1e-12);
+                prop_assert!(p <= depth as f64 + 1e-9);
+                if depth == 1 {
+                    prop_assert!(p <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! App strings and category strings.
+//!
+//! The paper (§4.2): *"We suppressed successive comments of the same user
+//! on the same app. For example, if a user commented on apps
+//! a1 a2 a3 a3 a1 a4 we kept the sequence a1 a2 a3 a4"* — i.e. each app
+//! is kept at its first occurrence only. The resulting per-user *app
+//! string* is mapped through the store's app→category table into the
+//! *category string* the affinity metric consumes.
+
+use appstore_core::{AppId, CategoryId, CommentEvent, UserId};
+use std::collections::HashMap;
+
+/// One user's deduplicated comment history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserStream {
+    /// The user.
+    pub user: UserId,
+    /// Number of raw comments before deduplication.
+    pub raw_comments: usize,
+    /// The app string: unique apps in first-comment order.
+    pub apps: Vec<AppId>,
+    /// The category string: `categories[i]` is the category of `apps[i]`.
+    pub categories: Vec<CategoryId>,
+}
+
+impl UserStream {
+    /// Number of elements in the (deduplicated) strings.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True if the user has no comments.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Number of distinct categories the user commented on (Fig. 5b).
+    pub fn unique_categories(&self) -> usize {
+        let mut cats: Vec<CategoryId> = self.categories.clone();
+        cats.sort_unstable();
+        cats.dedup();
+        cats.len()
+    }
+}
+
+/// Builds per-user streams from raw comment events.
+///
+/// Comments are ordered chronologically per user by `(day, seq)`; each
+/// app is kept at its first occurrence. The `category_of` closure maps an
+/// app to its category (typically `|a| dataset.category_of(a)`).
+///
+/// Users appear in ascending `UserId` order; users with zero comments do
+/// not appear at all.
+pub fn build_user_streams<F>(comments: &[CommentEvent], mut category_of: F) -> Vec<UserStream>
+where
+    F: FnMut(AppId) -> CategoryId,
+{
+    let mut per_user: HashMap<UserId, Vec<&CommentEvent>> = HashMap::new();
+    for c in comments {
+        per_user.entry(c.user).or_default().push(c);
+    }
+    let mut users: Vec<UserId> = per_user.keys().copied().collect();
+    users.sort_unstable();
+    users
+        .into_iter()
+        .map(|user| {
+            let mut events = per_user.remove(&user).expect("key from map");
+            events.sort_by_key(|c| c.chrono_key());
+            let raw_comments = events.len();
+            let mut apps = Vec::new();
+            let mut categories = Vec::new();
+            for event in events {
+                if !apps.contains(&event.app) {
+                    apps.push(event.app);
+                    categories.push(category_of(event.app));
+                }
+            }
+            UserStream {
+                user,
+                raw_comments,
+                apps,
+                categories,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Day;
+
+    fn comment(user: u32, app: u32, day: u32, seq: u32) -> CommentEvent {
+        CommentEvent {
+            user: UserId(user),
+            app: AppId(app),
+            day: Day(day),
+            seq,
+            rating: 4,
+        }
+    }
+
+    #[test]
+    fn paper_example_dedup() {
+        // a1 a2 a3 a3 a1 a4 -> a1 a2 a3 a4
+        let comments = vec![
+            comment(0, 1, 0, 0),
+            comment(0, 2, 0, 1),
+            comment(0, 3, 0, 2),
+            comment(0, 3, 0, 3),
+            comment(0, 1, 1, 0),
+            comment(0, 4, 1, 1),
+        ];
+        let streams = build_user_streams(&comments, |a| CategoryId(a.0 % 2));
+        assert_eq!(streams.len(), 1);
+        let s = &streams[0];
+        assert_eq!(s.raw_comments, 6);
+        assert_eq!(s.apps, vec![AppId(1), AppId(2), AppId(3), AppId(4)]);
+        assert_eq!(
+            s.categories,
+            vec![CategoryId(1), CategoryId(0), CategoryId(1), CategoryId(0)]
+        );
+        assert_eq!(s.unique_categories(), 2);
+    }
+
+    #[test]
+    fn out_of_order_events_are_sorted_chronologically() {
+        let comments = vec![comment(0, 2, 5, 0), comment(0, 1, 0, 0)];
+        let streams = build_user_streams(&comments, |_| CategoryId(0));
+        assert_eq!(streams[0].apps, vec![AppId(1), AppId(2)]);
+    }
+
+    #[test]
+    fn users_sorted_and_separated() {
+        let comments = vec![comment(7, 1, 0, 0), comment(3, 2, 0, 0), comment(7, 3, 1, 0)];
+        let streams = build_user_streams(&comments, |_| CategoryId(0));
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].user, UserId(3));
+        assert_eq!(streams[1].user, UserId(7));
+        assert_eq!(streams[1].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let streams = build_user_streams(&[], |_| CategoryId(0));
+        assert!(streams.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+    use appstore_core::Day;
+
+    #[test]
+    fn same_day_comments_order_by_sequence() {
+        // Two comments the same day: seq decides chronology, so the app
+        // string preserves posting order even without finer timestamps.
+        let comments = vec![
+            CommentEvent {
+                user: UserId(0),
+                app: AppId(2),
+                day: Day(3),
+                seq: 1,
+                rating: 5,
+            },
+            CommentEvent {
+                user: UserId(0),
+                app: AppId(1),
+                day: Day(3),
+                seq: 0,
+                rating: 5,
+            },
+        ];
+        let streams = build_user_streams(&comments, |_| CategoryId(0));
+        assert_eq!(streams[0].apps, vec![AppId(1), AppId(2)]);
+    }
+}

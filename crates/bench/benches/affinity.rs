@@ -1,0 +1,67 @@
+//! Criterion benches for the clustering-effect analysis (Figs. 5–7):
+//! stream construction, the affinity metric at depths 1–3, and the exact
+//! random-walk baselines.
+
+use appstore_affinity::{
+    affinity, affinity_by_group, affinity_samples, build_user_streams, random_walk_affinity,
+};
+use appstore_core::{CategoryId, Seed, StoreId};
+use appstore_synth::{generate, StoreProfile};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn comment_dataset() -> appstore_core::Dataset {
+    let mut profile = StoreProfile::anzhi().scaled_down(8);
+    profile.commenter_fraction = 0.5;
+    profile.comment_rate = 0.3;
+    generate(&profile, StoreId(0), Seed::new(4)).dataset
+}
+
+/// Fig. 5: building per-user streams from the raw comment table.
+fn bench_fig5_streams(c: &mut Criterion) {
+    let dataset = comment_dataset();
+    c.bench_function("fig5/build_user_streams", |b| {
+        b.iter(|| build_user_streams(black_box(&dataset.comments), |a| dataset.category_of(a)))
+    });
+}
+
+/// Fig. 6: per-group affinity with confidence intervals.
+fn bench_fig6_group_affinity(c: &mut Criterion) {
+    let dataset = comment_dataset();
+    let streams = build_user_streams(&dataset.comments, |a| dataset.category_of(a));
+    for depth in 1..=3usize {
+        c.bench_function(&format!("fig6/affinity_by_group_depth{depth}"), |b| {
+            b.iter(|| affinity_by_group(black_box(&streams), depth, 10))
+        });
+    }
+    let apps_per_category = dataset.apps_by_category(dataset.last());
+    c.bench_function("fig6/random_walk_baseline", |b| {
+        b.iter(|| {
+            (
+                random_walk_affinity(black_box(&apps_per_category), 1),
+                random_walk_affinity(black_box(&apps_per_category), 3),
+            )
+        })
+    });
+}
+
+/// Fig. 7: per-user affinity samples and the raw metric kernel.
+fn bench_fig7_affinity_metric(c: &mut Criterion) {
+    let dataset = comment_dataset();
+    let streams = build_user_streams(&dataset.comments, |a| dataset.category_of(a));
+    c.bench_function("fig7/affinity_samples_depth1", |b| {
+        b.iter(|| affinity_samples(black_box(&streams), 1))
+    });
+    // The metric kernel on a long synthetic category string.
+    let long: Vec<CategoryId> = (0..10_000u32).map(|i| CategoryId(i % 7)).collect();
+    c.bench_function("fig7/affinity_kernel_10k", |b| {
+        b.iter(|| affinity(black_box(&long), 3))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_streams,
+    bench_fig6_group_affinity,
+    bench_fig7_affinity_metric
+);
+criterion_main!(benches);

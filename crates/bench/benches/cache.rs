@@ -1,0 +1,105 @@
+//! Criterion benches for the cache experiments (Fig. 19 and the policy
+//! ablation): raw policy throughput and the full sweep.
+
+use appstore_cache::{
+    hit_ratio, sweep_cache_sizes, CategoryLru, Fifo, Lfu, Lru, SegmentedLru,
+};
+use appstore_core::Seed;
+use appstore_models::{
+    ClusterLayout, ClusteringParams, ModelKind, PopulationParams, Simulator,
+};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn params() -> ClusteringParams {
+    ClusteringParams {
+        population: PopulationParams {
+            apps: 2_000,
+            users: 10_000,
+            downloads_per_user: 4,
+            zipf_exponent: 1.7,
+        },
+        clusters: 30,
+        p: 0.9,
+        cluster_exponent: 1.4,
+        layout: ClusterLayout::Interleaved,
+    }
+}
+
+/// Fig. 19: per-policy throughput over a 40k-request clustering trace.
+fn bench_fig19_policy_throughput(c: &mut Criterion) {
+    let p = params();
+    let trace = Simulator::for_kind(ModelKind::AppClustering, p).simulate_trace(Seed::new(11), 30);
+    let capacity = 100;
+    let category_of: Vec<u32> = (0..p.population.apps)
+        .map(|i| p.layout.place(i, p.population.apps, p.clusters).0 as u32)
+        .collect();
+    let mut group = c.benchmark_group("fig19/replay_40k_requests");
+    group.sample_size(20);
+    group.bench_function("LRU", |b| {
+        b.iter_batched(
+            || Lru::new(capacity),
+            |mut policy| hit_ratio(&mut policy, &[], black_box(&trace.events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("FIFO", |b| {
+        b.iter_batched(
+            || Fifo::new(capacity),
+            |mut policy| hit_ratio(&mut policy, &[], black_box(&trace.events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("LFU", |b| {
+        b.iter_batched(
+            || Lfu::new(capacity),
+            |mut policy| hit_ratio(&mut policy, &[], black_box(&trace.events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("SLRU", |b| {
+        b.iter_batched(
+            || SegmentedLru::new(capacity),
+            |mut policy| hit_ratio(&mut policy, &[], black_box(&trace.events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("Category-LRU", |b| {
+        b.iter_batched(
+            || CategoryLru::new(capacity, category_of.clone(), 64),
+            |mut policy| hit_ratio(&mut policy, &[], black_box(&trace.events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Fig. 19: the trace generation feeding the sweep.
+fn bench_fig19_trace_generation(c: &mut Criterion) {
+    let p = params();
+    let sim = Simulator::for_kind(ModelKind::AppClustering, p);
+    let mut group = c.benchmark_group("fig19/trace_generation");
+    group.sample_size(10);
+    group.bench_function("clustering_40k_events", |b| {
+        b.iter(|| sim.simulate_trace(black_box(Seed::new(12)), 30))
+    });
+    group.finish();
+}
+
+/// Fig. 19: one LRU-only sweep point (all three models, one size).
+fn bench_fig19_sweep_point(c: &mut Criterion) {
+    let p = params();
+    let mut group = c.benchmark_group("fig19/sweep");
+    group.sample_size(10);
+    group.bench_function("three_models_one_size", |b| {
+        b.iter(|| sweep_cache_sizes(black_box(p), &[0.05], Seed::new(13), false))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig19_policy_throughput,
+    bench_fig19_trace_generation,
+    bench_fig19_sweep_point
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion benches for the workload models (Figs. 8–10): Zipf
+//! sampling, the three Monte-Carlo simulators, the closed forms, the
+//! Eq. 6 distance, and the grid-search fitting stages.
+
+use appstore_core::Seed;
+use appstore_models::{
+    expected_downloads_clustering_weighted, expected_downloads_zipf_amo, fit_clustering,
+    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, Simulator,
+    ZipfSampler,
+};
+use appstore_stats::mean_relative_error;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rand::Rng;
+
+fn params() -> ClusteringParams {
+    ClusteringParams {
+        population: PopulationParams {
+            apps: 2_000,
+            users: 10_000,
+            downloads_per_user: 5,
+            zipf_exponent: 1.5,
+        },
+        clusters: 30,
+        p: 0.9,
+        cluster_exponent: 1.4,
+        layout: ClusterLayout::Interleaved,
+    }
+}
+
+/// The sampling kernel every simulator spins on.
+fn bench_zipf_sampler(c: &mut Criterion) {
+    let sampler = ZipfSampler::new(60_000, 1.7);
+    let mut rng = Seed::new(5).rng();
+    c.bench_function("fig8/zipf_sample_60k_ranks", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng)))
+    });
+    c.bench_function("fig8/zipf_sampler_build_60k", |b| {
+        b.iter(|| ZipfSampler::new(black_box(60_000), 1.7))
+    });
+}
+
+/// Fig. 8: one Monte-Carlo replication per model (50k downloads each).
+fn bench_fig8_simulators(c: &mut Criterion) {
+    let p = params();
+    let mut group = c.benchmark_group("fig8/simulate_50k_downloads");
+    group.sample_size(10);
+    for kind in ModelKind::ALL {
+        let sim = Simulator::for_kind(kind, p);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| sim.simulate_counts(black_box(Seed::new(6))))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 8: the analytic screening expectations.
+fn bench_fig8_closed_forms(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("fig8/expectation_clustering_weighted", |b| {
+        b.iter(|| expected_downloads_clustering_weighted(black_box(&p)))
+    });
+    c.bench_function("fig8/expectation_zipf_amo", |b| {
+        b.iter(|| expected_downloads_zipf_amo(black_box(&p.population)))
+    });
+}
+
+/// Fig. 9: the Eq. 6 distance kernel.
+fn bench_fig9_distance(c: &mut Criterion) {
+    let mut rng = Seed::new(7).rng();
+    let observed: Vec<u64> = (1..=20_000u64)
+        .map(|k| (1e9 / (k as f64).powf(1.4)) as u64)
+        .collect();
+    let simulated: Vec<u64> = observed
+        .iter()
+        .map(|&c| (c as f64 * (0.8 + 0.4 * rng.gen::<f64>())) as u64)
+        .collect();
+    c.bench_function("fig9/mean_relative_error_20k", |b| {
+        b.iter(|| mean_relative_error(black_box(&observed), black_box(&simulated)))
+    });
+}
+
+/// Fig. 10: a full (small-grid) clustering fit including refinement.
+fn bench_fig10_fit(c: &mut Criterion) {
+    let p = params();
+    let mut observed = Simulator::app_clustering(p).simulate_counts(Seed::new(8));
+    observed.sort_unstable_by(|a, b| b.cmp(a));
+    let spec = FitSpec {
+        zipf_exponents: vec![1.3, 1.5, 1.7],
+        cluster_exponents: vec![1.2, 1.4],
+        ps: vec![0.5, 0.9],
+        user_fractions: vec![0.5, 1.0],
+        clusters: 30,
+        threads: 0,
+        refine_top: 2,
+        replications: 1,
+    };
+    let mut group = c.benchmark_group("fig10/fit_clustering_small_grid");
+    group.sample_size(10);
+    group.bench_function("24_candidates_plus_refine", |b| {
+        b.iter_batched(
+            || (observed.clone(), spec.clone()),
+            |(obs, spec)| fit_clustering(&obs, &spec, Seed::new(9)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_zipf_sampler,
+    bench_fig8_simulators,
+    bench_fig8_closed_forms,
+    bench_fig9_distance,
+    bench_fig10_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benches for the data-collection pipeline (the paper's §2.2
+//! architecture): wire encode/decode, the rate-limited server path, and
+//! full campaign crawls with and without faults.
+
+use appstore_core::{Seed, StoreId};
+use appstore_crawler::{
+    run_campaign, FaultPlan, MarketplaceServer, ProxyPool, Region, Request, ServerPolicy,
+};
+use appstore_synth::{generate, StoreProfile};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn ground_truth() -> appstore_core::Dataset {
+    let mut profile = StoreProfile::anzhi().scaled_down(32);
+    profile.commenter_fraction = 0.5;
+    profile.comment_rate = 0.2;
+    generate(&profile, StoreId(0), Seed::new(14)).dataset
+}
+
+/// The wire layer: serving and parsing one app page.
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let truth = ground_truth();
+    let server = MarketplaceServer::new(
+        &truth,
+        ServerPolicy {
+            requests_per_second: 1e9,
+            burst: u32::MAX,
+            ..ServerPolicy::default()
+        },
+    );
+    let day = truth.last().day;
+    let app = truth.last().observations[0].app;
+    let mut now = 0u64;
+    c.bench_function("crawl/app_page_roundtrip", |b| {
+        b.iter(|| {
+            now += 1;
+            let (payload, _) = server
+                .handle(0, Region::Europe, now, Request::AppPage { app, day })
+                .expect("page served");
+            appstore_crawler::wire::decode_response(black_box(&payload)).expect("parse")
+        })
+    });
+}
+
+/// A full clean campaign (every snapshot, every comment page).
+fn bench_clean_campaign(c: &mut Criterion) {
+    let truth = ground_truth();
+    let mut group = c.benchmark_group("crawl/full_campaign");
+    group.sample_size(10);
+    group.bench_function("clean", |b| {
+        b.iter_batched(
+            || ProxyPool::planetlab(0, 10),
+            |mut pool| {
+                let server = MarketplaceServer::new(
+                    &truth,
+                    ServerPolicy {
+                        requests_per_second: 10_000.0,
+                        burst: 10_000,
+                        ..ServerPolicy::default()
+                    },
+                );
+                run_campaign(
+                    &server,
+                    &truth,
+                    &mut pool,
+                    None,
+                    FaultPlan::default(),
+                    Seed::new(15),
+                )
+                .expect("campaign completes")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("faulty_10pct", |b| {
+        b.iter_batched(
+            || ProxyPool::planetlab(0, 10),
+            |mut pool| {
+                let server = MarketplaceServer::new(
+                    &truth,
+                    ServerPolicy {
+                        requests_per_second: 10_000.0,
+                        burst: 10_000,
+                        ..ServerPolicy::default()
+                    },
+                );
+                run_campaign(
+                    &server,
+                    &truth,
+                    &mut pool,
+                    None,
+                    FaultPlan {
+                        drop_chance: 0.05,
+                        corrupt_chance: 0.05,
+                    },
+                    Seed::new(16),
+                )
+                .expect("campaign completes")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_roundtrip, bench_clean_campaign);
+criterion_main!(benches);

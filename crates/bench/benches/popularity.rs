@@ -1,0 +1,67 @@
+//! Criterion benches for the popularity characterization (Table 1,
+//! Figs. 2–4): store generation, Pareto shares, power-law fits, update
+//! CDFs.
+
+use appstore_core::{Seed, StoreId};
+use appstore_stats::{top_share, top_share_curve, zipf_fit_loglog, zipf_fit_mle, Ecdf};
+use appstore_synth::{generate, StoreProfile};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ranked_downloads() -> Vec<u64> {
+    let profile = StoreProfile::anzhi().scaled_down(8);
+    generate(&profile, StoreId(0), Seed::new(1))
+        .dataset
+        .final_downloads_ranked()
+}
+
+/// Table 1: the cost of generating a calibrated store end to end.
+fn bench_table1_generation(c: &mut Criterion) {
+    let profile = StoreProfile::anzhi().scaled_down(16);
+    c.bench_function("table1/generate_store", |b| {
+        b.iter(|| generate(black_box(&profile), StoreId(0), Seed::new(2)))
+    });
+}
+
+/// Fig. 2: Pareto share computation on a full popularity curve.
+fn bench_fig2_pareto(c: &mut Criterion) {
+    let ranked = ranked_downloads();
+    c.bench_function("fig2/top_share", |b| {
+        b.iter(|| top_share(black_box(&ranked), 0.10))
+    });
+    c.bench_function("fig2/top_share_curve_100pts", |b| {
+        b.iter(|| top_share_curve(black_box(&ranked), 100))
+    });
+}
+
+/// Fig. 3: power-law fitting over the measured curve.
+fn bench_fig3_powerlaw(c: &mut Criterion) {
+    let ranked = ranked_downloads();
+    c.bench_function("fig3/zipf_fit_loglog", |b| {
+        b.iter(|| zipf_fit_loglog(black_box(&ranked)))
+    });
+    c.bench_function("fig3/zipf_fit_mle", |b| {
+        b.iter(|| zipf_fit_mle(black_box(&ranked)))
+    });
+}
+
+/// Fig. 4: update-count ECDF construction and evaluation.
+fn bench_fig4_updates(c: &mut Criterion) {
+    let profile = StoreProfile::anzhi().scaled_down(8);
+    let dataset = generate(&profile, StoreId(0), Seed::new(3)).dataset;
+    let updates = dataset.updates_per_app();
+    c.bench_function("fig4/updates_ecdf", |b| {
+        b.iter(|| {
+            let ecdf = Ecdf::from_counts(black_box(&updates));
+            (ecdf.eval(0.0), ecdf.eval(3.0), ecdf.quantile(0.99))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1_generation,
+    bench_fig2_pareto,
+    bench_fig3_powerlaw,
+    bench_fig4_updates
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for the pricing and revenue analyses (Figs. 11–18):
+//! tier-split power-law fits, price binning and correlation, developer
+//! income aggregation, category shares, and the Eq. 7 break-even
+//! computations.
+
+use appstore_core::{PricingTier, Seed, StoreId};
+use appstore_revenue::{
+    ad_fraction_of_free_apps, breakeven_by_category, breakeven_by_tier, breakeven_over_time,
+    breakeven_overall, category_shares, developer_incomes, developer_strategies, price_bins,
+    price_correlations,
+};
+use appstore_stats::zipf_fit_loglog;
+use appstore_synth::{generate, StoreProfile};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn slideme() -> appstore_core::Dataset {
+    generate(&StoreProfile::slideme().scaled_down(2), StoreId(3), Seed::new(10)).dataset
+}
+
+/// Fig. 11: splitting the curve by tier and fitting both power laws.
+fn bench_fig11_tier_split(c: &mut Criterion) {
+    let d = slideme();
+    c.bench_function("fig11/tier_split_and_fit", |b| {
+        b.iter(|| {
+            let last = d.last();
+            let mut free = Vec::new();
+            let mut paid = Vec::new();
+            for obs in &last.observations {
+                match d.apps[obs.app.index()].tier {
+                    PricingTier::Free => free.push(obs.downloads),
+                    PricingTier::Paid => paid.push(obs.downloads),
+                }
+            }
+            free.sort_unstable_by(|a, b| b.cmp(a));
+            paid.sort_unstable_by(|a, b| b.cmp(a));
+            (zipf_fit_loglog(&free), zipf_fit_loglog(&paid))
+        })
+    });
+}
+
+/// Fig. 12: one-dollar price bins and the two correlations.
+fn bench_fig12_price_bins(c: &mut Criterion) {
+    let d = slideme();
+    c.bench_function("fig12/price_bins", |b| {
+        b.iter(|| price_bins(black_box(&d), 50))
+    });
+    c.bench_function("fig12/price_correlations", |b| {
+        b.iter(|| price_correlations(black_box(&d), 50))
+    });
+}
+
+/// Figs. 13–14: per-developer income aggregation.
+fn bench_fig13_incomes(c: &mut Criterion) {
+    let d = slideme();
+    c.bench_function("fig13/developer_incomes", |b| {
+        b.iter(|| developer_incomes(black_box(&d)))
+    });
+}
+
+/// Figs. 15–16: category shares and strategy mix.
+fn bench_fig15_categories(c: &mut Criterion) {
+    let d = slideme();
+    c.bench_function("fig15/category_shares", |b| {
+        b.iter(|| category_shares(black_box(&d)))
+    });
+    c.bench_function("fig16/developer_strategies", |b| {
+        b.iter(|| developer_strategies(black_box(&d)))
+    });
+}
+
+/// Figs. 17–18: the Eq. 7 break-even family (including the full
+/// per-snapshot time series).
+fn bench_fig17_breakeven(c: &mut Criterion) {
+    let d = slideme();
+    c.bench_function("fig17/breakeven_overall", |b| {
+        b.iter(|| breakeven_overall(black_box(&d)))
+    });
+    c.bench_function("fig17/breakeven_by_tier", |b| {
+        b.iter(|| breakeven_by_tier(black_box(&d)))
+    });
+    c.bench_function("fig17/breakeven_over_time", |b| {
+        b.iter(|| breakeven_over_time(black_box(&d)))
+    });
+    c.bench_function("fig18/breakeven_by_category", |b| {
+        b.iter(|| breakeven_by_category(black_box(&d)))
+    });
+    c.bench_function("fig17/ad_detection", |b| {
+        b.iter(|| ad_fraction_of_free_apps(black_box(&d.apps)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig11_tier_split,
+    bench_fig12_price_bins,
+    bench_fig13_incomes,
+    bench_fig15_categories,
+    bench_fig17_breakeven
+);
+criterion_main!(benches);

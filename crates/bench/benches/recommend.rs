@@ -1,0 +1,101 @@
+//! Criterion benches for the §7 implementations: recommender training
+//! and query throughput, and the prefetch replay.
+
+use appstore_cache::PrefetchSimulator;
+use appstore_core::{AppId, Seed, StoreId, UserId};
+use appstore_recommend::{CategoryRecency, ItemKnn, Popularity, Recommender};
+use appstore_synth::{generate, GeneratedStore, StoreProfile};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+fn store() -> GeneratedStore {
+    generate(
+        &StoreProfile::anzhi().scaled_down(12),
+        StoreId(0),
+        Seed::new(17),
+    )
+}
+
+/// Training cost of the three recommenders over the same event prefix.
+fn bench_training(c: &mut Criterion) {
+    let store = store();
+    let events = &store.outcome.events;
+    let dataset = &store.dataset;
+    let mut group = c.benchmark_group("recommend/train");
+    group.sample_size(10);
+    group.bench_function("popularity", |b| {
+        b.iter_batched(
+            Popularity::new,
+            |mut r| r.train(black_box(events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("item_knn_30", |b| {
+        b.iter_batched(
+            || ItemKnn::new(30),
+            |mut r| r.train(black_box(events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("category_recency", |b| {
+        b.iter_batched(
+            || CategoryRecency::new(|a: AppId| dataset.category_of(a), 5),
+            |mut r| r.train(black_box(events)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Per-user query throughput after training.
+fn bench_queries(c: &mut Criterion) {
+    let store = store();
+    let events = &store.outcome.events;
+    let dataset = &store.dataset;
+    let mut popularity = Popularity::new();
+    popularity.train(events);
+    let mut knn = ItemKnn::new(30);
+    knn.train(events);
+    let mut recency = CategoryRecency::new(|a: AppId| dataset.category_of(a), 5);
+    recency.train(events);
+    let mut group = c.benchmark_group("recommend/query_top20");
+    let mut user = 0u32;
+    group.bench_function("popularity", |b| {
+        b.iter(|| {
+            user = user.wrapping_add(1) % 10_000;
+            popularity.recommend(black_box(UserId(user)), 20)
+        })
+    });
+    group.bench_function("item_knn_30", |b| {
+        b.iter(|| {
+            user = user.wrapping_add(1) % 10_000;
+            knn.recommend(black_box(UserId(user)), 20)
+        })
+    });
+    group.bench_function("category_recency", |b| {
+        b.iter(|| {
+            user = user.wrapping_add(1) % 10_000;
+            recency.recommend(black_box(UserId(user)), 20)
+        })
+    });
+    group.finish();
+}
+
+/// Prefetch replay throughput over the full trace.
+fn bench_prefetch(c: &mut Criterion) {
+    let store = store();
+    let trace = &store.outcome.events;
+    let category_of: Vec<u32> = store.catalog.apps.iter().map(|a| a.category.0).collect();
+    let mut group = c.benchmark_group("prefetch/replay");
+    group.sample_size(10);
+    group.bench_function("fanout3", |b| {
+        b.iter(|| {
+            let mut sim =
+                PrefetchSimulator::new(&category_of, &store.catalog.free_by_category, 3, 12);
+            sim.run(black_box(trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_queries, bench_prefetch);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+use appstore_core::{PricingTier, Seed, StoreId};
+use appstore_synth::{generate, StoreProfile};
+use appstore_stats::{spearman, pearson};
+use appstore_revenue::price_bins;
+
+fn main() {
+    for seed in [1u64, 2, 3, 301, 2013] {
+        let d = generate(&StoreProfile::slideme(), StoreId(3), Seed::new(seed)).dataset;
+        let last = d.last();
+        let (mut p, mut dl) = (Vec::new(), Vec::new());
+        for obs in &last.observations {
+            let app = &d.apps[obs.app.index()];
+            if app.tier == PricingTier::Paid {
+                p.push(app.price.as_dollars());
+                dl.push(obs.downloads as f64);
+            }
+        }
+        let rho = spearman(&p, &dl).unwrap();
+        // per-bin pearson
+        let bins = price_bins(&d, 50);
+        let (mut mids, mut means, mut counts) = (Vec::new(), Vec::new(), Vec::new());
+        for b in &bins {
+            if let Some(m) = b.mean_downloads {
+                mids.push((b.dollars_lo + b.dollars_hi) / 2.0);
+                means.push(m);
+                counts.push(b.apps as f64);
+            }
+        }
+        let r_dl = pearson(&mids, &means).unwrap_or(f64::NAN);
+        let r_n = pearson(&mids, &counts).unwrap_or(f64::NAN);
+        println!("seed {seed}: spearman {rho:.3}  bin-pearson dl {r_dl:.3}  apps {r_n:.3}");
+    }
+}

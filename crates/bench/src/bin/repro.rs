@@ -1,0 +1,127 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale N] [--seed S] [--json DIR] <experiment>...
+//! repro all                 # every table/figure + ablations
+//! repro list                # print the experiment ids
+//! repro fig3 fig19          # a subset
+//! ```
+//!
+//! `--scale N` divides the calibrated store sizes by `N` (apps/users by
+//! `N`, downloads by `N²`), useful for quick runs; the default `1` is
+//! the full calibrated reproduction. `--json DIR` additionally writes
+//! each experiment's structured series to `DIR/<id>.json`.
+
+use appstore_core::Seed;
+use bench::{run_experiment, Stores, EXPERIMENT_IDS};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    scale: u32,
+    seed: u64,
+    json_dir: Option<String>,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 1,
+        seed: 2013,
+        json_dir: None,
+        experiments: Vec::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--json" => {
+                args.json_dir = Some(iter.next().ok_or("--json needs a directory")?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale N] [--seed S] [--json DIR] <experiment>|all|list"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            other => args.experiments.push(other.to_string()),
+        }
+    }
+    if args.experiments.is_empty() {
+        return Err("no experiment given; try `repro list` or `repro all`".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.experiments.iter().any(|e| e == "list") {
+        for id in EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        args.experiments.iter().map(String::as_str).collect()
+    };
+
+    // Validate ids before paying for generation.
+    for id in &ids {
+        if !EXPERIMENT_IDS.contains(id) {
+            eprintln!("unknown experiment: {id} (try `repro list`)");
+            std::process::exit(2);
+        }
+    }
+
+    let started = Instant::now();
+    eprintln!(
+        "generating the four calibrated stores (scale 1/{}, seed {})...",
+        args.scale, args.seed
+    );
+    let seed = Seed::new(args.seed);
+    let stores = Stores::generate_all(args.scale, seed.child("stores"));
+    eprintln!("stores ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+
+    for id in ids {
+        let t = Instant::now();
+        let result = run_experiment(id, &stores, seed.child("experiments"))
+            .expect("id validated above");
+        let mut stdout = std::io::stdout().lock();
+        write!(stdout, "{}", result.render()).expect("stdout");
+        writeln!(stdout, "[{} in {:.1}s]\n", id, t.elapsed().as_secs_f64()).expect("stdout");
+        if let Some(dir) = &args.json_dir {
+            let path = format!("{dir}/{id}.json");
+            std::fs::write(
+                &path,
+                serde_json::to_string_pretty(&result.json).expect("serialize"),
+            )
+            .expect("write json");
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Figure 19 and the cache-policy / cluster-layout ablations.
+
+use crate::experiments::ExperimentResult;
+use appstore_cache::{belady_hit_ratio, sweep_cache_sizes};
+use appstore_core::Seed;
+use appstore_models::{
+    expected_downloads_clustering_weighted, ClusterLayout, ClusteringParams, ModelKind,
+    PopulationParams, Simulator,
+};
+use appstore_stats::mean_relative_error;
+use serde_json::json;
+
+/// The paper's Fig. 19 setup, scaled 1/10 (60,000 apps → 6,000; 600,000
+/// users → 60,000; 2M downloads → 200k) with the published parameters
+/// `z_r = 1.7`, `z_c = 1.4`, `p = 0.9`, 30 categories.
+fn fig19_params() -> ClusteringParams {
+    ClusteringParams {
+        population: PopulationParams {
+            apps: 6_000,
+            users: 60_000,
+            // 200k downloads over 60k users ≈ 3.33; the paper's ratio.
+            downloads_per_user: 3,
+            zipf_exponent: 1.7,
+        },
+        clusters: 30,
+        p: 0.9,
+        cluster_exponent: 1.4,
+        layout: ClusterLayout::Interleaved,
+    }
+}
+
+/// Fig. 19 — LRU hit ratio vs cache size (1–20% of apps) under the three
+/// workload models (paper: ZIPF >99%, AMO 94.5–99%, APP-CLUSTERING
+/// 67.1–96.3%).
+pub fn fig19(seed: Seed) -> ExperimentResult {
+    let fractions = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20];
+    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("fig19"), false);
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "{:<18} {}",
+        "model",
+        fractions
+            .iter()
+            .map(|f| format!("{:>7.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    let mut series = Vec::new();
+    for kind in ModelKind::ALL {
+        let ratios: Vec<f64> = fractions
+            .iter()
+            .map(|&f| {
+                points
+                    .iter()
+                    .find(|p| p.model == kind && p.cache_fraction == f)
+                    .map(|p| p.hit_ratios[0].1)
+                    .unwrap_or(f64::NAN)
+            })
+            .collect();
+        lines.push(format!(
+            "{:<18} {}",
+            kind.name(),
+            ratios
+                .iter()
+                .map(|r| format!("{:>7.1}%", r * 100.0))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+        series.push(json!({ "model": kind.name(), "hit_ratios": ratios }));
+    }
+    lines.push("paper: ZIPF >99%; ZIPF-at-most-once 94.5->99%;".into());
+    lines.push("       APP-CLUSTERING 67.1% -> 96.3% — clustering hurts LRU".into());
+    ExperimentResult {
+        id: "fig19",
+        title: "Clustering-based behaviour degrades LRU caching",
+        lines,
+        json: json!({ "fractions": fractions, "models": series }),
+    }
+}
+
+/// Ablation: can policy design recover what LRU loses under clustering?
+/// Runs all five policies on the clustering workload (paper §7 suggests
+/// "new replacement policies… taking into account the clustering-based
+/// user behavior").
+pub fn ablate_policies(seed: Seed) -> ExperimentResult {
+    let fractions = [0.01, 0.05, 0.10];
+    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("policies"), true);
+    let mut lines = Vec::new();
+    let mut series = Vec::new();
+    lines.push(format!(
+        "APP-CLUSTERING workload; cache sizes {}",
+        fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    let clustering_points: Vec<_> = points
+        .iter()
+        .filter(|p| p.model == ModelKind::AppClustering)
+        .collect();
+    if let Some(first) = clustering_points.first() {
+        for (i, (name, _)) in first.hit_ratios.iter().enumerate() {
+            let ratios: Vec<f64> = clustering_points
+                .iter()
+                .map(|p| p.hit_ratios[i].1)
+                .collect();
+            lines.push(format!(
+                "{:<14} {}",
+                name,
+                ratios
+                    .iter()
+                    .map(|r| format!("{:>7.1}%", r * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+            series.push(json!({ "policy": name, "hit_ratios": ratios }));
+        }
+    }
+    // Upper bound: Belady's optimal offline policy on the same trace.
+    let params = fig19_params();
+    let sim = Simulator::for_kind(ModelKind::AppClustering, params);
+    let trace = sim.simulate_trace(seed.child("policies").child("APP-CLUSTERING"), 30);
+    let optimal: Vec<f64> = fractions
+        .iter()
+        .map(|&f| {
+            let cache_apps = ((params.population.apps as f64 * f).round() as usize).max(1);
+            let warm: Vec<u32> = (0..cache_apps as u32).collect();
+            belady_hit_ratio(cache_apps, &warm, &trace.events).hit_ratio()
+        })
+        .collect();
+    lines.push(format!(
+        "{:<14} {}",
+        "Belady (MIN)",
+        optimal
+            .iter()
+            .map(|r| format!("{:>7.1}%", r * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    lines.push("finding: interleaved sessions wash out trace-level category".into());
+    lines.push("recency — SLRU/LFU beat naive category protection, and the".into());
+    lines.push("Belady gap is the headroom per-user prefetching (§7) targets".into());
+    series.push(json!({ "policy": "Belady", "hit_ratios": optimal }));
+    ExperimentResult {
+        id: "ablate-policies",
+        title: "Ablation: replacement policies under the clustering workload",
+        lines,
+        json: json!({ "fractions": fractions, "policies": series }),
+    }
+}
+
+/// Ablation: sensitivity of the clustering model's popularity curve to
+/// the cluster layout (the paper assumes equal-size clusters with
+/// consistent rankings; the blocked layout concentrates all popular apps
+/// in one cluster and visibly changes the curve).
+pub fn ablate_cluster_size(seed: Seed) -> ExperimentResult {
+    let _ = seed; // analytic experiment; kept for signature symmetry
+    let base = ClusteringParams {
+        population: PopulationParams {
+            apps: 2_000,
+            users: 20_000,
+            downloads_per_user: 5,
+            zipf_exponent: 1.5,
+        },
+        clusters: 20,
+        p: 0.9,
+        cluster_exponent: 1.4,
+        layout: ClusterLayout::Interleaved,
+    };
+    let blocked = ClusteringParams {
+        layout: ClusterLayout::Blocked,
+        ..base
+    };
+    let to_ranked = |e: Vec<f64>| {
+        let mut v: Vec<u64> = e.into_iter().map(|x| x.round() as u64).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    };
+    let interleaved = to_ranked(expected_downloads_clustering_weighted(&base));
+    let blocked_curve = to_ranked(expected_downloads_clustering_weighted(&blocked));
+    let divergence = mean_relative_error(&interleaved, &blocked_curve).unwrap_or(f64::NAN);
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "interleaved head (top 5): {:?}",
+        &interleaved[..5]
+    ));
+    lines.push(format!("blocked     head (top 5): {:?}", &blocked_curve[..5]));
+    lines.push(format!(
+        "mean relative divergence between layouts: {divergence:.3}"
+    ));
+    lines.push("the blocked layout starves every cluster but the first of popular".into());
+    lines.push("apps, flattening the head — the interleaved layout matches the".into());
+    lines.push("paper's assumption that every category has its own hits".into());
+    ExperimentResult {
+        id: "ablate-cluster-size",
+        title: "Ablation: cluster layout sensitivity of APP-CLUSTERING",
+        lines,
+        json: json!({
+            "divergence": divergence,
+            "interleaved_head": &interleaved[..10.min(interleaved.len())],
+            "blocked_head": &blocked_curve[..10.min(blocked_curve.len())],
+        }),
+    }
+}

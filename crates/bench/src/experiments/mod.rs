@@ -1,0 +1,109 @@
+//! One function per paper table/figure, plus the ablations.
+
+pub mod behavior;
+pub mod breakeven;
+pub mod cache;
+pub mod income;
+pub mod model_fit;
+pub mod popularity;
+pub mod prefetch;
+pub mod pricing;
+pub mod recommend;
+pub mod table1;
+
+use crate::stores::Stores;
+use appstore_core::Seed;
+use serde_json::Value;
+
+/// A regenerated experiment: printable lines plus a JSON series for
+/// EXPERIMENTS.md.
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"fig3"`.
+    pub id: &'static str,
+    /// Human title matching the paper artifact.
+    pub title: &'static str,
+    /// Printable rows (one per output line).
+    pub lines: Vec<String>,
+    /// The structured series behind the rows.
+    pub json: Value,
+}
+
+impl ExperimentResult {
+    /// Renders the result as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Every experiment id the harness knows, in paper order.
+pub const EXPERIMENT_IDS: [&str; 28] = [
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "crawl",
+    "recommend",
+    "prefetch",
+    "ablate-depth",
+    "ablate-drift",
+    "ablate-policies",
+    "ablate-cluster-size",
+    "ablate-cutoff",
+    "ablate-p",
+];
+
+/// Runs one experiment by id. Returns `None` for an unknown id.
+pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<ExperimentResult> {
+    Some(match id {
+        "table1" => table1::run(stores),
+        "fig2" => popularity::fig2(stores),
+        "fig3" => popularity::fig3(stores),
+        "fig4" => popularity::fig4(stores),
+        "fig5" => behavior::fig5(stores),
+        "fig6" => behavior::fig6(stores),
+        "fig7" => behavior::fig7(stores),
+        "fig8" => model_fit::fig8(stores, seed),
+        "fig9" => model_fit::fig9(stores, seed),
+        "fig10" => model_fit::fig10(stores, seed),
+        "fig11" => pricing::fig11(stores),
+        "fig12" => pricing::fig12(stores),
+        "fig13" => income::fig13(stores),
+        "fig14" => income::fig14(stores),
+        "fig15" => income::fig15(stores),
+        "fig16" => income::fig16(stores),
+        "fig17" => breakeven::fig17(stores),
+        "fig18" => breakeven::fig18(stores),
+        "fig19" => cache::fig19(seed),
+        "crawl" => table1::crawl(stores, seed),
+        "recommend" => recommend::run(stores),
+        "prefetch" => prefetch::run(stores),
+        "ablate-depth" => behavior::ablate_depth(stores),
+        "ablate-drift" => behavior::ablate_drift(stores),
+        "ablate-policies" => cache::ablate_policies(seed),
+        "ablate-cluster-size" => cache::ablate_cluster_size(seed),
+        "ablate-cutoff" => popularity::ablate_cutoff(stores),
+        "ablate-p" => model_fit::ablate_p(stores, seed),
+        _ => return None,
+    })
+}

@@ -1,0 +1,19 @@
+//! Experiment harness for the planet-apps reproduction.
+//!
+//! Every table and figure in the paper's evaluation maps to one function
+//! in [`experiments`]; the `repro` binary dispatches on experiment id and
+//! prints the regenerated rows/series, and the criterion benches in
+//! `benches/` measure the computational kernels behind each one.
+//!
+//! The harness works on the four calibrated synthetic stores from
+//! `appstore-synth` (optionally scaled down with `--scale` for quick
+//! runs). All randomness descends from a single root seed, so every
+//! number printed is reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod stores;
+
+pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
+pub use stores::{StoreBundle, Stores};

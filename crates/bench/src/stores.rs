@@ -1,0 +1,81 @@
+//! Generation and caching of the four calibrated stores.
+
+use appstore_core::{Seed, StoreId};
+use appstore_synth::{generate, GeneratedStore, StoreProfile};
+
+/// One generated store with its profile.
+pub struct StoreBundle {
+    /// The calibration profile used.
+    pub profile: StoreProfile,
+    /// The generated store (dataset + catalogue + raw events).
+    pub store: GeneratedStore,
+}
+
+/// All four monitored stores, generated once.
+pub struct Stores {
+    /// Anzhi, AppChina, 1Mobile, SlideMe — the paper's Table 1 order.
+    pub bundles: Vec<StoreBundle>,
+}
+
+impl Stores {
+    /// Generates the four stores at `1/scale` of the calibrated size
+    /// (`scale == 1` is the default reproduction size).
+    pub fn generate_all(scale: u32, seed: Seed) -> Stores {
+        let bundles = StoreProfile::all_stores()
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let profile = if scale > 1 {
+                    profile.scaled_down(scale)
+                } else {
+                    profile
+                };
+                let store = generate(
+                    &profile,
+                    StoreId(i as u32),
+                    seed.child(&profile.name),
+                );
+                StoreBundle { profile, store }
+            })
+            .collect();
+        Stores { bundles }
+    }
+
+    /// Looks a store up by name.
+    pub fn by_name(&self, name: &str) -> Option<&StoreBundle> {
+        self.bundles.iter().find(|b| b.profile.name == name)
+    }
+
+    /// The Anzhi bundle (comment-bearing store used for the affinity
+    /// study).
+    ///
+    /// # Panics
+    /// Panics if Anzhi is missing (it never is).
+    pub fn anzhi(&self) -> &StoreBundle {
+        self.by_name("anzhi").expect("anzhi store present")
+    }
+
+    /// The SlideMe bundle (the paid-app store for the pricing study).
+    ///
+    /// # Panics
+    /// Panics if SlideMe is missing (it never is).
+    pub fn slideme(&self) -> &StoreBundle {
+        self.by_name("slideme").expect("slideme store present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_four_stores() {
+        let stores = Stores::generate_all(100, Seed::new(1));
+        assert_eq!(stores.bundles.len(), 4);
+        assert!(stores.by_name("anzhi").is_some());
+        assert!(stores.by_name("appchina").is_some());
+        assert!(stores.by_name("1mobile").is_some());
+        assert!(stores.slideme().profile.paid.is_some());
+        assert!(stores.by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Harness regression tests: every registered experiment must run to
+//! completion on a tiny store and produce printable lines plus a JSON
+//! payload.
+
+use appstore_core::Seed;
+use bench::{run_experiment, Stores, EXPERIMENT_IDS};
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let seed = Seed::new(99);
+    let stores = Stores::generate_all(64, seed.child("stores"));
+    for id in EXPERIMENT_IDS {
+        let result = run_experiment(id, &stores, seed.child("experiments"))
+            .unwrap_or_else(|| panic!("unknown experiment id {id}"));
+        assert_eq!(result.id, id);
+        assert!(!result.lines.is_empty(), "{id} produced no output lines");
+        assert!(!result.title.is_empty());
+        assert!(result.json.is_object(), "{id} JSON not an object");
+        // Rendering must include the id header.
+        let rendered = result.render();
+        assert!(rendered.contains(id), "{id} header missing");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let seed = Seed::new(1);
+    let stores = Stores::generate_all(256, seed);
+    assert!(run_experiment("fig99", &stores, seed).is_none());
+}
+
+#[test]
+fn experiments_are_deterministic() {
+    let seed = Seed::new(7);
+    let stores = Stores::generate_all(64, seed.child("stores"));
+    for id in ["fig2", "fig5", "fig19", "recommend"] {
+        let a = run_experiment(id, &stores, seed.child("experiments")).unwrap();
+        let b = run_experiment(id, &stores, seed.child("experiments")).unwrap();
+        assert_eq!(a.lines, b.lines, "{id} output not deterministic");
+        assert_eq!(a.json, b.json, "{id} JSON not deterministic");
+    }
+}

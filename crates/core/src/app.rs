@@ -1,0 +1,141 @@
+//! Application records.
+//!
+//! An [`App`] is the static description an appstore exposes on an app's
+//! page: category, developer, pricing, creation day, binary size, and the
+//! libraries embedded in its APK (which the revenue crate scans for ad
+//! networks, standing in for the paper's Androguard analysis).
+
+use crate::ids::{AppId, CategoryId, DeveloperId};
+use crate::money::Cents;
+use crate::time::Day;
+use serde::{Deserialize, Serialize};
+
+/// The 20 most popular Android advertising networks circa 2012, as used by
+/// the paper's ad-library scan (Grace et al., WISEC 2012 catalogue).
+pub const AD_NETWORK_CATALOGUE: [&str; 20] = [
+    "admob",
+    "adwhirl",
+    "millennialmedia",
+    "inmobi",
+    "mobclix",
+    "flurry",
+    "jumptap",
+    "tapjoy",
+    "greystripe",
+    "mdotm",
+    "adsense",
+    "zestadz",
+    "smaato",
+    "airpush",
+    "mobfox",
+    "youmi",
+    "wooboo",
+    "adchina",
+    "domob",
+    "waps",
+];
+
+/// A library embedded in an app's APK.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdLibrary {
+    /// Package-style library name, e.g. `"admob"`.
+    pub name: String,
+}
+
+impl AdLibrary {
+    /// Builds a library reference by name.
+    pub fn new(name: impl Into<String>) -> AdLibrary {
+        AdLibrary { name: name.into() }
+    }
+
+    /// True if the library belongs to the 20-network ad catalogue.
+    pub fn is_known_ad_network(&self) -> bool {
+        AD_NETWORK_CATALOGUE.contains(&self.name.as_str())
+    }
+}
+
+/// Whether an app is distributed free of charge or sold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PricingTier {
+    /// Free to download (revenue, if any, comes from ads / in-app billing).
+    Free,
+    /// Must be purchased before download.
+    Paid,
+}
+
+/// Static description of one application in one marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct App {
+    /// Dense app identifier within the marketplace.
+    pub id: AppId,
+    /// The single category (cluster) the app belongs to.
+    pub category: CategoryId,
+    /// The developer account that published the app.
+    pub developer: DeveloperId,
+    /// Free or paid.
+    pub tier: PricingTier,
+    /// Current price; `Cents::ZERO` for free apps.
+    pub price: Cents,
+    /// Day the app first appeared in the store (day 0 for the initial
+    /// inventory, later for apps added during the campaign).
+    pub created: Day,
+    /// APK size in bytes (the paper reports a 3.5 MB average).
+    pub apk_size: u64,
+    /// Libraries embedded in the APK.
+    pub libraries: Vec<AdLibrary>,
+}
+
+impl App {
+    /// True if the app is sold for money.
+    pub fn is_paid(&self) -> bool {
+        self.tier == PricingTier::Paid
+    }
+
+    /// True if the APK embeds at least one known ad network, i.e. what the
+    /// paper's Androguard scan reports for 67.7% of free apps.
+    pub fn has_ads(&self) -> bool {
+        self.libraries.iter().any(AdLibrary::is_known_ad_network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_app(libs: &[&str]) -> App {
+        App {
+            id: AppId(0),
+            category: CategoryId(3),
+            developer: DeveloperId(1),
+            tier: PricingTier::Free,
+            price: Cents::ZERO,
+            created: Day::ZERO,
+            apk_size: 3_500_000,
+            libraries: libs.iter().map(|l| AdLibrary::new(*l)).collect(),
+        }
+    }
+
+    #[test]
+    fn catalogue_has_twenty_unique_networks() {
+        let unique: std::collections::HashSet<&str> =
+            AD_NETWORK_CATALOGUE.iter().copied().collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn ad_detection_matches_catalogue() {
+        assert!(sample_app(&["admob"]).has_ads());
+        assert!(sample_app(&["support-v4", "flurry"]).has_ads());
+        assert!(!sample_app(&["support-v4", "okhttp"]).has_ads());
+        assert!(!sample_app(&[]).has_ads());
+    }
+
+    #[test]
+    fn pricing_tier() {
+        let mut app = sample_app(&[]);
+        assert!(!app.is_paid());
+        app.tier = PricingTier::Paid;
+        app.price = Cents::from_dollars(3);
+        assert!(app.is_paid());
+    }
+}

@@ -1,0 +1,192 @@
+//! A dense fixed-capacity bitset.
+//!
+//! The fetch-at-most-once property requires remembering, per simulated
+//! user, which apps have already been downloaded. At the paper's scale
+//! (hundreds of thousands of users, tens of thousands of apps) hash sets
+//! are too heavy; a flat bit vector is one bit per (user, app) pair and
+//! the membership test is a single word load.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity set of `usize` indexes stored one bit each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseBitset {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl DenseBitset {
+    /// Creates an empty set able to hold indexes `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> DenseBitset {
+        DenseBitset {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Number of indexes the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of indexes currently in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no index is set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if every index in `0..capacity` is set.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Tests membership.
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity");
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Inserts `index`; returns true if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        if *word & mask != 0 {
+            false
+        } else {
+            *word |= mask;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Removes `index`; returns true if it was present.
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity");
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates over set indexes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = DenseBitset::with_capacity(100);
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut s = DenseBitset::with_capacity(130);
+        for i in [0, 63, 64, 127, 128, 129] {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.len(), 6);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 127, 128, 129]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = DenseBitset::with_capacity(65);
+        for i in 0..65 {
+            s.insert(i);
+        }
+        assert!(s.is_full());
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn contains_out_of_range_panics() {
+        let s = DenseBitset::with_capacity(10);
+        let _ = s.contains(10);
+    }
+
+    #[test]
+    fn zero_capacity_is_full_and_empty() {
+        let s = DenseBitset::with_capacity(0);
+        assert!(s.is_empty());
+        assert!(s.is_full());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_hashset(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..400)) {
+            let mut s = DenseBitset::with_capacity(200);
+            let mut reference = std::collections::BTreeSet::new();
+            for (idx, add) in ops {
+                if add {
+                    prop_assert_eq!(s.insert(idx), reference.insert(idx));
+                } else {
+                    prop_assert_eq!(s.remove(idx), reference.remove(&idx));
+                }
+            }
+            prop_assert_eq!(s.len(), reference.len());
+            let got: Vec<usize> = s.iter().collect();
+            let want: Vec<usize> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

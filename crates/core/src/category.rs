@@ -1,0 +1,173 @@
+//! Category taxonomies.
+//!
+//! Every app belongs to exactly one category; categories are the clusters
+//! of the APP-CLUSTERING model. Two taxonomies matter for the paper:
+//!
+//! * the Anzhi store groups its ~60k apps into **34 categories** (used for
+//!   the affinity study, Section 4), and
+//! * SlideMe uses **20 named categories** (used for the pricing study,
+//!   Section 6: music, fun/games, utilities, …, developer).
+//!
+//! [`CategorySet`] carries the names plus per-category metadata the
+//! generators need (relative app share, relative download attractiveness,
+//! price level for paid apps).
+
+use crate::ids::CategoryId;
+use serde::{Deserialize, Serialize};
+
+/// The names of SlideMe's 20 categories, ordered as in the paper's
+/// Figure 15 revenue ranking (music first).
+pub const SLIDEME_CATEGORY_NAMES: [&str; 20] = [
+    "music",
+    "fun/games",
+    "utilities",
+    "productivity",
+    "entertainment",
+    "religion",
+    "travel",
+    "educational",
+    "social",
+    "communications",
+    "e-books",
+    "lifestyle",
+    "wallpapers",
+    "health/fitness",
+    "other",
+    "collaboration",
+    "location/maps",
+    "home/hobby",
+    "enterprise",
+    "developer",
+];
+
+/// Static description of one category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryInfo {
+    /// Category identifier (dense, equal to its position in the set).
+    pub id: CategoryId,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// An ordered collection of categories for one marketplace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategorySet {
+    categories: Vec<CategoryInfo>,
+}
+
+impl CategorySet {
+    /// Builds a taxonomy from explicit names.
+    pub fn from_names<I, S>(names: I) -> CategorySet
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let categories = names
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| CategoryInfo {
+                id: CategoryId::from_index(i),
+                name: name.into(),
+            })
+            .collect();
+        CategorySet { categories }
+    }
+
+    /// Builds an anonymous taxonomy of `n` categories named
+    /// `category-0 .. category-{n-1}` (used for the 34-category Chinese
+    /// stores, whose category names the paper does not enumerate).
+    pub fn anonymous(n: usize) -> CategorySet {
+        CategorySet::from_names((0..n).map(|i| format!("category-{i}")))
+    }
+
+    /// The SlideMe taxonomy (20 named categories).
+    pub fn slideme() -> CategorySet {
+        CategorySet::from_names(SLIDEME_CATEGORY_NAMES)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// True if the taxonomy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.categories.is_empty()
+    }
+
+    /// Looks a category up by id.
+    ///
+    /// # Panics
+    /// Panics if the id is not part of this set.
+    pub fn get(&self, id: CategoryId) -> &CategoryInfo {
+        &self.categories[id.index()]
+    }
+
+    /// Looks a category up by name.
+    pub fn by_name(&self, name: &str) -> Option<&CategoryInfo> {
+        self.categories.iter().find(|c| c.name == name)
+    }
+
+    /// Iterates categories in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CategoryInfo> {
+        self.categories.iter()
+    }
+
+    /// All category ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = CategoryId> + '_ {
+        self.categories.iter().map(|c| c.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slideme_has_twenty_named_categories() {
+        let set = CategorySet::slideme();
+        assert_eq!(set.len(), 20);
+        assert_eq!(set.get(CategoryId(0)).name, "music");
+        assert_eq!(set.get(CategoryId(19)).name, "developer");
+        assert!(set.by_name("fun/games").is_some());
+        assert!(set.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn anonymous_ids_are_dense() {
+        let set = CategorySet::anonymous(34);
+        assert_eq!(set.len(), 34);
+        for (i, cat) in set.iter().enumerate() {
+            assert_eq!(cat.id.index(), i);
+        }
+        assert_eq!(set.get(CategoryId(33)).name, "category-33");
+    }
+
+    #[test]
+    fn by_name_finds_id() {
+        let set = CategorySet::slideme();
+        let ebooks = set.by_name("e-books").unwrap();
+        assert_eq!(set.get(ebooks.id).name, "e-books");
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = CategorySet::anonymous(0);
+        assert!(set.is_empty());
+        assert_eq!(set.ids().count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn category_set_round_trips() {
+        let set = CategorySet::slideme();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: CategorySet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.get(CategoryId(0)).name, "music");
+    }
+}

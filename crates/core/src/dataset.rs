@@ -1,0 +1,321 @@
+//! Complete per-store datasets.
+//!
+//! A [`Dataset`] bundles everything the study knows about one monitored
+//! appstore: its metadata, taxonomy, app and developer registries, the
+//! daily snapshot time series produced by a crawl, and (where available,
+//! as for Anzhi in the paper) the raw comment and update event streams.
+//!
+//! The accessors here implement the bookkeeping every analysis needs:
+//! first/last snapshot, per-app download deltas over the campaign, daily
+//! download rates, per-category totals, and validation of the crawl
+//! invariants (snapshots ordered, counters monotonic, categories known).
+
+use crate::app::App;
+use crate::category::CategorySet;
+use crate::developer::Developer;
+use crate::error::CoreError;
+use crate::event::{CommentEvent, UpdateEvent};
+use crate::ids::{AppId, CategoryId, StoreId};
+use crate::snapshot::DailySnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Identity and descriptive metadata of a monitored store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreMeta {
+    /// Store identifier.
+    pub id: StoreId,
+    /// Store name, e.g. `"anzhi"`.
+    pub name: String,
+    /// Whether the store sells paid apps (only SlideMe in the paper).
+    pub has_paid_apps: bool,
+}
+
+/// Everything collected about one appstore over one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Store identity.
+    pub store: StoreMeta,
+    /// The store's category taxonomy.
+    pub categories: CategorySet,
+    /// Static app registry, indexed by `AppId`.
+    pub apps: Vec<App>,
+    /// Static developer registry, indexed by `DeveloperId`.
+    pub developers: Vec<Developer>,
+    /// Daily snapshots in strictly increasing day order.
+    pub snapshots: Vec<DailySnapshot>,
+    /// Rated comments, ordered by (user, day, seq) as collected.
+    pub comments: Vec<CommentEvent>,
+    /// App updates observed during the campaign.
+    pub updates: Vec<UpdateEvent>,
+}
+
+impl Dataset {
+    /// Validates the crawl invariants.
+    ///
+    /// * at least one snapshot;
+    /// * snapshots strictly ordered by day;
+    /// * per-app cumulative counters never decrease;
+    /// * every observation's category is inside the taxonomy.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.snapshots.is_empty() {
+            return Err(CoreError::EmptyDataset);
+        }
+        for pair in self.snapshots.windows(2) {
+            if pair[1].day <= pair[0].day {
+                return Err(CoreError::UnorderedSnapshots {
+                    previous: pair[0].day.0,
+                    next: pair[1].day.0,
+                });
+            }
+            for obs in &pair[1].observations {
+                if obs.category.index() >= self.categories.len() {
+                    return Err(CoreError::UnknownCategory {
+                        category: obs.category.0,
+                    });
+                }
+                if let Some(earlier) = pair[0].downloads_of(obs.app) {
+                    if obs.downloads < earlier {
+                        return Err(CoreError::NonMonotonicCounter {
+                            app: obs.app.0,
+                            day: pair[1].day.0,
+                        });
+                    }
+                }
+            }
+        }
+        for obs in &self.snapshots[0].observations {
+            if obs.category.index() >= self.categories.len() {
+                return Err(CoreError::UnknownCategory {
+                    category: obs.category.0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The first snapshot of the campaign.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset (use [`Dataset::validate`] first).
+    pub fn first(&self) -> &DailySnapshot {
+        self.snapshots.first().expect("dataset has no snapshots")
+    }
+
+    /// The last snapshot of the campaign.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset (use [`Dataset::validate`] first).
+    pub fn last(&self) -> &DailySnapshot {
+        self.snapshots.last().expect("dataset has no snapshots")
+    }
+
+    /// Number of days covered (inclusive of both endpoints).
+    pub fn campaign_days(&self) -> u32 {
+        self.first().day.span_through(self.last().day)
+    }
+
+    /// Average number of apps added per day over the campaign
+    /// (Table 1, "New apps per day").
+    pub fn new_apps_per_day(&self) -> f64 {
+        let days = self.campaign_days();
+        if days <= 1 {
+            return 0.0;
+        }
+        let added = self.last().app_count() - self.first().app_count();
+        added as f64 / f64::from(days - 1)
+    }
+
+    /// Average daily downloads over the campaign (Table 1).
+    pub fn daily_downloads(&self) -> f64 {
+        let days = self.campaign_days();
+        if days <= 1 {
+            return 0.0;
+        }
+        let delta = self.last().total_downloads() - self.first().total_downloads();
+        delta as f64 / f64::from(days - 1)
+    }
+
+    /// Cumulative download counters of the last snapshot, descending — the
+    /// per-app popularity vector analyzed throughout the paper.
+    pub fn final_downloads_ranked(&self) -> Vec<u64> {
+        self.last().downloads_ranked()
+    }
+
+    /// Total downloads per category on a given snapshot (Fig. 5d).
+    pub fn downloads_by_category(&self, snapshot: &DailySnapshot) -> Vec<u64> {
+        let mut per_cat = vec![0u64; self.categories.len()];
+        for obs in &snapshot.observations {
+            per_cat[obs.category.index()] += obs.downloads;
+        }
+        per_cat
+    }
+
+    /// Number of apps per category on a given snapshot (used for the
+    /// random-walk affinity baseline, Eq. 2/4).
+    pub fn apps_by_category(&self, snapshot: &DailySnapshot) -> Vec<u64> {
+        let mut per_cat = vec![0u64; self.categories.len()];
+        for obs in &snapshot.observations {
+            per_cat[obs.category.index()] += 1;
+        }
+        per_cat
+    }
+
+    /// Number of updates observed per app over the whole campaign,
+    /// indexed by `AppId` (Fig. 4). Apps never updated count zero.
+    pub fn updates_per_app(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.apps.len()];
+        for update in &self.updates {
+            counts[update.app.index()] += 1;
+        }
+        counts
+    }
+
+    /// The category of an app.
+    ///
+    /// # Panics
+    /// Panics if the app id is not in the registry.
+    pub fn category_of(&self, app: AppId) -> CategoryId {
+        self.apps[app.index()].category
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::PricingTier;
+    use crate::ids::DeveloperId;
+    use crate::money::Cents;
+    use crate::snapshot::AppObservation;
+    use crate::time::Day;
+
+    fn obs(app: u32, cat: u32, downloads: u64) -> AppObservation {
+        AppObservation {
+            app: AppId(app),
+            category: CategoryId(cat),
+            developer: DeveloperId(0),
+            downloads,
+            comments: 0,
+            version: 1,
+            price: Cents::ZERO,
+        }
+    }
+
+    fn app(id: u32, cat: u32) -> App {
+        App {
+            id: AppId(id),
+            category: CategoryId(cat),
+            developer: DeveloperId(0),
+            tier: PricingTier::Free,
+            price: Cents::ZERO,
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: vec![],
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            store: StoreMeta {
+                id: StoreId(0),
+                name: "test".into(),
+                has_paid_apps: false,
+            },
+            categories: CategorySet::anonymous(2),
+            apps: vec![app(0, 0), app(1, 1), app(2, 1)],
+            developers: vec![Developer::numbered(DeveloperId(0))],
+            snapshots: vec![
+                DailySnapshot {
+                    day: Day(0),
+                    observations: vec![obs(0, 0, 10), obs(1, 1, 5)],
+                },
+                DailySnapshot {
+                    day: Day(2),
+                    observations: vec![obs(0, 0, 14), obs(1, 1, 9), obs(2, 1, 3)],
+                },
+            ],
+            comments: vec![],
+            updates: vec![
+                UpdateEvent {
+                    app: AppId(0),
+                    day: Day(1),
+                    version: 2,
+                },
+                UpdateEvent {
+                    app: AppId(0),
+                    day: Day(2),
+                    version: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        assert_eq!(dataset().validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let mut d = dataset();
+        d.snapshots.clear();
+        assert_eq!(d.validate(), Err(CoreError::EmptyDataset));
+    }
+
+    #[test]
+    fn unordered_snapshots_rejected() {
+        let mut d = dataset();
+        d.snapshots[1].day = Day(0);
+        assert!(matches!(
+            d.validate(),
+            Err(CoreError::UnorderedSnapshots { .. })
+        ));
+    }
+
+    #[test]
+    fn regressing_counter_rejected() {
+        let mut d = dataset();
+        d.snapshots[1].observations[0].downloads = 1;
+        assert_eq!(
+            d.validate(),
+            Err(CoreError::NonMonotonicCounter { app: 0, day: 2 })
+        );
+    }
+
+    #[test]
+    fn unknown_category_rejected() {
+        let mut d = dataset();
+        d.snapshots[0].observations[0].category = CategoryId(9);
+        assert_eq!(d.validate(), Err(CoreError::UnknownCategory { category: 9 }));
+    }
+
+    #[test]
+    fn campaign_statistics() {
+        let d = dataset();
+        assert_eq!(d.campaign_days(), 3);
+        // 1 app added over 2 elapsed days
+        assert!((d.new_apps_per_day() - 0.5).abs() < 1e-12);
+        // downloads went 15 -> 26 over 2 elapsed days
+        assert!((d.daily_downloads() - 5.5).abs() < 1e-12);
+        assert_eq!(d.final_downloads_ranked(), vec![14, 9, 3]);
+    }
+
+    #[test]
+    fn per_category_aggregates() {
+        let d = dataset();
+        let last = d.last().clone();
+        assert_eq!(d.downloads_by_category(&last), vec![14, 12]);
+        assert_eq!(d.apps_by_category(&last), vec![1, 2]);
+    }
+
+    #[test]
+    fn updates_per_app_counts() {
+        let d = dataset();
+        assert_eq!(d.updates_per_app(), vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn category_lookup() {
+        let d = dataset();
+        assert_eq!(d.category_of(AppId(2)), CategoryId(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by the workspace.
+
+use std::fmt;
+
+/// Errors produced by dataset construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A dataset was built with no snapshots.
+    EmptyDataset,
+    /// Snapshots were not in strictly increasing day order.
+    UnorderedSnapshots {
+        /// Day of the earlier snapshot in the offending pair.
+        previous: u32,
+        /// Day of the later snapshot in the offending pair.
+        next: u32,
+    },
+    /// A cumulative counter decreased between consecutive snapshots, which
+    /// a correct crawl can never observe.
+    NonMonotonicCounter {
+        /// App whose counter regressed.
+        app: u32,
+        /// Day on which the regression was observed.
+        day: u32,
+    },
+    /// An observation referenced a category outside the store's taxonomy.
+    UnknownCategory {
+        /// The out-of-range category index.
+        category: u32,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDataset => write!(f, "dataset contains no snapshots"),
+            CoreError::UnorderedSnapshots { previous, next } => write!(
+                f,
+                "snapshots out of order: day {next} follows day {previous}"
+            ),
+            CoreError::NonMonotonicCounter { app, day } => write!(
+                f,
+                "cumulative download counter of app-{app} decreased on day {day}"
+            ),
+            CoreError::UnknownCategory { category } => {
+                write!(f, "category index {category} outside the store taxonomy")
+            }
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> CoreError {
+        CoreError::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::EmptyDataset.to_string(),
+            "dataset contains no snapshots"
+        );
+        assert!(CoreError::NonMonotonicCounter { app: 3, day: 7 }
+            .to_string()
+            .contains("app-3"));
+        assert!(CoreError::invalid("p", "must lie in [0, 1]")
+            .to_string()
+            .contains("must lie in [0, 1]"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Behavioural events.
+//!
+//! The generators emit three event kinds, mirroring what the paper's crawl
+//! can observe indirectly:
+//!
+//! * [`DownloadEvent`] — a user downloads (or purchases) an app; the crawl
+//!   only sees these aggregated into per-app counters, but the simulators
+//!   and the cache experiments consume the raw stream.
+//! * [`CommentEvent`] — a user posts a rated comment; the affinity study
+//!   (Section 4) works on per-user comment streams ordered by time.
+//! * [`UpdateEvent`] — a developer publishes a new APK version; used for
+//!   the fetch-at-most-once validation (Fig. 4).
+
+use crate::ids::{AppId, UserId};
+use crate::time::Day;
+use serde::{Deserialize, Serialize};
+
+/// One app download by one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DownloadEvent {
+    /// Downloading user.
+    pub user: UserId,
+    /// Downloaded app.
+    pub app: AppId,
+    /// Day the download happened.
+    pub day: Day,
+}
+
+/// One rated user comment on an app.
+///
+/// `seq` orders comments of the same user within a day (the Anzhi crawl
+/// provides precise timestamps; a (day, seq) pair is our equivalent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommentEvent {
+    /// Commenting user.
+    pub user: UserId,
+    /// Commented app.
+    pub app: AppId,
+    /// Day the comment was posted.
+    pub day: Day,
+    /// Within-day sequence number of this comment in the user's stream.
+    pub seq: u32,
+    /// Star rating attached to the comment (1–5). Only rated comments are
+    /// treated as download evidence, as in the paper.
+    pub rating: u8,
+}
+
+/// A new version of an app published by its developer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateEvent {
+    /// Updated app.
+    pub app: AppId,
+    /// Day the update was published.
+    pub day: Day,
+    /// New version number (monotonically increasing per app, starting at 1
+    /// for the initial release).
+    pub version: u32,
+}
+
+impl CommentEvent {
+    /// Total order of a user's comments: by day, then by in-day sequence.
+    pub fn chrono_key(&self) -> (Day, u32) {
+        (self.day, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_chrono_key_orders_within_day() {
+        let a = CommentEvent {
+            user: UserId(1),
+            app: AppId(1),
+            day: Day(3),
+            seq: 0,
+            rating: 5,
+        };
+        let b = CommentEvent {
+            app: AppId(2),
+            seq: 1,
+            ..a
+        };
+        let c = CommentEvent {
+            app: AppId(3),
+            day: Day(4),
+            seq: 0,
+            ..a
+        };
+        assert!(a.chrono_key() < b.chrono_key());
+        assert!(b.chrono_key() < c.chrono_key());
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = DownloadEvent {
+            user: UserId(9),
+            app: AppId(4),
+            day: Day(2),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: DownloadEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

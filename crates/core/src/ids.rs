@@ -1,0 +1,116 @@
+//! Strongly-typed identifiers.
+//!
+//! All entities are identified by dense `u32` indexes: every generator in
+//! this workspace allocates ids contiguously from zero, which lets analysis
+//! code index `Vec`s by id instead of hashing. The newtypes exist so that an
+//! `AppId` can never be confused with a `UserId` at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an application within one marketplace.
+    AppId,
+    "app-"
+);
+define_id!(
+    /// Identifier of a marketplace user (downloader / commenter).
+    UserId,
+    "user-"
+);
+define_id!(
+    /// Identifier of an app developer account.
+    DeveloperId,
+    "dev-"
+);
+define_id!(
+    /// Identifier of an app category (cluster) within one marketplace.
+    CategoryId,
+    "cat-"
+);
+define_id!(
+    /// Identifier of a monitored appstore.
+    StoreId,
+    "store-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(AppId(7).to_string(), "app-7");
+        assert_eq!(UserId(0).to_string(), "user-0");
+        assert_eq!(CategoryId(33).to_string(), "cat-33");
+        assert_eq!(StoreId(2).to_string(), "store-2");
+        assert_eq!(DeveloperId(11).to_string(), "dev-11");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = AppId::from_index(123);
+        assert_eq!(id.index(), 123);
+        assert_eq!(id, AppId(123));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(AppId(1) < AppId(2));
+        assert!(UserId(10) > UserId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn from_index_panics_on_overflow() {
+        let _ = AppId::from_index(usize::MAX);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&AppId(42)).unwrap();
+        assert_eq!(json, "42");
+        let back: AppId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, AppId(42));
+    }
+}

@@ -1,0 +1,106 @@
+//! Money as integer cents.
+//!
+//! All prices and incomes are carried as whole cents to keep aggregation
+//! exact; conversion to floating dollars happens only at presentation and
+//! statistics boundaries (e.g. correlation of price with downloads).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// An amount of money in US cents.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Cents(pub u64);
+
+impl Cents {
+    /// Zero dollars.
+    pub const ZERO: Cents = Cents(0);
+
+    /// Builds an amount from whole dollars.
+    pub fn from_dollars(dollars: u64) -> Cents {
+        Cents(dollars * 100)
+    }
+
+    /// The amount as (possibly fractional) dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+
+    /// True if the amount is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating multiplication by a count (e.g. price × downloads).
+    pub fn saturating_mul(self, count: u64) -> Cents {
+        Cents(self.0.saturating_mul(count))
+    }
+}
+
+impl fmt::Display for Cents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}.{:02}", self.0 / 100, self.0 % 100)
+    }
+}
+
+impl Add for Cents {
+    type Output = Cents;
+    fn add(self, rhs: Cents) -> Cents {
+        Cents(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cents {
+    fn add_assign(&mut self, rhs: Cents) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Cents {
+    type Output = Cents;
+    fn mul(self, rhs: u64) -> Cents {
+        Cents(self.0 * rhs)
+    }
+}
+
+impl Sum for Cents {
+    fn sum<I: Iterator<Item = Cents>>(iter: I) -> Cents {
+        iter.fold(Cents::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_cents() {
+        assert_eq!(Cents(0).to_string(), "$0.00");
+        assert_eq!(Cents(5).to_string(), "$0.05");
+        assert_eq!(Cents(123).to_string(), "$1.23");
+        assert_eq!(Cents(99_999).to_string(), "$999.99");
+    }
+
+    #[test]
+    fn dollars_round_trip() {
+        assert_eq!(Cents::from_dollars(4).as_dollars(), 4.0);
+        assert!((Cents(399).as_dollars() - 3.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cents(100) + Cents(23), Cents(123));
+        assert_eq!(Cents(250) * 4, Cents(1000));
+        let total: Cents = [Cents(1), Cents(2), Cents(3)].into_iter().sum();
+        assert_eq!(total, Cents(6));
+    }
+
+    #[test]
+    fn saturating_mul_does_not_overflow() {
+        assert_eq!(Cents(u64::MAX).saturating_mul(2), Cents(u64::MAX));
+    }
+}

@@ -1,0 +1,165 @@
+//! Daily crawl snapshots.
+//!
+//! A crawl visits each app page once per day and records the *cumulative*
+//! counters the store displays. [`AppObservation`] is one app on one day;
+//! [`DailySnapshot`] is the full store on one day. The analysis crates
+//! derive everything (download distributions, daily deltas, update counts)
+//! from a time series of snapshots, exactly as the paper derives its
+//! results from its crawl database.
+
+use crate::ids::{AppId, CategoryId, DeveloperId};
+use crate::money::Cents;
+use crate::time::Day;
+use serde::{Deserialize, Serialize};
+
+/// One app's page as observed on one day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppObservation {
+    /// Which app.
+    pub app: AppId,
+    /// Category shown on the page.
+    pub category: CategoryId,
+    /// Developer shown on the page.
+    pub developer: DeveloperId,
+    /// Cumulative downloads displayed by the store.
+    pub downloads: u64,
+    /// Cumulative number of rated comments.
+    pub comments: u64,
+    /// Version number currently offered.
+    pub version: u32,
+    /// Price on this day (stores can change it; free apps are zero).
+    pub price: Cents,
+}
+
+/// All app observations for one store on one day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySnapshot {
+    /// Which day the snapshot describes.
+    pub day: Day,
+    /// One observation per app indexed in the store that day, in `AppId`
+    /// order. Apps added later simply do not appear in earlier snapshots.
+    pub observations: Vec<AppObservation>,
+}
+
+impl DailySnapshot {
+    /// Number of apps visible on this day.
+    pub fn app_count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Sum of cumulative downloads over all apps.
+    pub fn total_downloads(&self) -> u64 {
+        self.observations.iter().map(|o| o.downloads).sum()
+    }
+
+    /// Cumulative download counter of one app, if present.
+    pub fn downloads_of(&self, app: AppId) -> Option<u64> {
+        self.observations
+            .binary_search_by_key(&app, |o| o.app)
+            .ok()
+            .map(|i| self.observations[i].downloads)
+    }
+
+    /// Download counters in descending order (the popularity curve the
+    /// paper plots as Figures 3, 8 and 11).
+    pub fn downloads_ranked(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.observations.iter().map(|o| o.downloads).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Checks the `AppId`-ordering invariant.
+    pub fn is_sorted(&self) -> bool {
+        self.observations.windows(2).all(|w| w[0].app < w[1].app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(app: u32, downloads: u64) -> AppObservation {
+        AppObservation {
+            app: AppId(app),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            downloads,
+            comments: 0,
+            version: 1,
+            price: Cents::ZERO,
+        }
+    }
+
+    fn snapshot() -> DailySnapshot {
+        DailySnapshot {
+            day: Day(5),
+            observations: vec![obs(0, 10), obs(1, 300), obs(2, 25)],
+        }
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let s = snapshot();
+        assert_eq!(s.app_count(), 3);
+        assert_eq!(s.total_downloads(), 335);
+        assert_eq!(s.downloads_of(AppId(1)), Some(300));
+        assert_eq!(s.downloads_of(AppId(9)), None);
+    }
+
+    #[test]
+    fn ranked_is_descending() {
+        assert_eq!(snapshot().downloads_ranked(), vec![300, 25, 10]);
+    }
+
+    #[test]
+    fn sorted_invariant() {
+        assert!(snapshot().is_sorted());
+        let bad = DailySnapshot {
+            day: Day(0),
+            observations: vec![obs(2, 1), obs(1, 1)],
+        };
+        assert!(!bad.is_sorted());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::ids::{CategoryId, DeveloperId};
+    use crate::money::Cents;
+    use crate::time::Day;
+
+    fn obs(app: u32, downloads: u64) -> AppObservation {
+        AppObservation {
+            app: AppId(app),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            downloads,
+            comments: 0,
+            version: 1,
+            price: Cents::ZERO,
+        }
+    }
+
+    #[test]
+    fn ranked_handles_ties_and_zeroes() {
+        let s = DailySnapshot {
+            day: Day(0),
+            observations: vec![obs(0, 5), obs(1, 0), obs(2, 5), obs(3, 1)],
+        };
+        assert_eq!(s.downloads_ranked(), vec![5, 5, 1, 0]);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = DailySnapshot {
+            day: Day(0),
+            observations: vec![],
+        };
+        assert_eq!(s.app_count(), 0);
+        assert_eq!(s.total_downloads(), 0);
+        assert!(s.downloads_ranked().is_empty());
+        assert!(s.is_sorted());
+        assert_eq!(s.downloads_of(AppId(0)), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Simulation time.
+//!
+//! The paper's crawls observe each appstore once per day, so a day is the
+//! natural time unit for datasets and snapshots. [`Day`] counts days since
+//! the start of a measurement campaign. Finer-grained timing (the crawler
+//! simulation schedules requests in milliseconds) is kept internal to the
+//! crawler crate; everything the analysis sees is day-indexed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A day index relative to the start of a measurement campaign (day 0).
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Day(pub u32);
+
+impl Day {
+    /// The first day of a campaign.
+    pub const ZERO: Day = Day(0);
+
+    /// Returns the raw day index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next day.
+    #[inline]
+    pub fn next(self) -> Day {
+        Day(self.0 + 1)
+    }
+
+    /// Iterates over `self..end` (half-open).
+    pub fn until(self, end: Day) -> impl Iterator<Item = Day> {
+        (self.0..end.0).map(Day)
+    }
+
+    /// Inclusive number of days from `self` through `end`.
+    /// Returns 0 when `end < self`.
+    pub fn span_through(self, end: Day) -> u32 {
+        if end < self {
+            0
+        } else {
+            end.0 - self.0 + 1
+        }
+    }
+}
+
+impl fmt::Display for Day {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day {}", self.0)
+    }
+}
+
+impl Add<u32> for Day {
+    type Output = Day;
+    fn add(self, rhs: u32) -> Day {
+        Day(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u32> for Day {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Day> for Day {
+    type Output = u32;
+    /// Number of whole days between two days.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs > self`.
+    fn sub(self, rhs: Day) -> u32 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let d = Day(3);
+        assert_eq!(d + 4, Day(7));
+        assert_eq!(Day(7) - Day(3), 4);
+        assert_eq!(d.next(), Day(4));
+    }
+
+    #[test]
+    fn until_is_half_open() {
+        let days: Vec<Day> = Day(2).until(Day(5)).collect();
+        assert_eq!(days, vec![Day(2), Day(3), Day(4)]);
+        assert_eq!(Day(5).until(Day(5)).count(), 0);
+    }
+
+    #[test]
+    fn span_through_is_inclusive() {
+        assert_eq!(Day(0).span_through(Day(0)), 1);
+        assert_eq!(Day(3).span_through(Day(9)), 7);
+        assert_eq!(Day(9).span_through(Day(3)), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Day(12).to_string(), "day 12");
+    }
+}

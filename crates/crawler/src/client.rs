@@ -1,0 +1,328 @@
+//! One crawler instance.
+//!
+//! [`CrawlerClient`] issues requests through the proxy pool against a
+//! [`MarketplaceServer`], handling everything the paper's crawlers had
+//! to: proxy rotation (respecting a store's region requirement), retries
+//! with exponential backoff in virtual time, honoring `retry_after`
+//! hints, rotating away from blacklisted proxies, and surviving injected
+//! transport faults (dropped responses, corrupted payloads) in the
+//! spirit of smoltcp's `--drop-chance` / `--corrupt-chance` harness
+//! options.
+
+use crate::proxy::{ProxyPool, Region};
+use crate::server::MarketplaceServer;
+use crate::wire::{decode_response, Request, Response, WireError};
+use appstore_core::Seed;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+/// Injected transport faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a response is lost in transit.
+    pub drop_chance: f64,
+    /// Probability one octet of a response payload is flipped.
+    pub corrupt_chance: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
+    }
+}
+
+/// Per-client crawl counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests attempted (including retries).
+    pub requests: u64,
+    /// Successful responses parsed.
+    pub successes: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Responses lost to injected drops.
+    pub dropped: u64,
+    /// Responses lost to injected corruption.
+    pub corrupted: u64,
+    /// Requests refused by rate limiting.
+    pub rate_limited: u64,
+    /// Proxies banned by the server during this client's lifetime.
+    pub proxies_banned: u64,
+}
+
+/// Errors surfaced to the campaign after retries are exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlError {
+    /// No usable proxy remains for the store's region requirement.
+    NoProxies,
+    /// The request kept failing beyond the retry budget.
+    RetriesExhausted {
+        /// The final wire error observed.
+        last: WireError,
+    },
+    /// The store reports the resource as missing (not retried).
+    NotFound,
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::NoProxies => write!(f, "no usable proxies remain"),
+            CrawlError::RetriesExhausted { last } => {
+                write!(f, "retries exhausted; last error: {last}")
+            }
+            CrawlError::NotFound => write!(f, "resource not found"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// A crawler instance bound to one store.
+pub struct CrawlerClient {
+    /// Region requirement (Chinese stores ⇒ `Some(Region::China)`).
+    region: Option<Region>,
+    faults: FaultPlan,
+    max_retries: u32,
+    backoff_base_ms: u64,
+    rng: ChaCha12Rng,
+    /// Virtual clock, in ms since campaign start.
+    now_ms: u64,
+    /// Counters.
+    pub stats: ClientStats,
+}
+
+impl CrawlerClient {
+    /// Creates a client. `region` restricts proxy selection (the paper
+    /// used only China-located nodes against Anzhi/AppChina).
+    pub fn new(region: Option<Region>, faults: FaultPlan, seed: Seed) -> CrawlerClient {
+        CrawlerClient {
+            region,
+            faults,
+            max_retries: 8,
+            backoff_base_ms: 100,
+            rng: seed.child("client").rng(),
+            now_ms: 0,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advances the virtual clock (e.g. to the start of the next day).
+    pub fn advance_to(&mut self, at_ms: u64) {
+        self.now_ms = self.now_ms.max(at_ms);
+    }
+
+    /// Issues one request with retries; returns the decoded response.
+    pub fn fetch(
+        &mut self,
+        server: &MarketplaceServer<'_>,
+        pool: &mut ProxyPool,
+        request: Request,
+    ) -> Result<Response, CrawlError> {
+        let mut attempt = 0u32;
+        loop {
+            let Some((proxy, fire_at)) = pool.acquire(self.now_ms, self.region) else {
+                return Err(CrawlError::NoProxies);
+            };
+            self.now_ms = fire_at;
+            self.stats.requests += 1;
+            let outcome = server.handle(proxy.addr, proxy.region, self.now_ms, request);
+            let error = match outcome {
+                Ok((mut payload, latency)) => {
+                    self.now_ms += latency;
+                    // Light pacing per proxy so one node is not hammered.
+                    pool.hold(proxy, self.now_ms + 20);
+                    // Fault injection happens on the response path.
+                    if self.rng.gen::<f64>() < self.faults.drop_chance {
+                        self.stats.dropped += 1;
+                        WireError::Dropped
+                    } else {
+                        if self.rng.gen::<f64>() < self.faults.corrupt_chance {
+                            let mut bytes = payload.to_vec();
+                            if !bytes.is_empty() {
+                                let i = self.rng.gen_range(0..bytes.len());
+                                bytes[i] ^= 0x20;
+                            }
+                            payload = bytes::Bytes::from(bytes);
+                        }
+                        match decode_response(&payload) {
+                            Ok(response) => {
+                                self.stats.successes += 1;
+                                return Ok(response);
+                            }
+                            Err(_) => {
+                                self.stats.corrupted += 1;
+                                WireError::Corrupt
+                            }
+                        }
+                    }
+                }
+                Err(WireError::NotFound) => return Err(CrawlError::NotFound),
+                Err(WireError::Blacklisted) => {
+                    pool.ban(proxy);
+                    self.stats.proxies_banned += 1;
+                    WireError::Blacklisted
+                }
+                Err(WireError::RateLimited { retry_after_ms }) => {
+                    self.stats.rate_limited += 1;
+                    // Honor the hint on this proxy and try another.
+                    pool.hold(proxy, self.now_ms + retry_after_ms);
+                    WireError::RateLimited { retry_after_ms }
+                }
+                Err(other) => other,
+            };
+            attempt += 1;
+            if attempt > self.max_retries {
+                return Err(CrawlError::RetriesExhausted { last: error });
+            }
+            self.stats.retries += 1;
+            // Exponential backoff with ±25% jitter, capped at ~25 s.
+            let exp = self.backoff_base_ms.saturating_mul(1 << attempt.min(8));
+            let jitter = 0.75 + 0.5 * self.rng.gen::<f64>();
+            self.now_ms += ((exp as f64) * jitter) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerPolicy;
+    use appstore_core::{Day, StoreId};
+    use appstore_synth::{generate, StoreProfile};
+
+    fn dataset() -> appstore_core::Dataset {
+        generate(
+            &StoreProfile::anzhi().scaled_down(40),
+            StoreId(0),
+            Seed::new(2),
+        )
+        .dataset
+    }
+
+    #[test]
+    fn fetch_succeeds_without_faults() {
+        let data = dataset();
+        let server = MarketplaceServer::new(&data, ServerPolicy::default());
+        let mut pool = ProxyPool::planetlab(0, 4);
+        let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(3));
+        let response = client
+            .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+            .unwrap();
+        let Response::Index { apps } = response else {
+            panic!("wrong kind");
+        };
+        assert_eq!(apps.len(), data.last().app_count());
+        assert_eq!(client.stats.successes, 1);
+        assert_eq!(client.stats.retries, 0);
+    }
+
+    #[test]
+    fn faults_are_retried_until_success() {
+        let data = dataset();
+        let server = MarketplaceServer::new(&data, ServerPolicy::default());
+        let mut pool = ProxyPool::planetlab(0, 8);
+        let mut client = CrawlerClient::new(
+            None,
+            FaultPlan {
+                drop_chance: 0.4,
+                corrupt_chance: 0.2,
+            },
+            Seed::new(4),
+        );
+        // 50 fetches, all must eventually succeed.
+        for _ in 0..50 {
+            client
+                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .unwrap();
+        }
+        assert_eq!(client.stats.successes, 50);
+        assert!(client.stats.dropped + client.stats.corrupted > 0);
+        assert!(client.stats.retries >= client.stats.dropped + client.stats.corrupted);
+    }
+
+    #[test]
+    fn not_found_is_not_retried() {
+        let data = dataset();
+        let server = MarketplaceServer::new(&data, ServerPolicy::default());
+        let mut pool = ProxyPool::planetlab(0, 2);
+        let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(5));
+        let err = client
+            .fetch(&server, &mut pool, Request::Index { day: Day(12345) })
+            .unwrap_err();
+        assert_eq!(err, CrawlError::NotFound);
+        assert_eq!(client.stats.retries, 0);
+    }
+
+    #[test]
+    fn rate_limits_advance_virtual_time_not_failures() {
+        let data = dataset();
+        let policy = ServerPolicy {
+            requests_per_second: 5.0,
+            burst: 2,
+            ..ServerPolicy::default()
+        };
+        let server = MarketplaceServer::new(&data, policy);
+        let mut pool = ProxyPool::planetlab(0, 1); // a single proxy
+        let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(6));
+        for _ in 0..20 {
+            client
+                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .unwrap();
+        }
+        assert_eq!(client.stats.successes, 20);
+        // 20 requests at 5/s through one proxy needs ≥ ~3.4 s of virtual
+        // time (2 burst + 18 refills).
+        assert!(
+            client.now_ms() >= 3_000,
+            "virtual clock only reached {} ms",
+            client.now_ms()
+        );
+    }
+
+    #[test]
+    fn region_requirement_uses_chinese_proxies_only() {
+        let data = dataset();
+        let server = MarketplaceServer::new(
+            &data,
+            ServerPolicy {
+                china_only: true,
+                ..ServerPolicy::default()
+            },
+        );
+        let mut pool = ProxyPool::planetlab(2, 5);
+        let mut client =
+            CrawlerClient::new(Some(Region::China), FaultPlan::default(), Seed::new(7));
+        for _ in 0..10 {
+            client
+                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .unwrap();
+        }
+        // Western proxies were never held/used: they remain free at t=0.
+        assert_eq!(pool.usable(Some(Region::China)), 2);
+        let (p, at) = pool.acquire(0, Some(Region::Europe)).unwrap();
+        assert_eq!(at, 0, "western proxy {p:?} was used");
+    }
+
+    #[test]
+    fn no_proxies_is_terminal() {
+        let data = dataset();
+        let server = MarketplaceServer::new(&data, ServerPolicy::default());
+        let mut pool = ProxyPool::planetlab(0, 0);
+        let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(8));
+        assert_eq!(
+            client
+                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .unwrap_err(),
+            CrawlError::NoProxies
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Discrete-event simulation of the paper's data-collection architecture
+//! (Section 2.2).
+//!
+//! The paper crawled each store daily through ~100 PlanetLab HTTP proxies
+//! to dodge IP blacklisting, with per-store request-rate limits and a
+//! China-only policy for the Chinese stores. None of that infrastructure
+//! can be re-run, so this crate simulates it end to end:
+//!
+//! * [`wire`] — the request/response vocabulary: an index endpoint, app
+//!   pages and comment pages, serialized to JSON bytes on a simulated
+//!   wire (so parsing and corruption are real code paths);
+//! * [`server`] — the marketplace frontend: serves ground-truth pages
+//!   from a generated store, enforces per-address token-bucket rate
+//!   limits, geo-restricts Chinese stores, and blacklists abusive
+//!   addresses;
+//! * [`proxy`] — the proxy pool (address + region, PlanetLab style);
+//! * [`client`] — one crawler instance: proxy rotation, bounded retries
+//!   with exponential backoff in virtual time, fault injection (drops and
+//!   payload corruption) in the spirit of smoltcp's example harnesses;
+//! * [`campaign`] — the daily crawl loop that re-assembles a full
+//!   [`appstore_core::Dataset`] from harvested pages and reports crawl
+//!   statistics.
+//!
+//! Time is *virtual*: a millisecond counter advanced by request latency
+//! and backoff sleeps, which keeps the simulation deterministic and
+//! instant while still exercising rate-limit windows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod client;
+pub mod proxy;
+pub mod server;
+pub mod storage;
+pub mod wire;
+
+pub use campaign::{run_campaign, CampaignOutcome, CrawlReport};
+pub use storage::{read_journal, write_journal, StorageError};
+pub use client::{CrawlerClient, FaultPlan};
+pub use proxy::{Proxy, ProxyPool, Region};
+pub use server::{MarketplaceServer, ServerPolicy};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,169 @@
+//! The proxy pool.
+//!
+//! The paper routed every crawl request through ~100 PlanetLab nodes to
+//! avoid IP blacklisting, using only China-located nodes against the
+//! Chinese stores (which rate-limit foreign clients hard). A [`Proxy`]
+//! is an address plus a region; the [`ProxyPool`] tracks when each proxy
+//! is next usable (its per-store token refill) and hands out the
+//! earliest-available eligible proxy.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse geography of a proxy node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Node located in China (required for the Chinese stores).
+    China,
+    /// Node located in Europe.
+    Europe,
+    /// Node located in the United States.
+    UnitedStates,
+}
+
+/// One proxy node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Proxy {
+    /// Stable address identifier (stands in for an IP).
+    pub addr: u32,
+    /// Where the node lives.
+    pub region: Region,
+}
+
+/// A pool of proxies with per-proxy next-available times (virtual ms).
+#[derive(Debug, Clone)]
+pub struct ProxyPool {
+    proxies: Vec<Proxy>,
+    next_free_ms: Vec<u64>,
+    banned: Vec<bool>,
+}
+
+impl ProxyPool {
+    /// Builds a pool in the paper's shape: `china` Chinese nodes plus
+    /// `western` nodes split between Europe and the US.
+    pub fn planetlab(china: usize, western: usize) -> ProxyPool {
+        let mut proxies = Vec::with_capacity(china + western);
+        for i in 0..china {
+            proxies.push(Proxy {
+                addr: i as u32,
+                region: Region::China,
+            });
+        }
+        for i in 0..western {
+            proxies.push(Proxy {
+                addr: (china + i) as u32,
+                region: if i % 2 == 0 {
+                    Region::Europe
+                } else {
+                    Region::UnitedStates
+                },
+            });
+        }
+        let n = proxies.len();
+        ProxyPool {
+            proxies,
+            next_free_ms: vec![0; n],
+            banned: vec![false; n],
+        }
+    }
+
+    /// Number of proxies (banned or not).
+    pub fn len(&self) -> usize {
+        self.proxies.len()
+    }
+
+    /// True if the pool has no proxies.
+    pub fn is_empty(&self) -> bool {
+        self.proxies.is_empty()
+    }
+
+    /// Number of usable (non-banned) proxies, optionally restricted to a
+    /// region.
+    pub fn usable(&self, region: Option<Region>) -> usize {
+        self.proxies
+            .iter()
+            .zip(&self.banned)
+            .filter(|(p, &banned)| !banned && region.map_or(true, |r| p.region == r))
+            .count()
+    }
+
+    /// Picks the eligible proxy (matching `region` if given, not banned)
+    /// that becomes free earliest; returns it with the time it can fire
+    /// (≥ `now_ms`). `None` if no eligible proxy exists.
+    pub fn acquire(&self, now_ms: u64, region: Option<Region>) -> Option<(Proxy, u64)> {
+        self.proxies
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| !self.banned[*i] && region.map_or(true, |r| p.region == r))
+            .map(|(i, p)| (*p, self.next_free_ms[i].max(now_ms)))
+            .min_by_key(|&(p, at)| (at, p.addr))
+    }
+
+    /// Marks a proxy busy until `until_ms` (its local pacing delay).
+    pub fn hold(&mut self, proxy: Proxy, until_ms: u64) {
+        let i = self.index_of(proxy);
+        self.next_free_ms[i] = self.next_free_ms[i].max(until_ms);
+    }
+
+    /// Permanently removes a proxy from rotation (server blacklisted it).
+    pub fn ban(&mut self, proxy: Proxy) {
+        let i = self.index_of(proxy);
+        self.banned[i] = true;
+    }
+
+    fn index_of(&self, proxy: Proxy) -> usize {
+        self.proxies
+            .iter()
+            .position(|p| p.addr == proxy.addr)
+            .expect("proxy belongs to this pool")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planetlab_shape() {
+        let pool = ProxyPool::planetlab(40, 60);
+        assert_eq!(pool.len(), 100);
+        assert_eq!(pool.usable(Some(Region::China)), 40);
+        assert_eq!(
+            pool.usable(Some(Region::Europe)) + pool.usable(Some(Region::UnitedStates)),
+            60
+        );
+    }
+
+    #[test]
+    fn acquire_prefers_earliest_free() {
+        let mut pool = ProxyPool::planetlab(2, 0);
+        let (first, at) = pool.acquire(100, None).unwrap();
+        assert_eq!(at, 100);
+        pool.hold(first, 500);
+        let (second, at2) = pool.acquire(100, None).unwrap();
+        assert_ne!(second.addr, first.addr);
+        assert_eq!(at2, 100);
+        pool.hold(second, 800);
+        // Both busy: earliest is the first, at 500.
+        let (third, at3) = pool.acquire(100, None).unwrap();
+        assert_eq!(third.addr, first.addr);
+        assert_eq!(at3, 500);
+    }
+
+    #[test]
+    fn region_filter_and_bans() {
+        let mut pool = ProxyPool::planetlab(1, 2);
+        let (china, _) = pool.acquire(0, Some(Region::China)).unwrap();
+        assert_eq!(china.region, Region::China);
+        pool.ban(china);
+        assert!(pool.acquire(0, Some(Region::China)).is_none());
+        assert_eq!(pool.usable(None), 2);
+        assert!(pool.acquire(0, None).is_some());
+    }
+
+    #[test]
+    fn empty_pool() {
+        let pool = ProxyPool::planetlab(0, 0);
+        assert!(pool.is_empty());
+        assert!(pool.acquire(0, None).is_none());
+    }
+}

@@ -1,0 +1,270 @@
+//! The local crawl database.
+//!
+//! The paper's architecture stores every harvested page "into a local
+//! database" that the analyses later read. This module provides that
+//! persistence layer: a dataset is written as a self-describing,
+//! line-delimited JSON journal (one record per line: header, apps,
+//! developers, snapshots, comments, updates) and read back verbatim.
+//! The journal format is append-friendly — a crawl can flush each day's
+//! snapshot as it completes and a truncated file still loads every
+//! complete record, which is exactly the durability a long-running crawl
+//! needs.
+
+use appstore_core::{
+    App, CategorySet, CommentEvent, DailySnapshot, Dataset, Developer, StoreMeta, UpdateEvent,
+};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// One line of the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// Store identity + taxonomy; must be the first record.
+    Header {
+        /// Store metadata.
+        store: StoreMeta,
+        /// The category taxonomy.
+        categories: CategorySet,
+    },
+    /// A chunk of the app registry (chunked to keep lines bounded).
+    Apps(Vec<App>),
+    /// A chunk of the developer registry.
+    Developers(Vec<Developer>),
+    /// One daily snapshot.
+    Snapshot(DailySnapshot),
+    /// A chunk of comment events.
+    Comments(Vec<CommentEvent>),
+    /// A chunk of update events.
+    Updates(Vec<UpdateEvent>),
+}
+
+/// Chunk size for registry/event records.
+const CHUNK: usize = 4096;
+
+/// Errors from reading a journal.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse as a record.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The journal does not start with a header record.
+    MissingHeader,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "journal I/O error: {e}"),
+            StorageError::Malformed { line } => {
+                write!(f, "malformed journal record at line {line}")
+            }
+            StorageError::MissingHeader => write!(f, "journal missing header record"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+/// Writes a dataset as a line-delimited JSON journal.
+pub fn write_journal<W: Write>(dataset: &Dataset, writer: W) -> Result<(), StorageError> {
+    let mut w = BufWriter::new(writer);
+    let mut emit = |record: &Record| -> Result<(), StorageError> {
+        let line = serde_json::to_string(record).expect("records always serialize");
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        Ok(())
+    };
+    emit(&Record::Header {
+        store: dataset.store.clone(),
+        categories: dataset.categories.clone(),
+    })?;
+    for chunk in dataset.apps.chunks(CHUNK) {
+        emit(&Record::Apps(chunk.to_vec()))?;
+    }
+    for chunk in dataset.developers.chunks(CHUNK) {
+        emit(&Record::Developers(chunk.to_vec()))?;
+    }
+    for snapshot in &dataset.snapshots {
+        emit(&Record::Snapshot(snapshot.clone()))?;
+    }
+    for chunk in dataset.comments.chunks(CHUNK) {
+        emit(&Record::Comments(chunk.to_vec()))?;
+    }
+    for chunk in dataset.updates.chunks(CHUNK) {
+        emit(&Record::Updates(chunk.to_vec()))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a journal back into a dataset.
+///
+/// Incomplete trailing lines (a crash mid-append) are tolerated: reading
+/// stops at the first malformed *final* line; a malformed line in the
+/// middle is an error.
+pub fn read_journal<R: Read>(reader: R) -> Result<Dataset, StorageError> {
+    let mut lines = BufReader::new(reader).lines();
+    let first = lines
+        .next()
+        .ok_or(StorageError::MissingHeader)?
+        .map_err(StorageError::from)?;
+    let Ok(Record::Header { store, categories }) = serde_json::from_str(&first) else {
+        return Err(StorageError::MissingHeader);
+    };
+    let mut dataset = Dataset {
+        store,
+        categories,
+        apps: Vec::new(),
+        developers: Vec::new(),
+        snapshots: Vec::new(),
+        comments: Vec::new(),
+        updates: Vec::new(),
+    };
+    let mut pending_error: Option<usize> = None;
+    for (index, line) in lines.enumerate() {
+        let line = line?;
+        if let Some(line_no) = pending_error.take() {
+            // The malformed line was not final after all.
+            return Err(StorageError::Malformed { line: line_no });
+        }
+        match serde_json::from_str::<Record>(&line) {
+            Ok(Record::Header { .. }) => {
+                return Err(StorageError::Malformed { line: index + 2 })
+            }
+            Ok(Record::Apps(mut apps)) => dataset.apps.append(&mut apps),
+            Ok(Record::Developers(mut devs)) => dataset.developers.append(&mut devs),
+            Ok(Record::Snapshot(s)) => dataset.snapshots.push(s),
+            Ok(Record::Comments(mut c)) => dataset.comments.append(&mut c),
+            Ok(Record::Updates(mut u)) => dataset.updates.append(&mut u),
+            Err(_) => pending_error = Some(index + 2),
+        }
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{Seed, StoreId};
+    use appstore_synth::{generate, StoreProfile};
+
+    fn dataset() -> Dataset {
+        let mut profile = StoreProfile::anzhi().scaled_down(40);
+        profile.commenter_fraction = 0.5;
+        profile.comment_rate = 0.2;
+        generate(&profile, StoreId(0), Seed::new(31)).dataset
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let restored = read_journal(buffer.as_slice()).unwrap();
+        assert_eq!(restored, original);
+        assert!(restored.validate().is_ok());
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        // Chop the tail mid-record (simulating a crash during append).
+        let cut = buffer.len() - 40;
+        let restored = read_journal(&buffer[..cut]).unwrap();
+        // Everything before the damaged record survived.
+        assert_eq!(restored.store, original.store);
+        assert_eq!(restored.apps, original.apps);
+        assert!(restored.snapshots.len() >= original.snapshots.len() - 1);
+    }
+
+    #[test]
+    fn malformed_middle_line_is_an_error() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[2] = "{ this is not json";
+        let damaged = lines.join("\n");
+        match read_journal(damaged.as_bytes()) {
+            // The damaged record is the file's third line (1-based).
+            Err(StorageError::Malformed { line }) => assert_eq!(line, 3),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_or_wrong_header_is_rejected() {
+        assert!(matches!(
+            read_journal(std::io::empty()),
+            Err(StorageError::MissingHeader)
+        ));
+        let not_header = serde_json::to_string(&Record::Apps(vec![])).unwrap();
+        assert!(matches!(
+            read_journal(not_header.as_bytes()),
+            Err(StorageError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_is_rejected() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let header_line = {
+            let text = String::from_utf8(buffer.clone()).unwrap();
+            text.lines().next().unwrap().to_string()
+        };
+        buffer.extend_from_slice(header_line.as_bytes());
+        buffer.push(b'\n');
+        assert!(matches!(
+            read_journal(buffer.as_slice()),
+            Err(StorageError::Malformed { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use appstore_core::{Seed, StoreId};
+    use appstore_synth::{generate, StoreProfile};
+
+    /// End-to-end through a real file, as a crawl would persist it.
+    #[test]
+    fn journal_survives_a_disk_round_trip() {
+        let dataset = generate(
+            &StoreProfile::slideme().scaled_down(40),
+            StoreId(3),
+            Seed::new(91),
+        )
+        .dataset;
+        let path = std::env::temp_dir().join(format!(
+            "planet-apps-journal-{}-{}.jsonl",
+            std::process::id(),
+            91
+        ));
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            write_journal(&dataset, file).unwrap();
+        }
+        let restored = {
+            let file = std::fs::File::open(&path).unwrap();
+            read_journal(file).unwrap()
+        };
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored, dataset);
+    }
+}

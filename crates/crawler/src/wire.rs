@@ -1,0 +1,216 @@
+//! The simulated wire protocol.
+//!
+//! Requests and responses cross the simulated network as JSON-encoded
+//! [`bytes::Bytes`], so the client really parses payloads (and really
+//! fails on corrupted ones). The protocol has three read-only endpoints,
+//! mirroring what the paper's Scrapy crawlers scraped off the stores'
+//! web interfaces:
+//!
+//! * `Index { day }` — the app directory: ids of every app listed that
+//!   day (how the crawler discovers newly added apps);
+//! * `AppPage { app, day }` — one app's public page: category,
+//!   developer, cumulative download counter, comment counter, version,
+//!   price;
+//! * `CommentsPage { day, page }` — the store-wide stream of rated
+//!   comments posted that day, paginated.
+
+use appstore_core::{AppId, AppObservation, CommentEvent, Day};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Number of comment events per `CommentsPage`.
+pub const COMMENTS_PAGE_SIZE: usize = 256;
+
+/// A crawler request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Request {
+    /// List every app id visible on `day`.
+    Index {
+        /// Which day's directory to list.
+        day: Day,
+    },
+    /// Fetch one app's page as of `day`.
+    AppPage {
+        /// Which app.
+        app: AppId,
+        /// Which day's counters to show.
+        day: Day,
+    },
+    /// Fetch one page of the day's comment stream.
+    CommentsPage {
+        /// Which day's comments.
+        day: Day,
+        /// 0-based page number.
+        page: u32,
+    },
+}
+
+/// A successful response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Directory listing.
+    Index {
+        /// All app ids visible that day.
+        apps: Vec<AppId>,
+    },
+    /// One app page.
+    AppPage {
+        /// The page's observation payload.
+        observation: AppObservation,
+    },
+    /// One comments page; `has_more` signals further pages.
+    CommentsPage {
+        /// The page's comment events.
+        comments: Vec<CommentEvent>,
+        /// Whether another page follows.
+        has_more: bool,
+    },
+}
+
+/// Failures a request can produce on the simulated wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The server throttled this address (HTTP 429 equivalent).
+    RateLimited {
+        /// Virtual milliseconds until a token is available again.
+        retry_after_ms: u64,
+    },
+    /// The address is blacklisted (HTTP 403 equivalent).
+    Blacklisted,
+    /// The request referenced an unknown app or day (HTTP 404).
+    NotFound,
+    /// The response was lost in transit (injected fault).
+    Dropped,
+    /// The response arrived but failed to parse (injected corruption).
+    Corrupt,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
+            }
+            WireError::Blacklisted => write!(f, "address blacklisted"),
+            WireError::NotFound => write!(f, "not found"),
+            WireError::Dropped => write!(f, "response dropped in transit"),
+            WireError::Corrupt => write!(f, "response failed to parse"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a response into wire bytes.
+pub fn encode_response(response: &Response) -> Bytes {
+    Bytes::from(serde_json::to_vec(response).expect("responses always serialize"))
+}
+
+/// Decodes wire bytes into a response; `Err(WireError::Corrupt)` when
+/// the payload does not parse.
+pub fn decode_response(payload: &Bytes) -> Result<Response, WireError> {
+    serde_json::from_slice(payload).map_err(|_| WireError::Corrupt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{CategoryId, Cents, DeveloperId};
+
+    fn sample_observation() -> AppObservation {
+        AppObservation {
+            app: AppId(5),
+            category: CategoryId(2),
+            developer: DeveloperId(9),
+            downloads: 12345,
+            comments: 67,
+            version: 3,
+            price: Cents(199),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Index {
+                apps: vec![AppId(0), AppId(7)],
+            },
+            Response::AppPage {
+                observation: sample_observation(),
+            },
+            Response::CommentsPage {
+                comments: vec![],
+                has_more: false,
+            },
+        ];
+        for response in responses {
+            let bytes = encode_response(&response);
+            let back = decode_response(&bytes).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_to_decode() {
+        let mut bytes = encode_response(&Response::Index { apps: vec![] }).to_vec();
+        bytes[0] = b'!';
+        assert_eq!(
+            decode_response(&Bytes::from(bytes)),
+            Err(WireError::Corrupt)
+        );
+        assert_eq!(
+            decode_response(&Bytes::from_static(b"")),
+            Err(WireError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::RateLimited { retry_after_ms: 50 }
+            .to_string()
+            .contains("50 ms"));
+        assert_eq!(WireError::Blacklisted.to_string(), "address blacklisted");
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Decoding must never panic on arbitrary bytes — a hostile or
+        /// corrupted response is an error, not a crash.
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decode_response(&Bytes::from(bytes));
+        }
+
+        /// Single-octet corruption (the fault injector's model) must
+        /// never be silently accepted as a *different* valid response of
+        /// another variant with altered app data. (It may still decode —
+        /// JSON has don't-care bytes like whitespace — but if it does,
+        /// numeric payload corruption is overwhelmingly detected.)
+        #[test]
+        fn flipped_octet_is_detected_or_harmless(seed_apps in proptest::collection::vec(0u32..10_000, 1..50), position_fraction in 0.0f64..1.0) {
+            let original = Response::Index {
+                apps: seed_apps.iter().map(|&a| appstore_core::AppId(a)).collect(),
+            };
+            let encoded = encode_response(&original);
+            let mut corrupted = encoded.to_vec();
+            let idx = ((corrupted.len() - 1) as f64 * position_fraction) as usize;
+            corrupted[idx] ^= 0x20;
+            match decode_response(&Bytes::from(corrupted)) {
+                Err(WireError::Corrupt) => {}
+                Err(other) => prop_assert!(false, "unexpected error kind {other:?}"),
+                Ok(Response::Index { apps }) => {
+                    // Flipping bit 5 of a digit produces a non-digit, so a
+                    // *successfully decoded* corruption can only differ in
+                    // whitespace-insensitive ways or within one id value.
+                    prop_assert_eq!(apps.len(), seed_apps.len());
+                }
+                Ok(_) => prop_assert!(false, "corruption changed the variant"),
+            }
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! Fitting model parameters to a measured popularity curve (Figs. 8–10).
+//!
+//! The paper tunes each model "by running simulations with all parameter
+//! combinations, and measuring the distance from actual data" (Eq. 6 mean
+//! relative error). Re-simulating every grid point is wasteful, so the
+//! search here runs in two stages:
+//!
+//! 1. **Analytic screening** — every candidate is scored with a cheap
+//!    closed-form expectation (exact for ZIPF, the standard independence
+//!    approximation for ZIPF-at-most-once, and the mass-preserving
+//!    weighted form of Eq. 5 for APP-CLUSTERING). The grid is spread over
+//!    worker threads with `crossbeam::scope`.
+//! 2. **Monte-Carlo refinement** — the `refine_top` best candidates are
+//!    re-scored by actually simulating them (averaging `replications`
+//!    runs), exactly as the paper does, and the best simulated distance
+//!    wins. Setting `refine_top = 0` keeps the fit purely analytic.
+//!
+//! Both curves are compared *as distributions*: the candidate's per-app
+//! downloads are sorted descending, like the measured ranking, before the
+//! Eq. 6 distance is computed, and the analytic expectation is rescaled to
+//! the measured total (the simulators emit exactly `U·d ≈ D` downloads;
+//! the closed forms lose or gain the mass of rejected redraws).
+
+use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
+use crate::expectation::{
+    expected_downloads_clustering_weighted, expected_downloads_zipf, expected_downloads_zipf_amo,
+};
+use crate::simulate::Simulator;
+use appstore_core::Seed;
+use appstore_stats::mean_relative_error;
+use serde::{Deserialize, Serialize};
+
+/// The winning parameters of a grid search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOutcome {
+    /// Which model was fitted.
+    pub kind: ModelKind,
+    /// Global Zipf exponent `z_r`.
+    pub zipf_exponent: f64,
+    /// Per-cluster exponent `z_c` (clustering model only; 0 otherwise).
+    pub cluster_exponent: f64,
+    /// Clustering probability `p` (clustering model only; 0 otherwise).
+    pub p: f64,
+    /// Fitted user count `U` (0 for pure ZIPF, where only `U·d` matters).
+    pub users: usize,
+    /// Implied per-user budget `d = D / U` (at least 1; 0 for pure ZIPF).
+    pub downloads_per_user: u32,
+    /// Eq. 6 mean relative error of the winning candidate. When
+    /// Monte-Carlo refinement ran, this is a simulated distance.
+    pub distance: f64,
+}
+
+/// Search-space description for fitting against one measured curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitSpec {
+    /// Candidate global exponents `z_r`.
+    pub zipf_exponents: Vec<f64>,
+    /// Candidate cluster exponents `z_c` (clustering model only).
+    pub cluster_exponents: Vec<f64>,
+    /// Candidate clustering probabilities `p` (clustering model only).
+    pub ps: Vec<f64>,
+    /// Candidate user counts expressed as multiples of the most popular
+    /// app's downloads (the paper's Fig. 10 axis).
+    pub user_fractions: Vec<f64>,
+    /// Number of clusters `C` (taken from the store's category count).
+    pub clusters: usize,
+    /// Number of worker threads (0 ⇒ one per available CPU).
+    pub threads: usize,
+    /// How many analytically-screened candidates to re-score by
+    /// simulation (0 disables refinement).
+    pub refine_top: usize,
+    /// Monte-Carlo replications averaged per refined candidate.
+    pub replications: u32,
+}
+
+impl FitSpec {
+    /// The default grid used throughout the reproduction: exponents in
+    /// 0.6..=2.0 (step 0.1), `p ∈ {0, 0.5, 0.8, 0.9, 0.95}`, user counts
+    /// 0.25×..4× the top app's downloads, refinement of the top 8
+    /// candidates with 2 replications each.
+    pub fn standard(clusters: usize) -> FitSpec {
+        let exps: Vec<f64> = (6..=20).map(|i| i as f64 / 10.0).collect();
+        FitSpec {
+            zipf_exponents: exps.clone(),
+            cluster_exponents: exps,
+            ps: vec![0.0, 0.5, 0.8, 0.9, 0.95],
+            user_fractions: vec![0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0],
+            clusters,
+            threads: 0,
+            refine_top: 8,
+            replications: 2,
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Converts a per-app expectation vector into a descending integer
+/// popularity curve comparable with the measured one.
+pub(crate) fn to_ranked(expected: Vec<f64>) -> Vec<u64> {
+    let mut ranked: Vec<u64> = expected
+        .into_iter()
+        .map(|e| e.round().max(0.0) as u64)
+        .collect();
+    ranked.sort_unstable_by(|a, b| b.cmp(a));
+    ranked
+}
+
+/// Scores one analytic candidate against the measured curve, rescaling
+/// the expectation to the measured total first (see module docs).
+fn score(observed: &[u64], expected: Vec<f64>) -> f64 {
+    let observed_total: u64 = observed.iter().sum();
+    let expected_total: f64 = expected.iter().sum();
+    if expected_total <= 0.0 {
+        return f64::INFINITY;
+    }
+    let scale = observed_total as f64 / expected_total;
+    let ranked = to_ranked(expected.into_iter().map(|e| e * scale).collect());
+    mean_relative_error(observed, &ranked).unwrap_or(f64::INFINITY)
+}
+
+/// Scores one candidate by Monte-Carlo simulation: averages the ranked
+/// counts of `replications` runs and computes the Eq. 6 distance.
+fn score_simulated(observed: &[u64], sim: &Simulator, replications: u32, seed: Seed) -> f64 {
+    let reps = replications.max(1);
+    let mut acc = vec![0.0f64; observed.len()];
+    for r in 0..reps {
+        let mut counts = sim.simulate_counts(seed.child_indexed("rep", u64::from(r)));
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        for (slot, c) in acc.iter_mut().zip(counts) {
+            *slot += c as f64 / f64::from(reps);
+        }
+    }
+    let ranked: Vec<u64> = acc.into_iter().map(|e| e.round() as u64).collect();
+    mean_relative_error(observed, &ranked).unwrap_or(f64::INFINITY)
+}
+
+fn derive_population(observed: &[u64], z_r: f64, user_fraction: f64) -> Option<PopulationParams> {
+    let apps = observed.len();
+    let total: u64 = observed.iter().sum();
+    let top = *observed.first()?;
+    if total == 0 || top == 0 {
+        return None;
+    }
+    let users = ((top as f64 * user_fraction).round() as usize).max(1);
+    let d = ((total as f64 / users as f64).round() as u32).max(1);
+    // Fetch-at-most-once requires d <= apps.
+    if d as usize > apps {
+        return None;
+    }
+    Some(PopulationParams {
+        apps,
+        users,
+        downloads_per_user: d,
+        zipf_exponent: z_r,
+    })
+}
+
+fn clustering_params(outcome: &FitOutcome, apps: usize, clusters: usize) -> ClusteringParams {
+    ClusteringParams {
+        population: PopulationParams {
+            apps,
+            users: outcome.users,
+            downloads_per_user: outcome.downloads_per_user,
+            zipf_exponent: outcome.zipf_exponent,
+        },
+        clusters,
+        p: outcome.p,
+        cluster_exponent: outcome.cluster_exponent,
+        layout: ClusterLayout::Interleaved,
+    }
+}
+
+/// Fits the pure ZIPF model: only `z_r` matters (downloads are scaled to
+/// the measured total, no user ceiling). The closed form is exact, so no
+/// refinement is needed.
+///
+/// `observed` must be the measured popularity curve in descending order.
+/// Returns `None` for an empty or all-zero curve.
+pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
+    let total: u64 = observed.iter().sum();
+    if observed.is_empty() || total == 0 {
+        return None;
+    }
+    let mut best: Option<FitOutcome> = None;
+    for &z in &spec.zipf_exponents {
+        let params = PopulationParams {
+            apps: observed.len(),
+            users: 1,
+            downloads_per_user: 1,
+            zipf_exponent: z,
+        };
+        // `score` rescales to the measured total, so users/d are moot.
+        let distance = score(observed, expected_downloads_zipf(&params));
+        if best.map_or(true, |b| distance < b.distance) {
+            best = Some(FitOutcome {
+                kind: ModelKind::Zipf,
+                zipf_exponent: z,
+                cluster_exponent: 0.0,
+                p: 0.0,
+                users: 0,
+                downloads_per_user: 0,
+                distance,
+            });
+        }
+    }
+    best
+}
+
+/// Keeps the `k` smallest-distance outcomes.
+fn push_top(top: &mut Vec<FitOutcome>, k: usize, candidate: FitOutcome) {
+    top.push(candidate);
+    top.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"));
+    top.truncate(k.max(1));
+}
+
+/// Fits ZIPF-at-most-once over `(z_r, U)` with analytic screening and
+/// optional Monte-Carlo refinement.
+///
+/// Returns `None` for an empty or all-zero curve or an empty grid.
+pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitOutcome> {
+    let mut top: Vec<FitOutcome> = Vec::new();
+    let keep = spec.refine_top.max(1);
+    let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+    for &z in &spec.zipf_exponents {
+        for &uf in &spec.user_fractions {
+            let Some(params) = derive_population(observed, z, uf) else {
+                continue;
+            };
+            let distance = score(observed, expected_downloads_zipf_amo(&params));
+            let outcome = FitOutcome {
+                kind: ModelKind::ZipfAtMostOnce,
+                zipf_exponent: z,
+                cluster_exponent: 0.0,
+                p: 0.0,
+                users: params.users,
+                downloads_per_user: params.downloads_per_user,
+                distance,
+            };
+            push_top(&mut top, keep, outcome);
+            match per_uf.iter_mut().find(|(f, _)| *f == uf) {
+                Some((_, best)) if outcome.distance < best.distance => *best = outcome,
+                Some(_) => {}
+                None => per_uf.push((uf, outcome)),
+            }
+        }
+    }
+    if spec.refine_top == 0 {
+        return top.into_iter().next();
+    }
+    for (_, outcome) in per_uf {
+        if !top.contains(&outcome) {
+            top.push(outcome);
+        }
+    }
+    top.into_iter()
+        .enumerate()
+        .map(|(i, mut outcome)| {
+            let params = clustering_params(&outcome, observed.len(), 1).population;
+            let sim = Simulator::zipf_at_most_once(params);
+            outcome.distance = score_simulated(
+                observed,
+                &sim,
+                spec.replications,
+                seed.child_indexed("amo-refine", i as u64),
+            );
+            outcome
+        })
+        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+}
+
+/// Fits APP-CLUSTERING over `(z_r, z_c, p, U)`: parallel analytic
+/// screening with the weighted closed form, then Monte-Carlo refinement
+/// of the `refine_top` best candidates.
+///
+/// Returns `None` for an empty or all-zero curve or an empty grid.
+pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitOutcome> {
+    if observed.is_empty() {
+        return None;
+    }
+    // Materialize the candidate grid.
+    let mut grid: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for &z_r in &spec.zipf_exponents {
+        for &z_c in &spec.cluster_exponents {
+            for &p in &spec.ps {
+                for &uf in &spec.user_fractions {
+                    grid.push((z_r, z_c, p, uf));
+                }
+            }
+        }
+    }
+    if grid.is_empty() {
+        return None;
+    }
+    let workers = spec.worker_count().min(grid.len()).max(1);
+    let chunk = grid.len().div_ceil(workers);
+    let keep = spec.refine_top.max(1);
+    // Each worker keeps its local top-K *and* its best candidate per
+    // user-fraction: the analytic score's head/tail biases depend on `U`,
+    // so the global top-K can cluster in one `U` regime and starve the
+    // Monte-Carlo refinement of the regime the simulator actually
+    // prefers (the paper's own finding is that the best `U` sits near
+    // the top app's downloads — it must stay in the shortlist).
+    type Screened = (Vec<FitOutcome>, Vec<(f64, FitOutcome)>);
+    let (top, per_uf) = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for slice in grid.chunks(chunk) {
+            handles.push(scope.spawn(move |_| -> Screened {
+                let mut local: Vec<FitOutcome> = Vec::new();
+                let mut local_per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+                for &(z_r, z_c, p, uf) in slice {
+                    let Some(population) = derive_population(observed, z_r, uf) else {
+                        continue;
+                    };
+                    let params = ClusteringParams {
+                        population,
+                        clusters: spec.clusters,
+                        p,
+                        cluster_exponent: z_c,
+                        layout: ClusterLayout::Interleaved,
+                    };
+                    if params.validate().is_err() {
+                        continue;
+                    }
+                    let distance =
+                        score(observed, expected_downloads_clustering_weighted(&params));
+                    let outcome = FitOutcome {
+                        kind: ModelKind::AppClustering,
+                        zipf_exponent: z_r,
+                        cluster_exponent: z_c,
+                        p,
+                        users: population.users,
+                        downloads_per_user: population.downloads_per_user,
+                        distance,
+                    };
+                    push_top(&mut local, keep, outcome);
+                    match local_per_uf.iter_mut().find(|(f, _)| *f == uf) {
+                        Some((_, best)) if outcome.distance < best.distance => *best = outcome,
+                        Some(_) => {}
+                        None => local_per_uf.push((uf, outcome)),
+                    }
+                }
+                (local, local_per_uf)
+            }));
+        }
+        let mut merged: Vec<FitOutcome> = Vec::new();
+        let mut merged_per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+        for handle in handles {
+            let (local, local_per_uf) = handle.join().expect("fit worker panicked");
+            for outcome in local {
+                push_top(&mut merged, keep, outcome);
+            }
+            for (uf, outcome) in local_per_uf {
+                match merged_per_uf.iter_mut().find(|(f, _)| *f == uf) {
+                    Some((_, best)) if outcome.distance < best.distance => *best = outcome,
+                    Some(_) => {}
+                    None => merged_per_uf.push((uf, outcome)),
+                }
+            }
+        }
+        (merged, merged_per_uf)
+    })
+    .expect("crossbeam scope failed");
+    if top.is_empty() {
+        return None;
+    }
+    if spec.refine_top == 0 {
+        return top.into_iter().next();
+    }
+    // Refinement shortlist: global top-K plus the best per user-fraction.
+    let mut shortlist = top;
+    for (_, outcome) in per_uf {
+        if !shortlist.contains(&outcome) {
+            shortlist.push(outcome);
+        }
+    }
+    shortlist
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut outcome)| {
+            let params = clustering_params(&outcome, observed.len(), spec.clusters);
+            let sim = Simulator::app_clustering(params);
+            outcome.distance = score_simulated(
+                observed,
+                &sim,
+                spec.replications,
+                seed.child_indexed("clustering-refine", i as u64),
+            );
+            outcome
+        })
+        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+}
+
+/// Coarse-to-fine local refinement: explores a finer grid around a
+/// coarse winner (±one coarse step at half resolution on `z_r`, `z_c`
+/// and `p`, ±30% on `U`), scoring analytically and Monte-Carlo-refining
+/// the shortlist exactly like [`fit_clustering`]. Returns the better of
+/// the input and the refined candidate, so it never regresses.
+pub fn refine_locally(
+    observed: &[u64],
+    coarse: &FitOutcome,
+    spec: &FitSpec,
+    seed: Seed,
+) -> FitOutcome {
+    let top = match observed.first() {
+        Some(&t) if t > 0 => t as f64,
+        _ => return *coarse,
+    };
+    let around = |center: f64, step: f64, lo: f64, hi: f64| -> Vec<f64> {
+        [-1.0f64, -0.5, 0.0, 0.5, 1.0]
+            .iter()
+            .map(|k| (center + k * step).clamp(lo, hi))
+            .collect()
+    };
+    let local = FitSpec {
+        zipf_exponents: around(coarse.zipf_exponent, 0.1, 0.1, 4.0),
+        cluster_exponents: around(coarse.cluster_exponent, 0.1, 0.1, 4.0),
+        ps: around(coarse.p, 0.04, 0.0, 0.99),
+        user_fractions: vec![
+            coarse.users as f64 * 0.7 / top,
+            coarse.users as f64 * 0.85 / top,
+            coarse.users as f64 / top,
+            coarse.users as f64 * 1.15 / top,
+            coarse.users as f64 * 1.3 / top,
+        ],
+        clusters: spec.clusters,
+        threads: spec.threads,
+        refine_top: spec.refine_top,
+        replications: spec.replications,
+    };
+    match fit_clustering(observed, &local, seed.child("local")) {
+        Some(fine) if fine.distance < coarse.distance => fine,
+        _ => *coarse,
+    }
+}
+
+/// Fig. 10: for fixed `(z_r, z_c, p)` taken from `fit`, sweep the user
+/// count over `fractions` of the most popular app's downloads and return
+/// `(fraction, simulated distance)` pairs.
+pub fn user_count_sweep(
+    observed: &[u64],
+    fit: &FitOutcome,
+    clusters: usize,
+    fractions: &[f64],
+    replications: u32,
+    seed: Seed,
+) -> Vec<(f64, f64)> {
+    fractions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &uf)| {
+            let population = derive_population(observed, fit.zipf_exponent, uf)?;
+            let params = ClusteringParams {
+                population,
+                clusters,
+                p: fit.p,
+                cluster_exponent: fit.cluster_exponent,
+                layout: ClusterLayout::Interleaved,
+            };
+            params.validate().ok()?;
+            let sim = Simulator::app_clustering(params);
+            let distance = score_simulated(
+                observed,
+                &sim,
+                replications,
+                seed.child_indexed("user-sweep", i as u64),
+            );
+            Some((uf, distance))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+
+    /// A measured curve generated by the clustering model itself.
+    fn synthetic_observed() -> Vec<u64> {
+        let params = ClusteringParams {
+            population: PopulationParams {
+                apps: 400,
+                users: 3000,
+                downloads_per_user: 8,
+                zipf_exponent: 1.4,
+            },
+            clusters: 20,
+            p: 0.9,
+            cluster_exponent: 1.4,
+            layout: ClusterLayout::Interleaved,
+        };
+        let mut counts = Simulator::app_clustering(params).simulate_counts(Seed::new(5));
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    fn small_spec() -> FitSpec {
+        FitSpec {
+            zipf_exponents: vec![1.0, 1.2, 1.4, 1.6],
+            cluster_exponents: vec![1.0, 1.4, 1.8],
+            ps: vec![0.0, 0.5, 0.9],
+            user_fractions: vec![0.5, 1.0, 2.0],
+            clusters: 20,
+            threads: 2,
+            refine_top: 6,
+            replications: 1,
+        }
+    }
+
+    #[test]
+    fn clustering_fits_its_own_output_best() {
+        let observed = synthetic_observed();
+        let spec = small_spec();
+        let seed = Seed::new(42);
+        let zipf = fit_zipf(&observed, &spec).unwrap();
+        let amo = fit_zipf_amo(&observed, &spec, seed).unwrap();
+        let clustering = fit_clustering(&observed, &spec, seed).unwrap();
+        assert!(
+            clustering.distance < amo.distance,
+            "clustering {} !< amo {}",
+            clustering.distance,
+            amo.distance
+        );
+        assert!(
+            clustering.distance < zipf.distance,
+            "clustering {} !< zipf {}",
+            clustering.distance,
+            zipf.distance
+        );
+        // A high clustering probability must be recovered.
+        assert!(clustering.p >= 0.5, "recovered p = {}", clustering.p);
+    }
+
+    #[test]
+    fn zipf_fit_recovers_exponent_on_pure_zipf_data() {
+        // Expected ZIPF(1.2) counts over 300 ranks.
+        let params = PopulationParams {
+            apps: 300,
+            users: 1,
+            downloads_per_user: 1,
+            zipf_exponent: 1.2,
+        };
+        let expected: Vec<f64> = expected_downloads_zipf(&params)
+            .into_iter()
+            .map(|e| e * 100_000.0)
+            .collect();
+        let observed = super::to_ranked(expected);
+        let fit = fit_zipf(&observed, &small_spec()).unwrap();
+        assert_eq!(fit.zipf_exponent, 1.2);
+        assert!(fit.distance < 0.05, "distance {}", fit.distance);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        let spec = small_spec();
+        let seed = Seed::new(0);
+        assert!(fit_zipf(&[], &spec).is_none());
+        assert!(fit_zipf(&[0, 0], &spec).is_none());
+        assert!(fit_zipf_amo(&[0, 0, 0], &spec, seed).is_none());
+        assert!(fit_clustering(&[], &spec, seed).is_none());
+        let empty = FitSpec {
+            zipf_exponents: vec![],
+            ..spec
+        };
+        assert!(fit_clustering(&[5, 3, 1], &empty, seed).is_none());
+    }
+
+    #[test]
+    fn user_sweep_minimum_near_top_app_downloads() {
+        let observed = synthetic_observed();
+        let spec = small_spec();
+        let seed = Seed::new(9);
+        let best = fit_clustering(&observed, &spec, seed).unwrap();
+        let fractions = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
+        let sweep = user_count_sweep(&observed, &best, 20, &fractions, 1, seed);
+        assert_eq!(sweep.len(), fractions.len());
+        let (best_frac, _) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        // The generator's top app approaches the fetch-at-most-once
+        // ceiling, so the sweep's minimum must sit at a small multiple of
+        // the top app's downloads (paper: "very close" to 1).
+        assert!(
+            (0.25..=5.0).contains(&best_frac),
+            "minimum at fraction {best_frac}"
+        );
+    }
+
+    #[test]
+    fn analytic_screening_is_deterministic_across_thread_counts() {
+        let observed = synthetic_observed();
+        let mut spec = small_spec();
+        spec.refine_top = 0; // analytic only
+        spec.threads = 1;
+        let serial = fit_clustering(&observed, &spec, Seed::new(1)).unwrap();
+        spec.threads = 4;
+        let parallel = fit_clustering(&observed, &spec, Seed::new(1)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn refinement_is_deterministic_per_seed() {
+        let observed = synthetic_observed();
+        let spec = small_spec();
+        let a = fit_clustering(&observed, &spec, Seed::new(3)).unwrap();
+        let b = fit_clustering(&observed, &spec, Seed::new(3)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_top_keeps_k_smallest() {
+        let mut top = Vec::new();
+        for (i, d) in [0.5, 0.1, 0.9, 0.3, 0.2].into_iter().enumerate() {
+            push_top(
+                &mut top,
+                3,
+                FitOutcome {
+                    kind: ModelKind::Zipf,
+                    zipf_exponent: i as f64,
+                    cluster_exponent: 0.0,
+                    p: 0.0,
+                    users: 0,
+                    downloads_per_user: 0,
+                    distance: d,
+                },
+            );
+        }
+        let distances: Vec<f64> = top.iter().map(|o| o.distance).collect();
+        assert_eq!(distances, vec![0.1, 0.2, 0.3]);
+    }
+}
+
+#[cfg(test)]
+mod refine_tests {
+    use super::*;
+    use crate::simulate::Simulator;
+    use appstore_core::Seed;
+
+    #[test]
+    fn local_refinement_never_regresses() {
+        let params = ClusteringParams {
+            population: PopulationParams {
+                apps: 300,
+                users: 2000,
+                downloads_per_user: 6,
+                zipf_exponent: 1.4,
+            },
+            clusters: 15,
+            p: 0.9,
+            cluster_exponent: 1.4,
+            layout: ClusterLayout::Interleaved,
+        };
+        let mut observed = Simulator::app_clustering(params).simulate_counts(Seed::new(55));
+        observed.sort_unstable_by(|a, b| b.cmp(a));
+        let spec = FitSpec {
+            zipf_exponents: vec![1.0, 1.4, 1.8],
+            cluster_exponents: vec![1.0, 1.4],
+            ps: vec![0.5, 0.9],
+            user_fractions: vec![0.5, 1.0, 2.0],
+            clusters: 15,
+            threads: 2,
+            refine_top: 3,
+            replications: 1,
+        };
+        let seed = Seed::new(56);
+        let coarse = fit_clustering(&observed, &spec, seed).expect("coarse fit");
+        let fine = refine_locally(&observed, &coarse, &spec, seed);
+        assert!(
+            fine.distance <= coarse.distance,
+            "refined {} worse than coarse {}",
+            fine.distance,
+            coarse.distance
+        );
+    }
+
+    #[test]
+    fn refinement_on_empty_curve_is_identity() {
+        let coarse = FitOutcome {
+            kind: ModelKind::AppClustering,
+            zipf_exponent: 1.4,
+            cluster_exponent: 1.2,
+            p: 0.9,
+            users: 100,
+            downloads_per_user: 5,
+            distance: 0.5,
+        };
+        let spec = FitSpec::standard(10);
+        let refined = refine_locally(&[], &coarse, &spec, Seed::new(1));
+        assert_eq!(refined, coarse);
+        let refined = refine_locally(&[0, 0], &coarse, &spec, Seed::new(1));
+        assert_eq!(refined, coarse);
+    }
+}

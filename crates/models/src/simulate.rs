@@ -1,0 +1,523 @@
+//! Monte-Carlo simulators for the three workload models.
+//!
+//! [`Simulator`] holds the precomputed samplers; each call to
+//! [`Simulator::simulate_counts`] or [`Simulator::simulate_trace`] runs an
+//! independent replication from a caller-supplied seed.
+//!
+//! Semantics follow the paper's Section 5.1 step list exactly:
+//!
+//! 1. a user's first download is drawn from the global Zipf law `Z_G`;
+//! 2. each subsequent download is clustering-based with probability `p`:
+//!    a cluster is chosen uniformly among the clusters of the user's
+//!    previous downloads and an app is drawn from that cluster's Zipf law
+//!    `Z_c`, redrawing while the app was already fetched;
+//! 3. otherwise (probability `1 − p`) the app is drawn from `Z_G`, again
+//!    redrawing while already fetched;
+//! 4. every user stops after `d` downloads.
+//!
+//! The ZIPF model skips fetch-at-most-once entirely; ZIPF-at-most-once
+//! applies it to pure global draws.
+//!
+//! Rejection loops are bounded: after [`MAX_REJECTIONS`] failed draws the
+//! simulator falls back to the first not-yet-fetched app in the relevant
+//! ranking (cluster or global), which keeps worst-case time finite even
+//! for pathological parameters (e.g. `d` close to the cluster size). The
+//! fallback is exercised in tests.
+
+use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
+use crate::zipf::ZipfSampler;
+use appstore_core::{AppId, Day, DownloadEvent, Seed, UserId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Bound on consecutive rejected draws before falling back to a
+/// deterministic scan for an unfetched app.
+pub const MAX_REJECTIONS: usize = 128;
+
+/// A complete simulated download history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownloadTrace {
+    /// Events in global arrival order (users interleave as in a live
+    /// store: each step advances one uniformly-chosen active user).
+    pub events: Vec<DownloadEvent>,
+    /// Final per-app download counts, indexed by global app index.
+    pub counts: Vec<u64>,
+}
+
+/// Per-user download state shared by the at-most-once models.
+///
+/// `d` is small compared to `A`, so the fetched set is a plain vector with
+/// linear membership tests — faster and far smaller than a bitset per user
+/// when hundreds of thousands of users are alive at once in trace mode.
+#[derive(Debug, Default, Clone)]
+struct UserState {
+    fetched: Vec<u32>,
+    /// Distinct clusters of previous downloads (for step 2.1's uniform
+    /// cluster choice among *previous downloads'* clusters; the paper
+    /// picks a random previous download's cluster, i.e. clusters weight
+    /// by how many of the user's downloads they contain).
+    prev_clusters: Vec<u32>,
+}
+
+impl UserState {
+    #[inline]
+    fn has(&self, app: u32) -> bool {
+        self.fetched.contains(&app)
+    }
+
+    #[inline]
+    fn record(&mut self, app: u32, cluster: u32) {
+        self.fetched.push(app);
+        self.prev_clusters.push(cluster);
+    }
+}
+
+/// A reusable simulator for one model kind and parameter set.
+///
+/// ```
+/// use appstore_core::Seed;
+/// use appstore_models::{PopulationParams, Simulator};
+///
+/// let population = PopulationParams {
+///     apps: 100,
+///     users: 500,
+///     downloads_per_user: 4,
+///     zipf_exponent: 1.3,
+/// };
+/// let sim = Simulator::zipf_at_most_once(population);
+/// let counts = sim.simulate_counts(Seed::new(1));
+/// assert_eq!(counts.iter().sum::<u64>(), 2_000);     // U x d downloads
+/// assert!(counts.iter().all(|&c| c <= 500));          // capped at U
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    kind: ModelKind,
+    population: PopulationParams,
+    clustering: Option<ClusteringParams>,
+    global: ZipfSampler,
+    /// One sampler per cluster (clustering model only).
+    per_cluster: Vec<ZipfSampler>,
+}
+
+impl Simulator {
+    /// Builds a ZIPF simulator.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation.
+    pub fn zipf(population: PopulationParams) -> Simulator {
+        population.validate().expect("invalid population parameters");
+        Simulator {
+            kind: ModelKind::Zipf,
+            global: ZipfSampler::new(population.apps, population.zipf_exponent),
+            population,
+            clustering: None,
+            per_cluster: Vec::new(),
+        }
+    }
+
+    /// Builds a ZIPF-at-most-once simulator.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation.
+    pub fn zipf_at_most_once(population: PopulationParams) -> Simulator {
+        population
+            .validate_at_most_once()
+            .expect("invalid population parameters");
+        Simulator {
+            kind: ModelKind::ZipfAtMostOnce,
+            global: ZipfSampler::new(population.apps, population.zipf_exponent),
+            population,
+            clustering: None,
+            per_cluster: Vec::new(),
+        }
+    }
+
+    /// Builds an APP-CLUSTERING simulator.
+    ///
+    /// # Panics
+    /// Panics if the parameters fail validation.
+    pub fn app_clustering(params: ClusteringParams) -> Simulator {
+        params.validate().expect("invalid clustering parameters");
+        let pop = params.population;
+        let per_cluster = (0..params.clusters)
+            .map(|c| {
+                let size = params.layout.cluster_size(c, pop.apps, params.clusters);
+                ZipfSampler::new(size.max(1), params.cluster_exponent)
+            })
+            .collect();
+        Simulator {
+            kind: ModelKind::AppClustering,
+            global: ZipfSampler::new(pop.apps, pop.zipf_exponent),
+            population: pop,
+            clustering: Some(params),
+            per_cluster,
+        }
+    }
+
+    /// Builds whichever model `kind` names, using `params` (whose
+    /// population field is used alone for the non-clustering models).
+    pub fn for_kind(kind: ModelKind, params: ClusteringParams) -> Simulator {
+        match kind {
+            ModelKind::Zipf => Simulator::zipf(params.population),
+            ModelKind::ZipfAtMostOnce => Simulator::zipf_at_most_once(params.population),
+            ModelKind::AppClustering => Simulator::app_clustering(params),
+        }
+    }
+
+    /// The model kind this simulator runs.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The population shape.
+    pub fn population(&self) -> &PopulationParams {
+        &self.population
+    }
+
+    /// Maps a cluster and 0-based within-cluster index back to the global
+    /// 0-based app index.
+    #[inline]
+    fn app_of(&self, cluster: usize, within: usize) -> usize {
+        let params = self.clustering.as_ref().expect("clustering model");
+        match params.layout {
+            ClusterLayout::Interleaved => within * params.clusters + cluster,
+            ClusterLayout::Blocked => {
+                let apps = self.population.apps;
+                let base = apps / params.clusters;
+                let extra = apps % params.clusters;
+                let before = if cluster <= extra {
+                    (base + 1) * cluster
+                } else {
+                    (base + 1) * extra + base * (cluster - extra)
+                };
+                before + within
+            }
+        }
+    }
+
+    /// Draws the next app for `user` according to the model rules.
+    fn next_app<R: Rng + ?Sized>(&self, rng: &mut R, user: &mut UserState) -> u32 {
+        match self.kind {
+            ModelKind::Zipf => self.global.sample_index(rng) as u32,
+            ModelKind::ZipfAtMostOnce => self.draw_global_unfetched(rng, user),
+            ModelKind::AppClustering => {
+                let params = self.clustering.as_ref().expect("clustering model");
+                let clustering_based =
+                    !user.prev_clusters.is_empty() && rng.gen::<f64>() < params.p;
+                if clustering_based {
+                    self.draw_cluster_unfetched(rng, user)
+                } else {
+                    self.draw_global_unfetched(rng, user)
+                }
+            }
+        }
+    }
+
+    /// Step 2.2: redraw from `Z_G` until unfetched (bounded), then scan.
+    fn draw_global_unfetched<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserState) -> u32 {
+        for _ in 0..MAX_REJECTIONS {
+            let app = self.global.sample_index(rng) as u32;
+            if !user.has(app) {
+                return app;
+            }
+        }
+        // Deterministic fallback: most popular app not yet fetched.
+        (0..self.population.apps as u32)
+            .find(|a| !user.has(*a))
+            .expect("downloads_per_user <= apps guarantees an unfetched app")
+    }
+
+    /// Step 2.1: choose the cluster of a random previous download, then
+    /// redraw from `Z_c` until unfetched (bounded). If the chosen cluster
+    /// is exhausted for this user, fall back to a global draw, matching
+    /// the paper's intent that users never stall.
+    fn draw_cluster_unfetched<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserState) -> u32 {
+        let cluster = *user
+            .prev_clusters
+            .choose(rng)
+            .expect("caller checked prev_clusters nonempty") as usize;
+        let sampler = &self.per_cluster[cluster];
+        for _ in 0..MAX_REJECTIONS {
+            let within = sampler.sample_index(rng);
+            let app = self.app_of(cluster, within) as u32;
+            if !user.has(app) {
+                return app;
+            }
+        }
+        // Scan the cluster head-first for an unfetched member.
+        let size = sampler.len();
+        for within in 0..size {
+            let app = self.app_of(cluster, within) as u32;
+            if !user.has(app) {
+                return app;
+            }
+        }
+        // Cluster exhausted for this user: fall back to the global law.
+        self.draw_global_unfetched(rng, user)
+    }
+
+    /// The cluster of a global 0-based app index (0 for non-clustering
+    /// models, which behave as a single cluster).
+    #[inline]
+    fn cluster_of(&self, app: u32) -> u32 {
+        match &self.clustering {
+            Some(params) => {
+                params
+                    .layout
+                    .place(app as usize, self.population.apps, params.clusters)
+                    .0 as u32
+            }
+            None => 0,
+        }
+    }
+
+    /// Runs one replication and returns per-app download counts
+    /// (index = global app index; rank `i` = index + 1).
+    ///
+    /// Users are simulated one at a time — counts do not depend on
+    /// arrival interleaving — so memory is O(d).
+    pub fn simulate_counts(&self, seed: Seed) -> Vec<u64> {
+        let mut rng = seed.rng();
+        let mut counts = vec![0u64; self.population.apps];
+        let mut user = UserState::default();
+        for _ in 0..self.population.users {
+            user.fetched.clear();
+            user.prev_clusters.clear();
+            for _ in 0..self.population.downloads_per_user {
+                let app = self.next_app(&mut rng, &mut user);
+                counts[app as usize] += 1;
+                user.record(app, self.cluster_of(app));
+            }
+        }
+        counts
+    }
+
+    /// Runs one replication producing the full interleaved event trace.
+    ///
+    /// Arrival order: at every step a uniformly-random user that still has
+    /// download budget advances by one download — the natural "many
+    /// concurrent users" interleaving a store's frontend would see, which
+    /// is what the LRU cache experiment (Fig. 19) consumes. Events carry a
+    /// day stamp spreading arrivals uniformly over `days`.
+    pub fn simulate_trace(&self, seed: Seed, days: u32) -> DownloadTrace {
+        let mut rng = seed.rng();
+        let users = self.population.users;
+        let d = self.population.downloads_per_user;
+        let total = self.population.total_downloads();
+        let mut states: Vec<UserState> = vec![UserState::default(); users];
+        let mut remaining: Vec<u32> = vec![d; users];
+        // Active user list with swap-remove; holds indexes into `states`.
+        let mut active: Vec<u32> = (0..users as u32).collect();
+        let mut events = Vec::with_capacity(total as usize);
+        let mut counts = vec![0u64; self.population.apps];
+        let mut step = 0u64;
+        while !active.is_empty() {
+            let slot = rng.gen_range(0..active.len());
+            let uid = active[slot];
+            let state = &mut states[uid as usize];
+            let app = self.next_app(&mut rng, state);
+            state.record(app, self.cluster_of(app));
+            counts[app as usize] += 1;
+            let day = if total <= 1 {
+                0
+            } else {
+                ((step * u64::from(days.max(1))) / total) as u32
+            };
+            events.push(DownloadEvent {
+                user: UserId(uid),
+                app: AppId(app),
+                day: Day(day),
+            });
+            step += 1;
+            remaining[uid as usize] -= 1;
+            if remaining[uid as usize] == 0 {
+                active.swap_remove(slot);
+            }
+        }
+        DownloadTrace { events, counts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+
+    fn pop(apps: usize, users: usize, d: u32, z: f64) -> PopulationParams {
+        PopulationParams {
+            apps,
+            users,
+            downloads_per_user: d,
+            zipf_exponent: z,
+        }
+    }
+
+    fn clustering(apps: usize, users: usize, d: u32) -> ClusteringParams {
+        ClusteringParams {
+            population: pop(apps, users, d, 1.5),
+            clusters: 10,
+            p: 0.9,
+            cluster_exponent: 1.3,
+            layout: ClusterLayout::Interleaved,
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_total_downloads() {
+        for sim in [
+            Simulator::zipf(pop(100, 50, 4, 1.2)),
+            Simulator::zipf_at_most_once(pop(100, 50, 4, 1.2)),
+            Simulator::app_clustering(clustering(100, 50, 4)),
+        ] {
+            let counts = sim.simulate_counts(Seed::new(1));
+            assert_eq!(counts.iter().sum::<u64>(), 200, "{}", sim.kind());
+        }
+    }
+
+    #[test]
+    fn amo_respects_fetch_at_most_once() {
+        // With d == apps every user must fetch every app exactly once.
+        let sim = Simulator::zipf_at_most_once(pop(16, 10, 16, 1.5));
+        let counts = sim.simulate_counts(Seed::new(3));
+        assert_eq!(counts, vec![10u64; 16]);
+    }
+
+    #[test]
+    fn clustering_respects_fetch_at_most_once() {
+        let sim = Simulator::app_clustering(ClusteringParams {
+            population: pop(20, 8, 20, 1.5),
+            clusters: 4,
+            p: 0.95,
+            cluster_exponent: 1.2,
+            layout: ClusterLayout::Interleaved,
+        });
+        // d == apps forces exhaustion of clusters and the global fallback.
+        let counts = sim.simulate_counts(Seed::new(9));
+        assert_eq!(counts, vec![8u64; 20]);
+    }
+
+    #[test]
+    fn pure_zipf_can_repeat_downloads() {
+        // One user, many downloads, tiny catalogue: repeats are certain.
+        let sim = Simulator::zipf(pop(2, 1, 2, 1.0));
+        let total: u64 = sim.simulate_counts(Seed::new(4)).iter().sum();
+        assert_eq!(total, 2);
+        // Under the AMO ceiling the max per-app count is U; pure ZIPF can
+        // exceed the per-user ceiling of 1.
+        let sim = Simulator::zipf(pop(2, 1, 2, 8.0));
+        let counts = sim.simulate_counts(Seed::new(5));
+        assert_eq!(counts[0], 2, "steep Zipf must hit rank 1 twice: {counts:?}");
+    }
+
+    #[test]
+    fn amo_caps_per_app_at_user_count() {
+        let sim = Simulator::zipf_at_most_once(pop(50, 30, 10, 3.0));
+        let counts = sim.simulate_counts(Seed::new(6));
+        assert!(counts.iter().all(|&c| c <= 30));
+        // The steep exponent drives the head to the ceiling.
+        assert_eq!(counts[0], 30);
+    }
+
+    #[test]
+    fn trace_events_match_counts() {
+        let sim = Simulator::app_clustering(clustering(60, 40, 5));
+        let trace = sim.simulate_trace(Seed::new(7), 10);
+        assert_eq!(trace.events.len(), 200);
+        let mut recount = vec![0u64; 60];
+        for e in &trace.events {
+            recount[e.app.index()] += 1;
+        }
+        assert_eq!(recount, trace.counts);
+        // Each user appears exactly d times.
+        let mut per_user = vec![0u32; 40];
+        for e in &trace.events {
+            per_user[e.user.index()] += 1;
+        }
+        assert!(per_user.iter().all(|&c| c == 5));
+        // Days are nondecreasing and within range.
+        assert!(trace.events.windows(2).all(|w| w[0].day <= w[1].day));
+        assert!(trace.events.iter().all(|e| e.day.0 < 10));
+    }
+
+    #[test]
+    fn trace_at_most_once_per_user_app_pair() {
+        let sim = Simulator::app_clustering(clustering(60, 40, 5));
+        let trace = sim.simulate_trace(Seed::new(8), 5);
+        let mut seen = std::collections::HashSet::new();
+        for e in &trace.events {
+            assert!(seen.insert((e.user, e.app)), "repeat fetch {e:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sim = Simulator::app_clustering(clustering(80, 30, 4));
+        assert_eq!(
+            sim.simulate_counts(Seed::new(11)),
+            sim.simulate_counts(Seed::new(11))
+        );
+        assert_ne!(
+            sim.simulate_counts(Seed::new(11)),
+            sim.simulate_counts(Seed::new(12))
+        );
+    }
+
+    #[test]
+    fn clustering_thins_the_tail_relative_to_amo() {
+        // The clustering effect concentrates downloads on cluster heads,
+        // so the number of apps with zero downloads must be larger than
+        // under ZIPF-at-most-once with the same population.
+        let population = pop(2000, 500, 10, 1.0);
+        let amo = Simulator::zipf_at_most_once(population);
+        let cl = Simulator::app_clustering(ClusteringParams {
+            population,
+            clusters: 20,
+            p: 0.95,
+            cluster_exponent: 2.0,
+            layout: ClusterLayout::Interleaved,
+        });
+        let zero_amo = amo
+            .simulate_counts(Seed::new(21))
+            .iter()
+            .filter(|&&c| c == 0)
+            .count();
+        let zero_cl = cl
+            .simulate_counts(Seed::new(21))
+            .iter()
+            .filter(|&&c| c == 0)
+            .count();
+        assert!(
+            zero_cl > zero_amo,
+            "clustering tail ({zero_cl}) should be thinner than AMO tail ({zero_amo})"
+        );
+    }
+
+    #[test]
+    fn for_kind_dispatches() {
+        let params = clustering(50, 10, 3);
+        for kind in ModelKind::ALL {
+            let sim = Simulator::for_kind(kind, params);
+            assert_eq!(sim.kind(), kind);
+            let counts = sim.simulate_counts(Seed::new(2));
+            assert_eq!(counts.iter().sum::<u64>(), 30);
+        }
+    }
+
+    #[test]
+    fn app_of_inverts_place_for_both_layouts() {
+        for layout in [ClusterLayout::Interleaved, ClusterLayout::Blocked] {
+            let params = ClusteringParams {
+                population: pop(23, 5, 2, 1.0),
+                clusters: 5,
+                p: 0.5,
+                cluster_exponent: 1.0,
+                layout,
+            };
+            let sim = Simulator::app_clustering(params);
+            for i in 0..23usize {
+                let (c, j) = layout.place(i, 23, 5);
+                assert_eq!(sim.app_of(c, j), i, "layout {layout:?} app {i}");
+            }
+        }
+    }
+}

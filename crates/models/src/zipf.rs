@@ -1,0 +1,176 @@
+//! Finite-support Zipf sampling.
+//!
+//! Every simulator in this crate draws millions of app ranks from Zipf
+//! laws, so the sampler matters. [`ZipfSampler`] precomputes the
+//! cumulative mass over the `n` ranks once (O(n)) and then samples by
+//! binary search on a uniform variate (O(log n) per draw, exact — no
+//! rejection).
+
+use appstore_stats::generalized_harmonic;
+use rand::Rng;
+
+/// An exact sampler for `P(rank = k) ∝ k^(−s)`, `k ∈ 1..=n`.
+///
+/// ```
+/// use appstore_models::ZipfSampler;
+/// use appstore_core::Seed;
+///
+/// let sampler = ZipfSampler::new(1_000, 1.4);
+/// let mut rng = Seed::new(7).rng();
+/// let rank = sampler.sample(&mut rng);
+/// assert!((1..=1_000).contains(&rank));
+/// // Rank 1 carries the most mass.
+/// assert!(sampler.pmf(1) > sampler.pmf(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities; `cumulative[k-1] = P(rank ≤ k)`.
+    cumulative: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        assert!(n > 0, "Zipf support must be nonempty");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        let h = generalized_harmonic(n, s);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s) / h;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cumulative.last_mut().expect("nonempty") = 1.0;
+        ZipfSampler { cumulative, exponent: s }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the support is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent the sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cumulative.len(), "rank out of support");
+        if k == 1 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k - 1] - self.cumulative[k - 2]
+        }
+    }
+
+    /// Draws a 1-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cumulative >= u.
+        self.cumulative.partition_point(|&c| c < u) + 1
+    }
+
+    /// Draws a 0-based index (rank − 1), convenient for array indexing.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+    use appstore_stats::zipf_pmf;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pmf_matches_reference() {
+        let s = ZipfSampler::new(50, 1.3);
+        for k in 1..=50 {
+            assert!((s.pmf(k) - zipf_pmf(k, 50, 1.3)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        let s = ZipfSampler::new(4, 0.0);
+        for k in 1..=4 {
+            assert!((s.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_frequencies_match_pmf() {
+        let sampler = ZipfSampler::new(20, 1.1);
+        let mut rng = Seed::new(42).rng();
+        let n = 200_000;
+        let mut counts = vec![0u64; 20];
+        for _ in 0..n {
+            counts[sampler.sample_index(&mut rng)] += 1;
+        }
+        for k in 1..=20 {
+            let expected = sampler.pmf(k) * n as f64;
+            let got = counts[k - 1] as f64;
+            // 5-sigma binomial tolerance.
+            let sigma = (expected * (1.0 - sampler.pmf(k))).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma + 1.0,
+                "rank {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let sampler = ZipfSampler::new(1, 2.0);
+        let mut rng = Seed::new(0).rng();
+        assert_eq!(sampler.sample(&mut rng), 1);
+        assert_eq!(sampler.pmf(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn zero_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn negative_exponent_panics() {
+        let _ = ZipfSampler::new(10, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn samples_stay_in_support(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+            let sampler = ZipfSampler::new(n, s);
+            let mut rng = Seed::new(seed).rng();
+            for _ in 0..50 {
+                let k = sampler.sample(&mut rng);
+                prop_assert!(k >= 1 && k <= n);
+            }
+        }
+
+        #[test]
+        fn pmf_is_monotone_nonincreasing(n in 2usize..200, s in 0.0f64..3.0) {
+            let sampler = ZipfSampler::new(n, s);
+            for k in 1..n {
+                prop_assert!(sampler.pmf(k) + 1e-12 >= sampler.pmf(k + 1));
+            }
+        }
+    }
+}

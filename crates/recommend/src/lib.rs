@@ -1,0 +1,32 @@
+//! Recommendation systems for appstores (the paper's §7, implemented).
+//!
+//! The paper argues that understanding the clustering effect enables
+//! better recommendation systems: classical collaborative filtering
+//! suggests apps downloaded by similar users, while the clustering effect
+//! says a user's *next* download will likely come from the category of a
+//! *recent* download — so recommending the popular not-yet-fetched apps
+//! of the user's recent categories is both cheaper and well-targeted.
+//! This crate builds that argument into runnable systems:
+//!
+//! * [`recommender`] — three recommenders behind one trait:
+//!   global-popularity (the baseline every store ships),
+//!   item-based collaborative filtering (co-download cosine similarity),
+//!   and the clustering-aware recency recommender;
+//! * [`eval`] — temporal hold-out evaluation: train on the first part of
+//!   a download trace, then score hit-rate@k against each user's actual
+//!   later downloads.
+//!
+//! All recommenders consume plain [`appstore_core::DownloadEvent`]
+//! streams plus an app→category table, so they run on generated stores,
+//! crawled datasets, and model-simulated traces alike.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod recommender;
+
+pub use eval::{evaluate, temporal_split, EvalReport};
+pub use recommender::{
+    CategoryRecency, ItemKnn, Popularity, Recommender, TrainedRecommender,
+};

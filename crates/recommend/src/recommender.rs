@@ -1,0 +1,465 @@
+//! The three recommenders.
+//!
+//! All are trained from a chronological download-event prefix and then
+//! asked, per user, for the top-`k` apps the user has not fetched yet.
+//!
+//! * [`Popularity`] — recommend the globally most-downloaded apps; the
+//!   baseline the paper criticizes for "bombarding users with the same
+//!   set of popular apps".
+//! * [`ItemKnn`] — item-based collaborative filtering: apps are similar
+//!   when the same users downloaded both (cosine similarity over user
+//!   sets); a user is scored by summing similarities to their history.
+//! * [`CategoryRecency`] — the paper's §7 proposal: recommend the most
+//!   popular not-yet-fetched apps from the categories of the user's most
+//!   *recent* downloads, weighting recent categories higher.
+
+use appstore_core::{AppId, CategoryId, DownloadEvent, UserId};
+use std::collections::HashMap;
+
+/// A recommender that can be trained on a download prefix.
+pub trait Recommender {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Trains on a chronological download prefix.
+    fn train(&mut self, events: &[DownloadEvent]);
+
+    /// Top-`k` recommendations for a user, excluding apps the user
+    /// already fetched during training. Users unseen in training get the
+    /// global fallback (whatever the recommender considers popular).
+    fn recommend(&self, user: UserId, k: usize) -> Vec<AppId>;
+}
+
+/// Marker alias for a trained recommender behind a trait object.
+pub type TrainedRecommender = Box<dyn Recommender>;
+
+/// Per-user training history shared by the recommenders.
+#[derive(Debug, Default, Clone)]
+struct History {
+    /// Apps in download order (chronological).
+    apps: Vec<u32>,
+}
+
+impl History {
+    fn has(&self, app: u32) -> bool {
+        self.apps.contains(&app)
+    }
+}
+
+fn ranked_by_count(counts: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut ranked: Vec<(u32, u64)> = counts.iter().map(|(&a, &c)| (a, c)).collect();
+    // Deterministic order: by count descending, then app id.
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.into_iter().map(|(a, _)| a).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Popularity
+// ---------------------------------------------------------------------------
+
+/// Global-popularity recommender.
+#[derive(Debug, Default)]
+pub struct Popularity {
+    ranked: Vec<u32>,
+    histories: HashMap<u32, History>,
+}
+
+impl Popularity {
+    /// Creates an untrained popularity recommender.
+    pub fn new() -> Popularity {
+        Popularity::default()
+    }
+}
+
+impl Recommender for Popularity {
+    fn name(&self) -> &'static str {
+        "popularity"
+    }
+
+    fn train(&mut self, events: &[DownloadEvent]) {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for e in events {
+            *counts.entry(e.app.0).or_insert(0) += 1;
+            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+        }
+        self.ranked = ranked_by_count(&counts);
+    }
+
+    fn recommend(&self, user: UserId, k: usize) -> Vec<AppId> {
+        let empty = History::default();
+        let history = self.histories.get(&user.0).unwrap_or(&empty);
+        self.ranked
+            .iter()
+            .filter(|&&a| !history.has(a))
+            .take(k)
+            .map(|&a| AppId(a))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item-based collaborative filtering
+// ---------------------------------------------------------------------------
+
+/// Item-based k-NN collaborative filtering over co-download counts.
+///
+/// Similarity between apps `a` and `b` is the cosine of their user sets:
+/// `|U_a ∩ U_b| / sqrt(|U_a|·|U_b|)`. To bound memory, only the
+/// `neighbors` most similar apps are kept per app.
+#[derive(Debug)]
+pub struct ItemKnn {
+    neighbors: usize,
+    /// Per app: (neighbor, similarity), sorted by similarity descending.
+    similar: HashMap<u32, Vec<(u32, f32)>>,
+    histories: HashMap<u32, History>,
+    fallback: Vec<u32>,
+}
+
+impl ItemKnn {
+    /// Creates an untrained item-kNN recommender keeping `neighbors`
+    /// similar apps per app.
+    ///
+    /// # Panics
+    /// Panics if `neighbors == 0`.
+    pub fn new(neighbors: usize) -> ItemKnn {
+        assert!(neighbors > 0, "need at least one neighbor");
+        ItemKnn {
+            neighbors,
+            similar: HashMap::new(),
+            histories: HashMap::new(),
+            fallback: Vec::new(),
+        }
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn name(&self) -> &'static str {
+        "item-knn"
+    }
+
+    fn train(&mut self, events: &[DownloadEvent]) {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for e in events {
+            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+            *counts.entry(e.app.0).or_insert(0) += 1;
+        }
+        self.fallback = ranked_by_count(&counts);
+        // Co-occurrence counting per user pair of apps.
+        let mut co: HashMap<(u32, u32), u32> = HashMap::new();
+        for history in self.histories.values() {
+            let apps = &history.apps;
+            for i in 0..apps.len() {
+                for j in (i + 1)..apps.len() {
+                    let (a, b) = if apps[i] < apps[j] {
+                        (apps[i], apps[j])
+                    } else if apps[j] < apps[i] {
+                        (apps[j], apps[i])
+                    } else {
+                        continue;
+                    };
+                    *co.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut similar: HashMap<u32, Vec<(u32, f32)>> = HashMap::new();
+        for (&(a, b), &n) in &co {
+            let na = counts[&a] as f32;
+            let nb = counts[&b] as f32;
+            let sim = n as f32 / (na * nb).sqrt();
+            similar.entry(a).or_default().push((b, sim));
+            similar.entry(b).or_default().push((a, sim));
+        }
+        for list in similar.values_mut() {
+            list.sort_by(|x, y| {
+                y.1.partial_cmp(&x.1)
+                    .expect("similarities are finite")
+                    .then(x.0.cmp(&y.0))
+            });
+            list.truncate(self.neighbors);
+        }
+        self.similar = similar;
+    }
+
+    fn recommend(&self, user: UserId, k: usize) -> Vec<AppId> {
+        let empty = History::default();
+        let history = self.histories.get(&user.0).unwrap_or(&empty);
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        for app in &history.apps {
+            if let Some(neighbors) = self.similar.get(app) {
+                for &(candidate, sim) in neighbors {
+                    if !history.has(candidate) {
+                        *scores.entry(candidate).or_insert(0.0) += sim;
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, f32)> = scores.into_iter().collect();
+        ranked.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1)
+                .expect("scores are finite")
+                .then(x.0.cmp(&y.0))
+        });
+        let mut out: Vec<AppId> = ranked.into_iter().take(k).map(|(a, _)| AppId(a)).collect();
+        // Pad from the popularity fallback (cold users, thin neighborhoods).
+        if out.len() < k {
+            for &a in &self.fallback {
+                if out.len() == k {
+                    break;
+                }
+                if !history.has(a) && !out.contains(&AppId(a)) {
+                    out.push(AppId(a));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Category-recency (the paper's §7 proposal)
+// ---------------------------------------------------------------------------
+
+/// Clustering-aware recommender: popular unfetched apps from the user's
+/// most recent categories.
+///
+/// Training keeps per-category popularity rankings; at query time the
+/// user's last `recent` downloads vote for their categories (most recent
+/// first), and recommendation slots are filled round-robin from those
+/// categories' popularity lists, falling back to global popularity.
+pub struct CategoryRecency<F>
+where
+    F: Fn(AppId) -> CategoryId,
+{
+    category_of: F,
+    recent: usize,
+    per_category: HashMap<u32, Vec<u32>>,
+    fallback: Vec<u32>,
+    histories: HashMap<u32, History>,
+}
+
+impl<F> CategoryRecency<F>
+where
+    F: Fn(AppId) -> CategoryId,
+{
+    /// Creates an untrained category-recency recommender considering the
+    /// user's `recent` most recent downloads.
+    ///
+    /// # Panics
+    /// Panics if `recent == 0`.
+    pub fn new(category_of: F, recent: usize) -> CategoryRecency<F> {
+        assert!(recent > 0, "need at least one recent download");
+        CategoryRecency {
+            category_of,
+            recent,
+            per_category: HashMap::new(),
+            fallback: Vec::new(),
+            histories: HashMap::new(),
+        }
+    }
+}
+
+impl<F> Recommender for CategoryRecency<F>
+where
+    F: Fn(AppId) -> CategoryId,
+{
+    fn name(&self) -> &'static str {
+        "category-recency"
+    }
+
+    fn train(&mut self, events: &[DownloadEvent]) {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for e in events {
+            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+            *counts.entry(e.app.0).or_insert(0) += 1;
+        }
+        self.fallback = ranked_by_count(&counts);
+        let mut per_category: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &app in &self.fallback {
+            let cat = (self.category_of)(AppId(app)).0;
+            per_category.entry(cat).or_default().push(app);
+        }
+        self.per_category = per_category;
+    }
+
+    fn recommend(&self, user: UserId, k: usize) -> Vec<AppId> {
+        let empty = History::default();
+        let history = self.histories.get(&user.0).unwrap_or(&empty);
+        // Most recent categories first, deduplicated.
+        let mut recent_categories: Vec<u32> = Vec::new();
+        for &app in history.apps.iter().rev().take(self.recent) {
+            let cat = (self.category_of)(AppId(app)).0;
+            if !recent_categories.contains(&cat) {
+                recent_categories.push(cat);
+            }
+        }
+        let mut out: Vec<AppId> = Vec::with_capacity(k);
+        // Round-robin over the recent categories' popularity lists.
+        let mut cursors: Vec<(usize, &Vec<u32>)> = recent_categories
+            .iter()
+            .filter_map(|c| self.per_category.get(c).map(|list| (0usize, list)))
+            .collect();
+        while out.len() < k && !cursors.is_empty() {
+            let mut advanced = false;
+            for (cursor, list) in cursors.iter_mut() {
+                while *cursor < list.len() {
+                    let candidate = list[*cursor];
+                    *cursor += 1;
+                    if !history.has(candidate) && !out.contains(&AppId(candidate)) {
+                        out.push(AppId(candidate));
+                        advanced = true;
+                        break;
+                    }
+                }
+                if out.len() == k {
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // Fallback: global popularity.
+        for &a in &self.fallback {
+            if out.len() == k {
+                break;
+            }
+            if !history.has(a) && !out.contains(&AppId(a)) {
+                out.push(AppId(a));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Day;
+
+    fn event(user: u32, app: u32) -> DownloadEvent {
+        DownloadEvent {
+            user: UserId(user),
+            app: AppId(app),
+            day: Day(0),
+        }
+    }
+
+    /// Apps 0-9 in category 0, 10-19 in category 1, 20-29 in category 2.
+    fn cat(app: AppId) -> CategoryId {
+        CategoryId(app.0 / 10)
+    }
+
+    #[test]
+    fn popularity_ranks_by_count_and_excludes_history() {
+        let mut r = Popularity::new();
+        r.train(&[
+            event(0, 5),
+            event(1, 5),
+            event(2, 5),
+            event(0, 7),
+            event(1, 7),
+            event(2, 3),
+        ]);
+        // Global ranking: 5 (3), 7 (2), 3 (1).
+        assert_eq!(r.recommend(UserId(9), 3), vec![AppId(5), AppId(7), AppId(3)]);
+        // User 0 already has 5 and 7.
+        assert_eq!(r.recommend(UserId(0), 3), vec![AppId(3)]);
+    }
+
+    #[test]
+    fn item_knn_recommends_co_downloaded_apps() {
+        let mut r = ItemKnn::new(10);
+        // Users 0-4 download {1, 2}; user 5 downloads {1}; app 9 is
+        // popular with unrelated users.
+        let mut events = Vec::new();
+        for u in 0..5 {
+            events.push(event(u, 1));
+            events.push(event(u, 2));
+        }
+        events.push(event(5, 1));
+        for u in 6..12 {
+            events.push(event(u, 9));
+        }
+        r.train(&events);
+        // User 5 has app 1; the strongest neighbor of 1 is 2.
+        let recs = r.recommend(UserId(5), 1);
+        assert_eq!(recs, vec![AppId(2)]);
+    }
+
+    #[test]
+    fn item_knn_falls_back_to_popularity_for_cold_users() {
+        let mut r = ItemKnn::new(4);
+        r.train(&[event(0, 1), event(1, 1), event(0, 2)]);
+        let recs = r.recommend(UserId(99), 2);
+        assert_eq!(recs, vec![AppId(1), AppId(2)]);
+    }
+
+    #[test]
+    fn category_recency_prefers_recent_categories() {
+        let mut r = CategoryRecency::new(cat, 3);
+        // Popularity: app 0 (3x), app 10 (2x), app 20 (2x), app 11 (1x).
+        let mut events = vec![
+            event(1, 0),
+            event(2, 0),
+            event(3, 0),
+            event(1, 10),
+            event(2, 10),
+            event(4, 11),
+            event(5, 20),
+            event(6, 20),
+        ];
+        // User 7's history: app 0 (cat 0) then app 11 (cat 1 — recent).
+        events.push(event(7, 0));
+        events.push(event(7, 11));
+        r.train(&events);
+        let recs = r.recommend(UserId(7), 2);
+        // Most recent category is 1: top unfetched app there is 10; then
+        // round-robin to category 0 whose top unfetched is... app 0 is
+        // fetched, so nothing; then fallback. Expect 10 first.
+        assert_eq!(recs[0], AppId(10));
+        assert_eq!(recs.len(), 2);
+        assert!(!recs.contains(&AppId(0)), "fetched app recommended");
+        assert!(!recs.contains(&AppId(11)), "fetched app recommended");
+    }
+
+    #[test]
+    fn category_recency_cold_user_gets_popularity() {
+        let mut r = CategoryRecency::new(cat, 2);
+        r.train(&[event(0, 5), event(1, 5), event(0, 15)]);
+        assert_eq!(r.recommend(UserId(42), 2), vec![AppId(5), AppId(15)]);
+    }
+
+    #[test]
+    fn recommendations_never_include_history_or_duplicates() {
+        let events: Vec<DownloadEvent> = (0..200u32)
+            .map(|i| event(i % 20, (i * 7) % 30))
+            .collect();
+        let recommenders: Vec<Box<dyn Recommender>> = vec![
+            Box::new(Popularity::new()),
+            Box::new(ItemKnn::new(8)),
+            Box::new(CategoryRecency::new(cat, 5)),
+        ];
+        for mut r in recommenders {
+            r.train(&events);
+            for u in 0..20u32 {
+                let recs = r.recommend(UserId(u), 10);
+                let mut seen = std::collections::HashSet::new();
+                for app in &recs {
+                    assert!(seen.insert(*app), "{}: duplicate {app:?}", r.name());
+                }
+                let history: Vec<u32> = events
+                    .iter()
+                    .filter(|e| e.user.0 == u)
+                    .map(|e| e.app.0)
+                    .collect();
+                for app in &recs {
+                    assert!(
+                        !history.contains(&app.0),
+                        "{}: recommended fetched app {app:?}",
+                        r.name()
+                    );
+                }
+            }
+        }
+    }
+}

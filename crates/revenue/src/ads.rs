@@ -1,0 +1,74 @@
+//! Ad-library detection — the stand-in for the paper's Androguard scan.
+//!
+//! The paper reverse-engineered every APK and flagged apps embedding at
+//! least one of the 20 most popular advertising networks, finding 67.7%
+//! of SlideMe's free apps monetize through ads. Our synthetic APKs carry
+//! an explicit library manifest; the detector scans it against the same
+//! 20-network catalogue, exercising the same decision logic.
+
+use appstore_core::{App, PricingTier};
+
+/// Names of the known ad networks found in one app's libraries.
+pub fn detect_ad_networks(app: &App) -> Vec<&str> {
+    app.libraries
+        .iter()
+        .filter(|l| l.is_known_ad_network())
+        .map(|l| l.name.as_str())
+        .collect()
+}
+
+/// Fraction of *free* apps embedding at least one known ad network
+/// (the paper's 67.7% headline). Returns `None` if there are no free
+/// apps.
+pub fn ad_fraction_of_free_apps(apps: &[App]) -> Option<f64> {
+    let free: Vec<&App> = apps.iter().filter(|a| a.tier == PricingTier::Free).collect();
+    if free.is_empty() {
+        return None;
+    }
+    let with_ads = free.iter().filter(|a| a.has_ads()).count();
+    Some(with_ads as f64 / free.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{AdLibrary, AppId, CategoryId, Cents, Day, DeveloperId};
+
+    fn app(tier: PricingTier, libs: &[&str]) -> App {
+        App {
+            id: AppId(0),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            tier,
+            price: Cents::ZERO,
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: libs.iter().map(|l| AdLibrary::new(*l)).collect(),
+        }
+    }
+
+    #[test]
+    fn detector_flags_only_catalogue_networks() {
+        let a = app(PricingTier::Free, &["admob", "okhttp", "flurry"]);
+        assert_eq!(detect_ad_networks(&a), vec!["admob", "flurry"]);
+        let b = app(PricingTier::Free, &["okhttp"]);
+        assert!(detect_ad_networks(&b).is_empty());
+    }
+
+    #[test]
+    fn fraction_counts_free_apps_only() {
+        let apps = vec![
+            app(PricingTier::Free, &["admob"]),
+            app(PricingTier::Free, &[]),
+            app(PricingTier::Paid, &["admob"]), // ignored
+        ];
+        assert_eq!(ad_fraction_of_free_apps(&apps), Some(0.5));
+    }
+
+    #[test]
+    fn no_free_apps_gives_none() {
+        let apps = vec![app(PricingTier::Paid, &[])];
+        assert_eq!(ad_fraction_of_free_apps(&apps), None);
+        assert_eq!(ad_fraction_of_free_apps(&[]), None);
+    }
+}

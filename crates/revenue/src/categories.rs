@@ -1,0 +1,183 @@
+//! Per-category revenue, app and developer shares (Fig. 15).
+//!
+//! The paper's headline: 67.7% of paid revenue comes from the music
+//! category (which holds just 1.6% of paid apps), 19.7% from games, and
+//! 95% from the top four categories combined, while e-books hold a third
+//! of the paid catalogue but earn ≈0.1%.
+
+use appstore_core::{Dataset, PricingTier};
+use serde::{Deserialize, Serialize};
+
+/// One category's slice of the paid-app economy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryShare {
+    /// Category index within the store taxonomy.
+    pub category: usize,
+    /// Category name.
+    pub name: String,
+    /// Share of total paid revenue in [0, 1].
+    pub revenue_share: f64,
+    /// Share of paid apps in [0, 1].
+    pub app_share: f64,
+    /// Share of developers that publish at least one paid app in this
+    /// category (shares can sum above 1 — a developer may publish in
+    /// several categories, as in the paper's Fig. 15).
+    pub developer_share: f64,
+}
+
+/// Computes Fig. 15's three share series, sorted by revenue share
+/// descending. Returns an empty vector for stores without paid apps.
+pub fn category_shares(dataset: &Dataset) -> Vec<CategoryShare> {
+    let n_cats = dataset.categories.len();
+    let last = dataset.last();
+    let mut revenue = vec![0u64; n_cats];
+    let mut apps = vec![0u64; n_cats];
+    let mut dev_sets: Vec<Vec<u32>> = vec![Vec::new(); n_cats];
+    let mut paid_devs: Vec<u32> = Vec::new();
+    for obs in &last.observations {
+        let app = &dataset.apps[obs.app.index()];
+        if app.tier != PricingTier::Paid {
+            continue;
+        }
+        let c = app.category.index();
+        revenue[c] += app.price.saturating_mul(obs.downloads).0;
+        apps[c] += 1;
+        if !dev_sets[c].contains(&app.developer.0) {
+            dev_sets[c].push(app.developer.0);
+        }
+        if !paid_devs.contains(&app.developer.0) {
+            paid_devs.push(app.developer.0);
+        }
+    }
+    let total_revenue: u64 = revenue.iter().sum();
+    let total_apps: u64 = apps.iter().sum();
+    let total_devs = paid_devs.len();
+    if total_apps == 0 {
+        return Vec::new();
+    }
+    let mut shares: Vec<CategoryShare> = (0..n_cats)
+        .map(|c| CategoryShare {
+            category: c,
+            name: dataset
+                .categories
+                .get(appstore_core::CategoryId(c as u32))
+                .name
+                .clone(),
+            revenue_share: if total_revenue == 0 {
+                0.0
+            } else {
+                revenue[c] as f64 / total_revenue as f64
+            },
+            app_share: apps[c] as f64 / total_apps as f64,
+            developer_share: if total_devs == 0 {
+                0.0
+            } else {
+                dev_sets[c].len() as f64 / total_devs as f64
+            },
+        })
+        .collect();
+    shares.sort_by(|a, b| {
+        b.revenue_share
+            .partial_cmp(&a.revenue_share)
+            .expect("no NaN shares")
+    });
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{
+        App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day,
+        Developer, DeveloperId, StoreId, StoreMeta,
+    };
+
+    fn paid(id: u32, dev: u32, cat: u32, cents: u64) -> App {
+        App {
+            id: AppId(id),
+            category: CategoryId(cat),
+            developer: DeveloperId(dev),
+            tier: PricingTier::Paid,
+            price: Cents(cents),
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: vec![],
+        }
+    }
+
+    fn obs(id: u32, cat: u32, dev: u32, downloads: u64, cents: u64) -> AppObservation {
+        AppObservation {
+            app: AppId(id),
+            category: CategoryId(cat),
+            developer: DeveloperId(dev),
+            downloads,
+            comments: 0,
+            version: 1,
+            price: Cents(cents),
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            store: StoreMeta {
+                id: StoreId(0),
+                name: "t".into(),
+                has_paid_apps: true,
+            },
+            categories: CategorySet::from_names(["music", "games", "e-books"]),
+            apps: vec![
+                paid(0, 0, 0, 400), // music, $4
+                paid(1, 1, 1, 200), // games, $2
+                paid(2, 1, 2, 100), // e-books, $1
+                paid(3, 2, 2, 100), // e-books, $1
+            ],
+            developers: (0..3)
+                .map(|d| Developer::numbered(DeveloperId(d)))
+                .collect(),
+            snapshots: vec![DailySnapshot {
+                day: Day(0),
+                observations: vec![
+                    obs(0, 0, 0, 175, 400), // $700 music
+                    obs(1, 1, 1, 100, 200), // $200 games
+                    obs(2, 2, 1, 50, 100),  // $50 e-books
+                    obs(3, 2, 2, 50, 100),  // $50 e-books
+                ],
+            }],
+            comments: vec![],
+            updates: vec![],
+        }
+    }
+
+    #[test]
+    fn shares_are_ranked_by_revenue() {
+        let shares = category_shares(&dataset());
+        assert_eq!(shares.len(), 3);
+        assert_eq!(shares[0].name, "music");
+        assert!((shares[0].revenue_share - 0.7).abs() < 1e-12);
+        assert!((shares[0].app_share - 0.25).abs() < 1e-12);
+        assert_eq!(shares[1].name, "games");
+        assert!((shares[1].revenue_share - 0.2).abs() < 1e-12);
+        assert_eq!(shares[2].name, "e-books");
+        assert!((shares[2].revenue_share - 0.1).abs() < 1e-12);
+        assert!((shares[2].app_share - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn developer_shares_can_overlap_categories() {
+        let shares = category_shares(&dataset());
+        // Developer 1 publishes in games and e-books: counted in both.
+        let games = shares.iter().find(|s| s.name == "games").unwrap();
+        let ebooks = shares.iter().find(|s| s.name == "e-books").unwrap();
+        assert!((games.developer_share - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ebooks.developer_share - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_paid_apps_gives_empty() {
+        let mut d = dataset();
+        for app in &mut d.apps {
+            app.tier = PricingTier::Free;
+        }
+        assert!(category_shares(&d).is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Developer income and strategy analysis (Figs. 13, 14, 16).
+//!
+//! Income from a paid app is estimated, as in the paper, as
+//! `downloads × price` (SlideMe's 5% commission is ignored for
+//! simplicity, matching the paper's assumption). The per-developer
+//! aggregation behind Fig. 13 (income CDF), Fig. 14 (income vs number of
+//! paid apps) and Fig. 16 (apps and categories per developer, split by
+//! tier) lives here.
+
+use appstore_core::{Cents, Dataset, PricingTier};
+use serde::{Deserialize, Serialize};
+
+/// Per-developer income aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeveloperIncome {
+    /// Developer index.
+    pub developer: usize,
+    /// Number of paid apps the developer offers.
+    pub paid_apps: usize,
+    /// Total estimated income across those apps.
+    pub income: Cents,
+}
+
+/// How developers split across pricing strategies (the paper: 75% free
+/// only, 15% paid only, 10% both) and how many apps/categories each
+/// publishes (Fig. 16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyMix {
+    /// Developers offering only free apps.
+    pub free_only: usize,
+    /// Developers offering only paid apps.
+    pub paid_only: usize,
+    /// Developers offering both.
+    pub both: usize,
+    /// Apps per developer, for developers with ≥1 free app.
+    pub free_apps_per_developer: Vec<u64>,
+    /// Apps per developer, for developers with ≥1 paid app.
+    pub paid_apps_per_developer: Vec<u64>,
+    /// Unique categories per developer, free-app developers.
+    pub free_categories_per_developer: Vec<u64>,
+    /// Unique categories per developer, paid-app developers.
+    pub paid_categories_per_developer: Vec<u64>,
+}
+
+/// Income of every developer that offers at least one paid app
+/// (Figs. 13–14), computed from the final snapshot's cumulative
+/// purchase counters.
+///
+/// As in the paper, the store's commission is ignored ("for simplicity
+/// in our measurements we assume that developers get the whole amount");
+/// use [`developer_incomes_after_commission`] to model it.
+pub fn developer_incomes(dataset: &Dataset) -> Vec<DeveloperIncome> {
+    developer_incomes_after_commission(dataset, 0.0)
+}
+
+/// Per-developer income after the store keeps `commission` of every
+/// sale (SlideMe charges 5%; most stores charged 20–30% in 2012).
+///
+/// # Panics
+/// Panics if `commission` is outside `[0, 1]`.
+pub fn developer_incomes_after_commission(
+    dataset: &Dataset,
+    commission: f64,
+) -> Vec<DeveloperIncome> {
+    assert!(
+        (0.0..=1.0).contains(&commission),
+        "commission must lie in [0, 1]"
+    );
+    let last = dataset.last();
+    let mut paid_apps = vec![0usize; dataset.developers.len()];
+    let mut income = vec![Cents::ZERO; dataset.developers.len()];
+    for obs in &last.observations {
+        let app = &dataset.apps[obs.app.index()];
+        if app.tier != PricingTier::Paid {
+            continue;
+        }
+        let dev = app.developer.index();
+        paid_apps[dev] += 1;
+        let gross = app.price.saturating_mul(obs.downloads);
+        let net = Cents(((gross.0 as f64) * (1.0 - commission)).round() as u64);
+        income[dev] += net;
+    }
+    (0..dataset.developers.len())
+        .filter(|&d| paid_apps[d] > 0)
+        .map(|d| DeveloperIncome {
+            developer: d,
+            paid_apps: paid_apps[d],
+            income: income[d],
+        })
+        .collect()
+}
+
+/// Total store-side commission revenue at the given rate (the paper
+/// estimates SlideMe's 5% cut at ~$200k of its ~$4M total).
+pub fn store_commission(dataset: &Dataset, commission: f64) -> Cents {
+    assert!(
+        (0.0..=1.0).contains(&commission),
+        "commission must lie in [0, 1]"
+    );
+    let gross: u64 = developer_incomes_after_commission(dataset, 0.0)
+        .iter()
+        .map(|i| i.income.0)
+        .sum();
+    Cents(((gross as f64) * commission).round() as u64)
+}
+
+/// Strategy mix and per-developer app/category counts (Fig. 16).
+pub fn developer_strategies(dataset: &Dataset) -> StrategyMix {
+    let devs = dataset.developers.len();
+    let mut free_apps = vec![0u64; devs];
+    let mut paid_apps = vec![0u64; devs];
+    let mut free_cats: Vec<Vec<u32>> = vec![Vec::new(); devs];
+    let mut paid_cats: Vec<Vec<u32>> = vec![Vec::new(); devs];
+    for app in &dataset.apps {
+        let d = app.developer.index();
+        let cat = app.category.0;
+        match app.tier {
+            PricingTier::Free => {
+                free_apps[d] += 1;
+                if !free_cats[d].contains(&cat) {
+                    free_cats[d].push(cat);
+                }
+            }
+            PricingTier::Paid => {
+                paid_apps[d] += 1;
+                if !paid_cats[d].contains(&cat) {
+                    paid_cats[d].push(cat);
+                }
+            }
+        }
+    }
+    let mut mix = StrategyMix {
+        free_only: 0,
+        paid_only: 0,
+        both: 0,
+        free_apps_per_developer: Vec::new(),
+        paid_apps_per_developer: Vec::new(),
+        free_categories_per_developer: Vec::new(),
+        paid_categories_per_developer: Vec::new(),
+    };
+    for d in 0..devs {
+        match (free_apps[d] > 0, paid_apps[d] > 0) {
+            (true, true) => mix.both += 1,
+            (true, false) => mix.free_only += 1,
+            (false, true) => mix.paid_only += 1,
+            (false, false) => continue,
+        }
+        if free_apps[d] > 0 {
+            mix.free_apps_per_developer.push(free_apps[d]);
+            mix.free_categories_per_developer
+                .push(free_cats[d].len() as u64);
+        }
+        if paid_apps[d] > 0 {
+            mix.paid_apps_per_developer.push(paid_apps[d]);
+            mix.paid_categories_per_developer
+                .push(paid_cats[d].len() as u64);
+        }
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{
+        App, AppId, AppObservation, CategoryId, CategorySet, DailySnapshot, Day, Developer,
+        DeveloperId, StoreId, StoreMeta,
+    };
+
+    pub(super) fn app(id: u32, dev: u32, cat: u32, tier: PricingTier, cents: u64) -> App {
+        App {
+            id: AppId(id),
+            category: CategoryId(cat),
+            developer: DeveloperId(dev),
+            tier,
+            price: Cents(cents),
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: vec![],
+        }
+    }
+
+    pub(super) fn dataset() -> Dataset {
+        let apps = vec![
+            app(0, 0, 0, PricingTier::Paid, 200),  // dev 0: $2 paid
+            app(1, 0, 1, PricingTier::Paid, 100),  // dev 0: $1 paid
+            app(2, 1, 0, PricingTier::Free, 0),    // dev 1: free only
+            app(3, 2, 2, PricingTier::Paid, 500),  // dev 2: paid only
+            app(4, 2, 2, PricingTier::Free, 0),    // dev 2 also free -> both
+        ];
+        let observations = vec![
+            AppObservation {
+                app: AppId(0),
+                category: CategoryId(0),
+                developer: DeveloperId(0),
+                downloads: 10,
+                comments: 0,
+                version: 1,
+                price: Cents(200),
+            },
+            AppObservation {
+                app: AppId(1),
+                category: CategoryId(1),
+                developer: DeveloperId(0),
+                downloads: 5,
+                comments: 0,
+                version: 1,
+                price: Cents(100),
+            },
+            AppObservation {
+                app: AppId(2),
+                category: CategoryId(0),
+                developer: DeveloperId(1),
+                downloads: 100,
+                comments: 0,
+                version: 1,
+                price: Cents(0),
+            },
+            AppObservation {
+                app: AppId(3),
+                category: CategoryId(2),
+                developer: DeveloperId(2),
+                downloads: 0,
+                comments: 0,
+                version: 1,
+                price: Cents(500),
+            },
+            AppObservation {
+                app: AppId(4),
+                category: CategoryId(2),
+                developer: DeveloperId(2),
+                downloads: 3,
+                comments: 0,
+                version: 1,
+                price: Cents(0),
+            },
+        ];
+        Dataset {
+            store: StoreMeta {
+                id: StoreId(0),
+                name: "t".into(),
+                has_paid_apps: true,
+            },
+            categories: CategorySet::anonymous(3),
+            apps,
+            developers: (0..3)
+                .map(|d| Developer::numbered(DeveloperId(d)))
+                .collect(),
+            snapshots: vec![DailySnapshot {
+                day: Day(0),
+                observations,
+            }],
+            comments: vec![],
+            updates: vec![],
+        }
+    }
+
+    #[test]
+    fn incomes_multiply_price_by_downloads() {
+        let incomes = developer_incomes(&dataset());
+        assert_eq!(incomes.len(), 2);
+        let dev0 = incomes.iter().find(|i| i.developer == 0).unwrap();
+        // 10 × $2 + 5 × $1 = $25.
+        assert_eq!(dev0.income, Cents(2500));
+        assert_eq!(dev0.paid_apps, 2);
+        let dev2 = incomes.iter().find(|i| i.developer == 2).unwrap();
+        // Zero downloads ⇒ zero income (the paper: 27% earned nothing).
+        assert_eq!(dev2.income, Cents::ZERO);
+        assert_eq!(dev2.paid_apps, 1);
+    }
+
+    #[test]
+    fn strategy_mix_partitions_developers() {
+        let mix = developer_strategies(&dataset());
+        assert_eq!(mix.free_only, 1);
+        assert_eq!(mix.paid_only, 1); // dev 0 (paid-only)
+        assert_eq!(mix.both, 1); // dev 2
+        assert_eq!(mix.paid_apps_per_developer.len(), 2);
+        assert_eq!(mix.free_apps_per_developer.len(), 2);
+        // dev 0 publishes 2 paid apps in 2 categories.
+        assert!(mix.paid_categories_per_developer.contains(&2));
+    }
+}
+
+#[cfg(test)]
+mod commission_tests {
+    use super::*;
+    use super::tests::dataset;
+
+    #[test]
+    fn commission_scales_income_down() {
+        let d = dataset();
+        let gross = developer_incomes(&d);
+        let net = developer_incomes_after_commission(&d, 0.05);
+        assert_eq!(gross.len(), net.len());
+        for (g, n) in gross.iter().zip(&net) {
+            let expected = ((g.income.0 as f64) * 0.95).round() as u64;
+            assert_eq!(n.income.0, expected);
+        }
+    }
+
+    #[test]
+    fn store_commission_is_the_complement() {
+        let d = dataset();
+        let gross_total: u64 = developer_incomes(&d).iter().map(|i| i.income.0).sum();
+        let cut = store_commission(&d, 0.05);
+        assert_eq!(cut.0, ((gross_total as f64) * 0.05).round() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "commission")]
+    fn commission_domain_enforced() {
+        let d = dataset();
+        let _ = developer_incomes_after_commission(&d, 1.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Pricing and income analysis (Section 6 of the paper).
+//!
+//! Questions answered, matching the paper's Q1–Q3:
+//!
+//! * how do paid and free popularity curves differ (Fig. 11), and how
+//!   does price correlate with popularity and supply (Fig. 12)?
+//! * how is paid revenue distributed over developers (Figs. 13–14) and
+//!   categories (Fig. 15)?
+//! * which strategy earns more — paid, or free with ads (Figs. 17–18)?
+//!   The break-even ad income per download (Eq. 7) is the pivot.
+//!
+//! Modules:
+//!
+//! * [`ads`] — the ad-library detector (the Androguard stand-in);
+//! * [`pricing`] — price/downloads/app-count relationships;
+//! * [`income`] — per-developer income, strategy mix, category focus;
+//! * [`categories`] — revenue/app/developer shares per category;
+//! * [`breakeven`] — Eq. 7 overall, by popularity tier, per category and
+//!   over time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ads;
+pub mod breakeven;
+pub mod categories;
+pub mod income;
+pub mod pricing;
+
+pub use ads::{ad_fraction_of_free_apps, detect_ad_networks};
+pub use breakeven::{
+    breakeven_by_category, breakeven_by_tier, breakeven_over_time, breakeven_overall,
+};
+pub use categories::{category_shares, CategoryShare};
+pub use income::{
+    developer_incomes, developer_incomes_after_commission, developer_strategies,
+    store_commission, DeveloperIncome, StrategyMix,
+};
+pub use pricing::{price_bins, price_correlations, PriceBin};

@@ -1,0 +1,234 @@
+//! Price–popularity relationships (Fig. 12).
+//!
+//! The paper bins paid apps into one-dollar price bins and plots, per
+//! bin, the number of apps and the average downloads, reporting Pearson
+//! correlations of −0.229 (price vs downloads) and −0.240 (price vs app
+//! count).
+
+use appstore_core::{App, Dataset, PricingTier};
+use appstore_stats::{pearson, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// One one-dollar price bin of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceBin {
+    /// Inclusive lower edge in dollars.
+    pub dollars_lo: f64,
+    /// Exclusive upper edge in dollars.
+    pub dollars_hi: f64,
+    /// Number of paid apps priced in this bin.
+    pub apps: u64,
+    /// Average downloads among those apps (`None` for empty bins).
+    pub mean_downloads: Option<f64>,
+}
+
+/// Collects per-app `(price_dollars, downloads)` pairs for paid apps at
+/// the end of the campaign.
+fn paid_observations(dataset: &Dataset) -> Vec<(f64, f64)> {
+    let last = dataset.last();
+    last.observations
+        .iter()
+        .filter_map(|obs| {
+            let app: &App = &dataset.apps[obs.app.index()];
+            if app.tier == PricingTier::Paid {
+                Some((app.price.as_dollars(), obs.downloads as f64))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Fig. 12's one-dollar bins over `[0, max_dollars]`.
+pub fn price_bins(dataset: &Dataset, max_dollars: usize) -> Vec<PriceBin> {
+    let mut hist = Histogram::linear(0.0, max_dollars as f64, max_dollars.max(1));
+    for (price, downloads) in paid_observations(dataset) {
+        hist.add(price, downloads);
+    }
+    hist.bins()
+        .iter()
+        .map(|b| PriceBin {
+            dollars_lo: b.lo,
+            dollars_hi: b.hi,
+            apps: b.count,
+            mean_downloads: b.mean_value(),
+        })
+        .collect()
+}
+
+/// The two Pearson correlations of Fig. 12, computed per bin as the
+/// paper plots them: `(price vs mean downloads, price vs app count)`.
+///
+/// Returns `None` for a store without paid apps or fewer than two
+/// populated bins.
+pub fn price_correlations(dataset: &Dataset, max_dollars: usize) -> Option<(f64, f64)> {
+    let bins = price_bins(dataset, max_dollars);
+    let mut mids = Vec::new();
+    let mut downloads = Vec::new();
+    let mut counts = Vec::new();
+    for b in &bins {
+        if let Some(mean) = b.mean_downloads {
+            mids.push((b.dollars_lo + b.dollars_hi) / 2.0);
+            downloads.push(mean);
+            counts.push(b.apps as f64);
+        }
+    }
+    let r_downloads = pearson(&mids, &downloads)?;
+    let r_apps = pearson(&mids, &counts)?;
+    Some((r_downloads, r_apps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::{
+        AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day, Developer,
+        DeveloperId, StoreId, StoreMeta,
+    };
+
+    fn paid_app(id: u32, cents: u64) -> App {
+        App {
+            id: AppId(id),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            tier: PricingTier::Paid,
+            price: Cents(cents),
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: vec![],
+        }
+    }
+
+    fn dataset_with(prices_and_downloads: &[(u64, u64)]) -> Dataset {
+        let apps: Vec<App> = prices_and_downloads
+            .iter()
+            .enumerate()
+            .map(|(i, &(cents, _))| paid_app(i as u32, cents))
+            .collect();
+        let observations = prices_and_downloads
+            .iter()
+            .enumerate()
+            .map(|(i, &(cents, downloads))| AppObservation {
+                app: AppId(i as u32),
+                category: CategoryId(0),
+                developer: DeveloperId(0),
+                downloads,
+                comments: 0,
+                version: 1,
+                price: Cents(cents),
+            })
+            .collect();
+        Dataset {
+            store: StoreMeta {
+                id: StoreId(0),
+                name: "t".into(),
+                has_paid_apps: true,
+            },
+            categories: CategorySet::anonymous(1),
+            apps,
+            developers: vec![Developer::numbered(DeveloperId(0))],
+            snapshots: vec![DailySnapshot {
+                day: Day(0),
+                observations,
+            }],
+            comments: vec![],
+            updates: vec![],
+        }
+    }
+
+    #[test]
+    fn bins_group_by_dollar() {
+        // $0.50 (100 dl), $1.50 (60 dl), $1.75 (40 dl), $3.50 (10 dl).
+        let d = dataset_with(&[(50, 100), (150, 60), (175, 40), (350, 10)]);
+        let bins = price_bins(&d, 5);
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins[0].apps, 1);
+        assert_eq!(bins[0].mean_downloads, Some(100.0));
+        assert_eq!(bins[1].apps, 2);
+        assert_eq!(bins[1].mean_downloads, Some(50.0));
+        assert_eq!(bins[2].apps, 0);
+        assert_eq!(bins[2].mean_downloads, None);
+        assert_eq!(bins[3].apps, 1);
+    }
+
+    #[test]
+    fn negative_correlation_detected() {
+        // Strictly decreasing downloads and supply with price.
+        let d = dataset_with(&[
+            (50, 1000),
+            (60, 900),
+            (150, 500),
+            (250, 200),
+            (350, 80),
+            (450, 10),
+        ]);
+        let (r_downloads, r_apps) = price_correlations(&d, 5).unwrap();
+        assert!(r_downloads < -0.8, "r_downloads {r_downloads}");
+        assert!(r_apps < 0.0, "r_apps {r_apps}");
+    }
+
+    #[test]
+    fn no_paid_apps_gives_none() {
+        let mut d = dataset_with(&[(100, 10), (200, 5)]);
+        for app in &mut d.apps {
+            app.tier = PricingTier::Free;
+        }
+        assert!(price_correlations(&d, 5).is_none());
+    }
+}
+
+#[cfg(test)]
+mod boundary_tests {
+    use super::*;
+    use appstore_core::{
+        AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day, Developer,
+        DeveloperId, StoreId, StoreMeta,
+    };
+
+    /// Prices exactly on a bin edge land in the upper bin (half-open
+    /// intervals), except the final edge which is inclusive.
+    #[test]
+    fn bin_edges_are_half_open() {
+        let apps = vec![
+            App {
+                id: AppId(0),
+                category: CategoryId(0),
+                developer: DeveloperId(0),
+                tier: PricingTier::Paid,
+                price: Cents(200), // exactly $2.00
+                created: Day::ZERO,
+                apk_size: 1,
+                libraries: vec![],
+            },
+        ];
+        let observations = vec![AppObservation {
+            app: AppId(0),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            downloads: 9,
+            comments: 0,
+            version: 1,
+            price: Cents(200),
+        }];
+        let d = Dataset {
+            store: StoreMeta {
+                id: StoreId(0),
+                name: "t".into(),
+                has_paid_apps: true,
+            },
+            categories: CategorySet::anonymous(1),
+            apps,
+            developers: vec![Developer::numbered(DeveloperId(0))],
+            snapshots: vec![DailySnapshot {
+                day: Day(0),
+                observations,
+            }],
+            comments: vec![],
+            updates: vec![],
+        };
+        let bins = price_bins(&d, 5);
+        assert_eq!(bins[1].apps, 0, "$2.00 must not land in the $1-2 bin");
+        assert_eq!(bins[2].apps, 1, "$2.00 lands in the $2-3 bin");
+        assert_eq!(bins[2].mean_downloads, Some(9.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Nonparametric bootstrap confidence intervals.
+//!
+//! Used to attach uncertainty to statistics whose sampling distribution is
+//! awkward analytically (median affinity, Gini of developer income, Pareto
+//! shares), by resampling the data with replacement.
+
+use appstore_core::Seed;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bootstrap percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap replicates used.
+    pub replicates: usize,
+}
+
+/// Percentile bootstrap interval for `statistic` at confidence `level`
+/// (e.g. 0.95), using `replicates` resamples.
+///
+/// The statistic receives a resampled slice and may return `None` for
+/// degenerate resamples; those replicates are dropped. Returns `None` if
+/// the original sample is empty, the statistic fails on it, or every
+/// replicate is degenerate.
+///
+/// # Panics
+/// Panics if `level` is outside `(0, 1)` or `replicates == 0`.
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    seed: Seed,
+) -> Option<BootstrapInterval>
+where
+    F: Fn(&[f64]) -> Option<f64>,
+{
+    assert!(replicates > 0, "need at least one replicate");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1)"
+    );
+    if sample.is_empty() {
+        return None;
+    }
+    let estimate = statistic(sample)?;
+    let mut rng = seed.rng();
+    let mut stats = Vec::with_capacity(replicates);
+    let mut resample = vec![0.0; sample.len()];
+    for _ in 0..replicates {
+        for slot in resample.iter_mut() {
+            *slot = sample[rng.gen_range(0..sample.len())];
+        }
+        if let Some(s) = statistic(&resample) {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return None;
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic returned NaN"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * stats.len() as f64).floor() as usize).min(stats.len() - 1);
+    let hi_idx = (((1.0 - alpha) * stats.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(stats.len() - 1);
+    Some(BootstrapInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        replicates: stats.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::mean;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let sample: Vec<f64> = (0..200).map(|i| (i % 23) as f64).collect();
+        let ci = bootstrap_ci(&sample, mean, 500, 0.95, Seed::new(7)).unwrap();
+        assert!(ci.lo <= ci.estimate);
+        assert!(ci.estimate <= ci.hi);
+        assert_eq!(ci.replicates, 500);
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..2000).map(|i| (i % 7) as f64).collect();
+        let ci_small = bootstrap_ci(&small, mean, 300, 0.95, Seed::new(1)).unwrap();
+        let ci_large = bootstrap_ci(&large, mean, 300, 0.95, Seed::new(1)).unwrap();
+        assert!(ci_large.hi - ci_large.lo < ci_small.hi - ci_small.lo);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let sample: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&sample, mean, 100, 0.9, Seed::new(5)).unwrap();
+        let b = bootstrap_ci(&sample, mean, 100, 0.9, Seed::new(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_sample_gives_none() {
+        assert!(bootstrap_ci(&[], mean, 10, 0.95, Seed::new(0)).is_none());
+    }
+
+    #[test]
+    fn degenerate_statistic_gives_none() {
+        let sample = [1.0, 2.0];
+        let none_stat = |_: &[f64]| -> Option<f64> { None };
+        assert!(bootstrap_ci(&sample, none_stat, 10, 0.95, Seed::new(0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn bad_level_panics() {
+        let _ = bootstrap_ci(&[1.0], mean, 10, 1.5, Seed::new(0));
+    }
+}
+
+#[cfg(test)]
+mod gini_bootstrap_tests {
+    use super::*;
+
+    /// Bootstrap works with non-mean statistics: the Gini coefficient of
+    /// developer incomes (Fig. 13's concentration claim) gets a CI.
+    #[test]
+    fn gini_interval_is_sane() {
+        // Heavily skewed sample: one giant, many tiny values.
+        let mut sample = vec![1.0f64; 99];
+        sample.push(10_000.0);
+        let gini_stat = |xs: &[f64]| {
+            let counts: Vec<u64> = xs.iter().map(|&x| x as u64).collect();
+            crate::pareto::gini(&counts)
+        };
+        let ci = bootstrap_ci(&sample, gini_stat, 300, 0.95, Seed::new(13)).unwrap();
+        assert!(ci.estimate > 0.9, "skewed Gini {}", ci.estimate);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.hi <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Half the paper's figures are CDFs (Figs. 2, 4, 5, 7, 13, 16). [`Ecdf`]
+//! stores the sorted sample once and answers `P(X ≤ x)`, complementary
+//! probabilities, quantiles and evaluation grids.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample.
+///
+/// ```
+/// use appstore_stats::Ecdf;
+///
+/// let downloads = [10.0, 400.0, 25.0, 12.0];
+/// let ecdf = Ecdf::new(&downloads);
+/// assert_eq!(ecdf.eval(25.0), 0.75);        // P(X <= 25)
+/// assert_eq!(ecdf.median(), Some(12.0));
+/// assert_eq!(ecdf.ccdf(399.0), 0.25);       // P(X > 399)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (copied and sorted; NaNs rejected).
+    ///
+    /// # Panics
+    /// Panics if the sample contains a NaN.
+    pub fn new(sample: &[f64]) -> Ecdf {
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Ecdf { sorted }
+    }
+
+    /// Builds an ECDF from integer counts (a common case: downloads,
+    /// comments, updates).
+    pub fn from_counts<T: Copy + Into<u64>>(counts: &[T]) -> Ecdf {
+        let sample: Vec<f64> = counts.iter().map(|&c| c.into() as f64).collect();
+        Ecdf::new(&sample)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the ECDF was built from an empty sample.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`. Returns 0 for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // Number of samples ≤ x == partition point of (v <= x).
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)`.
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]` (nearest-rank definition).
+    /// Returns `None` on an empty sample.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.sorted[rank - 1])
+    }
+
+    /// The sample median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample value.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample value.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// Evaluates the CDF on a grid of `points` x-values spanning
+    /// `[min, max]`, returning `(x, P(X ≤ x))` pairs — the series plotted
+    /// in the paper's CDF figures.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = (self.sorted[0], *self.sorted.last().expect("nonempty"));
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The full step-function support: each distinct sample value with its
+    /// cumulative probability.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = self.sorted[i];
+            let mut j = i + 1;
+            while j < n && self.sorted[j] == v {
+                j += 1;
+            }
+            out.push((v, j as f64 / n as f64));
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_on_known_sample() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 0.75);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.ccdf(2.0), 0.25);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(e.median(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    fn from_counts() {
+        let e = Ecdf::from_counts(&[3u32, 1, 2]);
+        assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn steps_collapse_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0]);
+        assert_eq!(e.steps(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let e = Ecdf::new(&[0.0, 1.0, 2.0, 3.0]);
+        let curve = e.curve(4);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0], (0.0, 0.25));
+        assert_eq!(curve[3], (3.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_sample_curve() {
+        let e = Ecdf::new(&[5.0, 5.0]);
+        assert_eq!(e.curve(10), vec![(5.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = Ecdf::new(&[1.0, f64::NAN]);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone_and_bounded(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let e = Ecdf::new(&xs);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = 0.0;
+            for &x in &xs {
+                let p = e.eval(x);
+                prop_assert!(p >= prev - 1e-12);
+                prop_assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+            prop_assert_eq!(e.eval(xs[xs.len() - 1]), 1.0);
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(xs in proptest::collection::vec(-1e6f64..1e6, 1..100), q in 0.0f64..=1.0) {
+            let e = Ecdf::new(&xs);
+            let v = e.quantile(q).unwrap();
+            // CDF at the q-quantile must be at least q.
+            prop_assert!(e.eval(v) + 1e-12 >= q);
+        }
+    }
+}

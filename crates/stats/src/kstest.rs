@@ -1,0 +1,154 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used to compare empirical distributions across stores and between
+//! generated and crawled data (e.g. "do Anzhi and AppChina share a
+//! download-per-app distribution?"), complementing the rank-aligned
+//! distances in [`crate::distance`].
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F1 − F2|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation;
+    /// accurate for samples larger than ~25 each).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+/// Asymptotic Kolmogorov survival function `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample KS test. Returns `None` if either sample is empty or
+/// contains NaN.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Option<KsTest> {
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    if xs.iter().chain(ys).any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_unstable_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    b.sort_unstable_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    let (n1, n2) = (a.len(), b.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = a[i].min(b[j]);
+        while i < n1 && a[i] <= x {
+            i += 1;
+        }
+        while j < n2 && b[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Some(KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n1,
+        n2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = ks_two_sample(&xs, &xs).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_unit_statistic() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 1e-6);
+    }
+
+    #[test]
+    fn same_distribution_is_not_rejected() {
+        let mut rng = Seed::new(61).rng();
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let ys: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!(t.p_value > 0.01, "false rejection: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_is_rejected() {
+        let mut rng = Seed::new(62).rng();
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let ys: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() + 0.3).collect();
+        let t = ks_two_sample(&xs, &ys).unwrap();
+        assert!(t.p_value < 0.001, "missed shift: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn known_small_sample_statistic() {
+        // F1 jumps at 1,2,3; F2 at 2,3,4: D = 1/3 at x in [1,2).
+        let t = ks_two_sample(&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]).unwrap();
+        assert!((t.statistic - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn statistic_bounded(xs in proptest::collection::vec(-1e3f64..1e3, 1..80),
+                             ys in proptest::collection::vec(-1e3f64..1e3, 1..80)) {
+            let t = ks_two_sample(&xs, &ys).unwrap();
+            prop_assert!((0.0..=1.0).contains(&t.statistic));
+            prop_assert!((0.0..=1.0).contains(&t.p_value));
+        }
+
+        #[test]
+        fn symmetric(xs in proptest::collection::vec(-1e2f64..1e2, 1..50),
+                     ys in proptest::collection::vec(-1e2f64..1e2, 1..50)) {
+            let a = ks_two_sample(&xs, &ys).unwrap();
+            let b = ks_two_sample(&ys, &xs).unwrap();
+            prop_assert!((a.statistic - b.statistic).abs() < 1e-12);
+        }
+    }
+}

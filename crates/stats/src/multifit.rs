@@ -1,0 +1,271 @@
+//! Two-predictor least squares and the power-law-with-cutoff fit.
+//!
+//! The paper compares app popularity to user-generated video content,
+//! whose popularity Cha et al. model as a *power law with exponential
+//! cutoff*: `y(r) ∝ r^(−z) · e^(−r/k)`. In log space this is linear in
+//! two predictors, `ln y = c − z·ln r − r/k`, so the fit is a small
+//! multiple regression solved by the normal equations (3×3 Gaussian
+//! elimination — no linear-algebra dependency needed).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-predictor OLS fit `y ≈ c + b1·x1 + b2·x2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ols2Fit {
+    /// Intercept `c`.
+    pub intercept: f64,
+    /// Coefficient of the first predictor.
+    pub b1: f64,
+    /// Coefficient of the second predictor.
+    pub b2: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl Ols2Fit {
+    /// Predicted value at `(x1, x2)`.
+    pub fn predict(&self, x1: f64, x2: f64) -> f64 {
+        self.intercept + self.b1 * x1 + self.b2 * x2
+    }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` for a singular system.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let factor = a[row][col] / a[col][col];
+            for k in col..3 {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Fits `y ≈ c + b1·x1 + b2·x2` by least squares.
+///
+/// Returns `None` when inputs differ in length, have fewer than three
+/// points, or the design matrix is singular (e.g. collinear predictors).
+pub fn ols2(x1s: &[f64], x2s: &[f64], ys: &[f64]) -> Option<Ols2Fit> {
+    let n = ys.len();
+    if x1s.len() != n || x2s.len() != n || n < 3 {
+        return None;
+    }
+    // Normal equations: (XᵀX) β = Xᵀy with X = [1, x1, x2].
+    let mut xtx = [[0.0f64; 3]; 3];
+    let mut xty = [0.0f64; 3];
+    for i in 0..n {
+        let row = [1.0, x1s[i], x2s[i]];
+        for a in 0..3 {
+            for b in 0..3 {
+                xtx[a][b] += row[a] * row[b];
+            }
+            xty[a] += row[a] * ys[i];
+        }
+    }
+    let beta = solve3(xtx, xty)?;
+    let mean_y = ys.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let pred = beta[0] + beta[1] * x1s[i] + beta[2] * x2s[i];
+        ss_res += (ys[i] - pred) * (ys[i] - pred);
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(Ols2Fit {
+        intercept: beta[0],
+        b1: beta[1],
+        b2: beta[2],
+        r_squared,
+        n,
+    })
+}
+
+/// A fitted power law with exponential cutoff,
+/// `y(r) = e^c · r^(−exponent) · e^(−r/cutoff)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutoffFit {
+    /// The power-law exponent `z`.
+    pub exponent: f64,
+    /// The cutoff rank `k` (`f64::INFINITY` when the fitted decay rate is
+    /// non-positive, i.e. no cutoff).
+    pub cutoff: f64,
+    /// Log-space R² of the two-predictor fit.
+    pub r_squared: f64,
+    /// Number of ranks used.
+    pub n: usize,
+}
+
+/// Fits `downloads(rank) ∝ rank^(−z)·e^(−rank/k)` to a descending count
+/// vector. Zero counts are skipped. Returns `None` with fewer than three
+/// nonzero ranks.
+pub fn powerlaw_cutoff_fit(ranked: &[u64]) -> Option<CutoffFit> {
+    let mut log_rank = Vec::new();
+    let mut rank = Vec::new();
+    let mut log_y = Vec::new();
+    for (i, &c) in ranked.iter().enumerate() {
+        if c > 0 {
+            log_rank.push(((i + 1) as f64).ln());
+            rank.push((i + 1) as f64);
+            log_y.push((c as f64).ln());
+        }
+    }
+    let fit = ols2(&log_rank, &rank, &log_y)?;
+    let decay = -fit.b2;
+    Some(CutoffFit {
+        exponent: -fit.b1,
+        cutoff: if decay > 0.0 { 1.0 / decay } else { f64::INFINITY },
+        r_squared: fit.r_squared,
+        n: fit.n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::powerlaw::zipf_fit_loglog;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_plane_recovered() {
+        // y = 2 + 3·x1 − 0.5·x2 on a grid.
+        let mut x1s = Vec::new();
+        let mut x2s = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                x1s.push(i as f64);
+                x2s.push(j as f64);
+                ys.push(2.0 + 3.0 * i as f64 - 0.5 * j as f64);
+            }
+        }
+        let fit = ols2(&x1s, &x2s, &ys).unwrap();
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+        assert!((fit.b1 - 3.0).abs() < 1e-9);
+        assert!((fit.b2 + 0.5).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+        assert!((fit.predict(2.0, 4.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_predictors_rejected() {
+        let x1s = [1.0, 2.0, 3.0, 4.0];
+        let x2s = [2.0, 4.0, 6.0, 8.0]; // 2·x1
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert!(ols2(&x1s, &x2s, &ys).is_none());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ols2(&[1.0], &[1.0], &[1.0]).is_none());
+        assert!(ols2(&[1.0, 2.0], &[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn cutoff_fit_recovers_synthetic_parameters() {
+        // y(r) = 1e9 · r^(-1.2) · e^(-r/300)
+        let ranked: Vec<u64> = (1..=2_000u64)
+            .map(|r| {
+                let y = 1e9 * (r as f64).powf(-1.2) * (-(r as f64) / 300.0).exp();
+                y as u64
+            })
+            .collect();
+        let fit = powerlaw_cutoff_fit(&ranked).unwrap();
+        assert!((fit.exponent - 1.2).abs() < 0.05, "z = {}", fit.exponent);
+        assert!(
+            (fit.cutoff - 300.0).abs() / 300.0 < 0.1,
+            "k = {}",
+            fit.cutoff
+        );
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn pure_zipf_yields_infinite_cutoff_and_no_gain() {
+        let ranked: Vec<u64> = (1..=1_000u64)
+            .map(|r| (1e9 * (r as f64).powf(-1.4)) as u64)
+            .collect();
+        let cutoff = powerlaw_cutoff_fit(&ranked).unwrap();
+        let plain = zipf_fit_loglog(&ranked).unwrap();
+        // The cutoff term buys essentially nothing on pure Zipf data.
+        assert!(cutoff.r_squared - plain.quality < 0.005);
+        assert!(
+            cutoff.cutoff > 1_000.0,
+            "spurious cutoff {}",
+            cutoff.cutoff
+        );
+    }
+
+    #[test]
+    fn cutoff_improves_fit_on_truncated_tails() {
+        // Zipf trunk with an exponentially collapsing tail — the shape
+        // the paper observes. The cutoff model must fit better.
+        let ranked: Vec<u64> = (1..=2_000u64)
+            .map(|r| {
+                let y = 1e9 * (r as f64).powf(-1.0) * (-(r as f64) / 400.0).exp();
+                y as u64
+            })
+            .collect();
+        let cutoff = powerlaw_cutoff_fit(&ranked).unwrap();
+        let plain = zipf_fit_loglog(&ranked).unwrap();
+        assert!(
+            cutoff.r_squared > plain.quality + 0.01,
+            "cutoff r² {} vs plain {}",
+            cutoff.r_squared,
+            plain.quality
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn ols2_residuals_orthogonal(rows in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -100.0f64..100.0), 4..60)) {
+            let x1s: Vec<f64> = rows.iter().map(|r| r.0).collect();
+            let x2s: Vec<f64> = rows.iter().map(|r| r.1).collect();
+            let ys: Vec<f64> = rows.iter().map(|r| r.2).collect();
+            if let Some(fit) = ols2(&x1s, &x2s, &ys) {
+                // Normal-equation property: residuals orthogonal to each
+                // design column (up to numerical tolerance).
+                let resid: Vec<f64> = (0..ys.len())
+                    .map(|i| ys[i] - fit.predict(x1s[i], x2s[i]))
+                    .collect();
+                let dot0: f64 = resid.iter().sum();
+                let dot1: f64 = resid.iter().zip(&x1s).map(|(r, x)| r * x).sum();
+                let dot2: f64 = resid.iter().zip(&x2s).map(|(r, x)| r * x).sum();
+                let scale = 1.0 + ys.iter().map(|y| y.abs()).sum::<f64>();
+                prop_assert!(dot0.abs() / scale < 1e-6);
+                prop_assert!(dot1.abs() / (scale * 10.0) < 1e-6);
+                prop_assert!(dot2.abs() / (scale * 10.0) < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Zipf / power-law fitting on ranked count data.
+//!
+//! The paper characterizes popularity curves by the exponent of
+//! `downloads(rank) ∝ rank^(−z)` (Fig. 3 reports z ≈ 1.42, 1.51, 0.92,
+//! 0.90; Fig. 11 reports 0.85 for free and 1.72 for paid SlideMe apps).
+//! Two estimators are provided:
+//!
+//! * [`zipf_fit_loglog`] — least squares on `log rank` vs `log count`,
+//!   the estimator the paper's figures correspond to;
+//! * [`zipf_fit_mle`] — discrete maximum likelihood for a finite-support
+//!   Zipf law (the exponent that maximizes the likelihood of observing the
+//!   measured download *shares*), solved by golden-section search on the
+//!   concave log-likelihood.
+//!
+//! [`generalized_harmonic`] provides the normalizing constant
+//! `H(N, s) = Σ_{k=1..N} k^(−s)` used by both the MLE and the model
+//! simulators.
+
+use crate::regression::ols;
+use serde::{Deserialize, Serialize};
+
+/// Generalized harmonic number `H(n, s) = Σ_{k=1..n} k^(−s)`.
+///
+/// Returns 0 for `n == 0`.
+pub fn generalized_harmonic(n: usize, s: f64) -> f64 {
+    (1..=n).map(|k| (k as f64).powf(-s)).sum()
+}
+
+/// Probability of rank `k` (1-based) under a finite Zipf law with exponent
+/// `s` over `n` ranks.
+///
+/// # Panics
+/// Panics if `k` is 0 or greater than `n`.
+pub fn zipf_pmf(k: usize, n: usize, s: f64) -> f64 {
+    assert!(k >= 1 && k <= n, "rank {k} outside 1..={n}");
+    (k as f64).powf(-s) / generalized_harmonic(n, s)
+}
+
+/// The result of a power-law fit to ranked counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Estimated Zipf exponent (the negated log-log slope).
+    pub exponent: f64,
+    /// Fit quality: R² for the log-log fit, normalized log-likelihood for
+    /// the MLE.
+    pub quality: f64,
+    /// Number of ranks used in the fit.
+    pub n: usize,
+}
+
+/// Fits a Zipf exponent by least squares on the log-log rank/count curve.
+///
+/// `ranked` must be in descending order (rank 1 first). Zero counts are
+/// skipped (they have no logarithm); ranks keep their original position so
+/// a truncated tail does not bias the head. Returns `None` if fewer than
+/// two nonzero counts remain.
+pub fn zipf_fit_loglog(ranked: &[u64]) -> Option<PowerLawFit> {
+    let mut log_rank = Vec::with_capacity(ranked.len());
+    let mut log_count = Vec::with_capacity(ranked.len());
+    for (i, &c) in ranked.iter().enumerate() {
+        if c > 0 {
+            log_rank.push(((i + 1) as f64).ln());
+            log_count.push((c as f64).ln());
+        }
+    }
+    let fit = ols(&log_rank, &log_count)?;
+    Some(PowerLawFit {
+        exponent: -fit.slope,
+        quality: fit.r_squared,
+        n: log_rank.len(),
+    })
+}
+
+/// Fits a Zipf exponent over the *middle* of the curve, excluding the
+/// `head` most popular ranks and the `tail` least popular ones.
+///
+/// The paper's popularity curves are Zipf only in their trunk — truncated
+/// at the head by fetch-at-most-once and at the tail by the clustering
+/// effect — so exponents quoted for Fig. 3 correspond to a trunk fit.
+pub fn zipf_fit_trunk(ranked: &[u64], head: usize, tail: usize) -> Option<PowerLawFit> {
+    if head + tail >= ranked.len() {
+        return None;
+    }
+    let trunk = &ranked[head..ranked.len() - tail];
+    let mut log_rank = Vec::with_capacity(trunk.len());
+    let mut log_count = Vec::with_capacity(trunk.len());
+    for (i, &c) in trunk.iter().enumerate() {
+        if c > 0 {
+            log_rank.push(((head + i + 1) as f64).ln());
+            log_count.push((c as f64).ln());
+        }
+    }
+    let fit = ols(&log_rank, &log_count)?;
+    Some(PowerLawFit {
+        exponent: -fit.slope,
+        quality: fit.r_squared,
+        n: log_rank.len(),
+    })
+}
+
+/// Log-likelihood (up to a constant) of descending counts under a finite
+/// Zipf law with exponent `s`: `Σ_k c_k · ln pmf(k)`.
+fn zipf_log_likelihood(ranked: &[u64], s: f64) -> f64 {
+    let n = ranked.len();
+    let h = generalized_harmonic(n, s);
+    let total: u64 = ranked.iter().sum();
+    let mut ll = -(total as f64) * h.ln();
+    for (i, &c) in ranked.iter().enumerate() {
+        if c > 0 {
+            ll -= s * c as f64 * ((i + 1) as f64).ln();
+        }
+    }
+    ll
+}
+
+/// Maximum-likelihood Zipf exponent for descending counts over finite
+/// support, via golden-section search on `s ∈ [0.01, 6]`.
+///
+/// Returns `None` for fewer than two ranks or zero total count.
+pub fn zipf_fit_mle(ranked: &[u64]) -> Option<PowerLawFit> {
+    let total: u64 = ranked.iter().sum();
+    if ranked.len() < 2 || total == 0 {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.01f64, 6.0f64);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - PHI * (hi - lo);
+    let mut x2 = lo + PHI * (hi - lo);
+    let mut f1 = zipf_log_likelihood(ranked, x1);
+    let mut f2 = zipf_log_likelihood(ranked, x2);
+    for _ in 0..64 {
+        if f1 < f2 {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + PHI * (hi - lo);
+            f2 = zipf_log_likelihood(ranked, x2);
+        } else {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - PHI * (hi - lo);
+            f1 = zipf_log_likelihood(ranked, x1);
+        }
+        if hi - lo < 1e-9 {
+            break;
+        }
+    }
+    let s = (lo + hi) / 2.0;
+    Some(PowerLawFit {
+        exponent: s,
+        quality: zipf_log_likelihood(ranked, s) / total as f64,
+        n: ranked.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn harmonic_known_values() {
+        assert_eq!(generalized_harmonic(0, 1.0), 0.0);
+        assert!((generalized_harmonic(1, 2.5) - 1.0).abs() < 1e-12);
+        // H(3, 1) = 1 + 1/2 + 1/3
+        assert!((generalized_harmonic(3, 1.0) - 11.0 / 6.0).abs() < 1e-12);
+        // s = 0 degenerates to n
+        assert!((generalized_harmonic(5, 0.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let n = 100;
+        let total: f64 = (1..=n).map(|k| zipf_pmf(k, n, 1.3)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        for k in 1..50 {
+            assert!(zipf_pmf(k, 50, 0.8) > zipf_pmf(k + 1, 50, 0.8));
+        }
+    }
+
+    #[test]
+    fn loglog_recovers_exact_exponent() {
+        // Counts proportional to rank^(-1.5): the fit must return 1.5.
+        let ranked: Vec<u64> = (1..=1000u64)
+            .map(|k| (1e9 * (k as f64).powf(-1.5)) as u64)
+            .collect();
+        let fit = zipf_fit_loglog(&ranked).unwrap();
+        assert!(
+            (fit.exponent - 1.5).abs() < 0.01,
+            "exponent {}",
+            fit.exponent
+        );
+        assert!(fit.quality > 0.999);
+    }
+
+    #[test]
+    fn trunk_fit_ignores_truncated_ends() {
+        // Zipf(1.2) trunk with a flattened head and a collapsed tail.
+        let mut ranked: Vec<u64> = (1..=1000u64)
+            .map(|k| (1e9 * (k as f64).powf(-1.2)) as u64)
+            .collect();
+        for c in ranked.iter_mut().take(20) {
+            *c = 1_100_000_000; // fetch-at-most-once ceiling
+        }
+        let n = ranked.len();
+        for c in ranked.iter_mut().skip(n - 100) {
+            *c /= 50; // clustering-effect tail collapse
+        }
+        let full = zipf_fit_loglog(&ranked).unwrap();
+        let trunk = zipf_fit_trunk(&ranked, 20, 100).unwrap();
+        assert!((trunk.exponent - 1.2).abs() < 0.02, "trunk {}", trunk.exponent);
+        assert!((full.exponent - 1.2).abs() > (trunk.exponent - 1.2).abs());
+    }
+
+    #[test]
+    fn trunk_fit_degenerate_window() {
+        assert!(zipf_fit_trunk(&[5, 4, 3], 2, 1).is_none());
+    }
+
+    #[test]
+    fn mle_recovers_exponent_from_samples() {
+        // Expected counts of a Zipf(1.4) law over 200 ranks, 1e7 draws.
+        let n = 200;
+        let s = 1.4;
+        let draws = 1e7;
+        let ranked: Vec<u64> = (1..=n)
+            .map(|k| (draws * zipf_pmf(k, n, s)) as u64)
+            .collect();
+        let fit = zipf_fit_mle(&ranked).unwrap();
+        assert!((fit.exponent - s).abs() < 0.01, "mle {}", fit.exponent);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert!(zipf_fit_loglog(&[]).is_none());
+        assert!(zipf_fit_loglog(&[5]).is_none());
+        assert!(zipf_fit_loglog(&[0, 0, 0]).is_none());
+        assert!(zipf_fit_mle(&[0, 0]).is_none());
+        assert!(zipf_fit_mle(&[7]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn mle_exponent_in_search_domain(counts in proptest::collection::vec(0u64..10_000, 2..100)) {
+            if let Some(fit) = zipf_fit_mle(&counts) {
+                prop_assert!((0.01..=6.0).contains(&fit.exponent));
+            }
+        }
+
+        #[test]
+        fn pmf_normalized(n in 1usize..300, s in 0.0f64..4.0) {
+            let total: f64 = (1..=n).map(|k| zipf_pmf(k, n, s)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}

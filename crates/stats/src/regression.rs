@@ -1,0 +1,118 @@
+//! Ordinary least squares on a single predictor.
+//!
+//! Used directly for the log-log power-law fits (Fig. 3, 11) and for the
+//! `income ~ app count` line fit the paper draws in Figure 14.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of a simple OLS fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y ≈ a + b·x` by least squares.
+///
+/// Returns `None` if the samples differ in length, have fewer than two
+/// points, or `x` has zero variance.
+pub fn ols(xs: &[f64], ys: &[f64]) -> Option<OlsFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // y is constant and perfectly predicted by the horizontal line
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+        n: xs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 2.0 * x).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope + 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) + 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_noisy_fit() {
+        // Classic hand-checkable set: slope 0.9, intercept ~0.633…
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 2.0, 4.0, 4.0, 5.0];
+        let fit = ols(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.8).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ols(&[1.0], &[1.0]).is_none());
+        assert!(ols(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(ols(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared() {
+        let fit = ols(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn residuals_sum_to_zero(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..80)) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(fit) = ols(&xs, &ys) {
+                let resid_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - fit.predict(x)).sum();
+                prop_assert!(resid_sum.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Moments and confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns `None` on empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (n − 1 denominator).
+/// Returns `None` for fewer than two samples.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Sample standard deviation. Returns `None` for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Mean with a normal-approximation 95% confidence interval
+/// (`mean ± 1.96 · s/√n`), as plotted in the paper's Figure 6.
+///
+/// Returns `None` for fewer than two samples.
+pub fn mean_ci95(xs: &[f64]) -> Option<(f64, f64)> {
+    let m = mean(xs)?;
+    let s = stddev(xs)?;
+    let half = 1.96 * s / (xs.len() as f64).sqrt();
+    Some((m, half))
+}
+
+/// A one-pass summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when `n < 2`).
+    pub stddev: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` on empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let sum: f64 = xs.iter().sum();
+        let mean = sum / xs.len() as f64;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in xs {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n: xs.len(),
+            min,
+            max,
+            mean,
+            stddev: stddev(xs).unwrap_or(0.0),
+            sum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_of_known_sample() {
+        // Sample variance of 2, 4, 4, 4, 5, 5, 7, 9 is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn ci95_shrinks_with_n() {
+        let narrow: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let wide: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (_, half_narrow) = mean_ci95(&narrow).unwrap();
+        let (_, half_wide) = mean_ci95(&wide).unwrap();
+        assert!(half_narrow < half_wide);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.sum, 6.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_sample_has_zero_stddev() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+    }
+}

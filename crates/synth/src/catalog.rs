@@ -1,0 +1,555 @@
+//! Catalogue generation: categories, developers, apps, prices, ranks.
+//!
+//! Calibration targets from the paper:
+//!
+//! * category sizes are uneven but have no dominant category (Fig. 5d:
+//!   largest ≈12% of downloads) — sizes follow a mild Zipf law;
+//! * most developers publish one app in one category, with a short tail
+//!   of "app factories" (Fig. 16: 60–70% single-app, one account with
+//!   1,402 apps; SlideMe averages 4.3 apps/developer);
+//! * 75% of developers publish only free apps, 15% only paid, 10% both;
+//! * prices concentrate at the low end and correlate negatively with
+//!   popularity (Fig. 12, Pearson ≈ −0.23/−0.24);
+//! * paid revenue concentrates in the music category (Fig. 15: 67.7% of
+//!   revenue from 1.6% of paid apps), while e-books are a third of the
+//!   paid catalogue but produce ≈0.1% of revenue;
+//! * 67.7% of free apps embed at least one top-20 ad network.
+
+use crate::profile::StoreProfile;
+use appstore_core::{
+    AdLibrary, App, AppId, CategoryId, CategorySet, Cents, Day, Developer, DeveloperId,
+    PricingTier, Seed, AD_NETWORK_CATALOGUE,
+};
+use appstore_stats::generalized_harmonic;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A complete generated catalogue for one store.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Category taxonomy.
+    pub categories: CategorySet,
+    /// App registry, indexed by `AppId`; free apps first, then paid apps.
+    pub apps: Vec<App>,
+    /// Developer registry, indexed by `DeveloperId`.
+    pub developers: Vec<Developer>,
+    /// Indices of free apps ordered by *global popularity rank*
+    /// (`free_rank_order[0]` is the most attractive free app).
+    pub free_rank_order: Vec<u32>,
+    /// Indices of paid apps ordered by paid popularity rank.
+    pub paid_rank_order: Vec<u32>,
+    /// For each category, free-app indices ordered by within-category
+    /// rank (head first).
+    pub free_by_category: Vec<Vec<u32>>,
+}
+
+impl Catalog {
+    /// Number of free apps.
+    pub fn free_count(&self) -> usize {
+        self.free_rank_order.len()
+    }
+
+    /// Number of paid apps.
+    pub fn paid_count(&self) -> usize {
+        self.paid_rank_order.len()
+    }
+}
+
+/// Draws a category size vector: `n` categories over `total` apps with
+/// sizes proportional to a Zipf law of the given exponent (every category
+/// keeps at least one app when `total >= n`).
+fn category_sizes(total: usize, n: usize, exponent: f64) -> Vec<usize> {
+    let h = generalized_harmonic(n, exponent);
+    let mut sizes: Vec<usize> = (1..=n)
+        .map(|k| (((k as f64).powf(-exponent) / h) * total as f64).floor() as usize)
+        .map(|s| s.max(1))
+        .collect();
+    // Distribute the rounding remainder to the largest categories.
+    let assigned: usize = sizes.iter().sum();
+    if assigned < total {
+        let mut leftover = total - assigned;
+        let mut i = 0;
+        while leftover > 0 {
+            sizes[i % n] += 1;
+            leftover -= 1;
+            i += 1;
+        }
+    } else {
+        let mut excess = assigned - total;
+        let mut i = n;
+        while excess > 0 && i > 0 {
+            i -= 1;
+            while sizes[i] > 1 && excess > 0 {
+                sizes[i] -= 1;
+                excess -= 1;
+            }
+        }
+    }
+    sizes
+}
+
+/// Draws the number of apps for one developer: ≈62% publish a single
+/// app, the rest follow a heavy-tailed ladder, and a fixed handful of
+/// "app factory" accounts is added separately.
+fn developer_app_count<R: Rng + ?Sized>(rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    match u {
+        _ if u < 0.62 => 1,
+        _ if u < 0.78 => 2,
+        _ if u < 0.86 => 3,
+        _ if u < 0.91 => 4,
+        _ if u < 0.945 => 5 + rng.gen_range(0..2),
+        _ if u < 0.975 => 7 + rng.gen_range(0..3),
+        _ if u < 0.995 => 10 + rng.gen_range(0..15),
+        _ => 25 + rng.gen_range(0..40),
+    }
+}
+
+/// Assignment of an app creation day: the initial inventory is day 0,
+/// later apps arrive at the accumulated `new_apps_per_day` rate.
+fn creation_days(initial: usize, per_day: f64, days: u32) -> Vec<Day> {
+    let mut out = vec![Day::ZERO; initial];
+    let mut acc = 0.0;
+    for day in 1..=days {
+        acc += per_day;
+        while acc >= 1.0 {
+            out.push(Day(day));
+            acc -= 1.0;
+        }
+    }
+    out
+}
+
+/// Category-dependent price in cents for a paid app. Music and
+/// productivity price higher; e-books and wallpapers are cheap. A small
+/// uniform jitter keeps one-dollar bins populated (Fig. 12 bins by
+/// dollar).
+fn paid_price<R: Rng + ?Sized>(rng: &mut R, category_rank: usize) -> Cents {
+    // Base dollars by category attractiveness bucket. E-books sit near
+    // the overall median — the paper's unsold e-book mass is not the
+    // cheapest stock, which matters for Fig. 12's negative correlation
+    // (otherwise a cheap-and-unsold e-book mass flips its sign).
+    let base = match category_rank {
+        0 => 3.2,            // music
+        1 => 2.2,            // fun/games
+        2 | 3 => 2.8,        // utilities / productivity
+        10 => 1.9,           // e-books
+        12 => 1.2,           // wallpapers
+        _ => 2.0,
+    };
+    // Log-normal-ish spread: multiply by exp(N(0, 0.6)) approximated by
+    // the product of uniforms, then clamp to the store's $0.99–$49.99
+    // range.
+    let spread: f64 = (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>()) / 1.5 - 1.0;
+    let dollars = (base * (1.0 + spread).max(0.25)).clamp(0.99, 49.99);
+    Cents((dollars * 100.0).round() as u64)
+}
+
+/// Builds the full catalogue for a store profile.
+///
+/// Popularity ranks are drawn so that (a) early apps rank stochastically
+/// better (tenure advantage), and (b) for paid apps, cheaper apps rank
+/// stochastically better (Fig. 12's negative price–downloads
+/// correlation) and the very head of the ranking is tilted toward the
+/// music category (Fig. 15's revenue concentration).
+pub fn build_catalog(profile: &StoreProfile, seed: Seed) -> Catalog {
+    profile.validate().expect("invalid store profile");
+    let mut rng = seed.child("catalog").rng();
+
+    let categories = if profile.name == "slideme" {
+        CategorySet::slideme()
+    } else {
+        CategorySet::anonymous(profile.categories)
+    };
+
+    // ---- free apps: creation days and popularity ranks ------------------
+    let free_days = creation_days(profile.initial_apps, profile.new_apps_per_day, profile.days);
+    let free_total = free_days.len();
+
+    // Rank key = uniform noise + tenure penalty for late arrivals, so
+    // early apps rank stochastically better.
+    let mut free_rank_order: Vec<u32> = (0..free_total as u32).collect();
+    let free_keys: Vec<f64> = (0..free_total)
+        .map(|i| {
+            let tenure = f64::from(free_days[i].0) / f64::from(profile.days.max(1));
+            rng.gen::<f64>() + 1.5 * tenure
+        })
+        .collect();
+    free_rank_order.sort_by(|&a, &b| {
+        free_keys[a as usize]
+            .partial_cmp(&free_keys[b as usize])
+            .expect("keys are finite")
+    });
+
+    // ---- free-app categories ---------------------------------------------
+    // Category *sizes* are concentrated (the random-walk affinity baseline
+    // of Fig. 6 comes from Σ share² of app counts), but the *head* of the
+    // popularity ranking is spread round-robin so that no category
+    // dominates downloads (Fig. 5d: the top category holds only ~12%) —
+    // every category has its own hit apps, exactly the assumption of the
+    // APP-CLUSTERING interleaved layout.
+    let sizes = category_sizes(free_total, profile.categories, profile.category_size_exponent);
+    let mut free_categories: Vec<CategoryId> = vec![CategoryId(0); free_total];
+    {
+        let mut remaining = sizes.clone();
+        // Tail slots as a shuffled multiset.
+        let head_span = (profile.categories * 3).min(free_total);
+        // Head: round-robin over categories with remaining slots.
+        let mut cycle = 0usize;
+        for &app in free_rank_order.iter().take(head_span) {
+            let mut tries = 0;
+            while remaining[cycle % profile.categories] == 0 && tries < profile.categories {
+                cycle += 1;
+                tries += 1;
+            }
+            let cat = cycle % profile.categories;
+            remaining[cat] -= 1;
+            free_categories[app as usize] = CategoryId(cat as u32);
+            cycle += 1;
+        }
+        // Tail: draw from the remaining size distribution at random.
+        let mut slots: Vec<CategoryId> = Vec::with_capacity(free_total - head_span);
+        for (cat, &count) in remaining.iter().enumerate() {
+            slots.extend(std::iter::repeat(CategoryId(cat as u32)).take(count));
+        }
+        slots.shuffle(&mut rng);
+        for (&app, cat) in free_rank_order.iter().skip(head_span).zip(slots) {
+            free_categories[app as usize] = cat;
+        }
+    }
+
+    // ---- paid apps (SlideMe) -------------------------------------------
+    let (paid_days, paid_categories) = match &profile.paid {
+        Some(paid) => {
+            let days = creation_days(paid.initial_apps, paid.new_apps_per_day, profile.days);
+            // Paid catalogue composition per Fig. 15: e-books are ~33% of
+            // paid apps, games ~18%, music only ~1.6%; remaining mass is
+            // spread over the other categories.
+            let ebooks = categories.by_name("e-books").map(|c| c.id).unwrap_or(CategoryId(10));
+            let games = categories.by_name("fun/games").map(|c| c.id).unwrap_or(CategoryId(1));
+            let music = categories.by_name("music").map(|c| c.id).unwrap_or(CategoryId(0));
+            let mut cats = Vec::with_capacity(days.len());
+            for _ in 0..days.len() {
+                let u: f64 = rng.gen();
+                let cat = if u < 0.332 {
+                    ebooks
+                } else if u < 0.515 {
+                    games
+                } else if u < 0.531 {
+                    music
+                } else {
+                    CategoryId(rng.gen_range(0..profile.categories as u32))
+                };
+                cats.push(cat);
+            }
+            (days, cats)
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+    let paid_total = paid_days.len();
+
+    // ---- developers ------------------------------------------------------
+    // Partition apps among developers; each developer focuses on one or
+    // two categories and on one pricing tier (75% free-only / 15%
+    // paid-only / 10% both).
+    let total_apps = free_total + paid_total;
+    let mut developers: Vec<Developer> = Vec::new();
+    let mut developer_of: Vec<DeveloperId> = vec![DeveloperId(0); total_apps];
+
+    // A couple of scaled app factories first (the paper found accounts
+    // with 1,402 and 592 apps; at 1/10 scale: 140 and 59).
+    let factory_sizes: &[usize] = if free_total >= 600 { &[140, 59] } else { &[] };
+
+    // Remaining free/paid app indices to hand out.
+    let mut free_pool: Vec<u32> = (0..free_total as u32).collect();
+    let mut paid_pool: Vec<u32> = (free_total as u32..total_apps as u32).collect();
+    free_pool.shuffle(&mut rng);
+    paid_pool.shuffle(&mut rng);
+
+    for &size in factory_sizes {
+        let id = DeveloperId::from_index(developers.len());
+        developers.push(Developer::numbered(id));
+        for _ in 0..size.min(free_pool.len()) {
+            let app = free_pool.pop().expect("checked len");
+            developer_of[app as usize] = id;
+        }
+    }
+    while !free_pool.is_empty() || !paid_pool.is_empty() {
+        let id = DeveloperId::from_index(developers.len());
+        developers.push(Developer::numbered(id));
+        let tier: f64 = rng.gen();
+        let dual_strategy = tier >= 0.90;
+        // Dual-strategy developers need at least one app per tier.
+        let count = developer_app_count(&mut rng).max(if dual_strategy { 2 } else { 1 });
+        for i in 0..count {
+            // "Both" developers alternate pools; others stick to one.
+            let use_paid = if dual_strategy {
+                i % 2 == 1
+            } else {
+                tier >= 0.75
+            };
+            let pool = if use_paid && !paid_pool.is_empty() {
+                &mut paid_pool
+            } else if !free_pool.is_empty() {
+                &mut free_pool
+            } else if !paid_pool.is_empty() {
+                &mut paid_pool
+            } else {
+                break;
+            };
+            let app = pool.pop().expect("pool nonempty");
+            developer_of[app as usize] = id;
+        }
+    }
+
+    // ---- assemble app records -------------------------------------------
+    let mut apps: Vec<App> = Vec::with_capacity(total_apps);
+    for i in 0..free_total {
+        let mut libraries = Vec::new();
+        if rng.gen::<f64>() < profile.ad_fraction {
+            // 1–4 ad networks, weighted toward the catalogue head.
+            let count = 1 + rng.gen_range(0..4).min(rng.gen_range(0..4));
+            for _ in 0..count {
+                let idx = (rng.gen::<f64>().powi(2) * 20.0) as usize;
+                let name = AD_NETWORK_CATALOGUE[idx.min(19)];
+                let lib = AdLibrary::new(name);
+                if !libraries.contains(&lib) {
+                    libraries.push(lib);
+                }
+            }
+        }
+        if rng.gen::<f64>() < 0.5 {
+            libraries.push(AdLibrary::new("support-v4"));
+        }
+        apps.push(App {
+            id: AppId::from_index(i),
+            category: free_categories[i],
+            developer: developer_of[i],
+            tier: PricingTier::Free,
+            price: Cents::ZERO,
+            created: free_days[i],
+            apk_size: 500_000 + (rng.gen::<f64>().powi(2) * 12_000_000.0) as u64,
+            libraries,
+        });
+    }
+    for j in 0..paid_total {
+        let i = free_total + j;
+        let category = paid_categories[j];
+        let mut libraries = Vec::new();
+        // Very few paid apps carry ads (two distinct revenue strategies).
+        if rng.gen::<f64>() < 0.02 {
+            libraries.push(AdLibrary::new(AD_NETWORK_CATALOGUE[0]));
+        }
+        apps.push(App {
+            id: AppId::from_index(i),
+            category,
+            developer: developer_of[i],
+            tier: PricingTier::Paid,
+            price: paid_price(&mut rng, category.index()),
+            created: paid_days[j],
+            apk_size: 500_000 + (rng.gen::<f64>().powi(2) * 12_000_000.0) as u64,
+            libraries,
+        });
+    }
+
+    // ---- paid popularity ranks --------------------------------------------
+    // Paid: rank key = noise + tenure penalty + price penalty − music
+    // boost − focus boost. The price penalty produces Fig. 12's negative
+    // price–popularity correlation; the music boost concentrates revenue
+    // in the music category (Fig. 15); the focus boost makes the paid
+    // head come from developers with *few* apps, which is the paper's
+    // "quality over quantity" finding (Fig. 14: income uncorrelated with
+    // app count — app factories do not own the best sellers).
+    let music = categories.by_name("music").map(|c| c.id);
+    let ebooks = categories.by_name("e-books").map(|c| c.id);
+    let mut paid_apps_of_dev = vec![0u32; developers.len()];
+    for i in free_total..total_apps {
+        paid_apps_of_dev[developer_of[i].index()] += 1;
+    }
+    let mut paid_rank_order: Vec<u32> = (free_total as u32..total_apps as u32).collect();
+    let paid_keys: Vec<f64> = (0..paid_total)
+        .map(|j| {
+            let app = &apps[free_total + j];
+            let tenure = f64::from(app.created.0) / f64::from(profile.days.max(1));
+            let price_penalty = 0.22 * app.price.as_dollars();
+            let music_boost = if Some(app.category) == music { 0.65 } else { 0.0 };
+            // E-book catalogues are heavily supplied but weakly demanded
+            // (paper Fig. 15: a third of paid apps, ~0.1% of revenue).
+            let ebook_penalty = if Some(app.category) == ebooks { 0.5 } else { 0.0 };
+            let portfolio = paid_apps_of_dev[app.developer.index()];
+            let factory_penalty = 0.07 * f64::from(portfolio.saturating_sub(1).min(10));
+            rng.gen::<f64>() + 1.0 * tenure + price_penalty + factory_penalty + ebook_penalty
+                - music_boost
+        })
+        .collect();
+    paid_rank_order.sort_by(|&a, &b| {
+        let ka = paid_keys[a as usize - free_total];
+        let kb = paid_keys[b as usize - free_total];
+        ka.partial_cmp(&kb).expect("keys are finite")
+    });
+
+    // ---- per-category free rank lists -------------------------------------
+    let mut free_by_category: Vec<Vec<u32>> = vec![Vec::new(); profile.categories];
+    for &app in &free_rank_order {
+        free_by_category[apps[app as usize].category.index()].push(app);
+    }
+
+    Catalog {
+        categories,
+        apps,
+        developers,
+        free_rank_order,
+        paid_rank_order,
+        free_by_category,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_profile() -> StoreProfile {
+        StoreProfile::anzhi().scaled_down(20)
+    }
+
+    #[test]
+    fn category_sizes_cover_total_and_stay_positive() {
+        for (total, n) in [(100, 7), (1000, 34), (35, 34), (34, 34)] {
+            let sizes = category_sizes(total, n, 0.8);
+            assert_eq!(sizes.len(), n);
+            assert_eq!(sizes.iter().sum::<usize>(), total);
+            assert!(sizes.iter().all(|&s| s >= 1));
+            // Mild skew: the largest category is first.
+            assert!(sizes[0] >= sizes[n - 1]);
+        }
+    }
+
+    #[test]
+    fn catalog_is_consistent() {
+        let profile = small_profile();
+        let catalog = build_catalog(&profile, Seed::new(7));
+        assert_eq!(catalog.apps.len(), catalog.free_count() + catalog.paid_count());
+        assert_eq!(catalog.free_count(), profile.final_apps());
+        // Ids are dense and match positions.
+        for (i, app) in catalog.apps.iter().enumerate() {
+            assert_eq!(app.id.index(), i);
+            assert!(app.category.index() < profile.categories);
+            assert!(app.developer.index() < catalog.developers.len());
+        }
+        // Rank orders are permutations.
+        let mut seen = vec![false; catalog.apps.len()];
+        for &a in catalog.free_rank_order.iter().chain(&catalog.paid_rank_order) {
+            assert!(!seen[a as usize], "duplicate rank entry");
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Per-category lists partition the free apps.
+        let total: usize = catalog.free_by_category.iter().map(Vec::len).sum();
+        assert_eq!(total, catalog.free_count());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let profile = small_profile();
+        let a = build_catalog(&profile, Seed::new(3));
+        let b = build_catalog(&profile, Seed::new(3));
+        assert_eq!(a.apps, b.apps);
+        assert_eq!(a.free_rank_order, b.free_rank_order);
+        let c = build_catalog(&profile, Seed::new(4));
+        assert_ne!(a.free_rank_order, c.free_rank_order);
+    }
+
+    #[test]
+    fn ad_fraction_is_respected() {
+        let mut profile = StoreProfile::anzhi().scaled_down(5);
+        profile.ad_fraction = 0.677;
+        let catalog = build_catalog(&profile, Seed::new(11));
+        let with_ads = catalog
+            .apps
+            .iter()
+            .filter(|a| !a.is_paid() && a.has_ads())
+            .count();
+        let frac = with_ads as f64 / catalog.free_count() as f64;
+        assert!(
+            (frac - 0.677).abs() < 0.05,
+            "ad fraction {frac} far from 0.677"
+        );
+    }
+
+    #[test]
+    fn most_developers_publish_one_app() {
+        let catalog = build_catalog(&small_profile(), Seed::new(5));
+        let mut counts = vec![0usize; catalog.developers.len()];
+        for app in &catalog.apps {
+            counts[app.developer.index()] += 1;
+        }
+        let publishers = counts.iter().filter(|&&c| c > 0).count();
+        let single = counts.iter().filter(|&&c| c == 1).count();
+        assert!(
+            single as f64 / publishers as f64 > 0.45,
+            "single-app developers: {single}/{publishers}"
+        );
+    }
+
+    #[test]
+    fn slideme_paid_catalogue_shape() {
+        let profile = StoreProfile::slideme().scaled_down(2);
+        let catalog = build_catalog(&profile, Seed::new(13));
+        assert!(catalog.paid_count() > 0);
+        let ebooks = catalog.categories.by_name("e-books").unwrap().id;
+        let music = catalog.categories.by_name("music").unwrap().id;
+        let paid: Vec<&App> = catalog.apps.iter().filter(|a| a.is_paid()).collect();
+        let ebook_frac = paid.iter().filter(|a| a.category == ebooks).count() as f64
+            / paid.len() as f64;
+        let music_frac = paid.iter().filter(|a| a.category == music).count() as f64
+            / paid.len() as f64;
+        assert!(
+            (ebook_frac - 0.332).abs() < 0.1,
+            "e-book fraction {ebook_frac}"
+        );
+        assert!(music_frac < 0.06, "music fraction {music_frac}");
+        // Paid apps carry positive prices within the store's range.
+        for app in &paid {
+            assert!(app.price.0 >= 99 && app.price.0 <= 4_999);
+        }
+        // Free apps are free.
+        assert!(catalog
+            .apps
+            .iter()
+            .filter(|a| !a.is_paid())
+            .all(|a| a.price.is_zero()));
+    }
+
+    #[test]
+    fn music_tilts_toward_the_paid_head() {
+        let profile = StoreProfile::slideme();
+        let catalog = build_catalog(&profile, Seed::new(17));
+        let music = catalog.categories.by_name("music").unwrap().id;
+        let head = &catalog.paid_rank_order[..catalog.paid_count() / 20];
+        let head_music =
+            head.iter().filter(|&&a| catalog.apps[a as usize].category == music).count() as f64
+                / head.len() as f64;
+        let overall_music = catalog
+            .apps
+            .iter()
+            .filter(|a| a.is_paid() && a.category == music)
+            .count() as f64
+            / catalog.paid_count() as f64;
+        assert!(
+            head_music > overall_music * 3.0,
+            "head music {head_music} vs overall {overall_music}"
+        );
+    }
+
+    #[test]
+    fn creation_days_accumulate_fractional_rates() {
+        let days = creation_days(5, 0.5, 10);
+        assert_eq!(days.len(), 10);
+        assert_eq!(days[0], Day::ZERO);
+        assert_eq!(days[4], Day::ZERO);
+        // One new app every two days.
+        assert_eq!(days[5], Day(2));
+        assert_eq!(days[6], Day(4));
+        assert!(days.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

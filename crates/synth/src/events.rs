@@ -1,0 +1,281 @@
+//! Comment and update event generation.
+//!
+//! Comments: the paper's affinity study approximates user downloads with
+//! rated comments, so the generator emits a comment for a fraction
+//! (`comment_rate`) of downloads — the comment stream then *inherits* the
+//! download affinity, which is exactly the inference direction the paper
+//! relies on. A handful of spam accounts post large volumes of comments
+//! on random apps (the paper found such accounts and filtered them by
+//! group size).
+//!
+//! Updates: Fig. 4 shows >80% of apps receive no update over two months
+//! and 99% fewer than four; the top-10% apps update a little more often
+//! (60–75% with no update). Update counts are drawn per app from a
+//! rank-dependent zero-inflated geometric distribution and scheduled at
+//! uniform random days after the app's creation.
+
+use crate::catalog::Catalog;
+use crate::profile::StoreProfile;
+use appstore_core::{
+    AppId, CommentEvent, Day, DownloadEvent, Seed, UpdateEvent, UserId,
+};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Emits rated comments for a fraction of downloads, plus spam accounts.
+///
+/// Spam accounts get user ids above the regular population
+/// (`profile.users + i`) and comment on uniformly random apps.
+pub fn generate_comments(
+    profile: &StoreProfile,
+    catalog: &Catalog,
+    downloads: &[DownloadEvent],
+    seed: Seed,
+) -> Vec<CommentEvent> {
+    let mut rng = seed.child("comments").rng();
+    let mut comments = Vec::new();
+    // Commenter status and per-user posting intensity are decided once
+    // per user, deterministically. Intensities are heterogeneous (most
+    // commenters post rarely, a few post a lot), matching the steep
+    // comments-per-user CDF of Fig. 5a.
+    let rate_of: Vec<f64> = {
+        let mut commenter_rng = seed.child("commenters").rng();
+        (0..profile.users)
+            .map(|_| {
+                if commenter_rng.gen::<f64>() >= profile.commenter_fraction {
+                    return 0.0;
+                }
+                let intensity: f64 = match commenter_rng.gen::<f64>() {
+                    u if u < 0.6 => 0.5,
+                    u if u < 0.9 => 1.5,
+                    _ => 4.0,
+                };
+                (profile.comment_rate * intensity).min(1.0)
+            })
+            .collect()
+    };
+    let free_app_count = catalog.free_count() as u32;
+    // (user, day) -> next sequence number.
+    let mut seq: HashMap<(UserId, Day), u32> = HashMap::new();
+    for event in downloads {
+        let rate = rate_of.get(event.user.index()).copied().unwrap_or(0.0);
+        if rng.gen::<f64>() >= rate {
+            continue;
+        }
+        // Noise: some comments target apps acquired outside this store.
+        let target = if rng.gen::<f64>() < profile.comment_noise {
+            AppId(rng.gen_range(0..free_app_count.max(1)))
+        } else {
+            event.app
+        };
+        let key = (event.user, event.day);
+        let next = seq.entry(key).or_insert(0);
+        // Ratings skew positive (4–5 stars dominate real stores).
+        let rating = match rng.gen::<f64>() {
+            u if u < 0.45 => 5,
+            u if u < 0.75 => 4,
+            u if u < 0.88 => 3,
+            u if u < 0.96 => 2,
+            _ => 1,
+        };
+        comments.push(CommentEvent {
+            user: event.user,
+            app: target,
+            day: event.day,
+            seq: *next,
+            rating,
+        });
+        *next += 1;
+    }
+    // Spam accounts: high-volume comments on random existing apps.
+    let free_apps = catalog.free_count() as u32;
+    for s in 0..profile.spam_users {
+        let user = UserId((profile.users + s) as u32);
+        for k in 0..profile.spam_comments_each {
+            let day = Day(rng.gen_range(0..=profile.days));
+            let app = AppId(rng.gen_range(0..free_apps.max(1)));
+            let key = (user, day);
+            let next = seq.entry(key).or_insert(0);
+            comments.push(CommentEvent {
+                user,
+                app,
+                day,
+                seq: *next,
+                rating: 1 + (k % 5) as u8,
+            });
+            *next += 1;
+        }
+    }
+    comments
+}
+
+/// Draws per-app update events over the campaign.
+///
+/// `popularity_rank_of[app]` is the 0-based global popularity rank of
+/// each free app (paid apps use their paid rank offset behind the free
+/// ones); better-ranked apps have a lower "never updated" probability.
+pub fn generate_updates(profile: &StoreProfile, catalog: &Catalog, seed: Seed) -> Vec<UpdateEvent> {
+    let mut rng = seed.child("updates").rng();
+    let total = catalog.apps.len();
+    // Invert the rank orders once.
+    let mut rank_fraction = vec![1.0f64; total];
+    let free_n = catalog.free_count().max(1);
+    for (rank, &app) in catalog.free_rank_order.iter().enumerate() {
+        rank_fraction[app as usize] = rank as f64 / free_n as f64;
+    }
+    let paid_n = catalog.paid_count().max(1);
+    for (rank, &app) in catalog.paid_rank_order.iter().enumerate() {
+        rank_fraction[app as usize] = rank as f64 / paid_n as f64;
+    }
+
+    let mut updates = Vec::new();
+    for (idx, app) in catalog.apps.iter().enumerate() {
+        // Popular apps update more: zero-probability interpolates from
+        // ~(base − 0.12) at rank 0 to ~(base + 0.04) at the tail.
+        let zero_prob =
+            (profile.update_zero_prob - 0.12 + 0.16 * rank_fraction[idx]).clamp(0.0, 1.0);
+        if rng.gen::<f64>() < zero_prob {
+            continue;
+        }
+        // Geometric number of updates, capped; 99% of updated apps land
+        // below ~6 with ratio 0.45.
+        let mut count = 1u32;
+        while count < 8 && rng.gen::<f64>() < 0.45 {
+            count += 1;
+        }
+        let first_day = app.created.0;
+        let mut days: Vec<u32> = (0..count)
+            .map(|_| rng.gen_range(first_day..=profile.days))
+            .collect();
+        days.sort_unstable();
+        days.dedup();
+        for (i, &day) in days.iter().enumerate() {
+            updates.push(UpdateEvent {
+                app: app.id,
+                day: Day(day),
+                version: 2 + i as u32,
+            });
+        }
+    }
+    updates.sort_by_key(|u| (u.day, u.app));
+    updates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::build_catalog;
+    use crate::downloads::simulate_downloads;
+
+    fn store() -> (StoreProfile, Catalog, Vec<DownloadEvent>) {
+        let profile = StoreProfile::anzhi().scaled_down(50);
+        let catalog = build_catalog(&profile, Seed::new(1));
+        let outcome = simulate_downloads(&profile, &catalog, Seed::new(2));
+        (profile, catalog, outcome.events)
+    }
+
+    #[test]
+    fn comment_rate_is_approximately_respected() {
+        let (mut profile, catalog, events) = store();
+        profile.commenter_fraction = 1.0;
+        profile.comment_rate = 0.05;
+        profile.spam_users = 0;
+        let comments = generate_comments(&profile, &catalog, &events, Seed::new(3));
+        let rate = comments.len() as f64 / events.len() as f64;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+        // Ratings are within 1..=5.
+        assert!(comments.iter().all(|c| (1..=5).contains(&c.rating)));
+        // Sequence numbers are unique per (user, day).
+        let mut seen = std::collections::HashSet::new();
+        for c in &comments {
+            assert!(seen.insert((c.user, c.day, c.seq)));
+        }
+    }
+
+    #[test]
+    fn spam_users_sit_above_the_population() {
+        let (mut profile, catalog, events) = store();
+        profile.spam_users = 2;
+        profile.spam_comments_each = 50;
+        let comments = generate_comments(&profile, &catalog, &events, Seed::new(4));
+        let spam: Vec<&CommentEvent> = comments
+            .iter()
+            .filter(|c| c.user.index() >= profile.users)
+            .collect();
+        assert_eq!(spam.len(), 100);
+        assert!(spam.iter().all(|c| c.app.index() < catalog.free_count()));
+    }
+
+    #[test]
+    fn update_zero_fraction_matches_profile() {
+        let (profile, catalog, _) = store();
+        let updates = generate_updates(&profile, &catalog, Seed::new(5));
+        let mut per_app = vec![0u32; catalog.apps.len()];
+        for u in &updates {
+            per_app[u.app.index()] += 1;
+        }
+        let zero = per_app.iter().filter(|&&c| c == 0).count() as f64;
+        let frac = zero / catalog.apps.len() as f64;
+        assert!(
+            (frac - profile.update_zero_prob).abs() < 0.06,
+            "never-updated fraction {frac} vs profile {}",
+            profile.update_zero_prob
+        );
+        // 99% of apps have fewer than ~6 updates (Fig. 4 inset).
+        let mut sorted = per_app.clone();
+        sorted.sort_unstable();
+        let p99 = sorted[(sorted.len() * 99) / 100];
+        assert!(p99 <= 6, "p99 updates {p99}");
+    }
+
+    #[test]
+    fn popular_apps_update_more_often() {
+        let (profile, catalog, _) = store();
+        let updates = generate_updates(&profile, &catalog, Seed::new(6));
+        let mut per_app = vec![0u32; catalog.apps.len()];
+        for u in &updates {
+            per_app[u.app.index()] += 1;
+        }
+        let head_n = catalog.free_count() / 10;
+        let head_updated = catalog.free_rank_order[..head_n]
+            .iter()
+            .filter(|&&a| per_app[a as usize] > 0)
+            .count() as f64
+            / head_n as f64;
+        let tail_updated = catalog.free_rank_order[catalog.free_count() - head_n..]
+            .iter()
+            .filter(|&&a| per_app[a as usize] > 0)
+            .count() as f64
+            / head_n as f64;
+        assert!(
+            head_updated > tail_updated,
+            "head {head_updated} !> tail {tail_updated}"
+        );
+    }
+
+    #[test]
+    fn updates_never_precede_creation_and_versions_increase() {
+        let (profile, catalog, _) = store();
+        let updates = generate_updates(&profile, &catalog, Seed::new(7));
+        let mut last_version: std::collections::HashMap<AppId, u32> = Default::default();
+        for u in &updates {
+            assert!(catalog.apps[u.app.index()].created <= u.day);
+            assert!(u.day.0 <= profile.days);
+            if let Some(&v) = last_version.get(&u.app) {
+                assert!(u.version > v, "version regressed for {:?}", u.app);
+            }
+            last_version.insert(u.app, u.version);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (profile, catalog, events) = store();
+        let a = generate_comments(&profile, &catalog, &events, Seed::new(8));
+        let b = generate_comments(&profile, &catalog, &events, Seed::new(8));
+        assert_eq!(a, b);
+        let ua = generate_updates(&profile, &catalog, Seed::new(9));
+        let ub = generate_updates(&profile, &catalog, Seed::new(9));
+        assert_eq!(ua, ub);
+    }
+}

@@ -1,0 +1,224 @@
+//! Orchestration: profile → catalogue → behaviour → validated [`Dataset`].
+
+use crate::catalog::{build_catalog, Catalog};
+use crate::downloads::{simulate_downloads, DownloadOutcome};
+use crate::events::{generate_comments, generate_updates};
+use crate::profile::StoreProfile;
+use appstore_core::{
+    AppObservation, DailySnapshot, Dataset, Day, Seed, StoreId, StoreMeta,
+};
+
+/// A generated store: the ground-truth dataset plus the raw materials a
+/// crawl simulation needs (the catalogue and per-day counters).
+#[derive(Debug, Clone)]
+pub struct GeneratedStore {
+    /// The assembled, validated dataset.
+    pub dataset: Dataset,
+    /// The catalogue the dataset was generated from (rank orders etc.,
+    /// useful for white-box assertions in tests and benches).
+    pub catalog: Catalog,
+    /// The raw download outcome (event streams for cache experiments).
+    pub outcome: DownloadOutcome,
+}
+
+/// Generates one store end to end, deterministically per `(profile,
+/// seed)`.
+///
+/// # Panics
+/// Panics if the profile fails validation.
+pub fn generate(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> GeneratedStore {
+    profile.validate().expect("invalid store profile");
+    let catalog = build_catalog(profile, seed);
+    let outcome = simulate_downloads(profile, &catalog, seed);
+    let comments = generate_comments(profile, &catalog, &outcome.events, seed);
+    let updates = generate_updates(profile, &catalog, seed);
+
+    // Per-app cumulative comment counters per day.
+    let app_count = catalog.apps.len();
+    let days = profile.days as usize + 1;
+    let mut comment_deltas = vec![vec![0u64; app_count]; days];
+    for c in &comments {
+        comment_deltas[c.day.index()][c.app.index()] += 1;
+    }
+    // Per-app version per day (1 + updates published so far).
+    let mut version_bumps = vec![Vec::<u32>::new(); days];
+    for u in &updates {
+        version_bumps[u.day.index()].push(u.app.0);
+    }
+
+    let mut snapshots = Vec::with_capacity(days);
+    let mut comment_totals = vec![0u64; app_count];
+    let mut versions = vec![1u32; app_count];
+    for day in 0..days {
+        for (slot, &delta) in comment_totals.iter_mut().zip(&comment_deltas[day]) {
+            *slot += delta;
+        }
+        for &app in &version_bumps[day] {
+            versions[app as usize] += 1;
+        }
+        let day = Day(day as u32);
+        let observations: Vec<AppObservation> = catalog
+            .apps
+            .iter()
+            .filter(|app| app.created <= day)
+            .map(|app| AppObservation {
+                app: app.id,
+                category: app.category,
+                developer: app.developer,
+                downloads: outcome.cumulative[day.index()][app.id.index()],
+                comments: comment_totals[app.id.index()],
+                version: versions[app.id.index()],
+                price: app.price,
+            })
+            .collect();
+        snapshots.push(DailySnapshot { day, observations });
+    }
+
+    let dataset = Dataset {
+        store: StoreMeta {
+            id: store_id,
+            name: profile.name.clone(),
+            has_paid_apps: profile.paid.is_some(),
+        },
+        categories: catalog.categories.clone(),
+        apps: catalog.apps.clone(),
+        developers: catalog.developers.clone(),
+        snapshots,
+        comments,
+        updates,
+    };
+    dataset.validate().expect("generated dataset must validate");
+    GeneratedStore {
+        dataset,
+        catalog,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::PricingTier;
+    use appstore_stats::{top_share, zipf_fit_trunk};
+
+    fn generated() -> GeneratedStore {
+        generate(
+            &StoreProfile::anzhi().scaled_down(20),
+            StoreId(0),
+            Seed::new(42),
+        )
+    }
+
+    #[test]
+    fn dataset_validates_and_covers_campaign() {
+        let store = generated();
+        let d = &store.dataset;
+        assert_eq!(d.campaign_days(), 62); // days 0..=61
+        assert_eq!(d.snapshots.len(), 62);
+        assert!(d.validate().is_ok());
+        assert!(d.first().app_count() <= d.last().app_count());
+    }
+
+    /// Shape tests need a scale where per-user budgets stay meaningful
+    /// (scaled_down divides d = D/U by the factor; at 1/20 most users
+    /// have below one download and the head cannot form).
+    fn generated_shape_scale() -> GeneratedStore {
+        generate(
+            &StoreProfile::anzhi().scaled_down(4),
+            StoreId(0),
+            Seed::new(42),
+        )
+    }
+
+    #[test]
+    fn pareto_effect_emerges() {
+        let store = generated_shape_scale();
+        let ranked = store.dataset.final_downloads_ranked();
+        let share = top_share(&ranked, 0.10).unwrap();
+        assert!(
+            (0.55..=0.98).contains(&share),
+            "top-10% share {share} outside the paper's 70–90% band (±tolerance)"
+        );
+    }
+
+    #[test]
+    fn popularity_trunk_is_zipf_like() {
+        let store = generated_shape_scale();
+        let ranked = store.dataset.final_downloads_ranked();
+        let n = ranked.len();
+        let fit = zipf_fit_trunk(&ranked, n / 50, n / 4).unwrap();
+        assert!(
+            (0.6..=2.2).contains(&fit.exponent),
+            "trunk exponent {} implausible",
+            fit.exponent
+        );
+        assert!(fit.quality > 0.8, "trunk linearity r² {}", fit.quality);
+    }
+
+    #[test]
+    fn snapshots_only_contain_created_apps() {
+        let store = generated();
+        for snapshot in &store.dataset.snapshots {
+            for obs in &snapshot.observations {
+                assert!(store.dataset.apps[obs.app.index()].created <= snapshot.day);
+            }
+        }
+    }
+
+    #[test]
+    fn comment_counters_match_events() {
+        let store = generated();
+        let last = store.dataset.last();
+        let total_comments: u64 = last.observations.iter().map(|o| o.comments).sum();
+        assert_eq!(total_comments, store.dataset.comments.len() as u64);
+    }
+
+    #[test]
+    fn versions_reflect_updates() {
+        let store = generated();
+        let last = store.dataset.last();
+        let updates_per_app = store.dataset.updates_per_app();
+        for obs in &last.observations {
+            assert_eq!(
+                obs.version,
+                1 + updates_per_app[obs.app.index()],
+                "version mismatch for {:?}",
+                obs.app
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let profile = StoreProfile::anzhi().scaled_down(40);
+        let a = generate(&profile, StoreId(0), Seed::new(7));
+        let b = generate(&profile, StoreId(0), Seed::new(7));
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn slideme_generates_both_tiers() {
+        let store = generate(
+            &StoreProfile::slideme().scaled_down(10),
+            StoreId(3),
+            Seed::new(9),
+        );
+        let d = &store.dataset;
+        assert!(d.store.has_paid_apps);
+        let paid = d.apps.iter().filter(|a| a.tier == PricingTier::Paid).count();
+        let free = d.apps.len() - paid;
+        assert!(paid > 0 && free > 0);
+        // Paid downloads exist and are far fewer than free downloads.
+        let mut paid_downloads = 0u64;
+        let mut free_downloads = 0u64;
+        for obs in &d.last().observations {
+            if d.apps[obs.app.index()].is_paid() {
+                paid_downloads += obs.downloads;
+            } else {
+                free_downloads += obs.downloads;
+            }
+        }
+        assert!(paid_downloads > 0);
+        assert!(free_downloads > paid_downloads * 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests of the generated marketplace's structural invariants,
+//! across profiles and seeds.
+
+use appstore_core::{Seed, StoreId};
+use appstore_synth::{generate, StoreProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every generated dataset satisfies the crawl invariants, regardless
+    /// of profile or seed.
+    #[test]
+    fn generated_datasets_always_validate(seed in 0u64..1_000, which in 0usize..4) {
+        let profile = StoreProfile::all_stores()[which].scaled_down(40);
+        let store = generate(&profile, StoreId(which as u32), Seed::new(seed));
+        prop_assert!(store.dataset.validate().is_ok());
+        // Snapshot counters reconcile with the raw event stream.
+        let last = store.dataset.last();
+        let total: u64 = last.observations.iter().map(|o| o.downloads).sum();
+        prop_assert_eq!(
+            total as usize,
+            store.outcome.events.len() + store.outcome.paid_events.len()
+        );
+    }
+
+    /// App ids referenced anywhere stay inside the registry, and every
+    /// comment targets a free app (paid apps have no comment stream in
+    /// the generator).
+    #[test]
+    fn references_stay_in_bounds(seed in 0u64..1_000) {
+        let profile = StoreProfile::anzhi().scaled_down(40);
+        let store = generate(&profile, StoreId(0), Seed::new(seed));
+        let d = &store.dataset;
+        let n = d.apps.len();
+        for e in &store.outcome.events {
+            prop_assert!(e.app.index() < n);
+        }
+        for c in &d.comments {
+            prop_assert!(c.app.index() < n);
+        }
+        for u in &d.updates {
+            prop_assert!(u.app.index() < n);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_stores() {
+    let profile = StoreProfile::anzhi().scaled_down(40);
+    let a = generate(&profile, StoreId(0), Seed::new(1));
+    let b = generate(&profile, StoreId(0), Seed::new(2));
+    assert_ne!(
+        a.dataset.final_downloads_ranked(),
+        b.dataset.final_downloads_ranked()
+    );
+}

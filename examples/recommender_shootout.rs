@@ -1,0 +1,80 @@
+//! Recommender shootout on clustering-driven behaviour.
+//!
+//! ```sh
+//! cargo run --release --example recommender_shootout
+//! ```
+//!
+//! The paper's §7 argues that recommendation systems should exploit the
+//! clustering effect: "the recommendation system can suggest apps related
+//! to the most recent interests of a user, instead of apps related to
+//! older downloads." This example stages that argument as an experiment —
+//! train three recommenders on the first half of a behavioural store's
+//! download history and score them on what users actually fetched later.
+
+use planet_apps::core::{AppId, Day, Seed, StoreId};
+use planet_apps::recommend::{evaluate, temporal_split, CategoryRecency, ItemKnn, Popularity};
+use planet_apps::synth::{generate, StoreProfile};
+
+fn main() {
+    let profile = StoreProfile::anzhi().scaled_down(6);
+    println!(
+        "generating `{}`: {} apps, {} users, {} days of downloads…",
+        profile.name,
+        profile.final_apps(),
+        profile.users,
+        profile.days
+    );
+    let store = generate(&profile, StoreId(0), Seed::new(2024));
+    let dataset = &store.dataset;
+    let events = &store.outcome.events;
+
+    // Train on the first half of the campaign, evaluate on the second.
+    let split = Day(profile.days / 2);
+    let (train, test) = temporal_split(events, split);
+    println!(
+        "temporal split at {}: {} training downloads, {} future downloads\n",
+        split,
+        train.len(),
+        test.len()
+    );
+
+    let k = 20;
+    let mut rows = Vec::new();
+    {
+        let mut r = Popularity::new();
+        rows.push(evaluate(&mut r, &train, &test, k).expect("test users exist"));
+    }
+    {
+        let mut r = ItemKnn::new(30);
+        rows.push(evaluate(&mut r, &train, &test, k).expect("test users exist"));
+    }
+    {
+        let mut r = CategoryRecency::new(|a: AppId| dataset.category_of(a), 5);
+        rows.push(evaluate(&mut r, &train, &test, k).expect("test users exist"));
+    }
+
+    println!(
+        "{:<18} {:>10} {:>12} {:>10}",
+        "recommender", "users", "hit-rate@20", "recall@20"
+    );
+    for row in &rows {
+        println!(
+            "{:<18} {:>10} {:>11.1}% {:>9.1}%",
+            row.name,
+            row.users,
+            row.hit_rate * 100.0,
+            row.recall * 100.0
+        );
+    }
+
+    let popularity = rows.iter().find(|r| r.name == "popularity").expect("row");
+    let category = rows
+        .iter()
+        .find(|r| r.name == "category-recency")
+        .expect("row");
+    println!(
+        "\ncategory-recency lifts hit-rate by {:+.1} points over the popularity\n\
+         baseline — recency-of-interest carries real signal, as §7 predicted.",
+        (category.hit_rate - popularity.hit_rate) * 100.0
+    );
+}

@@ -1,0 +1,136 @@
+//! End-to-end pipeline tests: generate → crawl → analyze → reproduce the
+//! paper's headline claims on the harvested (not ground-truth) data.
+
+use planet_apps::affinity::{affinity_samples, build_user_streams, random_walk_affinity};
+use planet_apps::core::{Seed, StoreId};
+use planet_apps::crawler::{
+    run_campaign, FaultPlan, MarketplaceServer, ProxyPool, Region, ServerPolicy,
+};
+use planet_apps::stats::{top_share, zipf_fit_trunk};
+use planet_apps::synth::{generate, StoreProfile};
+
+fn anzhi_like() -> planet_apps::core::Dataset {
+    let profile = StoreProfile::anzhi().scaled_down(4);
+    generate(&profile, StoreId(0), Seed::new(101)).dataset
+}
+
+#[test]
+fn crawled_data_reproduces_pareto_and_truncated_zipf() {
+    let truth = anzhi_like();
+    let server = MarketplaceServer::new(
+        &truth,
+        ServerPolicy {
+            requests_per_second: 5_000.0,
+            burst: 10_000,
+            china_only: true,
+            ..ServerPolicy::default()
+        },
+    );
+    let mut pool = ProxyPool::planetlab(20, 10);
+    let outcome = run_campaign(
+        &server,
+        &truth,
+        &mut pool,
+        Some(Region::China),
+        FaultPlan {
+            drop_chance: 0.05,
+            corrupt_chance: 0.05,
+        },
+        Seed::new(102),
+    )
+    .expect("campaign completes");
+    let harvested = outcome.dataset;
+    assert!(harvested.validate().is_ok());
+
+    // Pareto effect on crawled data (paper Fig. 2).
+    let ranked = harvested.final_downloads_ranked();
+    let share = top_share(&ranked, 0.10).expect("nonempty");
+    assert!(
+        (0.55..=0.98).contains(&share),
+        "top-10% share {share} outside band"
+    );
+
+    // Zipf-like trunk (paper Fig. 3).
+    let fit = zipf_fit_trunk(&ranked, ranked.len() / 50, ranked.len() / 4).expect("trunk fit");
+    assert!(fit.quality > 0.85, "trunk r² {}", fit.quality);
+    assert!(
+        (0.6..=2.2).contains(&fit.exponent),
+        "trunk exponent {}",
+        fit.exponent
+    );
+
+    // Head truncation: the measured head must be far flatter than the
+    // trunk law extrapolated to rank 1.
+    let head_ratio = ranked[0] as f64 / ranked[9] as f64;
+    let zipf_ratio = 10f64.powf(fit.exponent);
+    assert!(
+        head_ratio < zipf_ratio,
+        "no head truncation: measured ratio {head_ratio}, trunk predicts {zipf_ratio}"
+    );
+}
+
+#[test]
+fn crawled_comments_show_the_clustering_effect() {
+    let truth = anzhi_like();
+    let server = MarketplaceServer::new(
+        &truth,
+        ServerPolicy {
+            requests_per_second: 5_000.0,
+            burst: 10_000,
+            ..ServerPolicy::default()
+        },
+    );
+    let mut pool = ProxyPool::planetlab(0, 10);
+    let outcome = run_campaign(
+        &server,
+        &truth,
+        &mut pool,
+        None,
+        FaultPlan::default(),
+        Seed::new(103),
+    )
+    .expect("campaign completes");
+    let harvested = outcome.dataset;
+
+    let streams = build_user_streams(&harvested.comments, |a| harvested.category_of(a));
+    assert!(!streams.is_empty(), "comments were harvested");
+    let samples = affinity_samples(&streams, 1);
+    assert!(samples.len() > 100, "enough scored users: {}", samples.len());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let baseline = random_walk_affinity(&harvested.apps_by_category(harvested.last()), 1)
+        .expect("apps exist");
+    assert!(
+        mean > 2.0 * baseline,
+        "affinity {mean} not clearly above the random walk {baseline}"
+    );
+}
+
+#[test]
+fn updates_validate_fetch_at_most_once_on_crawled_data() {
+    let truth = anzhi_like();
+    let server = MarketplaceServer::new(
+        &truth,
+        ServerPolicy {
+            requests_per_second: 5_000.0,
+            burst: 10_000,
+            ..ServerPolicy::default()
+        },
+    );
+    let mut pool = ProxyPool::planetlab(0, 8);
+    let outcome = run_campaign(
+        &server,
+        &truth,
+        &mut pool,
+        None,
+        FaultPlan::default(),
+        Seed::new(104),
+    )
+    .expect("campaign completes");
+    let harvested = outcome.dataset;
+    let updates = harvested.updates_per_app();
+    let zero = updates.iter().filter(|&&u| u == 0).count() as f64 / updates.len() as f64;
+    // Paper Fig. 4: most apps never updated during the campaign (the
+    // crawl can only see updates after an app's first observation, so
+    // the harvested zero fraction is at least the generated one).
+    assert!(zero > 0.7, "never-updated fraction {zero}");
+}

@@ -1,0 +1,167 @@
+//! Cross-crate tests of the pricing and revenue claims (Section 6).
+
+use planet_apps::core::{PricingTier, Seed, StoreId};
+use planet_apps::revenue::{
+    ad_fraction_of_free_apps, breakeven_by_category, breakeven_by_tier, breakeven_overall,
+    category_shares, developer_incomes, developer_strategies, price_correlations,
+};
+use planet_apps::stats::{zipf_fit_loglog, Ecdf};
+use planet_apps::synth::{generate, StoreProfile};
+
+fn slideme() -> planet_apps::core::Dataset {
+    generate(&StoreProfile::slideme(), StoreId(3), Seed::new(301)).dataset
+}
+
+#[test]
+fn paid_apps_follow_a_cleaner_power_law_than_free_apps() {
+    let d = slideme();
+    let last = d.last();
+    let mut free = Vec::new();
+    let mut paid = Vec::new();
+    for obs in &last.observations {
+        match d.apps[obs.app.index()].tier {
+            PricingTier::Free => free.push(obs.downloads),
+            PricingTier::Paid => paid.push(obs.downloads),
+        }
+    }
+    free.sort_unstable_by(|a, b| b.cmp(a));
+    paid.sort_unstable_by(|a, b| b.cmp(a));
+    let free_fit = zipf_fit_loglog(&free).expect("free fit");
+    let paid_fit = zipf_fit_loglog(&paid).expect("paid fit");
+    // Paper Fig. 11: the paid curve is a clean power law; the free curve
+    // is truncated at both ends, hence a worse straight-line fit.
+    assert!(
+        paid_fit.quality > free_fit.quality,
+        "paid r² {} vs free r² {}",
+        paid_fit.quality,
+        free_fit.quality
+    );
+    assert!(paid_fit.quality > 0.9, "paid r² {}", paid_fit.quality);
+    // And the paid exponent is steeper (paper: 1.72 vs 0.85 trunk).
+    assert!(
+        paid_fit.exponent > free_fit.exponent,
+        "paid z {} vs free z {}",
+        paid_fit.exponent,
+        free_fit.exponent
+    );
+}
+
+#[test]
+fn price_correlates_negatively_with_popularity_and_supply() {
+    let d = slideme();
+    // Per-bin Pearson (what the paper plots) is noisy at our 1/10 scale —
+    // a single head app dominates whichever dollar bin it lands in — so
+    // the robust check is per-app Spearman, plus the supply correlation.
+    let last = d.last();
+    let mut prices = Vec::new();
+    let mut downloads = Vec::new();
+    for obs in &last.observations {
+        let app = &d.apps[obs.app.index()];
+        if app.tier == PricingTier::Paid {
+            prices.push(app.price.as_dollars());
+            downloads.push(obs.downloads as f64);
+        }
+    }
+    let rho = planet_apps::stats::spearman(&prices, &downloads).expect("paid apps exist");
+    assert!(rho < 0.0, "price/downloads Spearman = {rho}");
+    let (_, r_apps) = price_correlations(&d, 50).expect("paid apps exist");
+    assert!(r_apps < 0.0, "price/apps r = {r_apps}");
+}
+
+#[test]
+fn developer_income_is_heavily_skewed_and_uncorrelated_with_app_count() {
+    let d = slideme();
+    let incomes = developer_incomes(&d);
+    assert!(incomes.len() > 50, "developers: {}", incomes.len());
+    let dollars: Vec<f64> = incomes.iter().map(|i| i.income.as_dollars()).collect();
+    let ecdf = Ecdf::new(&dollars);
+    // Paper Fig. 13: the median developer earns next to nothing while
+    // the maximum is orders of magnitude higher.
+    let median = ecdf.median().expect("nonempty");
+    let max = ecdf.max().expect("nonempty");
+    assert!(
+        max > 100.0 * median.max(1.0),
+        "income not skewed: median {median}, max {max}"
+    );
+    // Paper Fig. 14: Pearson(apps, income) ≈ 0.
+    let apps: Vec<f64> = incomes.iter().map(|i| i.paid_apps as f64).collect();
+    if let Some(r) = planet_apps::stats::pearson(&apps, &dollars) {
+        assert!(r.abs() < 0.4, "income correlates with app count: {r}");
+    }
+}
+
+#[test]
+fn revenue_concentrates_in_music_while_ebooks_earn_nothing() {
+    let d = slideme();
+    let shares = category_shares(&d);
+    assert_eq!(shares[0].name, "music", "top category {}", shares[0].name);
+    assert!(
+        shares[0].revenue_share > 0.3,
+        "music revenue share {}",
+        shares[0].revenue_share
+    );
+    // Music holds few paid apps (paper: 1.6%).
+    assert!(
+        shares[0].app_share < 0.1,
+        "music app share {}",
+        shares[0].app_share
+    );
+    let ebooks = shares.iter().find(|s| s.name == "e-books").expect("e-books");
+    assert!(
+        ebooks.app_share > 0.2,
+        "e-books app share {}",
+        ebooks.app_share
+    );
+    assert!(
+        ebooks.revenue_share < 0.05,
+        "e-books revenue share {}",
+        ebooks.revenue_share
+    );
+    // Top four categories dominate (paper: 95%).
+    let top4: f64 = shares.iter().take(4).map(|s| s.revenue_share).sum();
+    assert!(top4 > 0.7, "top-4 revenue {top4}");
+}
+
+#[test]
+fn strategy_mix_and_focus_match_fig16() {
+    let d = slideme();
+    let mix = developer_strategies(&d);
+    let total = (mix.free_only + mix.paid_only + mix.both) as f64;
+    assert!(
+        mix.free_only as f64 / total > 0.6,
+        "free-only share {}",
+        mix.free_only as f64 / total
+    );
+    assert!(mix.both > 0, "no dual-strategy developers");
+    // Most developers publish one app in one category.
+    let single_cat = mix
+        .free_categories_per_developer
+        .iter()
+        .filter(|&&c| c == 1)
+        .count() as f64
+        / mix.free_categories_per_developer.len().max(1) as f64;
+    assert!(single_cat > 0.5, "single-category share {single_cat}");
+}
+
+#[test]
+fn break_even_ad_income_is_small_and_category_dependent() {
+    let d = slideme();
+    // Paper: 67.7% of free apps carry ads.
+    let ad_share = ad_fraction_of_free_apps(&d.apps).expect("free apps exist");
+    assert!((ad_share - 0.677).abs() < 0.05, "ad share {ad_share}");
+    // Eq. 7 overall: cents, not dollars (paper: $0.21).
+    let overall = breakeven_overall(&d).expect("both populations");
+    assert!(
+        (0.005..=2.0).contains(&overall),
+        "overall break-even ${overall}"
+    );
+    // Popular apps need less ad income than unpopular ones (Fig. 17).
+    let (top, mid, low) = breakeven_by_tier(&d).expect("tiers");
+    assert!(top < mid && mid < low, "tiers not ordered: {top} {mid} {low}");
+    // Per category: music demands the most (Fig. 18).
+    let by_cat = breakeven_by_category(&d);
+    assert!(by_cat.len() >= 5, "categories with both populations: {}", by_cat.len());
+    assert_eq!(by_cat[0].0, "music", "most demanding category {}", by_cat[0].0);
+    let spread = by_cat[0].1 / by_cat.last().expect("nonempty").1;
+    assert!(spread > 10.0, "category spread only {spread}x");
+}
