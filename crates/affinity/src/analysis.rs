@@ -28,7 +28,10 @@ pub fn comments_per_user(streams: &[UserStream]) -> Vec<u64> {
 /// Unique categories per user, for users with at least one comment
 /// (Fig. 5b input).
 pub fn unique_categories_per_user(streams: &[UserStream]) -> Vec<u64> {
-    streams.iter().map(|s| s.unique_categories() as u64).collect()
+    streams
+        .iter()
+        .map(|s| s.unique_categories() as u64)
+        .collect()
 }
 
 /// Average share of a user's comments that fall in their own top-`k`

@@ -59,8 +59,8 @@ pub fn random_walk_affinity(apps_per_category: &[u64], depth: usize) -> Option<f
 mod tests {
     use super::*;
     use appstore_core::Seed;
-    use rand::seq::SliceRandom;
     use proptest::prelude::*;
+    use rand::seq::SliceRandom;
 
     #[test]
     fn two_equal_categories_depth_one() {
@@ -117,7 +117,7 @@ mod tests {
         // pairs.
         let mut table = Vec::new();
         for (cat, &n) in dist.iter().enumerate() {
-            table.extend(std::iter::repeat(cat).take(n as usize));
+            table.extend(std::iter::repeat_n(cat, n as usize));
         }
         let mut rng = Seed::new(31).rng();
         let trials = 200_000;

@@ -132,7 +132,11 @@ mod tests {
 
     #[test]
     fn users_sorted_and_separated() {
-        let comments = vec![comment(7, 1, 0, 0), comment(3, 2, 0, 0), comment(7, 3, 1, 0)];
+        let comments = vec![
+            comment(7, 1, 0, 0),
+            comment(3, 2, 0, 0),
+            comment(7, 3, 1, 0),
+        ];
         let streams = build_user_streams(&comments, |_| CategoryId(0));
         assert_eq!(streams.len(), 2);
         assert_eq!(streams[0].user, UserId(3));

@@ -1,13 +1,9 @@
 //! Criterion benches for the cache experiments (Fig. 19 and the policy
 //! ablation): raw policy throughput and the full sweep.
 
-use appstore_cache::{
-    hit_ratio, sweep_cache_sizes, CategoryLru, Fifo, Lfu, Lru, SegmentedLru,
-};
+use appstore_cache::{hit_ratio, sweep_cache_sizes, CategoryLru, Fifo, Lfu, Lru, SegmentedLru};
 use appstore_core::Seed;
-use appstore_models::{
-    ClusterLayout, ClusteringParams, ModelKind, PopulationParams, Simulator,
-};
+use appstore_models::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams, Simulator};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 
 fn params() -> ClusteringParams {

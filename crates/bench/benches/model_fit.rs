@@ -5,8 +5,7 @@
 use appstore_core::Seed;
 use appstore_models::{
     expected_downloads_clustering_weighted, expected_downloads_zipf_amo, fit_clustering,
-    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, Simulator,
-    ZipfSampler,
+    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, Simulator, ZipfSampler,
 };
 use appstore_stats::mean_relative_error;
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};

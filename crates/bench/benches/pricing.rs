@@ -14,7 +14,12 @@ use appstore_synth::{generate, StoreProfile};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn slideme() -> appstore_core::Dataset {
-    generate(&StoreProfile::slideme().scaled_down(2), StoreId(3), Seed::new(10)).dataset
+    generate(
+        &StoreProfile::slideme().scaled_down(2),
+        StoreId(3),
+        Seed::new(10),
+    )
+    .dataset
 }
 
 /// Fig. 11: splitting the curve by tier and fitting both power laws.

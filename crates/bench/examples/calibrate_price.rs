@@ -1,7 +1,7 @@
 use appstore_core::{PricingTier, Seed, StoreId};
-use appstore_synth::{generate, StoreProfile};
-use appstore_stats::{spearman, pearson};
 use appstore_revenue::price_bins;
+use appstore_stats::{pearson, spearman};
+use appstore_synth::{generate, StoreProfile};
 
 fn main() {
     for seed in [1u64, 2, 3, 301, 2013] {

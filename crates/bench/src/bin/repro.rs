@@ -48,9 +48,7 @@ fn parse_args() -> Result<Args, String> {
                 args.json_dir = Some(iter.next().ok_or("--json needs a directory")?);
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: repro [--scale N] [--seed S] [--json DIR] <experiment>|all|list"
-                );
+                println!("usage: repro [--scale N] [--seed S] [--json DIR] <experiment>|all|list");
                 std::process::exit(0);
             }
             other if other.starts_with('-') => {
@@ -110,8 +108,8 @@ fn main() {
 
     for id in ids {
         let t = Instant::now();
-        let result = run_experiment(id, &stores, seed.child("experiments"))
-            .expect("id validated above");
+        let result =
+            run_experiment(id, &stores, seed.child("experiments")).expect("id validated above");
         let mut stdout = std::io::stdout().lock();
         write!(stdout, "{}", result.render()).expect("stdout");
         writeln!(stdout, "[{} in {:.1}s]\n", id, t.elapsed().as_secs_f64()).expect("stdout");

@@ -39,7 +39,11 @@ pub fn fig17(stores: &Stores) -> ExperimentResult {
         lines.push(format!(
             "trend over final {} days: ${oldest:.3} -> ${newest:.3} ({})",
             tail.len(),
-            if newest <= oldest { "dropping, as in the paper" } else { "rising" }
+            if newest <= oldest {
+                "dropping, as in the paper"
+            } else {
+                "rising"
+            }
         ));
     }
     ExperimentResult {

@@ -181,11 +181,11 @@ pub fn ablate_cluster_size(seed: Seed) -> ExperimentResult {
     let blocked_curve = to_ranked(expected_downloads_clustering_weighted(&blocked));
     let divergence = mean_relative_error(&interleaved, &blocked_curve).unwrap_or(f64::NAN);
     let mut lines = Vec::new();
+    lines.push(format!("interleaved head (top 5): {:?}", &interleaved[..5]));
     lines.push(format!(
-        "interleaved head (top 5): {:?}",
-        &interleaved[..5]
+        "blocked     head (top 5): {:?}",
+        &blocked_curve[..5]
     ));
-    lines.push(format!("blocked     head (top 5): {:?}", &blocked_curve[..5]));
     lines.push(format!(
         "mean relative divergence between layouts: {divergence:.3}"
     ));

@@ -66,7 +66,9 @@ pub fn fig14(stores: &Stores) -> ExperimentResult {
     let single = avg(&|n| n == 1);
     let many = avg(&|n| n >= 5);
     let mut lines = Vec::new();
-    lines.push(format!("Pearson(paid apps, income) = {r:.3}   (paper: 0.008)"));
+    lines.push(format!(
+        "Pearson(paid apps, income) = {r:.3}   (paper: 0.008)"
+    ));
     lines.push(format!(
         "avg income: single-app devs ${single:.0}, 5+-app devs ${many:.0}"
     ));
@@ -105,7 +107,10 @@ pub fn fig15(stores: &Stores) -> ExperimentResult {
     }
     let top4: f64 = shares.iter().take(4).map(|s| s.revenue_share).sum();
     let ebooks = shares.iter().find(|s| s.name == "e-books");
-    lines.push(format!("top-4 categories hold {:.1}% of revenue (paper: 95%)", top4 * 100.0));
+    lines.push(format!(
+        "top-4 categories hold {:.1}% of revenue (paper: 95%)",
+        top4 * 100.0
+    ));
     if let Some(e) = ebooks {
         lines.push(format!(
             "e-books: {:.1}% of apps but {:.2}% of revenue (paper: 33.2% / 0.1%)",
@@ -162,7 +167,9 @@ pub fn fig16(stores: &Stores) -> ExperimentResult {
         paid_cats.eval(5.0)
     ));
     let apps_per_dev = d.apps.len() as f64 / total;
-    lines.push(format!("apps per developer: {apps_per_dev:.1}   (paper: 4.3)"));
+    lines.push(format!(
+        "apps per developer: {apps_per_dev:.1}   (paper: 4.3)"
+    ));
     ExperimentResult {
         id: "fig16",
         title: "Developers create few apps focused on few categories",

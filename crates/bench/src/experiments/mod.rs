@@ -9,11 +9,28 @@ pub mod popularity;
 pub mod prefetch;
 pub mod pricing;
 pub mod recommend;
+pub mod recovery;
 pub mod table1;
 
 use crate::stores::Stores;
-use appstore_core::Seed;
+use appstore_core::{assess, repair_gaps, Dataset, GapRepair, Seed};
 use serde_json::Value;
+use std::borrow::Cow;
+
+/// Gap-aware view of a dataset for the analysis experiments: assess
+/// coverage, carry-forward-repair any missing days, and hand back the
+/// dataset to analyze plus a coverage annotation for the report. On a
+/// complete dataset this is a borrow and the annotation says so.
+pub(crate) fn gap_repaired(dataset: &Dataset) -> (Cow<'_, Dataset>, String) {
+    let quality = assess(dataset);
+    if quality.is_complete() {
+        (Cow::Borrowed(dataset), quality.annotation())
+    } else {
+        let (repaired, report) = repair_gaps(dataset, GapRepair::CarryForward);
+        let note = format!("{}; {}", quality.annotation(), report.annotation());
+        (Cow::Owned(repaired), note)
+    }
+}
 
 /// A regenerated experiment: printable lines plus a JSON series for
 /// EXPERIMENTS.md.
@@ -42,7 +59,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id the harness knows, in paper order.
-pub const EXPERIMENT_IDS: [&str; 28] = [
+pub const EXPERIMENT_IDS: [&str; 29] = [
     "table1",
     "fig2",
     "fig3",
@@ -63,6 +80,7 @@ pub const EXPERIMENT_IDS: [&str; 28] = [
     "fig18",
     "fig19",
     "crawl",
+    "crawl-recovery",
     "recommend",
     "prefetch",
     "ablate-depth",
@@ -96,6 +114,7 @@ pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<Experimen
         "fig18" => breakeven::fig18(stores),
         "fig19" => cache::fig19(seed),
         "crawl" => table1::crawl(stores, seed),
+        "crawl-recovery" => recovery::run(stores, seed),
         "recommend" => recommend::run(stores),
         "prefetch" => prefetch::run(stores),
         "ablate-depth" => behavior::ablate_depth(stores),

@@ -1,6 +1,6 @@
 //! Figures 8–10: model fitting against the measured popularity curves.
 
-use crate::experiments::ExperimentResult;
+use crate::experiments::{gap_repaired, ExperimentResult};
 use crate::stores::Stores;
 use appstore_core::Seed;
 use appstore_models::{
@@ -20,11 +20,7 @@ fn spec_for(clusters: usize) -> FitSpec {
     spec
 }
 
-fn fit_all(
-    observed: &[u64],
-    clusters: usize,
-    seed: Seed,
-) -> (FitOutcome, FitOutcome, FitOutcome) {
+fn fit_all(observed: &[u64], clusters: usize, seed: Seed) -> (FitOutcome, FitOutcome, FitOutcome) {
     let spec = spec_for(clusters);
     let zipf = fit_zipf(observed, &spec).expect("nonempty curve");
     let amo = fit_zipf_amo(observed, &spec, seed.child("amo")).expect("nonempty curve");
@@ -43,9 +39,13 @@ pub fn fig8(stores: &Stores, seed: Seed) -> ExperimentResult {
         "{:<10} {:<20} {:>6} {:>6} {:>6} {:>12} {:>10}",
         "store", "model", "z_r", "z_c", "p", "users", "distance"
     ));
+    let mut coverage = Vec::new();
     for name in FIT_STORES {
         let bundle = stores.by_name(name).expect("store exists");
-        let observed = bundle.store.dataset.final_downloads_ranked();
+        // Fits run on the gap-repaired view of the crawl.
+        let (view, note) = gap_repaired(&bundle.store.dataset);
+        coverage.push(format!("{name}: {note}"));
+        let observed = view.final_downloads_ranked();
         let clusters = bundle.profile.categories;
         let (zipf, amo, clustering) = fit_all(&observed, clusters, seed.child(name));
         for fit in [&zipf, &amo, &clustering] {
@@ -62,11 +62,13 @@ pub fn fig8(stores: &Stores, seed: Seed) -> ExperimentResult {
         }
         series.push(json!({
             "store": name,
+            "coverage": note,
             "zipf": fit_json(&zipf),
             "zipf_at_most_once": fit_json(&amo),
             "app_clustering": fit_json(&clustering),
         }));
     }
+    lines.extend(coverage);
     lines.push("paper: APP-CLUSTERING fits closest, best p = 0.90-0.95".into());
     ExperimentResult {
         id: "fig8",
@@ -139,7 +141,10 @@ pub fn fig10(stores: &Stores, seed: Seed) -> ExperimentResult {
     let fractions = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
     let mut lines = Vec::new();
     let mut series = Vec::new();
-    lines.push(format!("{:<10} {:>8}  {}", "store", "best U*", "distance at each fraction"));
+    lines.push(format!(
+        "{:<10} {:>8}  {}",
+        "store", "best U*", "distance at each fraction"
+    ));
     for name in FIT_STORES {
         let bundle = stores.by_name(name).expect("store exists");
         let observed = bundle.store.dataset.final_downloads_ranked();
@@ -193,11 +198,13 @@ pub fn ablate_p(stores: &Stores, seed: Seed) -> ExperimentResult {
     let observed = bundle.store.dataset.final_downloads_ranked();
     let clusters = bundle.profile.categories;
     let spec = spec_for(clusters);
-    let best =
-        fit_clustering(&observed, &spec, seed.child("ablate-p")).expect("nonempty curve");
+    let best = fit_clustering(&observed, &spec, seed.child("ablate-p")).expect("nonempty curve");
     let mut lines = Vec::new();
     let mut series = Vec::new();
-    lines.push(format!("fixed: z_r={:.2} z_c={:.2} U={}", best.zipf_exponent, best.cluster_exponent, best.users));
+    lines.push(format!(
+        "fixed: z_r={:.2} z_c={:.2} U={}",
+        best.zipf_exponent, best.cluster_exponent, best.users
+    ));
     for (i, p) in [0.0, 0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99]
         .into_iter()
         .enumerate()

@@ -24,8 +24,7 @@ pub fn run(stores: &Stores) -> ExperimentResult {
         "fanout", "slot", "hit rate", "waste rate"
     ));
     for (fanout, slot) in [(1usize, 4usize), (3, 12), (5, 20), (10, 40)] {
-        let mut sim =
-            PrefetchSimulator::new(&category_of, &catalog.free_by_category, fanout, slot);
+        let mut sim = PrefetchSimulator::new(&category_of, &catalog.free_by_category, fanout, slot);
         let report = sim.run(trace);
         lines.push(format!(
             "{:>8} {:>10} {:>11.1}% {:>11.1}%",

@@ -33,9 +33,15 @@ pub fn fig11(stores: &Stores) -> ExperimentResult {
     let free_full = zipf_fit_loglog(&free);
     let paid_full = zipf_fit_loglog(&paid);
     let mut lines = Vec::new();
-    let (ft_z, ft_r2) = free_trunk.map(|f| (f.exponent, f.quality)).unwrap_or((f64::NAN, f64::NAN));
-    let (ff_z, ff_r2) = free_full.map(|f| (f.exponent, f.quality)).unwrap_or((f64::NAN, f64::NAN));
-    let (p_z, p_r2) = paid_full.map(|f| (f.exponent, f.quality)).unwrap_or((f64::NAN, f64::NAN));
+    let (ft_z, ft_r2) = free_trunk
+        .map(|f| (f.exponent, f.quality))
+        .unwrap_or((f64::NAN, f64::NAN));
+    let (ff_z, ff_r2) = free_full
+        .map(|f| (f.exponent, f.quality))
+        .unwrap_or((f64::NAN, f64::NAN));
+    let (p_z, p_r2) = paid_full
+        .map(|f| (f.exponent, f.quality))
+        .unwrap_or((f64::NAN, f64::NAN));
     lines.push(format!(
         "free apps:  {:>6} apps   trunk z={:.2} (r²={:.3})   full-curve z={:.2} (r²={:.3})",
         free.len(),
@@ -73,7 +79,10 @@ pub fn fig12(stores: &Stores) -> ExperimentResult {
     let bins = price_bins(d, 50);
     let correlations = price_correlations(d, 50);
     let mut lines = Vec::new();
-    lines.push(format!("{:>10} {:>8} {:>16}", "price bin", "apps", "mean downloads"));
+    lines.push(format!(
+        "{:>10} {:>8} {:>16}",
+        "price bin", "apps", "mean downloads"
+    ));
     for b in bins.iter().take(12) {
         lines.push(format!(
             "{:>7}-{:<2} {:>8} {:>16}",

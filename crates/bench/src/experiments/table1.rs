@@ -3,7 +3,9 @@
 use crate::experiments::ExperimentResult;
 use crate::stores::Stores;
 use appstore_core::Seed;
-use appstore_crawler::{run_campaign, FaultPlan, MarketplaceServer, ProxyPool, Region, ServerPolicy};
+use appstore_crawler::{
+    run_campaign, FaultPlan, MarketplaceServer, ProxyPool, Region, ServerPolicy,
+};
 use serde_json::json;
 
 /// Table 1: per-store crawling period, app counts, new apps per day,
@@ -13,7 +15,14 @@ pub fn run(stores: &Stores) -> ExperimentResult {
     let mut rows = Vec::new();
     lines.push(format!(
         "{:<16} {:>6} {:>12} {:>12} {:>14} {:>16} {:>16} {:>14}",
-        "store", "days", "apps(first)", "apps(last)", "new apps/day", "dl(first)", "dl(last)", "daily dl"
+        "store",
+        "days",
+        "apps(first)",
+        "apps(last)",
+        "new apps/day",
+        "dl(first)",
+        "dl(last)",
+        "daily dl"
     ));
     for bundle in &stores.bundles {
         let d = &bundle.store.dataset;
@@ -105,7 +114,10 @@ pub fn crawl(stores: &Stores, seed: Seed) -> ExperimentResult {
     let lossless = outcome.dataset.snapshots == truth.snapshots;
     let r = outcome.report;
     let lines = vec![
-        format!("store: {} (china-only policy, via Chinese proxies)", truth.store.name),
+        format!(
+            "store: {} (china-only policy, via Chinese proxies)",
+            truth.store.name
+        ),
         format!("days crawled:        {}", r.days),
         format!("app pages fetched:   {}", r.app_pages),
         format!("comment pages:       {}", r.comment_pages),
@@ -115,7 +127,10 @@ pub fn crawl(stores: &Stores, seed: Seed) -> ExperimentResult {
         format!("corrupt payloads:    {}", r.corrupted),
         format!("rate-limited:        {}", r.rate_limited),
         format!("proxies banned:      {}", r.proxies_banned),
-        format!("virtual time:        {:.1} h", r.virtual_ms as f64 / 3_600_000.0),
+        format!(
+            "virtual time:        {:.1} h",
+            r.virtual_ms as f64 / 3_600_000.0
+        ),
         format!("lossless harvest:    {lossless}"),
     ];
     ExperimentResult {

@@ -30,11 +30,7 @@ impl Stores {
                 } else {
                     profile
                 };
-                let store = generate(
-                    &profile,
-                    StoreId(i as u32),
-                    seed.child(&profile.name),
-                );
+                let store = generate(&profile, StoreId(i as u32), seed.child(&profile.name));
                 StoreBundle { profile, store }
             })
             .collect();

@@ -70,9 +70,9 @@ pub fn belady_hit_ratio(capacity: usize, warm_start: &[u32], trace: &[DownloadEv
     for (i, event) in trace.iter().enumerate() {
         let app = event.app.0;
         let next = next_use[i];
-        if cached.contains_key(&app) {
+        if let Some(slot) = cached.get_mut(&app) {
             hits += 1;
-            cached.insert(app, next);
+            *slot = next;
             heap.push((next, app));
             continue;
         }

@@ -115,11 +115,9 @@ pub fn sweep_cache_sizes(
                             PolicyKind::Fifo => Box::new(Fifo::new(cache_apps)),
                             PolicyKind::Lfu => Box::new(Lfu::new(cache_apps)),
                             PolicyKind::SegmentedLru => Box::new(SegmentedLru::new(cache_apps)),
-                            PolicyKind::CategoryLru => Box::new(CategoryLru::new(
-                                cache_apps,
-                                category_of.clone(),
-                                64,
-                            )),
+                            PolicyKind::CategoryLru => {
+                                Box::new(CategoryLru::new(cache_apps, category_of.clone(), 64))
+                            }
                         };
                         (p, boxed)
                     })

@@ -638,7 +638,10 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut lru = Lru::new(2);
-        assert_eq!(run(&mut lru, &[1, 2, 1, 3, 2]), vec![false, false, true, false, false]);
+        assert_eq!(
+            run(&mut lru, &[1, 2, 1, 3, 2]),
+            vec![false, false, true, false, false]
+        );
         // After [1,2,1,3]: 1 touched then 3 evicted 2; final access 2
         // evicted 1.
         assert!(lru.contains(2) && lru.contains(3));
@@ -649,7 +652,10 @@ mod tests {
     fn fifo_ignores_recency() {
         let mut fifo = Fifo::new(2);
         // 1,2 fill; touching 1 does not save it: 3 evicts 1 (oldest).
-        assert_eq!(run(&mut fifo, &[1, 2, 1, 3]), vec![false, false, true, false]);
+        assert_eq!(
+            run(&mut fifo, &[1, 2, 1, 3]),
+            vec![false, false, true, false]
+        );
         assert!(!fifo.contains(1));
         assert!(fifo.contains(2) && fifo.contains(3));
     }

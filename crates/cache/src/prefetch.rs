@@ -149,11 +149,7 @@ impl<'a> PrefetchSimulator<'a> {
             }
         }
         // Waste: staged-but-never-used across all users.
-        report.wasted = self
-            .slots
-            .values()
-            .map(|s| s.ever_staged - s.used)
-            .sum();
+        report.wasted = self.slots.values().map(|s| s.ever_staged - s.used).sum();
         report
     }
 }

@@ -285,7 +285,10 @@ mod tests {
     fn unknown_category_rejected() {
         let mut d = dataset();
         d.snapshots[0].observations[0].category = CategoryId(9);
-        assert_eq!(d.validate(), Err(CoreError::UnknownCategory { category: 9 }));
+        assert_eq!(
+            d.validate(),
+            Err(CoreError::UnknownCategory { category: 9 })
+        );
     }
 
     #[test]

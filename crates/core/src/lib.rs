@@ -32,6 +32,7 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod money;
+pub mod quality;
 pub mod seed;
 pub mod snapshot;
 pub mod time;
@@ -45,6 +46,9 @@ pub use error::CoreError;
 pub use event::{CommentEvent, DownloadEvent, UpdateEvent};
 pub use ids::{AppId, CategoryId, DeveloperId, StoreId, UserId};
 pub use money::Cents;
+pub use quality::{
+    assess, assess_span, repair_gaps, DatasetQuality, GapRepair, PartialSnapshot, RepairReport,
+};
 pub use seed::Seed;
 pub use snapshot::{AppObservation, DailySnapshot};
 pub use time::Day;

@@ -66,10 +66,7 @@ mod tests {
     fn children_are_deterministic() {
         let root = Seed::new(42);
         assert_eq!(root.child("users"), root.child("users"));
-        assert_eq!(
-            root.child_indexed("user", 7),
-            root.child_indexed("user", 7)
-        );
+        assert_eq!(root.child_indexed("user", 7), root.child_indexed("user", 7));
     }
 
     #[test]
@@ -77,10 +74,7 @@ mod tests {
         let root = Seed::new(42);
         assert_ne!(root.child("users"), root.child("apps"));
         assert_ne!(root.child("a"), root.child("aa"));
-        assert_ne!(
-            root.child_indexed("user", 1),
-            root.child_indexed("user", 2)
-        );
+        assert_ne!(root.child_indexed("user", 1), root.child_indexed("user", 2));
         // label/index pairs must not collide with plain labels
         assert_ne!(root.child_indexed("user", 0), root.child("user"));
     }

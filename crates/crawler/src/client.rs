@@ -81,6 +81,14 @@ impl std::fmt::Display for CrawlError {
 
 impl std::error::Error for CrawlError {}
 
+/// Nominal backoff delay (before jitter) ahead of retry `attempt`
+/// (1-based): exponential in the attempt number, with the exponent
+/// clamped so the delay never exceeds `base_ms << 8` (~25 s at the
+/// default base) no matter how long a request keeps failing.
+pub fn backoff_delay_ms(base_ms: u64, attempt: u32) -> u64 {
+    base_ms.saturating_mul(1 << attempt.min(8))
+}
+
 /// A crawler instance bound to one store.
 pub struct CrawlerClient {
     /// Region requirement (Chinese stores ⇒ `Some(Region::China)`).
@@ -143,6 +151,9 @@ impl CrawlerClient {
                     // Fault injection happens on the response path.
                     if self.rng.gen::<f64>() < self.faults.drop_chance {
                         self.stats.dropped += 1;
+                        // The node lost the response: one strike on its
+                        // circuit breaker.
+                        pool.record_failure(proxy, self.now_ms);
                         WireError::Dropped
                     } else {
                         if self.rng.gen::<f64>() < self.faults.corrupt_chance {
@@ -156,10 +167,12 @@ impl CrawlerClient {
                         match decode_response(&payload) {
                             Ok(response) => {
                                 self.stats.successes += 1;
+                                pool.record_success(proxy);
                                 return Ok(response);
                             }
                             Err(_) => {
                                 self.stats.corrupted += 1;
+                                pool.record_failure(proxy, self.now_ms);
                                 WireError::Corrupt
                             }
                         }
@@ -185,7 +198,7 @@ impl CrawlerClient {
             }
             self.stats.retries += 1;
             // Exponential backoff with ±25% jitter, capped at ~25 s.
-            let exp = self.backoff_base_ms.saturating_mul(1 << attempt.min(8));
+            let exp = backoff_delay_ms(self.backoff_base_ms, attempt);
             let jitter = 0.75 + 0.5 * self.rng.gen::<f64>();
             self.now_ms += ((exp as f64) * jitter) as u64;
         }
@@ -215,7 +228,13 @@ mod tests {
         let mut pool = ProxyPool::planetlab(0, 4);
         let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(3));
         let response = client
-            .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+            .fetch(
+                &server,
+                &mut pool,
+                Request::Index {
+                    day: data.last().day,
+                },
+            )
             .unwrap();
         let Response::Index { apps } = response else {
             panic!("wrong kind");
@@ -241,7 +260,13 @@ mod tests {
         // 50 fetches, all must eventually succeed.
         for _ in 0..50 {
             client
-                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .fetch(
+                    &server,
+                    &mut pool,
+                    Request::Index {
+                        day: data.last().day,
+                    },
+                )
                 .unwrap();
         }
         assert_eq!(client.stats.successes, 50);
@@ -275,7 +300,13 @@ mod tests {
         let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(6));
         for _ in 0..20 {
             client
-                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .fetch(
+                    &server,
+                    &mut pool,
+                    Request::Index {
+                        day: data.last().day,
+                    },
+                )
                 .unwrap();
         }
         assert_eq!(client.stats.successes, 20);
@@ -303,7 +334,13 @@ mod tests {
             CrawlerClient::new(Some(Region::China), FaultPlan::default(), Seed::new(7));
         for _ in 0..10 {
             client
-                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .fetch(
+                    &server,
+                    &mut pool,
+                    Request::Index {
+                        day: data.last().day,
+                    },
+                )
                 .unwrap();
         }
         // Western proxies were never held/used: they remain free at t=0.
@@ -320,7 +357,13 @@ mod tests {
         let mut client = CrawlerClient::new(None, FaultPlan::default(), Seed::new(8));
         assert_eq!(
             client
-                .fetch(&server, &mut pool, Request::Index { day: data.last().day })
+                .fetch(
+                    &server,
+                    &mut pool,
+                    Request::Index {
+                        day: data.last().day
+                    }
+                )
                 .unwrap_err(),
             CrawlError::NoProxies
         );

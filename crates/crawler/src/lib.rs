@@ -19,7 +19,11 @@
 //!   payload corruption) in the spirit of smoltcp's example harnesses;
 //! * [`campaign`] — the daily crawl loop that re-assembles a full
 //!   [`appstore_core::Dataset`] from harvested pages and reports crawl
-//!   statistics.
+//!   statistics; [`campaign::run_campaign_resumable`] adds per-day
+//!   checkpointing to a journal and crash/resume recovery;
+//! * [`storage`] — the crawl database: a checksummed line-delimited JSON
+//!   journal with corruption quarantine ([`storage::read_journal_lossy`])
+//!   and day-complete checkpoint markers.
 //!
 //! Time is *virtual*: a millisecond counter advanced by request latency
 //! and backoff sleeps, which keeps the simulation deterministic and
@@ -35,9 +39,15 @@ pub mod server;
 pub mod storage;
 pub mod wire;
 
-pub use campaign::{run_campaign, CampaignOutcome, CrawlReport};
-pub use storage::{read_journal, write_journal, StorageError};
-pub use client::{CrawlerClient, FaultPlan};
-pub use proxy::{Proxy, ProxyPool, Region};
+pub use campaign::{
+    canonicalize, run_campaign, run_campaign_resumable, CampaignError, CampaignFaultPlan,
+    CampaignOutcome, CrawlReport, ResumeOutcome,
+};
+pub use client::{backoff_delay_ms, CrawlerClient, FaultPlan};
+pub use proxy::{Proxy, ProxyHealth, ProxyPool, Region};
 pub use server::{MarketplaceServer, ServerPolicy};
+pub use storage::{
+    read_journal, read_journal_lossy, write_journal, Checkpoint, JournalHealth, JournalWriter,
+    LineFault, QuarantinedLine, Record, StorageError,
+};
 pub use wire::{Request, Response, WireError};

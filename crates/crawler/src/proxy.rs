@@ -6,8 +6,24 @@
 //! is an address plus a region; the [`ProxyPool`] tracks when each proxy
 //! is next usable (its per-store token refill) and hands out the
 //! earliest-available eligible proxy.
+//!
+//! On top of scheduling, the pool runs a per-proxy **circuit breaker**:
+//! consecutive transport failures trip the breaker and quarantine the
+//! node for an exponentially growing probation window (a PlanetLab node
+//! that starts mangling responses should stop receiving traffic, but be
+//! probed again later since flakiness is often transient). A success
+//! closes the breaker and resets probation. Health counters per proxy
+//! feed the recovery report. [`ProxyPool::ban`] remains separate and
+//! permanent — a server blacklist never heals.
 
 use serde::{Deserialize, Serialize};
+
+/// Consecutive failures that trip a proxy's circuit breaker.
+const BREAKER_STREAK: u32 = 3;
+/// First quarantine window after the breaker trips (virtual ms).
+const PROBATION_INITIAL_MS: u64 = 5_000;
+/// Probation windows double per consecutive trip, up to this cap.
+const PROBATION_CAP_MS: u64 = 900_000;
 
 /// Coarse geography of a proxy node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -29,12 +45,49 @@ pub struct Proxy {
     pub region: Region,
 }
 
-/// A pool of proxies with per-proxy next-available times (virtual ms).
+/// Health ledger of one proxy, for the recovery report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProxyHealth {
+    /// Which proxy.
+    pub proxy: Proxy,
+    /// Successful responses relayed.
+    pub successes: u64,
+    /// Transport failures observed (drops, corrupted payloads).
+    pub failures: u64,
+    /// Times the circuit breaker tripped into quarantine.
+    pub quarantines: u64,
+    /// Permanently banned by the server.
+    pub banned: bool,
+}
+
+impl ProxyHealth {
+    /// Success fraction in [0, 1]; a fresh proxy scores 1.
+    pub fn score(&self) -> f64 {
+        let total = self.successes + self.failures;
+        if total == 0 {
+            1.0
+        } else {
+            self.successes as f64 / total as f64
+        }
+    }
+}
+
+/// A pool of proxies with per-proxy next-available times (virtual ms)
+/// and circuit-breaker state.
 #[derive(Debug, Clone)]
 pub struct ProxyPool {
     proxies: Vec<Proxy>,
     next_free_ms: Vec<u64>,
     banned: Vec<bool>,
+    /// Consecutive transport failures since the last success.
+    streak: Vec<u32>,
+    /// Breaker-open window: not eligible before this virtual time.
+    quarantined_until: Vec<u64>,
+    /// Next probation window; doubles per trip, resets on success.
+    probation_ms: Vec<u64>,
+    successes: Vec<u64>,
+    failures: Vec<u64>,
+    quarantines: Vec<u64>,
 }
 
 impl ProxyPool {
@@ -63,6 +116,12 @@ impl ProxyPool {
             proxies,
             next_free_ms: vec![0; n],
             banned: vec![false; n],
+            streak: vec![0; n],
+            quarantined_until: vec![0; n],
+            probation_ms: vec![PROBATION_INITIAL_MS; n],
+            successes: vec![0; n],
+            failures: vec![0; n],
+            quarantines: vec![0; n],
         }
     }
 
@@ -82,19 +141,29 @@ impl ProxyPool {
         self.proxies
             .iter()
             .zip(&self.banned)
-            .filter(|(p, &banned)| !banned && region.map_or(true, |r| p.region == r))
+            .filter(|(p, &banned)| !banned && region.is_none_or(|r| p.region == r))
             .count()
     }
 
     /// Picks the eligible proxy (matching `region` if given, not banned)
     /// that becomes free earliest; returns it with the time it can fire
-    /// (≥ `now_ms`). `None` if no eligible proxy exists.
+    /// (≥ `now_ms`). A quarantined proxy is eligible again once its
+    /// probation window ends — if every node is quarantined, the call
+    /// returns the earliest probe time rather than failing. `None` if no
+    /// eligible proxy exists.
     pub fn acquire(&self, now_ms: u64, region: Option<Region>) -> Option<(Proxy, u64)> {
         self.proxies
             .iter()
             .enumerate()
-            .filter(|(i, p)| !self.banned[*i] && region.map_or(true, |r| p.region == r))
-            .map(|(i, p)| (*p, self.next_free_ms[i].max(now_ms)))
+            .filter(|(i, p)| !self.banned[*i] && region.is_none_or(|r| p.region == r))
+            .map(|(i, p)| {
+                (
+                    *p,
+                    self.next_free_ms[i]
+                        .max(self.quarantined_until[i])
+                        .max(now_ms),
+                )
+            })
             .min_by_key(|&(p, at)| (at, p.addr))
     }
 
@@ -108,6 +177,54 @@ impl ProxyPool {
     pub fn ban(&mut self, proxy: Proxy) {
         let i = self.index_of(proxy);
         self.banned[i] = true;
+    }
+
+    /// Records a successful response through `proxy`: closes the circuit
+    /// breaker and resets its probation window.
+    pub fn record_success(&mut self, proxy: Proxy) {
+        let i = self.index_of(proxy);
+        self.successes[i] = self.successes[i].saturating_add(1);
+        self.streak[i] = 0;
+        self.probation_ms[i] = PROBATION_INITIAL_MS;
+    }
+
+    /// Records a transport failure (dropped or corrupted response)
+    /// through `proxy` at virtual time `now_ms`. After
+    /// [`BREAKER_STREAK`] consecutive failures the breaker trips: the
+    /// proxy is quarantined until `now_ms + probation`, and the next
+    /// probation window doubles (capped), so a persistently sick node
+    /// backs off exponentially while still being probed.
+    pub fn record_failure(&mut self, proxy: Proxy, now_ms: u64) {
+        let i = self.index_of(proxy);
+        self.failures[i] = self.failures[i].saturating_add(1);
+        self.streak[i] = self.streak[i].saturating_add(1);
+        if self.streak[i] >= BREAKER_STREAK {
+            self.quarantined_until[i] = now_ms.saturating_add(self.probation_ms[i]);
+            self.probation_ms[i] = (self.probation_ms[i].saturating_mul(2)).min(PROBATION_CAP_MS);
+            self.quarantines[i] = self.quarantines[i].saturating_add(1);
+            // A fresh streak starts after the probe.
+            self.streak[i] = 0;
+        }
+    }
+
+    /// True if `proxy`'s breaker is open (quarantined) at `now_ms`.
+    pub fn is_quarantined(&self, proxy: Proxy, now_ms: u64) -> bool {
+        self.quarantined_until[self.index_of(proxy)] > now_ms
+    }
+
+    /// Per-proxy health ledgers, in pool order.
+    pub fn health(&self) -> Vec<ProxyHealth> {
+        self.proxies
+            .iter()
+            .enumerate()
+            .map(|(i, &proxy)| ProxyHealth {
+                proxy,
+                successes: self.successes[i],
+                failures: self.failures[i],
+                quarantines: self.quarantines[i],
+                banned: self.banned[i],
+            })
+            .collect()
     }
 
     fn index_of(&self, proxy: Proxy) -> usize {
@@ -158,6 +275,71 @@ mod tests {
         assert!(pool.acquire(0, Some(Region::China)).is_none());
         assert_eq!(pool.usable(None), 2);
         assert!(pool.acquire(0, None).is_some());
+    }
+
+    #[test]
+    fn breaker_trips_after_a_failure_streak_and_probes_again() {
+        let mut pool = ProxyPool::planetlab(0, 1);
+        let (proxy, _) = pool.acquire(0, None).unwrap();
+        pool.record_failure(proxy, 1_000);
+        pool.record_failure(proxy, 1_100);
+        assert!(!pool.is_quarantined(proxy, 1_100), "two failures: closed");
+        pool.record_failure(proxy, 1_200);
+        assert!(pool.is_quarantined(proxy, 1_200), "third failure trips");
+        // Not eligible until probation ends; acquire defers to the probe
+        // time instead of failing.
+        let (_, at) = pool.acquire(1_300, None).unwrap();
+        assert_eq!(at, 1_200 + 5_000);
+        assert!(!pool.is_quarantined(proxy, at));
+    }
+
+    #[test]
+    fn probation_doubles_per_trip_and_success_resets_it() {
+        let mut pool = ProxyPool::planetlab(0, 1);
+        let (proxy, _) = pool.acquire(0, None).unwrap();
+        for _ in 0..3 {
+            pool.record_failure(proxy, 0);
+        }
+        let (_, first_probe) = pool.acquire(0, None).unwrap();
+        // Second trip: window doubled.
+        for _ in 0..3 {
+            pool.record_failure(proxy, first_probe);
+        }
+        let (_, second_probe) = pool.acquire(first_probe, None).unwrap();
+        assert_eq!(second_probe - first_probe, 2 * first_probe);
+        // A success closes the breaker and resets probation.
+        pool.record_success(proxy);
+        for _ in 0..3 {
+            pool.record_failure(proxy, 100_000);
+        }
+        let (_, probe) = pool.acquire(100_000, None).unwrap();
+        assert_eq!(probe - 100_000, 5_000, "probation back to initial");
+        let health = &pool.health()[0];
+        assert_eq!(health.failures, 9);
+        assert_eq!(health.successes, 1);
+        assert_eq!(health.quarantines, 3);
+        assert!(!health.banned);
+        assert!(health.score() < 0.2);
+    }
+
+    #[test]
+    fn quarantine_heals_but_ban_does_not() {
+        let mut pool = ProxyPool::planetlab(0, 2);
+        let (a, _) = pool.acquire(0, None).unwrap();
+        for _ in 0..3 {
+            pool.record_failure(a, 0);
+        }
+        // While `a` is quarantined the other proxy serves.
+        let (b, at) = pool.acquire(0, None).unwrap();
+        assert_ne!(b.addr, a.addr);
+        assert_eq!(at, 0);
+        // After probation `a` is back in rotation…
+        assert!(!pool.is_quarantined(a, 10_000));
+        // …but a ban is forever.
+        pool.ban(a);
+        pool.hold(b, 1_000_000);
+        let (only, _) = pool.acquire(10_000, None).unwrap();
+        assert_eq!(only.addr, b.addr);
     }
 
     #[test]

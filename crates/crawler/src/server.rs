@@ -242,7 +242,10 @@ mod tests {
         let Response::AppPage { observation } = decode_response(&payload).unwrap() else {
             panic!("wrong response kind");
         };
-        assert_eq!(Some(observation.downloads), dataset.last().downloads_of(app));
+        assert_eq!(
+            Some(observation.downloads),
+            dataset.last().downloads_of(app)
+        );
     }
 
     #[test]
@@ -283,7 +286,9 @@ mod tests {
         let day = dataset.last().day;
         // 5 burst tokens pass…
         for _ in 0..5 {
-            assert!(server.handle(7, Region::Europe, 0, Request::Index { day }).is_ok());
+            assert!(server
+                .handle(7, Region::Europe, 0, Request::Index { day })
+                .is_ok());
         }
         // …the 6th is throttled with a sensible retry hint (1 token at
         // 10/s ⇒ 100 ms).
@@ -312,7 +317,9 @@ mod tests {
         let server = MarketplaceServer::new(&dataset, policy);
         let day = dataset.last().day;
         // Exhaust both addresses' single token.
-        assert!(server.handle(1, Region::China, 0, Request::Index { day }).is_ok());
+        assert!(server
+            .handle(1, Region::China, 0, Request::Index { day })
+            .is_ok());
         assert!(server
             .handle(2, Region::Europe, 0, Request::Index { day })
             .is_ok());
@@ -341,7 +348,9 @@ mod tests {
         };
         let server = MarketplaceServer::new(&dataset, policy);
         let day = dataset.last().day;
-        assert!(server.handle(9, Region::Europe, 0, Request::Index { day }).is_ok());
+        assert!(server
+            .handle(9, Region::Europe, 0, Request::Index { day })
+            .is_ok());
         // Hammer without waiting: 3 violations tolerated, then banned.
         for _ in 0..3 {
             assert!(matches!(

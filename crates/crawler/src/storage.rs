@@ -4,14 +4,28 @@
 //! database" that the analyses later read. This module provides that
 //! persistence layer: a dataset is written as a self-describing,
 //! line-delimited JSON journal (one record per line: header, apps,
-//! developers, snapshots, comments, updates) and read back verbatim.
-//! The journal format is append-friendly — a crawl can flush each day's
-//! snapshot as it completes and a truncated file still loads every
-//! complete record, which is exactly the durability a long-running crawl
-//! needs.
+//! developers, snapshots, comments, updates, day-complete markers) and
+//! read back verbatim. The journal format is append-friendly — a crawl
+//! flushes each day's records as the day completes and a truncated file
+//! still loads every complete record, which is exactly the durability a
+//! long-running crawl needs.
+//!
+//! Robustness layers on top of the plain format:
+//!
+//! - every line is **sealed** with a CRC32 of its payload, so storage
+//!   corruption is detected rather than silently parsed;
+//! - [`read_journal_lossy`] never fails on damaged lines: it quarantines
+//!   them and reports a [`JournalHealth`] summary (records kept, lines
+//!   dropped, truncation point, last complete day);
+//! - [`Record::DayComplete`] markers let a resumed campaign find the last
+//!   fully-flushed day and re-crawl only what is missing — replay
+//!   deduplicates records, so a partially-written day followed by its
+//!   re-crawl converges to the same dataset as an uninterrupted run;
+//! - [`JournalWriter`] appends sealed records incrementally (create or
+//!   resume), giving `run_campaign` its checkpoint stream.
 
 use appstore_core::{
-    App, CategorySet, CommentEvent, DailySnapshot, Dataset, Developer, StoreMeta, UpdateEvent,
+    App, CategorySet, CommentEvent, DailySnapshot, Dataset, Day, Developer, StoreMeta, UpdateEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -36,12 +50,14 @@ pub enum Record {
     Comments(Vec<CommentEvent>),
     /// A chunk of update events.
     Updates(Vec<UpdateEvent>),
+    /// Checkpoint marker: every record of this crawl day is flushed.
+    DayComplete(Day),
 }
 
 /// Chunk size for registry/event records.
 const CHUNK: usize = 4096;
 
-/// Errors from reading a journal.
+/// Errors from reading or writing a journal.
 #[derive(Debug)]
 pub enum StorageError {
     /// Underlying I/O failure.
@@ -53,6 +69,11 @@ pub enum StorageError {
     },
     /// The journal does not start with a header record.
     MissingHeader,
+    /// A record could not be serialized for writing.
+    Serialize {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -63,6 +84,9 @@ impl std::fmt::Display for StorageError {
                 write!(f, "malformed journal record at line {line}")
             }
             StorageError::MissingHeader => write!(f, "journal missing header record"),
+            StorageError::Serialize { detail } => {
+                write!(f, "journal record failed to serialize: {detail}")
+            }
         }
     }
 }
@@ -75,11 +99,146 @@ impl From<std::io::Error> for StorageError {
     }
 }
 
-/// Writes a dataset as a line-delimited JSON journal.
+// ---------------------------------------------------------------------------
+// Line sealing
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3) of a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Renders a record as a sealed journal line (without trailing newline).
+fn seal(record: &Record) -> Result<String, StorageError> {
+    let payload = serde_json::to_string(record).map_err(|e| StorageError::Serialize {
+        detail: e.to_string(),
+    })?;
+    Ok(format!("{:08x} {payload}", crc32(payload.as_bytes())))
+}
+
+/// Why a journal line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineFault {
+    /// The seal did not match the payload (bit rot, torn write).
+    ChecksumMismatch,
+    /// The payload (sealed or bare) was not a parseable record.
+    Unparseable,
+}
+
+impl std::fmt::Display for LineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineFault::ChecksumMismatch => write!(f, "checksum mismatch"),
+            LineFault::Unparseable => write!(f, "unparseable record"),
+        }
+    }
+}
+
+/// Parses one journal line, sealed (`crc32 json`) or bare legacy JSON.
+fn parse_line(line: &str) -> Result<Record, LineFault> {
+    let bytes = line.as_bytes();
+    if bytes.len() > 9 && bytes[8] == b' ' && bytes[..8].iter().all(u8::is_ascii_hexdigit) {
+        let expected = u32::from_str_radix(&line[..8], 16).expect("8 hex digits");
+        let payload = &line[9..];
+        if crc32(payload.as_bytes()) != expected {
+            return Err(LineFault::ChecksumMismatch);
+        }
+        return serde_json::from_str::<Record>(payload).map_err(|_| LineFault::Unparseable);
+    }
+    serde_json::from_str::<Record>(line).map_err(|_| LineFault::Unparseable)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental writing
+// ---------------------------------------------------------------------------
+
+/// Appends sealed records to a journal stream one at a time, flushing
+/// after every record so a crash loses at most the line being written.
+/// This is the checkpoint stream a resumable crawl writes as each day
+/// completes.
+pub struct JournalWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Starts a fresh journal: writes the header record immediately.
+    pub fn create(
+        writer: W,
+        store: &StoreMeta,
+        categories: &CategorySet,
+    ) -> Result<JournalWriter<W>, StorageError> {
+        let mut journal = JournalWriter { writer };
+        journal.append(&Record::Header {
+            store: store.clone(),
+            categories: categories.clone(),
+        })?;
+        Ok(journal)
+    }
+
+    /// Wraps a stream positioned at the end of an existing journal
+    /// (resume mode): nothing is written until the first append.
+    pub fn resume(writer: W) -> JournalWriter<W> {
+        JournalWriter { writer }
+    }
+
+    /// Appends one sealed record and flushes it.
+    pub fn append(&mut self, record: &Record) -> Result<(), StorageError> {
+        let line = seal(record)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Appends a slice as bounded-size chunk records via `make`.
+    pub fn append_chunked<T: Clone>(
+        &mut self,
+        items: &[T],
+        make: impl Fn(Vec<T>) -> Record,
+    ) -> Result<(), StorageError> {
+        for chunk in items.chunks(CHUNK) {
+            self.append(&make(chunk.to_vec()))?;
+        }
+        Ok(())
+    }
+
+    /// Marks `day` fully flushed.
+    pub fn day_complete(&mut self, day: Day) -> Result<(), StorageError> {
+        self.append(&Record::DayComplete(day))
+    }
+}
+
+/// Writes a dataset as a sealed line-delimited JSON journal.
 pub fn write_journal<W: Write>(dataset: &Dataset, writer: W) -> Result<(), StorageError> {
     let mut w = BufWriter::new(writer);
     let mut emit = |record: &Record| -> Result<(), StorageError> {
-        let line = serde_json::to_string(record).expect("records always serialize");
+        let line = seal(record)?;
         w.write_all(line.as_bytes())?;
         w.write_all(b"\n")?;
         Ok(())
@@ -111,25 +270,18 @@ pub fn write_journal<W: Write>(dataset: &Dataset, writer: W) -> Result<(), Stora
 ///
 /// Incomplete trailing lines (a crash mid-append) are tolerated: reading
 /// stops at the first malformed *final* line; a malformed line in the
-/// middle is an error.
+/// middle is an error. For corruption-tolerant loading use
+/// [`read_journal_lossy`].
 pub fn read_journal<R: Read>(reader: R) -> Result<Dataset, StorageError> {
     let mut lines = BufReader::new(reader).lines();
     let first = lines
         .next()
         .ok_or(StorageError::MissingHeader)?
         .map_err(StorageError::from)?;
-    let Ok(Record::Header { store, categories }) = serde_json::from_str(&first) else {
+    let Ok(Record::Header { store, categories }) = parse_line(&first) else {
         return Err(StorageError::MissingHeader);
     };
-    let mut dataset = Dataset {
-        store,
-        categories,
-        apps: Vec::new(),
-        developers: Vec::new(),
-        snapshots: Vec::new(),
-        comments: Vec::new(),
-        updates: Vec::new(),
-    };
+    let mut replay = Replay::new(store, categories);
     let mut pending_error: Option<usize> = None;
     for (index, line) in lines.enumerate() {
         let line = line?;
@@ -137,19 +289,264 @@ pub fn read_journal<R: Read>(reader: R) -> Result<Dataset, StorageError> {
             // The malformed line was not final after all.
             return Err(StorageError::Malformed { line: line_no });
         }
-        match serde_json::from_str::<Record>(&line) {
-            Ok(Record::Header { .. }) => {
-                return Err(StorageError::Malformed { line: index + 2 })
-            }
-            Ok(Record::Apps(mut apps)) => dataset.apps.append(&mut apps),
-            Ok(Record::Developers(mut devs)) => dataset.developers.append(&mut devs),
-            Ok(Record::Snapshot(s)) => dataset.snapshots.push(s),
-            Ok(Record::Comments(mut c)) => dataset.comments.append(&mut c),
-            Ok(Record::Updates(mut u)) => dataset.updates.append(&mut u),
+        match parse_line(&line) {
+            Ok(Record::Header { .. }) => return Err(StorageError::Malformed { line: index + 2 }),
+            Ok(record) => replay.absorb(record),
             Err(_) => pending_error = Some(index + 2),
         }
     }
-    Ok(dataset)
+    Ok(replay.dataset)
+}
+
+// ---------------------------------------------------------------------------
+// Lossy, deduplicating replay
+// ---------------------------------------------------------------------------
+
+/// A quarantined journal line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedLine {
+    /// 1-based line number in the journal.
+    pub line: usize,
+    /// Why the line was rejected.
+    pub fault: LineFault,
+}
+
+/// A [`Record::DayComplete`] marker and where it sits in the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The day the marker declares complete.
+    pub day: Day,
+    /// 1-based line number of the marker.
+    pub line: usize,
+}
+
+/// Health summary of a journal read by [`read_journal_lossy`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JournalHealth {
+    /// Total lines inspected (including the header).
+    pub lines_total: usize,
+    /// Records absorbed into the dataset (including the header).
+    pub records_kept: usize,
+    /// Records dropped by deduplicating replay (resume overlap).
+    pub records_deduplicated: usize,
+    /// Damaged lines that were skipped, in order.
+    pub quarantined: Vec<QuarantinedLine>,
+    /// True when the final line was damaged — the usual signature of a
+    /// crash mid-append; the quarantine entry gives the truncation point.
+    pub truncated_tail: bool,
+    /// Every day with a [`Record::DayComplete`] marker, ascending.
+    pub days_complete: Vec<Day>,
+    /// Every marker in journal order with its line number; the basis of
+    /// [`JournalHealth::trusted_days`].
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl JournalHealth {
+    /// Days whose checkpoint can actually be trusted: the marker exists
+    /// *and* no quarantined line falls inside the day's journal segment
+    /// (the lines since the previous marker). A damaged line inside a
+    /// completed day means some of that day's records are gone, so its
+    /// checkpoint must not be honored — the day re-crawls and replay
+    /// deduplication merges the overlap.
+    pub fn trusted_days(&self) -> Vec<Day> {
+        let mut trusted = Vec::new();
+        let mut segment_start = 0usize;
+        for cp in &self.checkpoints {
+            let damaged = self
+                .quarantined
+                .iter()
+                .any(|q| q.line > segment_start && q.line < cp.line);
+            if damaged {
+                segment_start = cp.line;
+                continue;
+            }
+            if !trusted.contains(&cp.day) {
+                trusted.push(cp.day);
+            }
+            segment_start = cp.line;
+        }
+        trusted.sort_unstable();
+        trusted
+    }
+
+    /// The last day of the contiguous complete prefix: the resume point.
+    /// `None` when day 0 itself never completed.
+    pub fn last_contiguous_day(&self) -> Option<Day> {
+        let mut last: Option<Day> = None;
+        for &day in &self.days_complete {
+            match last {
+                None if day.0 == 0 => last = Some(day),
+                Some(prev) if day.0 == prev.0 + 1 => last = Some(day),
+                _ => break,
+            }
+        }
+        last
+    }
+
+    /// Whether every inspected line survived.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && !self.truncated_tail
+    }
+}
+
+/// Deduplicating record replay: absorbing the same logical record twice
+/// (a partially-flushed day followed by its re-crawl) keeps the first
+/// copy, so replay converges to the uninterrupted dataset.
+struct Replay {
+    dataset: Dataset,
+    seen_apps: std::collections::HashSet<u32>,
+    seen_devs: std::collections::HashSet<u32>,
+    seen_days: std::collections::HashSet<u32>,
+    seen_comments: std::collections::HashSet<(u32, u32, u32, u32)>,
+    seen_updates: std::collections::HashSet<(u32, u32, u32)>,
+    deduplicated: usize,
+}
+
+impl Replay {
+    fn new(store: StoreMeta, categories: CategorySet) -> Replay {
+        Replay {
+            dataset: Dataset {
+                store,
+                categories,
+                apps: Vec::new(),
+                developers: Vec::new(),
+                snapshots: Vec::new(),
+                comments: Vec::new(),
+                updates: Vec::new(),
+            },
+            seen_apps: Default::default(),
+            seen_devs: Default::default(),
+            seen_days: Default::default(),
+            seen_comments: Default::default(),
+            seen_updates: Default::default(),
+            deduplicated: 0,
+        }
+    }
+
+    fn absorb(&mut self, record: Record) {
+        match record {
+            Record::Header { .. } | Record::DayComplete(_) => {}
+            Record::Apps(apps) => {
+                for app in apps {
+                    if self.seen_apps.insert(app.id.0) {
+                        self.dataset.apps.push(app);
+                    } else {
+                        self.deduplicated += 1;
+                    }
+                }
+            }
+            Record::Developers(devs) => {
+                for dev in devs {
+                    if self.seen_devs.insert(dev.id.0) {
+                        self.dataset.developers.push(dev);
+                    } else {
+                        self.deduplicated += 1;
+                    }
+                }
+            }
+            Record::Snapshot(snapshot) => {
+                if self.seen_days.insert(snapshot.day.0) {
+                    self.dataset.snapshots.push(snapshot);
+                } else {
+                    self.deduplicated += 1;
+                }
+            }
+            Record::Comments(comments) => {
+                for c in comments {
+                    if self
+                        .seen_comments
+                        .insert((c.user.0, c.app.0, c.day.0, c.seq))
+                    {
+                        self.dataset.comments.push(c);
+                    } else {
+                        self.deduplicated += 1;
+                    }
+                }
+            }
+            Record::Updates(updates) => {
+                for u in updates {
+                    if self.seen_updates.insert((u.app.0, u.day.0, u.version)) {
+                        self.dataset.updates.push(u);
+                    } else {
+                        self.deduplicated += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads a journal tolerating arbitrary line damage.
+///
+/// Damaged lines are quarantined (skipped and reported in the returned
+/// [`JournalHealth`]), never fatal. Replay deduplicates overlapping
+/// records from crash/resume cycles. Returns `None` for the dataset when
+/// no valid header line exists — the health report is still meaningful.
+pub fn read_journal_lossy<R: Read>(reader: R) -> (Option<Dataset>, JournalHealth) {
+    let mut health = JournalHealth::default();
+    let mut replay: Option<Replay> = None;
+    let mut last_was_damaged = false;
+    for (index, line) in BufReader::new(reader).lines().enumerate() {
+        let Ok(line) = line else {
+            // Unreadable bytes mid-stream: treat as a damaged final line.
+            health.quarantined.push(QuarantinedLine {
+                line: index + 1,
+                fault: LineFault::Unparseable,
+            });
+            last_was_damaged = true;
+            health.lines_total = index + 1;
+            break;
+        };
+        health.lines_total = index + 1;
+        last_was_damaged = false;
+        match parse_line(&line) {
+            Ok(Record::Header { store, categories }) => {
+                if replay.is_none() {
+                    replay = Some(Replay::new(store, categories));
+                    health.records_kept += 1;
+                } else {
+                    // Duplicate header: quarantine, keep the first.
+                    health.quarantined.push(QuarantinedLine {
+                        line: index + 1,
+                        fault: LineFault::Unparseable,
+                    });
+                }
+            }
+            Ok(Record::DayComplete(day)) => {
+                health.records_kept += 1;
+                health.checkpoints.push(Checkpoint {
+                    day,
+                    line: index + 1,
+                });
+                if !health.days_complete.contains(&day) {
+                    health.days_complete.push(day);
+                }
+            }
+            Ok(record) => match replay.as_mut() {
+                Some(replay) => {
+                    health.records_kept += 1;
+                    replay.absorb(record);
+                }
+                None => health.quarantined.push(QuarantinedLine {
+                    line: index + 1,
+                    fault: LineFault::Unparseable,
+                }),
+            },
+            Err(fault) => {
+                health.quarantined.push(QuarantinedLine {
+                    line: index + 1,
+                    fault,
+                });
+                last_was_damaged = true;
+            }
+        }
+    }
+    health.truncated_tail = last_was_damaged;
+    health.days_complete.sort_unstable();
+    if let Some(replay) = &replay {
+        health.records_deduplicated = replay.deduplicated;
+    }
+    (replay.map(|r| r.dataset), health)
 }
 
 #[cfg(test)]
@@ -211,7 +608,7 @@ mod tests {
             read_journal(std::io::empty()),
             Err(StorageError::MissingHeader)
         ));
-        let not_header = serde_json::to_string(&Record::Apps(vec![])).unwrap();
+        let not_header = seal(&Record::Apps(vec![])).unwrap();
         assert!(matches!(
             read_journal(not_header.as_bytes()),
             Err(StorageError::MissingHeader)
@@ -233,6 +630,142 @@ mod tests {
             read_journal(buffer.as_slice()),
             Err(StorageError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn lines_are_sealed_with_crc32() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        for line in text.lines() {
+            assert_eq!(&line[8..9], " ");
+            let expected = u32::from_str_radix(&line[..8], 16).unwrap();
+            assert_eq!(crc32(&line.as_bytes()[9..]), expected);
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_caught_by_the_seal() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        // Flip one content byte in the middle of the journal. A digit
+        // swap like 3 -> 2 still parses as JSON — only the seal sees it.
+        let mid = buffer.len() / 2;
+        let target = (mid..buffer.len())
+            .find(|&i| buffer[i].is_ascii_digit())
+            .unwrap();
+        buffer[target] = if buffer[target] == b'9' { b'8' } else { b'9' };
+        let (restored, health) = read_journal_lossy(buffer.as_slice());
+        assert!(restored.is_some());
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.quarantined[0].fault, LineFault::ChecksumMismatch);
+        assert!(!health.is_clean());
+    }
+
+    #[test]
+    fn lossy_read_of_clean_journal_matches_strict() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let (restored, health) = read_journal_lossy(buffer.as_slice());
+        assert_eq!(restored.unwrap(), original);
+        assert!(health.is_clean());
+        assert_eq!(health.records_kept, health.lines_total);
+        assert_eq!(health.records_deduplicated, 0);
+    }
+
+    #[test]
+    fn lossy_read_quarantines_the_middle_and_keeps_the_rest() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let damaged_line = 3;
+        lines[damaged_line - 1] = "xxxx not a journal line".to_string();
+        let damaged = lines.join("\n");
+        let (restored, health) = read_journal_lossy(damaged.as_bytes());
+        let restored = restored.unwrap();
+        assert_eq!(health.quarantined.len(), 1);
+        assert_eq!(health.quarantined[0].line, damaged_line);
+        assert!(!health.truncated_tail);
+        assert_eq!(health.records_kept, lines.len() - 1);
+        // Only the one damaged chunk is missing.
+        assert!(restored.apps.len() < original.apps.len() || restored.apps == original.apps);
+    }
+
+    #[test]
+    fn replay_deduplicates_resume_overlap() {
+        let original = dataset();
+        let mut buffer = Vec::new();
+        write_journal(&original, &mut buffer).unwrap();
+        // Append a duplicate of every non-header record, as a crashed and
+        // restarted crawl would after re-crawling flushed days.
+        let text = String::from_utf8(buffer.clone()).unwrap();
+        for line in text.lines().skip(1) {
+            buffer.extend_from_slice(line.as_bytes());
+            buffer.push(b'\n');
+        }
+        let (restored, health) = read_journal_lossy(buffer.as_slice());
+        assert_eq!(restored.unwrap(), original);
+        assert!(health.records_deduplicated > 0);
+    }
+
+    #[test]
+    fn day_complete_markers_drive_the_resume_point() {
+        let meta = dataset();
+        let mut buffer = Vec::new();
+        {
+            let mut journal =
+                JournalWriter::create(&mut buffer, &meta.store, &meta.categories).unwrap();
+            journal.day_complete(Day(0)).unwrap();
+            journal.day_complete(Day(1)).unwrap();
+            // Day 2 never completed; day 3 completed out of order (e.g.
+            // its marker survived corruption that ate day 2's).
+            journal.day_complete(Day(3)).unwrap();
+        }
+        let (_, health) = read_journal_lossy(buffer.as_slice());
+        assert_eq!(health.days_complete, vec![Day(0), Day(1), Day(3)]);
+        assert_eq!(health.last_contiguous_day(), Some(Day(1)));
+    }
+
+    #[test]
+    fn damage_inside_a_completed_day_revokes_its_checkpoint() {
+        let meta = dataset();
+        let mut buffer = Vec::new();
+        {
+            let mut journal =
+                JournalWriter::create(&mut buffer, &meta.store, &meta.categories).unwrap();
+            journal
+                .append(&Record::Snapshot(meta.snapshots[0].clone()))
+                .unwrap();
+            journal.day_complete(Day(0)).unwrap();
+            journal
+                .append(&Record::Snapshot(meta.snapshots[1].clone()))
+                .unwrap();
+            journal.day_complete(Day(1)).unwrap();
+        }
+        // Destroy day 1's snapshot line (line 4) but leave its marker.
+        let mut lines: Vec<String> = String::from_utf8(buffer)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines[3] = "garbage".to_string();
+        let damaged = lines.join("\n");
+        let (_, health) = read_journal_lossy(damaged.as_bytes());
+        assert_eq!(health.days_complete, vec![Day(0), Day(1)]);
+        // Day 1's checkpoint is no longer trustworthy; day 0's is.
+        assert_eq!(health.trusted_days(), vec![Day(0)]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }
 

@@ -233,7 +233,12 @@ mod tests {
             layout: ClusterLayout::Interleaved,
         };
         assert!(base.validate().is_ok());
-        assert!(ClusteringParams { clusters: 0, ..base }.validate().is_err());
+        assert!(ClusteringParams {
+            clusters: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(ClusteringParams {
             clusters: 101,
             ..base

@@ -250,9 +250,7 @@ mod tests {
             layout: ClusterLayout::Interleaved,
         };
         let eq5: f64 = expected_downloads_clustering(&params).iter().sum();
-        let weighted: f64 = expected_downloads_clustering_weighted(&params)
-            .iter()
-            .sum();
+        let weighted: f64 = expected_downloads_clustering_weighted(&params).iter().sum();
         assert!(eq5 > weighted, "Eq.5 {eq5} vs weighted {weighted}");
     }
 

@@ -200,7 +200,7 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
         };
         // `score` rescales to the measured total, so users/d are moot.
         let distance = score(observed, expected_downloads_zipf(&params));
-        if best.map_or(true, |b| distance < b.distance) {
+        if best.is_none_or(|b| distance < b.distance) {
             best = Some(FitOutcome {
                 kind: ModelKind::Zipf,
                 zipf_exponent: z,
@@ -330,8 +330,7 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
                     if params.validate().is_err() {
                         continue;
                     }
-                    let distance =
-                        score(observed, expected_downloads_clustering_weighted(&params));
+                    let distance = score(observed, expected_downloads_clustering_weighted(&params));
                     let outcome = FitOutcome {
                         kind: ModelKind::AppClustering,
                         zipf_exponent: z_r,
@@ -490,11 +489,11 @@ mod tests {
                 apps: 400,
                 users: 3000,
                 downloads_per_user: 8,
-                zipf_exponent: 1.4,
+                zipf_exponent: 1.2,
             },
             clusters: 20,
             p: 0.9,
-            cluster_exponent: 1.4,
+            cluster_exponent: 1.8,
             layout: ClusterLayout::Interleaved,
         };
         let mut counts = Simulator::app_clustering(params).simulate_counts(Seed::new(5));

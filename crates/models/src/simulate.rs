@@ -105,7 +105,9 @@ impl Simulator {
     /// # Panics
     /// Panics if the parameters fail validation.
     pub fn zipf(population: PopulationParams) -> Simulator {
-        population.validate().expect("invalid population parameters");
+        population
+            .validate()
+            .expect("invalid population parameters");
         Simulator {
             kind: ModelKind::Zipf,
             global: ZipfSampler::new(population.apps, population.zipf_exponent),
@@ -429,7 +431,7 @@ mod tests {
         }
         assert_eq!(recount, trace.counts);
         // Each user appears exactly d times.
-        let mut per_user = vec![0u32; 40];
+        let mut per_user = [0u32; 40];
         for e in &trace.events {
             per_user[e.user.index()] += 1;
         }

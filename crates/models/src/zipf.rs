@@ -36,7 +36,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative or not finite.
     pub fn new(n: usize, s: f64) -> ZipfSampler {
         assert!(n > 0, "Zipf support must be nonempty");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and >= 0"
+        );
         let h = generalized_harmonic(n, s);
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -46,7 +49,10 @@ impl ZipfSampler {
         }
         // Guard against floating-point shortfall at the top.
         *cumulative.last_mut().expect("nonempty") = 1.0;
-        ZipfSampler { cumulative, exponent: s }
+        ZipfSampler {
+            cumulative,
+            exponent: s,
+        }
     }
 
     /// Number of ranks in the support.
@@ -118,7 +124,7 @@ mod tests {
         let sampler = ZipfSampler::new(20, 1.1);
         let mut rng = Seed::new(42).rng();
         let n = 200_000;
-        let mut counts = vec![0u64; 20];
+        let mut counts = [0u64; 20];
         for _ in 0..n {
             counts[sampler.sample_index(&mut rng)] += 1;
         }

@@ -27,6 +27,4 @@ pub mod eval;
 pub mod recommender;
 
 pub use eval::{evaluate, temporal_split, EvalReport};
-pub use recommender::{
-    CategoryRecency, ItemKnn, Popularity, Recommender, TrainedRecommender,
-};
+pub use recommender::{CategoryRecency, ItemKnn, Popularity, Recommender, TrainedRecommender};

@@ -80,7 +80,11 @@ impl Recommender for Popularity {
         let mut counts: HashMap<u32, u64> = HashMap::new();
         for e in events {
             *counts.entry(e.app.0).or_insert(0) += 1;
-            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+            self.histories
+                .entry(e.user.0)
+                .or_default()
+                .apps
+                .push(e.app.0);
         }
         self.ranked = ranked_by_count(&counts);
     }
@@ -140,7 +144,11 @@ impl Recommender for ItemKnn {
     fn train(&mut self, events: &[DownloadEvent]) {
         let mut counts: HashMap<u32, u64> = HashMap::new();
         for e in events {
-            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+            self.histories
+                .entry(e.user.0)
+                .or_default()
+                .apps
+                .push(e.app.0);
             *counts.entry(e.app.0).or_insert(0) += 1;
         }
         self.fallback = ranked_by_count(&counts);
@@ -269,7 +277,11 @@ where
     fn train(&mut self, events: &[DownloadEvent]) {
         let mut counts: HashMap<u32, u64> = HashMap::new();
         for e in events {
-            self.histories.entry(e.user.0).or_default().apps.push(e.app.0);
+            self.histories
+                .entry(e.user.0)
+                .or_default()
+                .apps
+                .push(e.app.0);
             *counts.entry(e.app.0).or_insert(0) += 1;
         }
         self.fallback = ranked_by_count(&counts);
@@ -361,7 +373,10 @@ mod tests {
             event(2, 3),
         ]);
         // Global ranking: 5 (3), 7 (2), 3 (1).
-        assert_eq!(r.recommend(UserId(9), 3), vec![AppId(5), AppId(7), AppId(3)]);
+        assert_eq!(
+            r.recommend(UserId(9), 3),
+            vec![AppId(5), AppId(7), AppId(3)]
+        );
         // User 0 already has 5 and 7.
         assert_eq!(r.recommend(UserId(0), 3), vec![AppId(3)]);
     }
@@ -431,9 +446,7 @@ mod tests {
 
     #[test]
     fn recommendations_never_include_history_or_duplicates() {
-        let events: Vec<DownloadEvent> = (0..200u32)
-            .map(|i| event(i % 20, (i * 7) % 30))
-            .collect();
+        let events: Vec<DownloadEvent> = (0..200u32).map(|i| event(i % 20, (i * 7) % 30)).collect();
         let recommenders: Vec<Box<dyn Recommender>> = vec![
             Box::new(Popularity::new()),
             Box::new(ItemKnn::new(8)),

@@ -21,7 +21,10 @@ pub fn detect_ad_networks(app: &App) -> Vec<&str> {
 /// (the paper's 67.7% headline). Returns `None` if there are no free
 /// apps.
 pub fn ad_fraction_of_free_apps(apps: &[App]) -> Option<f64> {
-    let free: Vec<&App> = apps.iter().filter(|a| a.tier == PricingTier::Free).collect();
+    let free: Vec<&App> = apps
+        .iter()
+        .filter(|a| a.tier == PricingTier::Free)
+        .collect();
     if free.is_empty() {
         return None;
     }

@@ -156,8 +156,8 @@ pub fn breakeven_by_category(dataset: &Dataset) -> Vec<(String, f64)> {
 mod tests {
     use super::*;
     use appstore_core::{
-        AdLibrary, App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot,
-        Day, Developer, DeveloperId, StoreId, StoreMeta,
+        AdLibrary, App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day,
+        Developer, DeveloperId, StoreId, StoreMeta,
     };
 
     fn app(id: u32, cat: u32, tier: PricingTier, cents: u64, with_ads: bool) -> App {
@@ -214,12 +214,7 @@ mod tests {
                 },
                 DailySnapshot {
                     day: Day(1),
-                    observations: vec![
-                        obs(0, 0, 50),
-                        obs(1, 0, 400),
-                        obs(2, 1, 600),
-                        obs(3, 1, 9),
-                    ],
+                    observations: vec![obs(0, 0, 50), obs(1, 0, 400), obs(2, 1, 600), obs(3, 1, 9)],
                 },
             ],
             comments: vec![],
@@ -285,8 +280,8 @@ mod tests {
 mod tiny_population_tests {
     use super::*;
     use appstore_core::{
-        AdLibrary, App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot,
-        Day, Developer, DeveloperId, StoreId, StoreMeta,
+        AdLibrary, App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day,
+        Developer, DeveloperId, StoreId, StoreMeta,
     };
 
     fn one_of_each() -> Dataset {

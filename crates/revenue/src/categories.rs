@@ -88,8 +88,8 @@ pub fn category_shares(dataset: &Dataset) -> Vec<CategoryShare> {
 mod tests {
     use super::*;
     use appstore_core::{
-        App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day,
-        Developer, DeveloperId, StoreId, StoreMeta,
+        App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Day, Developer,
+        DeveloperId, StoreId, StoreMeta,
     };
 
     fn paid(id: u32, dev: u32, cat: u32, cents: u64) -> App {

@@ -182,11 +182,11 @@ mod tests {
 
     pub(super) fn dataset() -> Dataset {
         let apps = vec![
-            app(0, 0, 0, PricingTier::Paid, 200),  // dev 0: $2 paid
-            app(1, 0, 1, PricingTier::Paid, 100),  // dev 0: $1 paid
-            app(2, 1, 0, PricingTier::Free, 0),    // dev 1: free only
-            app(3, 2, 2, PricingTier::Paid, 500),  // dev 2: paid only
-            app(4, 2, 2, PricingTier::Free, 0),    // dev 2 also free -> both
+            app(0, 0, 0, PricingTier::Paid, 200), // dev 0: $2 paid
+            app(1, 0, 1, PricingTier::Paid, 100), // dev 0: $1 paid
+            app(2, 1, 0, PricingTier::Free, 0),   // dev 1: free only
+            app(3, 2, 2, PricingTier::Paid, 500), // dev 2: paid only
+            app(4, 2, 2, PricingTier::Free, 0),   // dev 2 also free -> both
         ];
         let observations = vec![
             AppObservation {
@@ -284,8 +284,8 @@ mod tests {
 
 #[cfg(test)]
 mod commission_tests {
-    use super::*;
     use super::tests::dataset;
+    use super::*;
 
     #[test]
     fn commission_scales_income_down() {

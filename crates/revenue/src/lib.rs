@@ -33,7 +33,7 @@ pub use breakeven::{
 };
 pub use categories::{category_shares, CategoryShare};
 pub use income::{
-    developer_incomes, developer_incomes_after_commission, developer_strategies,
-    store_commission, DeveloperIncome, StrategyMix,
+    developer_incomes, developer_incomes_after_commission, developer_strategies, store_commission,
+    DeveloperIncome, StrategyMix,
 };
 pub use pricing::{price_bins, price_correlations, PriceBin};

@@ -189,18 +189,16 @@ mod boundary_tests {
     /// intervals), except the final edge which is inclusive.
     #[test]
     fn bin_edges_are_half_open() {
-        let apps = vec![
-            App {
-                id: AppId(0),
-                category: CategoryId(0),
-                developer: DeveloperId(0),
-                tier: PricingTier::Paid,
-                price: Cents(200), // exactly $2.00
-                created: Day::ZERO,
-                apk_size: 1,
-                libraries: vec![],
-            },
-        ];
+        let apps = vec![App {
+            id: AppId(0),
+            category: CategoryId(0),
+            developer: DeveloperId(0),
+            tier: PricingTier::Paid,
+            price: Cents(200), // exactly $2.00
+            created: Day::ZERO,
+            apk_size: 1,
+            libraries: vec![],
+        }];
         let observations = vec![AppObservation {
             app: AppId(0),
             category: CategoryId(0),

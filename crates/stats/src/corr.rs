@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn tied_ranks_average() {
-        assert_eq!(average_ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 
     proptest! {

@@ -47,10 +47,11 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
+        let pivot_row = a[col];
         for row in (col + 1)..3 {
-            let factor = a[row][col] / a[col][col];
-            for k in col..3 {
-                a[row][k] -= factor * a[col][k];
+            let factor = a[row][col] / pivot_row[col];
+            for (k, p) in pivot_row.iter().enumerate().skip(col) {
+                a[row][k] -= factor * p;
             }
             b[row] -= factor * b[col];
         }
@@ -144,7 +145,11 @@ pub fn powerlaw_cutoff_fit(ranked: &[u64]) -> Option<CutoffFit> {
     let decay = -fit.b2;
     Some(CutoffFit {
         exponent: -fit.b1,
-        cutoff: if decay > 0.0 { 1.0 / decay } else { f64::INFINITY },
+        cutoff: if decay > 0.0 {
+            1.0 / decay
+        } else {
+            f64::INFINITY
+        },
         r_squared: fit.r_squared,
         n: fit.n,
     })
@@ -219,11 +224,7 @@ mod tests {
         let plain = zipf_fit_loglog(&ranked).unwrap();
         // The cutoff term buys essentially nothing on pure Zipf data.
         assert!(cutoff.r_squared - plain.quality < 0.005);
-        assert!(
-            cutoff.cutoff > 1_000.0,
-            "spurious cutoff {}",
-            cutoff.cutoff
-        );
+        assert!(cutoff.cutoff > 1_000.0, "spurious cutoff {}", cutoff.cutoff);
     }
 
     #[test]

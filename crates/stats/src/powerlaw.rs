@@ -213,7 +213,11 @@ mod tests {
         }
         let full = zipf_fit_loglog(&ranked).unwrap();
         let trunk = zipf_fit_trunk(&ranked, 20, 100).unwrap();
-        assert!((trunk.exponent - 1.2).abs() < 0.02, "trunk {}", trunk.exponent);
+        assert!(
+            (trunk.exponent - 1.2).abs() < 0.02,
+            "trunk {}",
+            trunk.exponent
+        );
         assert!((full.exponent - 1.2).abs() > (trunk.exponent - 1.2).abs());
     }
 

@@ -130,11 +130,11 @@ fn paid_price<R: Rng + ?Sized>(rng: &mut R, category_rank: usize) -> Cents {
     // cheapest stock, which matters for Fig. 12's negative correlation
     // (otherwise a cheap-and-unsold e-book mass flips its sign).
     let base = match category_rank {
-        0 => 3.2,            // music
-        1 => 2.2,            // fun/games
-        2 | 3 => 2.8,        // utilities / productivity
-        10 => 1.9,           // e-books
-        12 => 1.2,           // wallpapers
+        0 => 3.2,     // music
+        1 => 2.2,     // fun/games
+        2 | 3 => 2.8, // utilities / productivity
+        10 => 1.9,    // e-books
+        12 => 1.2,    // wallpapers
         _ => 2.0,
     };
     // Log-normal-ish spread: multiply by exp(N(0, 0.6)) approximated by
@@ -188,7 +188,11 @@ pub fn build_catalog(profile: &StoreProfile, seed: Seed) -> Catalog {
     // dominates downloads (Fig. 5d: the top category holds only ~12%) —
     // every category has its own hit apps, exactly the assumption of the
     // APP-CLUSTERING interleaved layout.
-    let sizes = category_sizes(free_total, profile.categories, profile.category_size_exponent);
+    let sizes = category_sizes(
+        free_total,
+        profile.categories,
+        profile.category_size_exponent,
+    );
     let mut free_categories: Vec<CategoryId> = vec![CategoryId(0); free_total];
     {
         let mut remaining = sizes.clone();
@@ -210,7 +214,7 @@ pub fn build_catalog(profile: &StoreProfile, seed: Seed) -> Catalog {
         // Tail: draw from the remaining size distribution at random.
         let mut slots: Vec<CategoryId> = Vec::with_capacity(free_total - head_span);
         for (cat, &count) in remaining.iter().enumerate() {
-            slots.extend(std::iter::repeat(CategoryId(cat as u32)).take(count));
+            slots.extend(std::iter::repeat_n(CategoryId(cat as u32), count));
         }
         slots.shuffle(&mut rng);
         for (&app, cat) in free_rank_order.iter().skip(head_span).zip(slots) {
@@ -225,9 +229,18 @@ pub fn build_catalog(profile: &StoreProfile, seed: Seed) -> Catalog {
             // Paid catalogue composition per Fig. 15: e-books are ~33% of
             // paid apps, games ~18%, music only ~1.6%; remaining mass is
             // spread over the other categories.
-            let ebooks = categories.by_name("e-books").map(|c| c.id).unwrap_or(CategoryId(10));
-            let games = categories.by_name("fun/games").map(|c| c.id).unwrap_or(CategoryId(1));
-            let music = categories.by_name("music").map(|c| c.id).unwrap_or(CategoryId(0));
+            let ebooks = categories
+                .by_name("e-books")
+                .map(|c| c.id)
+                .unwrap_or(CategoryId(10));
+            let games = categories
+                .by_name("fun/games")
+                .map(|c| c.id)
+                .unwrap_or(CategoryId(1));
+            let music = categories
+                .by_name("music")
+                .map(|c| c.id)
+                .unwrap_or(CategoryId(0));
             let mut cats = Vec::with_capacity(days.len());
             for _ in 0..days.len() {
                 let u: f64 = rng.gen();
@@ -372,10 +385,18 @@ pub fn build_catalog(profile: &StoreProfile, seed: Seed) -> Catalog {
             let app = &apps[free_total + j];
             let tenure = f64::from(app.created.0) / f64::from(profile.days.max(1));
             let price_penalty = 0.22 * app.price.as_dollars();
-            let music_boost = if Some(app.category) == music { 0.65 } else { 0.0 };
+            let music_boost = if Some(app.category) == music {
+                0.65
+            } else {
+                0.0
+            };
             // E-book catalogues are heavily supplied but weakly demanded
             // (paper Fig. 15: a third of paid apps, ~0.1% of revenue).
-            let ebook_penalty = if Some(app.category) == ebooks { 0.5 } else { 0.0 };
+            let ebook_penalty = if Some(app.category) == ebooks {
+                0.5
+            } else {
+                0.0
+            };
             let portfolio = paid_apps_of_dev[app.developer.index()];
             let factory_penalty = 0.07 * f64::from(portfolio.saturating_sub(1).min(10));
             rng.gen::<f64>() + 1.0 * tenure + price_penalty + factory_penalty + ebook_penalty
@@ -428,7 +449,10 @@ mod tests {
     fn catalog_is_consistent() {
         let profile = small_profile();
         let catalog = build_catalog(&profile, Seed::new(7));
-        assert_eq!(catalog.apps.len(), catalog.free_count() + catalog.paid_count());
+        assert_eq!(
+            catalog.apps.len(),
+            catalog.free_count() + catalog.paid_count()
+        );
         assert_eq!(catalog.free_count(), profile.final_apps());
         // Ids are dense and match positions.
         for (i, app) in catalog.apps.iter().enumerate() {
@@ -438,7 +462,11 @@ mod tests {
         }
         // Rank orders are permutations.
         let mut seen = vec![false; catalog.apps.len()];
-        for &a in catalog.free_rank_order.iter().chain(&catalog.paid_rank_order) {
+        for &a in catalog
+            .free_rank_order
+            .iter()
+            .chain(&catalog.paid_rank_order)
+        {
             assert!(!seen[a as usize], "duplicate rank entry");
             seen[a as usize] = true;
         }
@@ -499,10 +527,10 @@ mod tests {
         let ebooks = catalog.categories.by_name("e-books").unwrap().id;
         let music = catalog.categories.by_name("music").unwrap().id;
         let paid: Vec<&App> = catalog.apps.iter().filter(|a| a.is_paid()).collect();
-        let ebook_frac = paid.iter().filter(|a| a.category == ebooks).count() as f64
-            / paid.len() as f64;
-        let music_frac = paid.iter().filter(|a| a.category == music).count() as f64
-            / paid.len() as f64;
+        let ebook_frac =
+            paid.iter().filter(|a| a.category == ebooks).count() as f64 / paid.len() as f64;
+        let music_frac =
+            paid.iter().filter(|a| a.category == music).count() as f64 / paid.len() as f64;
         assert!(
             (ebook_frac - 0.332).abs() < 0.1,
             "e-book fraction {ebook_frac}"
@@ -526,9 +554,11 @@ mod tests {
         let catalog = build_catalog(&profile, Seed::new(17));
         let music = catalog.categories.by_name("music").unwrap().id;
         let head = &catalog.paid_rank_order[..catalog.paid_count() / 20];
-        let head_music =
-            head.iter().filter(|&&a| catalog.apps[a as usize].category == music).count() as f64
-                / head.len() as f64;
+        let head_music = head
+            .iter()
+            .filter(|&&a| catalog.apps[a as usize].category == music)
+            .count() as f64
+            / head.len() as f64;
         let overall_music = catalog
             .apps
             .iter()

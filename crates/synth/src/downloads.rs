@@ -70,7 +70,9 @@ impl CategoryPreference {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

@@ -16,9 +16,7 @@
 
 use crate::catalog::Catalog;
 use crate::profile::StoreProfile;
-use appstore_core::{
-    AppId, CommentEvent, Day, DownloadEvent, Seed, UpdateEvent, UserId,
-};
+use appstore_core::{AppId, CommentEvent, Day, DownloadEvent, Seed, UpdateEvent, UserId};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -168,7 +166,7 @@ mod tests {
     use crate::downloads::simulate_downloads;
 
     fn store() -> (StoreProfile, Catalog, Vec<DownloadEvent>) {
-        let profile = StoreProfile::anzhi().scaled_down(50);
+        let profile = StoreProfile::anzhi().scaled_down(20);
         let catalog = build_catalog(&profile, Seed::new(1));
         let outcome = simulate_downloads(&profile, &catalog, Seed::new(2));
         (profile, catalog, outcome.events)
@@ -182,7 +180,14 @@ mod tests {
         profile.spam_users = 0;
         let comments = generate_comments(&profile, &catalog, &events, Seed::new(3));
         let rate = comments.len() as f64 / events.len() as f64;
-        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+        // The per-user intensity mixture (60% x0.5, 30% x1.5, 10% x4.0)
+        // has mean 1.15, so the design download->comment rate is
+        // comment_rate * 1.15, download-weighted.
+        let expected = 0.05 * 1.15;
+        assert!(
+            (rate - expected).abs() < 0.012,
+            "rate {rate} vs design {expected}"
+        );
         // Ratings are within 1..=5.
         assert!(comments.iter().all(|c| (1..=5).contains(&c.rating)));
         // Sequence numbers are unique per (user, day).
@@ -216,10 +221,12 @@ mod tests {
         }
         let zero = per_app.iter().filter(|&&c| c == 0).count() as f64;
         let frac = zero / catalog.apps.len() as f64;
+        // The zero-probability ramp runs from base-0.12 (rank 0) to
+        // base+0.04 (tail), so the population mean sits near base-0.04.
+        let expected = profile.update_zero_prob - 0.04;
         assert!(
-            (frac - profile.update_zero_prob).abs() < 0.06,
-            "never-updated fraction {frac} vs profile {}",
-            profile.update_zero_prob
+            (frac - expected).abs() < 0.05,
+            "never-updated fraction {frac} vs design mean {expected}"
         );
         // 99% of apps have fewer than ~6 updates (Fig. 4 inset).
         let mut sorted = per_app.clone();

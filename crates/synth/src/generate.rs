@@ -4,9 +4,7 @@ use crate::catalog::{build_catalog, Catalog};
 use crate::downloads::{simulate_downloads, DownloadOutcome};
 use crate::events::{generate_comments, generate_updates};
 use crate::profile::StoreProfile;
-use appstore_core::{
-    AppObservation, DailySnapshot, Dataset, Day, Seed, StoreId, StoreMeta,
-};
+use appstore_core::{AppObservation, DailySnapshot, Dataset, Day, Seed, StoreId, StoreMeta};
 
 /// A generated store: the ground-truth dataset plus the raw materials a
 /// crawl simulation needs (the catalogue and per-day counters).
@@ -205,7 +203,11 @@ mod tests {
         );
         let d = &store.dataset;
         assert!(d.store.has_paid_apps);
-        let paid = d.apps.iter().filter(|a| a.tier == PricingTier::Paid).count();
+        let paid = d
+            .apps
+            .iter()
+            .filter(|a| a.tier == PricingTier::Paid)
+            .count();
         let free = d.apps.len() - paid;
         assert!(paid > 0 && free > 0);
         // Paid downloads exist and are far fewer than free downloads.

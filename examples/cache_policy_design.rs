@@ -30,13 +30,15 @@ fn main() {
         layout: ClusterLayout::Interleaved,
     };
     let fractions = [0.01, 0.05, 0.10];
-    println!("simulating {} downloads per model…\n", params.population.total_downloads());
+    println!(
+        "simulating {} downloads per model…\n",
+        params.population.total_downloads()
+    );
     let points = sweep_cache_sizes(params, &fractions, Seed::new(99), true);
 
     for kind in ModelKind::ALL {
         println!("workload: {}", kind.name());
-        let model_points: Vec<&Fig19Point> =
-            points.iter().filter(|p| p.model == kind).collect();
+        let model_points: Vec<&Fig19Point> = points.iter().filter(|p| p.model == kind).collect();
         let policies: Vec<&str> = model_points[0]
             .hit_ratios
             .iter()

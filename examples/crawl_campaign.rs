@@ -87,6 +87,9 @@ fn main() {
         "harvest must be lossless"
     );
     assert_eq!(outcome.dataset.comments.len(), truth.comments.len());
-    outcome.dataset.validate().expect("harvested dataset is valid");
+    outcome
+        .dataset
+        .validate()
+        .expect("harvested dataset is valid");
     println!("\nharvest verified lossless against ground truth ✔");
 }

@@ -64,9 +64,7 @@ fn main() {
         ad_share * 100.0
     );
     if let Some((top, mid, low)) = breakeven_by_tier(dataset) {
-        println!(
-            "by expected popularity: hit app ${top:.3}, average ${mid:.3}, niche ${low:.3}"
-        );
+        println!("by expected popularity: hit app ${top:.3}, average ${mid:.3}, niche ${low:.3}");
     }
 
     // -- per-category recommendation ---------------------------------------

@@ -35,7 +35,10 @@ fn main() {
     let trunk = zipf_fit_trunk(&ranked, ranked.len() / 50, ranked.len() / 4)
         .expect("enough ranks for a trunk fit");
     println!("\n-- popularity --");
-    println!("top 10% of apps hold {:.1}% of downloads (paper: 70-90%)", pareto * 100.0);
+    println!(
+        "top 10% of apps hold {:.1}% of downloads (paper: 70-90%)",
+        pareto * 100.0
+    );
     println!(
         "Zipf trunk exponent {:.2} (r² {:.3}) with truncated head and tail",
         trunk.exponent, trunk.quality
@@ -63,8 +66,14 @@ fn main() {
     let amo = fit_zipf_amo(&ranked, &spec, seed.child("amo")).expect("fit");
     let clustering = fit_clustering(&ranked, &spec, seed.child("clustering")).expect("fit");
     println!("\n-- workload models (Eq. 6 distance, lower is better) --");
-    println!("ZIPF               z={:.1}                  distance {:.3}", zipf.zipf_exponent, zipf.distance);
-    println!("ZIPF-at-most-once  z={:.1}                  distance {:.3}", amo.zipf_exponent, amo.distance);
+    println!(
+        "ZIPF               z={:.1}                  distance {:.3}",
+        zipf.zipf_exponent, zipf.distance
+    );
+    println!(
+        "ZIPF-at-most-once  z={:.1}                  distance {:.3}",
+        amo.zipf_exponent, amo.distance
+    );
     println!(
         "APP-CLUSTERING     z_r={:.1} z_c={:.1} p={:.2}  distance {:.3}",
         clustering.zipf_exponent, clustering.cluster_exponent, clustering.p, clustering.distance

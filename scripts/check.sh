@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, and every test.
+# Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q
+
+echo "All checks passed."

@@ -24,8 +24,12 @@ fn quick_spec(clusters: usize) -> FitSpec {
 #[test]
 fn app_clustering_explains_generated_stores_best() {
     // Generate a behavioural store and fit all three models: the paper's
-    // ordering (clustering < AMO < ZIPF in distance) must hold.
-    let profile = StoreProfile::anzhi().scaled_down(5);
+    // ordering (clustering < AMO < ZIPF in distance) must hold. At 1/5
+    // scale the clustering and at-most-once distances are within
+    // Monte-Carlo noise of each other (the ordering flips seed to seed);
+    // half scale is the smallest store where the ordering is decisive,
+    // with roughly 0.33 / 0.48 / 0.71 distances.
+    let profile = StoreProfile::anzhi().scaled_down(2);
     let store = generate(&profile, StoreId(0), Seed::new(201));
     let observed = store.dataset.final_downloads_ranked();
     let spec = quick_spec(profile.categories);
@@ -89,7 +93,10 @@ fn lru_hit_ratio_ordering_matches_fig19() {
         let amo = ratio(ModelKind::ZipfAtMostOnce, f);
         let clustering = ratio(ModelKind::AppClustering, f);
         assert!(zipf >= amo - 0.02, "{f}: zipf {zipf} vs amo {amo}");
-        assert!(amo > clustering, "{f}: amo {amo} vs clustering {clustering}");
+        assert!(
+            amo > clustering,
+            "{f}: amo {amo} vs clustering {clustering}"
+        );
         // The paper's >99% is at 60k-app scale; at this reduced scale
         // the ZIPF workload still hits well above 90%.
         assert!(zipf > 0.9, "{f}: zipf ratio {zipf}");

@@ -95,10 +95,14 @@ fn crawled_comments_show_the_clustering_effect() {
     let streams = build_user_streams(&harvested.comments, |a| harvested.category_of(a));
     assert!(!streams.is_empty(), "comments were harvested");
     let samples = affinity_samples(&streams, 1);
-    assert!(samples.len() > 100, "enough scored users: {}", samples.len());
+    assert!(
+        samples.len() > 100,
+        "enough scored users: {}",
+        samples.len()
+    );
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    let baseline = random_walk_affinity(&harvested.apps_by_category(harvested.last()), 1)
-        .expect("apps exist");
+    let baseline =
+        random_walk_affinity(&harvested.apps_by_category(harvested.last()), 1).expect("apps exist");
     assert!(
         mean > 2.0 * baseline,
         "affinity {mean} not clearly above the random walk {baseline}"

@@ -106,7 +106,10 @@ fn revenue_concentrates_in_music_while_ebooks_earn_nothing() {
         "music app share {}",
         shares[0].app_share
     );
-    let ebooks = shares.iter().find(|s| s.name == "e-books").expect("e-books");
+    let ebooks = shares
+        .iter()
+        .find(|s| s.name == "e-books")
+        .expect("e-books");
     assert!(
         ebooks.app_share > 0.2,
         "e-books app share {}",
@@ -157,11 +160,22 @@ fn break_even_ad_income_is_small_and_category_dependent() {
     );
     // Popular apps need less ad income than unpopular ones (Fig. 17).
     let (top, mid, low) = breakeven_by_tier(&d).expect("tiers");
-    assert!(top < mid && mid < low, "tiers not ordered: {top} {mid} {low}");
+    assert!(
+        top < mid && mid < low,
+        "tiers not ordered: {top} {mid} {low}"
+    );
     // Per category: music demands the most (Fig. 18).
     let by_cat = breakeven_by_category(&d);
-    assert!(by_cat.len() >= 5, "categories with both populations: {}", by_cat.len());
-    assert_eq!(by_cat[0].0, "music", "most demanding category {}", by_cat[0].0);
+    assert!(
+        by_cat.len() >= 5,
+        "categories with both populations: {}",
+        by_cat.len()
+    );
+    assert_eq!(
+        by_cat[0].0, "music",
+        "most demanding category {}",
+        by_cat[0].0
+    );
     let spread = by_cat[0].1 / by_cat.last().expect("nonempty").1;
     assert!(spread > 10.0, "category spread only {spread}x");
 }

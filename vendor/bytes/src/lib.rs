@@ -1,0 +1,139 @@
+//! Offline stand-in for `bytes` 1.x.
+//!
+//! Provides [`Bytes`]: an immutable, cheaply cloneable byte container
+//! backed by `Arc<[u8]>`. Only the surface the workspace's wire layer
+//! uses is implemented (construction from vectors and static slices,
+//! deref to `[u8]`, equality, length).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from_static(b"")
+    }
+
+    /// Wraps a static byte slice without copying semantics concerns.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            inner: Arc::from(bytes),
+        }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(bytes: Vec<u8>) -> Bytes {
+        Bytes {
+            inner: Arc::from(bytes.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(bytes: &[u8]) -> Bytes {
+        Bytes {
+            inner: Arc::from(bytes),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(text: String) -> Bytes {
+        Bytes::from(text.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &*self.inner == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.inner.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_vec() {
+        let payload = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(payload.to_vec(), vec![1, 2, 3]);
+        assert_eq!(payload.len(), 3);
+        assert_eq!(&payload[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clones_share_contents() {
+        let a = Bytes::from(vec![9u8; 64]);
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn static_and_empty() {
+        assert!(Bytes::from_static(b"").is_empty());
+        assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the calling convention this workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a deliberately small wall-clock timer: each
+//! benchmark is warmed up once, then timed over a fixed iteration
+//! budget, with median-of-samples reporting to stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: forwards to `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How expensive batch setup is relative to the routine; only steers
+/// how many iterations share one setup call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap input: many iterations per setup.
+    SmallInput,
+    /// Expensive input: one iteration per setup.
+    LargeInput,
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            measured: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.measured.is_empty() {
+            return None;
+        }
+        let mut sorted = self.measured.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report-flush point in the real crate; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher::new(samples);
+    f(&mut bencher);
+    match bencher.median() {
+        Some(median) => println!("bench {id:<48} median {median:>12.3?} ({samples} samples)"),
+        None => println!("bench {id:<48} no measurements recorded"),
+    }
+}
+
+/// Declares a group-runner function over a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_returns() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0usize;
+        criterion.bench_function("unit/counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 1, "routine should run warm-up plus samples");
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(5);
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |input| {
+                    runs += 1;
+                    input.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, runs, "every routine call gets a fresh input");
+        assert!(runs >= 5);
+    }
+}

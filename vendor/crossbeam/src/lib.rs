@@ -1,0 +1,106 @@
+//! Offline stand-in for `crossbeam` 0.8.
+//!
+//! Implements `crossbeam::thread::scope` on top of `std::thread::scope`,
+//! preserving crossbeam's calling convention: the scope closure and each
+//! spawned closure receive a `&Scope` argument, `spawn` returns a handle
+//! whose `join()` yields `Result`, and the scope itself returns
+//! `Err(payload)` instead of unwinding when a spawned thread panics.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped thread spawning.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked thread, as `std::thread` reports it.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope within which borrowing threads can be spawned.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope again so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let reentry = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&reentry)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. A panic escaping any thread (including `f` itself)
+    /// surfaces as `Err` rather than unwinding, as crossbeam does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|std_scope| f(&Scope { inner: std_scope }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn threads_borrow_from_the_enclosing_frame() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn panics_become_errors() {
+            let joined_err = scope(|scope| {
+                let handle = scope.spawn(|_| -> u32 { panic!("worker died") });
+                handle.join().is_err()
+            })
+            .unwrap();
+            assert!(joined_err);
+        }
+
+        #[test]
+        fn nested_spawn_through_the_reentry_handle() {
+            let result = scope(|scope| {
+                scope
+                    .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(result, 42);
+        }
+    }
+}

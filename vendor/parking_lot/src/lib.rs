@@ -1,0 +1,137 @@
+//! Offline stand-in for `parking_lot` 0.12.
+//!
+//! Wraps `std::sync` primitives behind the `parking_lot` calling
+//! convention: `lock()` returns the guard directly (no `Result`), and a
+//! poisoned lock is recovered rather than propagated, matching
+//! `parking_lot`'s lack of poisoning.
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+/// A mutual-exclusion lock whose `lock()` never fails.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose acquisitions never fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new lock holding `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_returns_guard_directly() {
+        let lock = Mutex::new(41);
+        *lock.lock() += 1;
+        assert_eq!(*lock.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_detects_contention() {
+        let lock = Mutex::new(0);
+        let guard = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(guard);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn survives_a_panicked_holder() {
+        let lock = std::sync::Arc::new(Mutex::new(7));
+        let clone = lock.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        // parking_lot has no poisoning; the facade must recover too.
+        assert_eq!(*lock.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let lock = RwLock::new(vec![1, 2]);
+        lock.write().push(3);
+        assert_eq!(*lock.read(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand_chacha` 0.3.
+//!
+//! Implements [`ChaCha12Rng`] with the genuine ChaCha12 block function
+//! (IETF layout, 32-byte key / 12-round core), seeded through the
+//! vendored `rand` traits. Streams are deterministic for a given seed,
+//! which is the only property the workspace relies on; no claim is made
+//! of bit-compatibility with the real crate's output ordering.
+
+#![forbid(unsafe_code)]
+
+// `core/seed.rs` imports `rand_chacha::rand_core::SeedableRng`; in the
+// real crate `rand_core` is a distinct facade crate, here the vendored
+// `rand` plays both roles.
+pub use rand as rand_core;
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 12;
+const BLOCK_WORDS: usize = 16;
+
+/// A deterministic generator backed by the ChaCha12 stream cipher core.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// The 256-bit key, kept to regenerate blocks.
+    key: [u32; 8],
+    /// 64-bit block counter (low word first, matching the IETF layout).
+    counter: u64,
+    /// The current keystream block.
+    block: [u32; BLOCK_WORDS],
+    /// Next unread word within `block`; `BLOCK_WORDS` forces a refill.
+    word_pos: usize,
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words stay zero: a fresh key per seed means streams never
+        // need distinguishing nonces.
+        let mut working = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self.block.iter_mut().zip(working.iter().zip(state.iter())) {
+            *out = w.wrapping_add(*s);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word_pos = 0;
+    }
+}
+
+fn quarter(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha12Rng {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            block: [0; BLOCK_WORDS],
+            word_pos: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_pos >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.block[self.word_pos];
+        self.word_pos += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams from distinct seeds should diverge");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..19 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn stream_crosses_block_boundaries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let words: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        assert_ne!(&words[..16], &words[16..32], "consecutive blocks repeat");
+    }
+}

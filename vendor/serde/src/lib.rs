@@ -1,0 +1,498 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so the workspace vendors a minimal serialization framework under the
+//! `serde` name. Instead of serde's visitor-based zero-copy data model,
+//! types convert to and from a JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize`] — `fn to_value(&self) -> Value`;
+//! * [`Deserialize`] — `fn from_value(&Value) -> Result<Self, Error>`;
+//! * `#[derive(Serialize, Deserialize)]` — provided by the vendored
+//!   `serde_derive` proc macro (enabled through the `derive` feature),
+//!   following serde's default representations: structs as objects,
+//!   newtype structs transparently, unit enum variants as strings, and
+//!   data-carrying variants as single-key objects.
+//!
+//! The vendored `serde_json` crate renders [`Value`] to JSON text and
+//! parses it back. Everything the workspace round-trips therefore stays
+//! line-compatible with itself, which is all the crawl journal and the
+//! experiment JSON dumps require.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number (integer or float).
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, preserving integer precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Value {
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's entry list, if it is one.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn custom(message: impl fmt::Display) -> Error {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Alias mirroring serde's owned-deserialization marker.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!(stringify!($ty), " out of range")))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!(stringify!($ty), " out of range")))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::Float(*self))
+        } else {
+            // JSON cannot represent NaN/inf; serde_json maps them to null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(f64::NAN),
+            _ => value.as_f64().ok_or_else(|| Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom("tuple arity mismatch"));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&7u64.to_value()), Ok(7));
+        assert_eq!(i32::from_value(&(-3i32).to_value()), Ok(-3));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()), Ok(xs));
+        let pair = (4u64, 0.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&pair.to_value()), Ok(pair));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_round_trips() {
+        assert_eq!(Option::<u32>::from_value(&None::<u32>.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(5u32).to_value()),
+            Ok(Some(5))
+        );
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), 1u32.to_value())]);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+    }
+}

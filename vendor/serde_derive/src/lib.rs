@@ -1,0 +1,453 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s [`Serialize`]/[`Deserialize`] traits by
+//! parsing the item's token stream directly (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly the shapes this workspace
+//! declares: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent` on newtype structs, which is already
+//! the default representation here (a newtype serializes as its inner
+//! value, matching serde's behavior).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes `#[...]` attributes and `pub`/`pub(...)` visibility markers.
+fn skip_attrs_and_vis(iter: &mut TokenIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracketed attribute body.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    // Generic parameters are not supported (and not used by the
+    // workspace); skip any `<...>` so the error surfaces in codegen
+    // rather than here.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in iter.by_ref() {
+                if let TokenTree::Punct(p) = &tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    let kind = if keyword == "enum" {
+        let body = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body, got {other:?}"),
+        };
+        ItemKind::Enum(parse_variants(body))
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Parses `name: Type, ...` pairs, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut iter);
+    }
+    fields
+}
+
+/// Advances past a type, stopping after the next comma outside `<...>`.
+fn skip_type_until_comma(iter: &mut TokenIter) {
+    let mut depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut in_item = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => in_item = false,
+                _ => {
+                    if !in_item {
+                        in_item = true;
+                        count += 1;
+                    }
+                }
+            },
+            _ => {
+                if !in_item {
+                    in_item = true;
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                VariantKind::Tuple(count)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            iter.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (plain source strings, parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantKind::Tuple(1) => format!(
+            "{enum_name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+               ::std::string::String::from(\"{v}\"), \
+               ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from(\"{v}\"), \
+                   ::serde::Value::Array(::std::vec![{}]))]),",
+                binders.join(", "),
+                values.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                   ::std::string::String::from(\"{v}\"), \
+                   ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_init(name, f, "__obj"))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                   ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                   ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                   \"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn named_field_init(type_name: &str, field: &str, obj: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(\
+           {obj}.iter().find(|__e| __e.0 == \"{field}\").map(|__e| &__e.1)\
+             .ok_or_else(|| ::serde::Error::custom(\
+               \"missing field `{field}` in {type_name}\"))?)?"
+    )
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Tuple(1) => Some(format!(
+                "\"{0}\" => Ok({name}::{0}(::serde::Deserialize::from_value(__inner)?)),",
+                v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{\n\
+                       let __a = __inner.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}::{0}\"))?;\n\
+                       if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                         \"wrong arity for {name}::{0}\")); }}\n\
+                       Ok({name}::{0}({1}))\n\
+                     }}",
+                    v.name,
+                    items.join(", ")
+                ))
+            }
+            VariantKind::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| named_field_init(name, f, "__obj"))
+                    .collect();
+                Some(format!(
+                    "\"{0}\" => {{\n\
+                       let __obj = __inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{0}\"))?;\n\
+                       Ok({name}::{0} {{ {1} }})\n\
+                     }}",
+                    v.name,
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+           ::serde::Value::String(__s) => match __s.as_str() {{\n\
+             {unit}\n\
+             __other => Err(::serde::Error::custom(::std::format!(\
+               \"unknown {name} variant `{{__other}}`\"))),\n\
+           }},\n\
+           ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+             let (__tag, __inner) = &__entries[0];\n\
+             match __tag.as_str() {{\n\
+               {data}\n\
+               __other => Err(::serde::Error::custom(::std::format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+             }}\n\
+           }}\n\
+           _ => Err(::serde::Error::custom(\"invalid {name} representation\")),\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n")
+    )
+}
