@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/affinity-e05c9d403584e254.d: crates/bench/benches/affinity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaffinity-e05c9d403584e254.rmeta: crates/bench/benches/affinity.rs Cargo.toml
+
+crates/bench/benches/affinity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/appstore_affinity-6d7c2c0606424a38.d: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/debug/deps/appstore_affinity-6d7c2c0606424a38: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+crates/affinity/src/lib.rs:
+crates/affinity/src/analysis.rs:
+crates/affinity/src/baseline.rs:
+crates/affinity/src/drift.rs:
+crates/affinity/src/metric.rs:
+crates/affinity/src/strings.rs:

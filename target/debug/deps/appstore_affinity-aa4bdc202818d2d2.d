@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_affinity-aa4bdc202818d2d2.d: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_affinity-aa4bdc202818d2d2.rmeta: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs Cargo.toml
+
+crates/affinity/src/lib.rs:
+crates/affinity/src/analysis.rs:
+crates/affinity/src/baseline.rs:
+crates/affinity/src/drift.rs:
+crates/affinity/src/metric.rs:
+crates/affinity/src/strings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_affinity-c30f6750db8c37af.d: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/debug/deps/libappstore_affinity-c30f6750db8c37af.rlib: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/debug/deps/libappstore_affinity-c30f6750db8c37af.rmeta: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+crates/affinity/src/lib.rs:
+crates/affinity/src/analysis.rs:
+crates/affinity/src/baseline.rs:
+crates/affinity/src/drift.rs:
+crates/affinity/src/metric.rs:
+crates/affinity/src/strings.rs:

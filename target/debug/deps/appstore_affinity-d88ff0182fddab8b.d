@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_affinity-d88ff0182fddab8b.d: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/debug/deps/libappstore_affinity-d88ff0182fddab8b.rlib: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/debug/deps/libappstore_affinity-d88ff0182fddab8b.rmeta: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+crates/affinity/src/lib.rs:
+crates/affinity/src/analysis.rs:
+crates/affinity/src/baseline.rs:
+crates/affinity/src/drift.rs:
+crates/affinity/src/metric.rs:
+crates/affinity/src/strings.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/appstore_cache-0c942fb0dbf62186.d: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+/root/repo/target/debug/deps/libappstore_cache-0c942fb0dbf62186.rlib: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+/root/repo/target/debug/deps/libappstore_cache-0c942fb0dbf62186.rmeta: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/belady.rs:
+crates/cache/src/experiment.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:

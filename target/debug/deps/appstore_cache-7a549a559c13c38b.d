@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/appstore_cache-7a549a559c13c38b.d: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_cache-7a549a559c13c38b.rmeta: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/belady.rs:
+crates/cache/src/experiment.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appstore_cache-7cf689633243f459.d: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+/root/repo/target/debug/deps/appstore_cache-7cf689633243f459: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/belady.rs:
+crates/cache/src/experiment.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:

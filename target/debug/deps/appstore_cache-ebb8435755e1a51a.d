@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/appstore_cache-ebb8435755e1a51a.d: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_cache-ebb8435755e1a51a.rmeta: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/belady.rs:
+crates/cache/src/experiment.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/appstore_core-02a771cfa114f479.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_core-02a771cfa114f479.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/bitset.rs:
+crates/core/src/category.rs:
+crates/core/src/dataset.rs:
+crates/core/src/developer.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/ids.rs:
+crates/core/src/money.rs:
+crates/core/src/quality.rs:
+crates/core/src/seed.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/appstore_core-ccd127a6aade77a5.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs
+
+/root/repo/target/debug/deps/appstore_core-ccd127a6aade77a5: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/bitset.rs:
+crates/core/src/category.rs:
+crates/core/src/dataset.rs:
+crates/core/src/developer.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/ids.rs:
+crates/core/src/money.rs:
+crates/core/src/quality.rs:
+crates/core/src/seed.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/appstore_crawler-6035757a1ff16b4e.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_crawler-6035757a1ff16b4e.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs Cargo.toml
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/client.rs:
+crates/crawler/src/proxy.rs:
+crates/crawler/src/server.rs:
+crates/crawler/src/storage.rs:
+crates/crawler/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

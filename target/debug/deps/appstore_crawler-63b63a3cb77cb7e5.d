@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/appstore_crawler-63b63a3cb77cb7e5.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+/root/repo/target/debug/deps/libappstore_crawler-63b63a3cb77cb7e5.rlib: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+/root/repo/target/debug/deps/libappstore_crawler-63b63a3cb77cb7e5.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/client.rs:
+crates/crawler/src/proxy.rs:
+crates/crawler/src/server.rs:
+crates/crawler/src/storage.rs:
+crates/crawler/src/wire.rs:

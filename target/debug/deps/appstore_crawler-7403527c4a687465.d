@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/appstore_crawler-7403527c4a687465.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_crawler-7403527c4a687465.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs Cargo.toml
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/client.rs:
+crates/crawler/src/proxy.rs:
+crates/crawler/src/server.rs:
+crates/crawler/src/storage.rs:
+crates/crawler/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/appstore_crawler-d44a04e1d5eeed61.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+/root/repo/target/debug/deps/appstore_crawler-d44a04e1d5eeed61: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/client.rs:
+crates/crawler/src/proxy.rs:
+crates/crawler/src/server.rs:
+crates/crawler/src/storage.rs:
+crates/crawler/src/wire.rs:

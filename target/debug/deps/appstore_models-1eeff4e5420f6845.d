@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_models-1eeff4e5420f6845.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/debug/deps/libappstore_models-1eeff4e5420f6845.rlib: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/debug/deps/libappstore_models-1eeff4e5420f6845.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/expectation.rs:
+crates/models/src/fit.rs:
+crates/models/src/simulate.rs:
+crates/models/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_models-647a03472dad3003.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_models-647a03472dad3003.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/expectation.rs:
+crates/models/src/fit.rs:
+crates/models/src/simulate.rs:
+crates/models/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

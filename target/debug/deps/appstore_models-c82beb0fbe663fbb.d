@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_models-c82beb0fbe663fbb.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/debug/deps/libappstore_models-c82beb0fbe663fbb.rlib: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/debug/deps/libappstore_models-c82beb0fbe663fbb.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/expectation.rs:
+crates/models/src/fit.rs:
+crates/models/src/simulate.rs:
+crates/models/src/zipf.rs:

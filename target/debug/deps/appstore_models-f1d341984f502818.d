@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/appstore_models-f1d341984f502818.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/debug/deps/appstore_models-f1d341984f502818: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/expectation.rs:
+crates/models/src/fit.rs:
+crates/models/src/simulate.rs:
+crates/models/src/zipf.rs:

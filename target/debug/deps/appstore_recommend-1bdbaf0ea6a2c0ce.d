@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/appstore_recommend-1bdbaf0ea6a2c0ce.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_recommend-1bdbaf0ea6a2c0ce.rmeta: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs Cargo.toml
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

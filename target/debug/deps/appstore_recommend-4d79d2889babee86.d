@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appstore_recommend-4d79d2889babee86.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/debug/deps/libappstore_recommend-4d79d2889babee86.rlib: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/debug/deps/libappstore_recommend-4d79d2889babee86.rmeta: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:

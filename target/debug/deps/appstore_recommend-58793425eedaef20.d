@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/appstore_recommend-58793425eedaef20.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/debug/deps/libappstore_recommend-58793425eedaef20.rlib: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/debug/deps/libappstore_recommend-58793425eedaef20.rmeta: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/appstore_recommend-9c04e31f85e2a0d6.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/debug/deps/appstore_recommend-9c04e31f85e2a0d6: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:

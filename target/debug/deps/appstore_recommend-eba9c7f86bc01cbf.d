@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/appstore_recommend-eba9c7f86bc01cbf.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_recommend-eba9c7f86bc01cbf.rmeta: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs Cargo.toml
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

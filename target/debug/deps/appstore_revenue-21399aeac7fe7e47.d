@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_revenue-21399aeac7fe7e47.d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_revenue-21399aeac7fe7e47.rmeta: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs Cargo.toml
+
+crates/revenue/src/lib.rs:
+crates/revenue/src/ads.rs:
+crates/revenue/src/breakeven.rs:
+crates/revenue/src/categories.rs:
+crates/revenue/src/income.rs:
+crates/revenue/src/pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_revenue-782a04944b09b196.d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+/root/repo/target/debug/deps/libappstore_revenue-782a04944b09b196.rlib: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+/root/repo/target/debug/deps/libappstore_revenue-782a04944b09b196.rmeta: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+crates/revenue/src/lib.rs:
+crates/revenue/src/ads.rs:
+crates/revenue/src/breakeven.rs:
+crates/revenue/src/categories.rs:
+crates/revenue/src/income.rs:
+crates/revenue/src/pricing.rs:

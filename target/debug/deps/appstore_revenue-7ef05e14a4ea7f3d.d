@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/appstore_revenue-7ef05e14a4ea7f3d.d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+/root/repo/target/debug/deps/appstore_revenue-7ef05e14a4ea7f3d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+crates/revenue/src/lib.rs:
+crates/revenue/src/ads.rs:
+crates/revenue/src/breakeven.rs:
+crates/revenue/src/categories.rs:
+crates/revenue/src/income.rs:
+crates/revenue/src/pricing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_revenue-921d032b80019ee2.d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_revenue-921d032b80019ee2.rmeta: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs Cargo.toml
+
+crates/revenue/src/lib.rs:
+crates/revenue/src/ads.rs:
+crates/revenue/src/breakeven.rs:
+crates/revenue/src/categories.rs:
+crates/revenue/src/income.rs:
+crates/revenue/src/pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_revenue-e5ca232eb7233182.d: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+/root/repo/target/debug/deps/libappstore_revenue-e5ca232eb7233182.rlib: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+/root/repo/target/debug/deps/libappstore_revenue-e5ca232eb7233182.rmeta: crates/revenue/src/lib.rs crates/revenue/src/ads.rs crates/revenue/src/breakeven.rs crates/revenue/src/categories.rs crates/revenue/src/income.rs crates/revenue/src/pricing.rs
+
+crates/revenue/src/lib.rs:
+crates/revenue/src/ads.rs:
+crates/revenue/src/breakeven.rs:
+crates/revenue/src/categories.rs:
+crates/revenue/src/income.rs:
+crates/revenue/src/pricing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/appstore_stats-35aa9cc7b3bf1822.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/appstore_stats-35aa9cc7b3bf1822: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/corr.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kstest.rs:
+crates/stats/src/multifit.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/powerlaw.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/summary.rs:

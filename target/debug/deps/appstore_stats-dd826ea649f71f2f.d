@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/appstore_stats-dd826ea649f71f2f.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_stats-dd826ea649f71f2f.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/corr.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kstest.rs:
+crates/stats/src/multifit.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/powerlaw.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/appstore_synth-4c009cc66a3bd097.d: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+/root/repo/target/debug/deps/appstore_synth-4c009cc66a3bd097: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/catalog.rs:
+crates/synth/src/downloads.rs:
+crates/synth/src/events.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/profile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/appstore_synth-57423063819f7de8.d: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+/root/repo/target/debug/deps/libappstore_synth-57423063819f7de8.rlib: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+/root/repo/target/debug/deps/libappstore_synth-57423063819f7de8.rmeta: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/catalog.rs:
+crates/synth/src/downloads.rs:
+crates/synth/src/events.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/profile.rs:

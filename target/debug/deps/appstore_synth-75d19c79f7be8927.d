@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_synth-75d19c79f7be8927.d: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_synth-75d19c79f7be8927.rmeta: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/catalog.rs:
+crates/synth/src/downloads.rs:
+crates/synth/src/events.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/appstore_synth-adf27d3fe513b337.d: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libappstore_synth-adf27d3fe513b337.rmeta: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/catalog.rs:
+crates/synth/src/downloads.rs:
+crates/synth/src/events.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/bench-3c8ac8fbd0eefbbc.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-3c8ac8fbd0eefbbc.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/behavior.rs:
+crates/bench/src/experiments/breakeven.rs:
+crates/bench/src/experiments/cache.rs:
+crates/bench/src/experiments/income.rs:
+crates/bench/src/experiments/model_fit.rs:
+crates/bench/src/experiments/popularity.rs:
+crates/bench/src/experiments/prefetch.rs:
+crates/bench/src/experiments/pricing.rs:
+crates/bench/src/experiments/recommend.rs:
+crates/bench/src/experiments/recovery.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/stores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

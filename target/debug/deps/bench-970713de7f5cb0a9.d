@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/bench-970713de7f5cb0a9.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs
+
+/root/repo/target/debug/deps/bench-970713de7f5cb0a9: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/behavior.rs:
+crates/bench/src/experiments/breakeven.rs:
+crates/bench/src/experiments/cache.rs:
+crates/bench/src/experiments/income.rs:
+crates/bench/src/experiments/model_fit.rs:
+crates/bench/src/experiments/popularity.rs:
+crates/bench/src/experiments/prefetch.rs:
+crates/bench/src/experiments/pricing.rs:
+crates/bench/src/experiments/recommend.rs:
+crates/bench/src/experiments/recovery.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/stores.rs:

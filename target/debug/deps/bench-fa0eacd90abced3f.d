@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bench-fa0eacd90abced3f.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs
+
+/root/repo/target/debug/deps/libbench-fa0eacd90abced3f.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs
+
+/root/repo/target/debug/deps/libbench-fa0eacd90abced3f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/behavior.rs crates/bench/src/experiments/breakeven.rs crates/bench/src/experiments/cache.rs crates/bench/src/experiments/income.rs crates/bench/src/experiments/model_fit.rs crates/bench/src/experiments/popularity.rs crates/bench/src/experiments/prefetch.rs crates/bench/src/experiments/pricing.rs crates/bench/src/experiments/recommend.rs crates/bench/src/experiments/recovery.rs crates/bench/src/experiments/table1.rs crates/bench/src/stores.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/behavior.rs:
+crates/bench/src/experiments/breakeven.rs:
+crates/bench/src/experiments/cache.rs:
+crates/bench/src/experiments/income.rs:
+crates/bench/src/experiments/model_fit.rs:
+crates/bench/src/experiments/popularity.rs:
+crates/bench/src/experiments/prefetch.rs:
+crates/bench/src/experiments/pricing.rs:
+crates/bench/src/experiments/recommend.rs:
+crates/bench/src/experiments/recovery.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/stores.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-5a8d4e2a4c04736a.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-5a8d4e2a4c04736a.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-b45edc1041037e16.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-b45edc1041037e16: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c3783220751a1503.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c3783220751a1503.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c3783220751a1503.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

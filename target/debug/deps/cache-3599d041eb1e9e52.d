@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache-3599d041eb1e9e52.d: crates/bench/benches/cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache-3599d041eb1e9e52.rmeta: crates/bench/benches/cache.rs Cargo.toml
+
+crates/bench/benches/cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent-2511b99aceb55d58.d: crates/crawler/tests/concurrent.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent-2511b99aceb55d58.rmeta: crates/crawler/tests/concurrent.rs Cargo.toml
+
+crates/crawler/tests/concurrent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent-47c0aaf090db4799.d: crates/crawler/tests/concurrent.rs
+
+/root/repo/target/debug/deps/concurrent-47c0aaf090db4799: crates/crawler/tests/concurrent.rs
+
+crates/crawler/tests/concurrent.rs:

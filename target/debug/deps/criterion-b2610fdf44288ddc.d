@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-b2610fdf44288ddc.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b2610fdf44288ddc.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-b2610fdf44288ddc.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

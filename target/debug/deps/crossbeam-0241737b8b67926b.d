@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-0241737b8b67926b.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-0241737b8b67926b: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

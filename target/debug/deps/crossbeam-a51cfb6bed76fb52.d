@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-a51cfb6bed76fb52.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a51cfb6bed76fb52.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-a51cfb6bed76fb52.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

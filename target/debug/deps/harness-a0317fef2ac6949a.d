@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-a0317fef2ac6949a.d: crates/bench/tests/harness.rs
+
+/root/repo/target/debug/deps/harness-a0317fef2ac6949a: crates/bench/tests/harness.rs
+
+crates/bench/tests/harness.rs:

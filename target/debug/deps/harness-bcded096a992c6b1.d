@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-bcded096a992c6b1.d: crates/bench/tests/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-bcded096a992c6b1.rmeta: crates/bench/tests/harness.rs Cargo.toml
+
+crates/bench/tests/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

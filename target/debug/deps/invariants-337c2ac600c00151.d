@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-337c2ac600c00151.d: crates/synth/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-337c2ac600c00151.rmeta: crates/synth/tests/invariants.rs Cargo.toml
+
+crates/synth/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

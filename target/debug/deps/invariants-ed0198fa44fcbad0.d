@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-ed0198fa44fcbad0.d: crates/synth/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-ed0198fa44fcbad0: crates/synth/tests/invariants.rs
+
+crates/synth/tests/invariants.rs:

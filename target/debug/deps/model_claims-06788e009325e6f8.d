@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_claims-06788e009325e6f8.d: tests/model_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_claims-06788e009325e6f8.rmeta: tests/model_claims.rs Cargo.toml
+
+tests/model_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

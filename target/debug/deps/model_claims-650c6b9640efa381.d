@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_claims-650c6b9640efa381.d: tests/model_claims.rs
+
+/root/repo/target/debug/deps/model_claims-650c6b9640efa381: tests/model_claims.rs
+
+tests/model_claims.rs:

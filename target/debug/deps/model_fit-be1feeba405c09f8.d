@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_fit-be1feeba405c09f8.d: crates/bench/benches/model_fit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_fit-be1feeba405c09f8.rmeta: crates/bench/benches/model_fit.rs Cargo.toml
+
+crates/bench/benches/model_fit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

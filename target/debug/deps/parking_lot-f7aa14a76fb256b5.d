@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-f7aa14a76fb256b5.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f7aa14a76fb256b5.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-f7aa14a76fb256b5.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-58fc668c51a2d3d1.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-58fc668c51a2d3d1: tests/pipeline.rs
+
+tests/pipeline.rs:

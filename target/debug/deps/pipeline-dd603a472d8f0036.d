@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-dd603a472d8f0036.d: crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-dd603a472d8f0036.rmeta: crates/bench/benches/pipeline.rs Cargo.toml
+
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

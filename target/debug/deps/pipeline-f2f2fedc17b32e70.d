@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-f2f2fedc17b32e70.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-f2f2fedc17b32e70.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

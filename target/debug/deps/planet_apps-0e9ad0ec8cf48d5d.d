@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/planet_apps-0e9ad0ec8cf48d5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplanet_apps-0e9ad0ec8cf48d5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplanet_apps-0e9ad0ec8cf48d5d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planet_apps-41e7379c280e4d6b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanet_apps-41e7379c280e4d6b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planet_apps-8b31f36abcc3c766.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanet_apps-8b31f36abcc3c766.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/planet_apps-c9b526bf5e1e6b07.d: src/lib.rs
+
+/root/repo/target/debug/deps/libplanet_apps-c9b526bf5e1e6b07.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libplanet_apps-c9b526bf5e1e6b07.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planet_apps-dc75a7454b82525d.d: src/lib.rs
+
+/root/repo/target/debug/deps/planet_apps-dc75a7454b82525d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/popularity-775334742dc5c831.d: crates/bench/benches/popularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpopularity-775334742dc5c831.rmeta: crates/bench/benches/popularity.rs Cargo.toml
+
+crates/bench/benches/popularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

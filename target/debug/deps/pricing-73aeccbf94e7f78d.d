@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pricing-73aeccbf94e7f78d.d: crates/bench/benches/pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpricing-73aeccbf94e7f78d.rmeta: crates/bench/benches/pricing.rs Cargo.toml
+
+crates/bench/benches/pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

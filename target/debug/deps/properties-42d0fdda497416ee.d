@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-42d0fdda497416ee.d: crates/crawler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-42d0fdda497416ee: crates/crawler/tests/properties.rs
+
+crates/crawler/tests/properties.rs:

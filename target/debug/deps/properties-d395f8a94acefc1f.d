@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d395f8a94acefc1f.d: crates/crawler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d395f8a94acefc1f.rmeta: crates/crawler/tests/properties.rs Cargo.toml
+
+crates/crawler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

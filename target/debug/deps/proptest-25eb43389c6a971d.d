@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-25eb43389c6a971d.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-25eb43389c6a971d.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

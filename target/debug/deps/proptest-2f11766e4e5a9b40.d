@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2f11766e4e5a9b40.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-2f11766e4e5a9b40: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7a9c533de924a568.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7a9c533de924a568.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7a9c533de924a568.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

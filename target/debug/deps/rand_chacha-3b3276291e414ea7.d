@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-3b3276291e414ea7.d: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-3b3276291e414ea7.rmeta: vendor/rand_chacha/src/lib.rs Cargo.toml
+
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-d00be94b3254356e.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-d00be94b3254356e: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-df21ae3d465acf5e.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-df21ae3d465acf5e.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-df21ae3d465acf5e.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recommend-a9166c4afd227990.d: crates/bench/benches/recommend.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecommend-a9166c4afd227990.rmeta: crates/bench/benches/recommend.rs Cargo.toml
+
+crates/bench/benches/recommend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-02167f37f2b97d2c.d: crates/crawler/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-02167f37f2b97d2c.rmeta: crates/crawler/tests/recovery.rs Cargo.toml
+
+crates/crawler/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

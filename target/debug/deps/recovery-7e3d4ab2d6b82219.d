@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-7e3d4ab2d6b82219.d: crates/crawler/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-7e3d4ab2d6b82219: crates/crawler/tests/recovery.rs
+
+crates/crawler/tests/recovery.rs:

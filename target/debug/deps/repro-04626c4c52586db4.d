@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-04626c4c52586db4.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-04626c4c52586db4: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-36cc545272c066c9.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-36cc545272c066c9.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6cb5f78b95590643.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6cb5f78b95590643: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

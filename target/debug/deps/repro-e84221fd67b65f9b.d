@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e84221fd67b65f9b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e84221fd67b65f9b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

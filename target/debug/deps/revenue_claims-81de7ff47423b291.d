@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/revenue_claims-81de7ff47423b291.d: tests/revenue_claims.rs
+
+/root/repo/target/debug/deps/revenue_claims-81de7ff47423b291: tests/revenue_claims.rs
+
+tests/revenue_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/revenue_claims-9039760c4efe7ca1.d: tests/revenue_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevenue_claims-9039760c4efe7ca1.rmeta: tests/revenue_claims.rs Cargo.toml
+
+tests/revenue_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-008a05f17bd08b7c.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-008a05f17bd08b7c.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-008a05f17bd08b7c.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-0917c0c492a9fc0d: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

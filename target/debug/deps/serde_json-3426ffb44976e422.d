@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3426ffb44976e422.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3426ffb44976e422.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3426ffb44976e422.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_policy_design-84f68486e389142b.d: examples/cache_policy_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_policy_design-84f68486e389142b.rmeta: examples/cache_policy_design.rs Cargo.toml
+
+examples/cache_policy_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_policy_design-9332523baf8f4f75.d: examples/cache_policy_design.rs
+
+/root/repo/target/debug/examples/cache_policy_design-9332523baf8f4f75: examples/cache_policy_design.rs
+
+examples/cache_policy_design.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate_price-22cf31884f061286.d: crates/bench/examples/calibrate_price.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate_price-22cf31884f061286.rmeta: crates/bench/examples/calibrate_price.rs Cargo.toml
+
+crates/bench/examples/calibrate_price.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

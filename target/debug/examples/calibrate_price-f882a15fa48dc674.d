@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_price-f882a15fa48dc674.d: crates/bench/examples/calibrate_price.rs
+
+/root/repo/target/debug/examples/calibrate_price-f882a15fa48dc674: crates/bench/examples/calibrate_price.rs
+
+crates/bench/examples/calibrate_price.rs:

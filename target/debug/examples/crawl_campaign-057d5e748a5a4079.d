@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crawl_campaign-057d5e748a5a4079.d: examples/crawl_campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrawl_campaign-057d5e748a5a4079.rmeta: examples/crawl_campaign.rs Cargo.toml
+
+examples/crawl_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crawl_campaign-bcb0e21b8a20581e.d: examples/crawl_campaign.rs
+
+/root/repo/target/debug/examples/crawl_campaign-bcb0e21b8a20581e: examples/crawl_campaign.rs
+
+examples/crawl_campaign.rs:

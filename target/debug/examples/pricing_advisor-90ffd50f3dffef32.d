@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pricing_advisor-90ffd50f3dffef32.d: examples/pricing_advisor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpricing_advisor-90ffd50f3dffef32.rmeta: examples/pricing_advisor.rs Cargo.toml
+
+examples/pricing_advisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pricing_advisor-b8e369a73ebf5663.d: examples/pricing_advisor.rs
+
+/root/repo/target/debug/examples/pricing_advisor-b8e369a73ebf5663: examples/pricing_advisor.rs
+
+examples/pricing_advisor.rs:

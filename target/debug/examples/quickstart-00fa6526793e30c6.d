@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-00fa6526793e30c6.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-00fa6526793e30c6.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c54edabefa0eec9f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c54edabefa0eec9f: examples/quickstart.rs
+
+examples/quickstart.rs:

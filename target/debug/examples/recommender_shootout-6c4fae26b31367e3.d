@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recommender_shootout-6c4fae26b31367e3.d: examples/recommender_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecommender_shootout-6c4fae26b31367e3.rmeta: examples/recommender_shootout.rs Cargo.toml
+
+examples/recommender_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recommender_shootout-b1f716a40f74ec49.d: examples/recommender_shootout.rs
+
+/root/repo/target/debug/examples/recommender_shootout-b1f716a40f74ec49: examples/recommender_shootout.rs
+
+examples/recommender_shootout.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbytes.rlib: /root/repo/vendor/bytes/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/debug/librand_chacha.rlib: /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand_chacha/src/lib.rs

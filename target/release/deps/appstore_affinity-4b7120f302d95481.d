@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/appstore_affinity-4b7120f302d95481.d: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/release/deps/libappstore_affinity-4b7120f302d95481.rlib: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+/root/repo/target/release/deps/libappstore_affinity-4b7120f302d95481.rmeta: crates/affinity/src/lib.rs crates/affinity/src/analysis.rs crates/affinity/src/baseline.rs crates/affinity/src/drift.rs crates/affinity/src/metric.rs crates/affinity/src/strings.rs
+
+crates/affinity/src/lib.rs:
+crates/affinity/src/analysis.rs:
+crates/affinity/src/baseline.rs:
+crates/affinity/src/drift.rs:
+crates/affinity/src/metric.rs:
+crates/affinity/src/strings.rs:

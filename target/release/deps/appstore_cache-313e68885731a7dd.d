@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/appstore_cache-313e68885731a7dd.d: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+/root/repo/target/release/deps/libappstore_cache-313e68885731a7dd.rlib: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+/root/repo/target/release/deps/libappstore_cache-313e68885731a7dd.rmeta: crates/cache/src/lib.rs crates/cache/src/belady.rs crates/cache/src/experiment.rs crates/cache/src/policy.rs crates/cache/src/prefetch.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/belady.rs:
+crates/cache/src/experiment.rs:
+crates/cache/src/policy.rs:
+crates/cache/src/prefetch.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/appstore_core-1ecce214d3ad925b.d: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs
+
+/root/repo/target/release/deps/libappstore_core-1ecce214d3ad925b.rlib: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs
+
+/root/repo/target/release/deps/libappstore_core-1ecce214d3ad925b.rmeta: crates/core/src/lib.rs crates/core/src/app.rs crates/core/src/bitset.rs crates/core/src/category.rs crates/core/src/dataset.rs crates/core/src/developer.rs crates/core/src/error.rs crates/core/src/event.rs crates/core/src/ids.rs crates/core/src/money.rs crates/core/src/quality.rs crates/core/src/seed.rs crates/core/src/snapshot.rs crates/core/src/time.rs
+
+crates/core/src/lib.rs:
+crates/core/src/app.rs:
+crates/core/src/bitset.rs:
+crates/core/src/category.rs:
+crates/core/src/dataset.rs:
+crates/core/src/developer.rs:
+crates/core/src/error.rs:
+crates/core/src/event.rs:
+crates/core/src/ids.rs:
+crates/core/src/money.rs:
+crates/core/src/quality.rs:
+crates/core/src/seed.rs:
+crates/core/src/snapshot.rs:
+crates/core/src/time.rs:

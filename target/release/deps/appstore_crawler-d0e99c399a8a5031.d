@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/appstore_crawler-d0e99c399a8a5031.d: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+/root/repo/target/release/deps/libappstore_crawler-d0e99c399a8a5031.rlib: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+/root/repo/target/release/deps/libappstore_crawler-d0e99c399a8a5031.rmeta: crates/crawler/src/lib.rs crates/crawler/src/campaign.rs crates/crawler/src/client.rs crates/crawler/src/proxy.rs crates/crawler/src/server.rs crates/crawler/src/storage.rs crates/crawler/src/wire.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/campaign.rs:
+crates/crawler/src/client.rs:
+crates/crawler/src/proxy.rs:
+crates/crawler/src/server.rs:
+crates/crawler/src/storage.rs:
+crates/crawler/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/appstore_models-7df1b04c43ec0452.d: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/release/deps/libappstore_models-7df1b04c43ec0452.rlib: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+/root/repo/target/release/deps/libappstore_models-7df1b04c43ec0452.rmeta: crates/models/src/lib.rs crates/models/src/config.rs crates/models/src/expectation.rs crates/models/src/fit.rs crates/models/src/simulate.rs crates/models/src/zipf.rs
+
+crates/models/src/lib.rs:
+crates/models/src/config.rs:
+crates/models/src/expectation.rs:
+crates/models/src/fit.rs:
+crates/models/src/simulate.rs:
+crates/models/src/zipf.rs:

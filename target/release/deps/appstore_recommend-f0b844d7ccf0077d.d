@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/appstore_recommend-f0b844d7ccf0077d.d: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/release/deps/libappstore_recommend-f0b844d7ccf0077d.rlib: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+/root/repo/target/release/deps/libappstore_recommend-f0b844d7ccf0077d.rmeta: crates/recommend/src/lib.rs crates/recommend/src/eval.rs crates/recommend/src/recommender.rs
+
+crates/recommend/src/lib.rs:
+crates/recommend/src/eval.rs:
+crates/recommend/src/recommender.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/appstore_stats-df79b20625049cf1.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libappstore_stats-df79b20625049cf1.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libappstore_stats-df79b20625049cf1.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/corr.rs crates/stats/src/distance.rs crates/stats/src/ecdf.rs crates/stats/src/histogram.rs crates/stats/src/kstest.rs crates/stats/src/multifit.rs crates/stats/src/pareto.rs crates/stats/src/powerlaw.rs crates/stats/src/regression.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/corr.rs:
+crates/stats/src/distance.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kstest.rs:
+crates/stats/src/multifit.rs:
+crates/stats/src/pareto.rs:
+crates/stats/src/powerlaw.rs:
+crates/stats/src/regression.rs:
+crates/stats/src/summary.rs:

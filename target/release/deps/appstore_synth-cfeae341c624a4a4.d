@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/appstore_synth-cfeae341c624a4a4.d: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+/root/repo/target/release/deps/libappstore_synth-cfeae341c624a4a4.rlib: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+/root/repo/target/release/deps/libappstore_synth-cfeae341c624a4a4.rmeta: crates/synth/src/lib.rs crates/synth/src/catalog.rs crates/synth/src/downloads.rs crates/synth/src/events.rs crates/synth/src/generate.rs crates/synth/src/profile.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/catalog.rs:
+crates/synth/src/downloads.rs:
+crates/synth/src/events.rs:
+crates/synth/src/generate.rs:
+crates/synth/src/profile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-38d42b3e7ba5242b.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-38d42b3e7ba5242b.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-38d42b3e7ba5242b.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/planet_apps-9c3ea1125eabc3f8.d: src/lib.rs
+
+/root/repo/target/release/deps/libplanet_apps-9c3ea1125eabc3f8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libplanet_apps-9c3ea1125eabc3f8.rmeta: src/lib.rs
+
+src/lib.rs:

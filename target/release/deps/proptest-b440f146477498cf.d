@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-b440f146477498cf.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b440f146477498cf.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-b440f146477498cf.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-3ed68aec91b9107d.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3ed68aec91b9107d.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-3ed68aec91b9107d.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

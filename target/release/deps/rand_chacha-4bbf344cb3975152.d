@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-4bbf344cb3975152.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-4bbf344cb3975152.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-4bbf344cb3975152.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

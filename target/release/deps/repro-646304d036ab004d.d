@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-646304d036ab004d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-646304d036ab004d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

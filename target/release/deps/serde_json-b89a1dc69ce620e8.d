@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-b89a1dc69ce620e8.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b89a1dc69ce620e8.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b89a1dc69ce620e8.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_scan_tmp-5402e0fabc0dc57f.d: examples/seed_scan_tmp.rs
+
+/root/repo/target/release/examples/seed_scan_tmp-5402e0fabc0dc57f: examples/seed_scan_tmp.rs
+
+examples/seed_scan_tmp.rs:
