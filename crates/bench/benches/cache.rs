@@ -87,7 +87,7 @@ fn bench_fig19_sweep_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig19/sweep");
     group.sample_size(10);
     group.bench_function("three_models_one_size", |b| {
-        b.iter(|| sweep_cache_sizes(black_box(p), &[0.05], Seed::new(13), false))
+        b.iter(|| sweep_cache_sizes(black_box(p), &[0.05], Seed::new(13), false, 1))
     });
     group.finish();
 }

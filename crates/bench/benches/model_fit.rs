@@ -5,7 +5,8 @@
 use appstore_core::Seed;
 use appstore_models::{
     expected_downloads_clustering_weighted, expected_downloads_zipf_amo, fit_clustering,
-    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, Simulator, ZipfSampler,
+    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, SampleMethod, Simulator,
+    ZipfSampler,
 };
 use appstore_stats::mean_relative_error;
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
@@ -26,15 +27,24 @@ fn params() -> ClusteringParams {
     }
 }
 
-/// The sampling kernel every simulator spins on.
+/// The sampling kernel every simulator spins on: inverse-CDF (the
+/// pinned default, O(log n) per draw) vs the Walker/Vose alias table
+/// (O(1) per draw), for both the build and the draw sides.
 fn bench_zipf_sampler(c: &mut Criterion) {
-    let sampler = ZipfSampler::new(60_000, 1.7);
+    let inverse = ZipfSampler::new(60_000, 1.7);
+    let alias = ZipfSampler::with_method(60_000, 1.7, SampleMethod::Alias);
     let mut rng = Seed::new(5).rng();
     c.bench_function("fig8/zipf_sample_60k_ranks", |b| {
-        b.iter(|| black_box(sampler.sample(&mut rng)))
+        b.iter(|| black_box(inverse.sample(&mut rng)))
+    });
+    c.bench_function("fig8/zipf_sample_60k_ranks_alias", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)))
     });
     c.bench_function("fig8/zipf_sampler_build_60k", |b| {
         b.iter(|| ZipfSampler::new(black_box(60_000), 1.7))
+    });
+    c.bench_function("fig8/zipf_sampler_build_60k_alias", |b| {
+        b.iter(|| ZipfSampler::with_method(black_box(60_000), 1.7, SampleMethod::Alias))
     });
 }
 

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale N] [--seed S] [--json DIR] <experiment>...
+//! repro [--scale N] [--seed S] [--threads T] [--json DIR] <experiment>...
 //! repro all                 # every table/figure + ablations
 //! repro list                # print the experiment ids
 //! repro fig3 fig19          # a subset
@@ -11,17 +11,22 @@
 //!
 //! `--scale N` divides the calibrated store sizes by `N` (apps/users by
 //! `N`, downloads by `N²`), useful for quick runs; the default `1` is
-//! the full calibrated reproduction. `--json DIR` additionally writes
+//! the full calibrated reproduction. `--threads T` runs up to `T`
+//! experiments concurrently (0, the default, means one per CPU);
+//! experiment text goes to stdout in a fixed order and is **byte-
+//! identical for every thread count**, while per-experiment wall times
+//! go to stderr in completion order. `--json DIR` additionally writes
 //! each experiment's structured series to `DIR/<id>.json`.
 
 use appstore_core::Seed;
-use bench::{run_experiment, Stores, EXPERIMENT_IDS};
+use bench::{run_experiments, Stores, EXPERIMENT_IDS};
 use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
     scale: u32,
     seed: u64,
+    threads: usize,
     json_dir: Option<String>,
     experiments: Vec<String>,
 }
@@ -30,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: 1,
         seed: 2013,
+        threads: 0,
         json_dir: None,
         experiments: Vec::new(),
     };
@@ -44,11 +50,18 @@ fn parse_args() -> Result<Args, String> {
                 let v = iter.next().ok_or("--seed needs a value")?;
                 args.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
             }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count: {v}"))?;
+            }
             "--json" => {
                 args.json_dir = Some(iter.next().ok_or("--json needs a directory")?);
             }
             "--help" | "-h" => {
-                println!("usage: repro [--scale N] [--seed S] [--json DIR] <experiment>|all|list");
+                println!(
+                    "usage: repro [--scale N] [--seed S] [--threads T] [--json DIR] \
+                     <experiment>|all|list"
+                );
                 std::process::exit(0);
             }
             other if other.starts_with('-') => {
@@ -99,22 +112,24 @@ fn main() {
         args.scale, args.seed
     );
     let seed = Seed::new(args.seed);
-    let stores = Stores::generate_all(args.scale, seed.child("stores"));
+    let stores = Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads);
     eprintln!("stores ready in {:.1}s", started.elapsed().as_secs_f64());
 
     if let Some(dir) = &args.json_dir {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
 
-    for id in ids {
-        let t = Instant::now();
-        let result =
-            run_experiment(id, &stores, seed.child("experiments")).expect("id validated above");
-        let mut stdout = std::io::stdout().lock();
-        write!(stdout, "{}", result.render()).expect("stdout");
-        writeln!(stdout, "[{} in {:.1}s]\n", id, t.elapsed().as_secs_f64()).expect("stdout");
+    // Experiments run concurrently; their text is buffered and printed
+    // in id order below so stdout is byte-identical for any --threads.
+    // Wall times go to stderr in completion order for live progress.
+    let results = run_experiments(&ids, &stores, seed, args.threads, |id, secs| {
+        eprintln!("[{id} in {secs:.1}s]");
+    });
+    let mut stdout = std::io::stdout().lock();
+    for (result, _secs) in &results {
+        writeln!(stdout, "{}", result.render()).expect("stdout");
         if let Some(dir) = &args.json_dir {
-            let path = format!("{dir}/{id}.json");
+            let path = format!("{dir}/{}.json", result.id);
             std::fs::write(
                 &path,
                 serde_json::to_string_pretty(&result.json).expect("serialize"),
@@ -122,4 +137,9 @@ fn main() {
             .expect("write json");
         }
     }
+    eprintln!(
+        "{} experiment(s) done in {:.1}s total",
+        results.len(),
+        started.elapsed().as_secs_f64()
+    );
 }

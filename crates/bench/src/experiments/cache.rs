@@ -34,7 +34,7 @@ fn fig19_params() -> ClusteringParams {
 /// 67.1–96.3%).
 pub fn fig19(seed: Seed) -> ExperimentResult {
     let fractions = [0.01, 0.02, 0.05, 0.10, 0.15, 0.20];
-    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("fig19"), false);
+    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("fig19"), false, 0);
     let mut lines = Vec::new();
     lines.push(format!(
         "{:<18} {}",
@@ -84,7 +84,7 @@ pub fn fig19(seed: Seed) -> ExperimentResult {
 /// user behavior").
 pub fn ablate_policies(seed: Seed) -> ExperimentResult {
     let fractions = [0.01, 0.05, 0.10];
-    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("policies"), true);
+    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("policies"), true, 0);
     let mut lines = Vec::new();
     let mut series = Vec::new();
     lines.push(format!(

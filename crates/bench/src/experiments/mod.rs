@@ -13,9 +13,10 @@ pub mod recovery;
 pub mod table1;
 
 use crate::stores::Stores;
-use appstore_core::{assess, repair_gaps, Dataset, GapRepair, Seed};
+use appstore_core::{assess, par_map_indexed, repair_gaps, Dataset, GapRepair, Seed};
 use serde_json::Value;
 use std::borrow::Cow;
+use std::time::Instant;
 
 /// Gap-aware view of a dataset for the analysis experiments: assess
 /// coverage, carry-forward-repair any missing days, and hand back the
@@ -90,6 +91,37 @@ pub const EXPERIMENT_IDS: [&str; 29] = [
     "ablate-cutoff",
     "ablate-p",
 ];
+
+/// Runs a batch of experiments on up to `threads` workers (0 ⇒ one per
+/// CPU), returning `(result, wall_seconds)` pairs **in the order of
+/// `ids`** regardless of completion order.
+///
+/// Every experiment receives the same `seed.child("experiments")` a
+/// sequential [`run_experiment`] loop would pass and derives its own
+/// child seeds internally, so the rendered results are bit-identical
+/// for every thread count; only the wall times vary.
+///
+/// `progress` is invoked from worker threads as each experiment
+/// finishes (completion order), for live wall-time reporting.
+///
+/// # Panics
+/// Panics on an unknown id — validate against [`EXPERIMENT_IDS`] first.
+pub fn run_experiments<'a>(
+    ids: &[&'a str],
+    stores: &Stores,
+    seed: Seed,
+    threads: usize,
+    progress: impl Fn(&str, f64) + Sync,
+) -> Vec<(ExperimentResult, f64)> {
+    par_map_indexed(ids.to_vec(), threads, |_, id: &'a str| {
+        let started = Instant::now();
+        let result = run_experiment(id, stores, seed.child("experiments"))
+            .unwrap_or_else(|| panic!("unknown experiment id: {id}"));
+        let secs = started.elapsed().as_secs_f64();
+        progress(id, secs);
+        (result, secs)
+    })
+}
 
 /// Runs one experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<ExperimentResult> {

@@ -159,6 +159,7 @@ pub fn fig10(stores: &Stores, seed: Seed) -> ExperimentResult {
             &fractions,
             1,
             seed.child(name).child("sweep"),
+            0,
         );
         let minimum = sweep
             .iter()
@@ -218,6 +219,7 @@ pub fn ablate_p(stores: &Stores, seed: Seed) -> ExperimentResult {
             &[best.users as f64 / observed[0] as f64],
             1,
             seed.child("ablate-p").child_indexed("p", i as u64),
+            0,
         );
         let distance = sweep.first().map(|&(_, d)| d).unwrap_or(f64::NAN);
         lines.push(format!("p = {p:<5}  distance = {distance:.3}"));

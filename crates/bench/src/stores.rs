@@ -1,7 +1,7 @@
 //! Generation and caching of the four calibrated stores.
 
 use appstore_core::{Seed, StoreId};
-use appstore_synth::{generate, GeneratedStore, StoreProfile};
+use appstore_synth::{generate_many, GeneratedStore, StoreProfile};
 
 /// One generated store with its profile.
 pub struct StoreBundle {
@@ -20,8 +20,19 @@ pub struct Stores {
 impl Stores {
     /// Generates the four stores at `1/scale` of the calibrated size
     /// (`scale == 1` is the default reproduction size).
+    ///
+    /// Equivalent to [`Stores::generate_all_threaded`] with one worker
+    /// per CPU; per-store seeds are name-derived, so the result is the
+    /// same either way.
     pub fn generate_all(scale: u32, seed: Seed) -> Stores {
-        let bundles = StoreProfile::all_stores()
+        Stores::generate_all_threaded(scale, seed, 0)
+    }
+
+    /// Generates the four stores on up to `threads` workers (0 ⇒ one per
+    /// CPU). Store seeds derive from profile names, so the datasets are
+    /// bit-identical for every thread count.
+    pub fn generate_all_threaded(scale: u32, seed: Seed, threads: usize) -> Stores {
+        let profiles: Vec<(StoreProfile, StoreId)> = StoreProfile::all_stores()
             .into_iter()
             .enumerate()
             .map(|(i, profile)| {
@@ -30,9 +41,14 @@ impl Stores {
                 } else {
                     profile
                 };
-                let store = generate(&profile, StoreId(i as u32), seed.child(&profile.name));
-                StoreBundle { profile, store }
+                (profile, StoreId(i as u32))
             })
+            .collect();
+        let generated = generate_many(profiles.clone(), seed, threads);
+        let bundles = profiles
+            .into_iter()
+            .zip(generated)
+            .map(|((profile, _), store)| StoreBundle { profile, store })
             .collect();
         Stores { bundles }
     }

@@ -3,7 +3,7 @@
 //! payload.
 
 use appstore_core::Seed;
-use bench::{run_experiment, Stores, EXPERIMENT_IDS};
+use bench::{run_experiment, run_experiments, Stores, EXPERIMENT_IDS};
 
 #[test]
 fn every_experiment_runs_at_tiny_scale() {
@@ -38,5 +38,44 @@ fn experiments_are_deterministic() {
         let b = run_experiment(id, &stores, seed.child("experiments")).unwrap();
         assert_eq!(a.lines, b.lines, "{id} output not deterministic");
         assert_eq!(a.json, b.json, "{id} JSON not deterministic");
+    }
+}
+
+/// The promise behind `repro --threads N`: the rendered output (and the
+/// JSON series) must be byte-identical for any thread count, including
+/// thread counts that exceed the experiment count.
+#[test]
+fn experiment_batches_are_thread_count_invariant() {
+    let seed = Seed::new(7);
+    let stores = Stores::generate_all(64, seed.child("stores"));
+    let ids = ["table1", "fig8", "fig19", "ablate-p", "crawl-recovery"];
+    let render_all = |threads: usize| -> (String, Vec<String>) {
+        let results = run_experiments(&ids, &stores, seed, threads, |_, _| {});
+        let text: String = results.iter().map(|(r, _)| r.render()).collect();
+        let json: Vec<String> = results
+            .iter()
+            .map(|(r, _)| serde_json::to_string_pretty(&r.json).expect("serialize"))
+            .collect();
+        (text, json)
+    };
+    let (serial_text, serial_json) = render_all(1);
+    for threads in [2, 8] {
+        let (text, json) = render_all(threads);
+        assert_eq!(serial_text, text, "stdout differs at --threads {threads}");
+        assert_eq!(serial_json, json, "JSON differs at --threads {threads}");
+    }
+}
+
+/// Store generation through the threaded path must match the sequential
+/// default for every thread count.
+#[test]
+fn store_generation_is_thread_count_invariant() {
+    let seed = Seed::new(31);
+    let serial = Stores::generate_all_threaded(128, seed, 1);
+    let parallel = Stores::generate_all_threaded(128, seed, 4);
+    assert_eq!(serial.bundles.len(), parallel.bundles.len());
+    for (a, b) in serial.bundles.iter().zip(&parallel.bundles) {
+        assert_eq!(a.profile.name, b.profile.name);
+        assert_eq!(a.store.dataset, b.store.dataset);
     }
 }

@@ -8,7 +8,7 @@
 //! workload hits markedly less (67.1–96.3% vs >99% for ZIPF).
 
 use crate::policy::{CategoryLru, Fifo, Lfu, Lru, PolicyKind, ReplacementPolicy, SegmentedLru};
-use appstore_core::{DownloadEvent, Seed};
+use appstore_core::{par_map_indexed, DownloadEvent, Seed};
 use appstore_models::{ClusteringParams, ModelKind, Simulator};
 use serde::{Deserialize, Serialize};
 
@@ -85,11 +85,17 @@ pub fn sweep_policy_order() -> Vec<PolicyKind> {
 /// The trace for each model is generated once per call from `params`
 /// (population + clustering parameters; the non-clustering models use
 /// the shared population) and replayed against a fresh cache per size.
+///
+/// The three models run on up to `threads` workers (0 ⇒ one per CPU).
+/// Each model's trace seed is `seed.child(kind.name())` — fixed before
+/// any thread runs — and results are concatenated in [`ModelKind::ALL`]
+/// order, so the sweep is bit-identical for every thread count.
 pub fn sweep_cache_sizes(
     params: ClusteringParams,
     fractions: &[f64],
     seed: Seed,
     all_policies: bool,
+    threads: usize,
 ) -> Vec<Fig19Point> {
     params.validate().expect("invalid clustering parameters");
     let apps = params.population.apps;
@@ -97,8 +103,9 @@ pub fn sweep_cache_sizes(
     let category_of: Vec<u32> = (0..apps)
         .map(|i| params.layout.place(i, apps, params.clusters).0 as u32)
         .collect();
-    let mut out = Vec::new();
-    for kind in ModelKind::ALL {
+    let category_of = &category_of;
+    let per_model = par_map_indexed(ModelKind::ALL.to_vec(), threads, |_, kind: ModelKind| {
+        let mut out = Vec::new();
         let sim = Simulator::for_kind(kind, params);
         let trace = sim.simulate_trace(seed.child(kind.name()), 30);
         // Warm start: the most popular apps by global rank (app index ==
@@ -140,8 +147,9 @@ pub fn sweep_cache_sizes(
                 hit_ratios,
             });
         }
-    }
-    out
+        out
+    });
+    per_model.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -207,7 +215,7 @@ mod tests {
         // Scaled-down version of the paper's setup (600 apps, 6k users,
         // 20k downloads).
         let p = params(600, 6_000, 3);
-        let points = sweep_cache_sizes(p, &[0.05, 0.10], Seed::new(5), false);
+        let points = sweep_cache_sizes(p, &[0.05, 0.10], Seed::new(5), false, 1);
         assert_eq!(points.len(), 6);
         for &fraction in &[0.05, 0.10] {
             let ratio = |kind: ModelKind| {
@@ -236,9 +244,17 @@ mod tests {
     }
 
     #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let p = params(300, 2_000, 3);
+        let serial = sweep_cache_sizes(p, &[0.05, 0.10], Seed::new(9), true, 1);
+        let parallel = sweep_cache_sizes(p, &[0.05, 0.10], Seed::new(9), true, 3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn hit_ratio_grows_with_cache_size_for_lru() {
         let p = params(400, 3_000, 3);
-        let points = sweep_cache_sizes(p, &[0.01, 0.05, 0.20], Seed::new(6), false);
+        let points = sweep_cache_sizes(p, &[0.01, 0.05, 0.20], Seed::new(6), false, 2);
         for kind in ModelKind::ALL {
             let ratios: Vec<f64> = points
                 .iter()
@@ -256,7 +272,7 @@ mod tests {
     #[test]
     fn policy_ablation_landscape_under_clustering() {
         let p = params(800, 4_000, 4);
-        let points = sweep_cache_sizes(p, &[0.05], Seed::new(7), true);
+        let points = sweep_cache_sizes(p, &[0.05], Seed::new(7), true, 2);
         let clustering_point = points
             .iter()
             .find(|pt| pt.model == ModelKind::AppClustering)
@@ -296,7 +312,7 @@ mod tests {
         let cache_apps = 30;
         let warm: Vec<u32> = (0..cache_apps as u32).collect();
         let optimal = belady_hit_ratio(cache_apps, &warm, &trace.events).hit_ratio();
-        let points = sweep_cache_sizes(p, &[cache_apps as f64 / 600.0], Seed::new(8), true);
+        let points = sweep_cache_sizes(p, &[cache_apps as f64 / 600.0], Seed::new(8), true, 1);
         let clustering_point = points
             .iter()
             .find(|pt| pt.model == ModelKind::AppClustering)

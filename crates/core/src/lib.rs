@@ -6,14 +6,17 @@
 //! events; daily snapshots as collected by a crawl; and complete datasets
 //! (one per monitored appstore) that the analysis crates consume.
 //!
-//! It also provides two small pieces of infrastructure that the simulators
-//! are built on:
+//! It also provides three small pieces of infrastructure that the
+//! simulators are built on:
 //!
 //! * [`seed::Seed`] — hierarchical deterministic seeding, so that every
-//!   experiment in the repository is bit-reproducible, and
+//!   experiment in the repository is bit-reproducible,
 //! * [`bitset::DenseBitset`] — a compact per-user "already downloaded"
 //!   set used to implement the *fetch-at-most-once* property at the scale
-//!   of hundreds of thousands of users times tens of thousands of apps.
+//!   of hundreds of thousands of users times tens of thousands of apps, and
+//! * [`par::par_map_indexed`] — deterministic fork/join over seeded work
+//!   items, the scheme every parallel experiment path uses to stay
+//!   byte-identical across thread counts.
 //!
 //! Design follows the paper's data model (Section 2 of Petsas et al.,
 //! IMC 2013): each app belongs to exactly one category, has one developer,
@@ -32,6 +35,7 @@ pub mod error;
 pub mod event;
 pub mod ids;
 pub mod money;
+pub mod par;
 pub mod quality;
 pub mod seed;
 pub mod snapshot;
@@ -46,6 +50,7 @@ pub use error::CoreError;
 pub use event::{CommentEvent, DownloadEvent, UpdateEvent};
 pub use ids::{AppId, CategoryId, DeveloperId, StoreId, UserId};
 pub use money::Cents;
+pub use par::{effective_threads, par_map_indexed};
 pub use quality::{
     assess, assess_span, repair_gaps, DatasetQuality, GapRepair, PartialSnapshot, RepairReport,
 };

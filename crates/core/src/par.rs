@@ -1,0 +1,157 @@
+//! Deterministic fork/join parallelism for seeded Monte-Carlo work.
+//!
+//! Every parallel site in this workspace follows the same scheme, first
+//! established by the per-day child seeds of the resumable crawler and
+//! extended here to whole experiment pipelines:
+//!
+//! 1. each work item derives its own child seed (`seed.child_indexed`)
+//!    *before* any thread is spawned, so the randomness a worker consumes
+//!    never depends on which thread runs it;
+//! 2. workers compute results independently and return them tagged with
+//!    the item's input index;
+//! 3. the caller merges results **in input order**, so floating-point
+//!    reductions associate identically no matter how many threads ran.
+//!
+//! Under this contract [`par_map_indexed`] is observationally equivalent
+//! to a sequential `map` — byte-identical output for any thread count —
+//! which is what lets `repro --threads N` promise bit-reproducibility.
+
+/// Resolves a requested thread count: `0` means "one per available CPU".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Applies `f` to every item on up to `threads` worker threads and
+/// returns the results **in input order**.
+///
+/// `f` receives the item's input index alongside the item, so callers can
+/// derive per-item child seeds from it. With `threads <= 1` (or a single
+/// item) everything runs on the calling thread — same code path a
+/// `--threads 1` run takes, and the reference behaviour the parallel path
+/// must reproduce byte-for-byte.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = effective_threads(threads).min(items.len()).max(1);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    // Split into contiguous ownership chunks, remembering each chunk's
+    // starting index so results can be placed back in input order.
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut rest = items;
+    let mut start = 0;
+    while !rest.is_empty() {
+        let take = chunk_len.min(rest.len());
+        let tail = rest.split_off(take);
+        chunks.push((start, std::mem::replace(&mut rest, tail)));
+        start += take;
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(start, || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(base, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, item)| (base + k, f(base + k, item)))
+                        .collect::<Vec<(usize, R)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("parallel worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::Seed;
+    use rand::Rng;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_map_indexed(items.clone(), threads, |_, x| x * 2);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..57).collect();
+        let got = par_map_indexed(items, 4, |i, x| (i, x));
+        for (i, (idx, item)) in got.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(i, item);
+        }
+    }
+
+    #[test]
+    fn seeded_draws_are_thread_count_invariant() {
+        let draw = |i: usize, _: ()| -> u64 {
+            let mut rng = Seed::new(9).child_indexed("item", i as u64).rng();
+            rng.gen::<u64>()
+        };
+        let serial = par_map_indexed(vec![(); 40], 1, draw);
+        let parallel = par_map_indexed(vec![(); 40], 7, draw);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u32> = par_map_indexed(Vec::<u32>::new(), 4, |_, x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let got = par_map_indexed(vec![1u32, 2, 3], 100, |_, x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map_indexed(vec![0u32, 1, 2, 3], 2, |_, x| {
+            assert!(x != 3, "boom");
+            x
+        });
+    }
+}

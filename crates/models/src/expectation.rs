@@ -17,8 +17,10 @@
 //! fitting code sorts them descending before comparing against a measured
 //! popularity curve, exactly as the paper compares distributions.
 
-use crate::config::{ClusteringParams, PopulationParams};
+use crate::config::{ClusterLayout, ClusteringParams, PopulationParams};
 use crate::zipf::ZipfSampler;
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Expected per-app downloads under the ZIPF model, indexed by global
 /// app index (rank − 1).
@@ -132,6 +134,145 @@ pub fn expected_downloads_clustering(params: &ClusteringParams) -> Vec<f64> {
             users * (1.0 - miss)
         })
         .collect()
+}
+
+/// Memoizes the expensive pieces of the closed-form expectations across a
+/// fitting grid.
+///
+/// Grid screening (Figs. 8–10) evaluates thousands of candidates, but the
+/// candidates share almost all their heavy inputs: the grid only visits a
+/// handful of distinct Zipf exponents, so the `O(apps)` `powf` sweep of a
+/// [`ZipfSampler`] build recurs thousands of times, as do the cluster
+/// placements and [`cluster_weights`]. The cache keys each of those on
+/// exactly the inputs that determine it and recomputes only on a miss.
+///
+/// **Bit-identical by construction**: cache hits return the very vectors a
+/// fresh computation would produce (same code, same operation order), so
+/// `expected_*` through a cache equals the free functions bit-for-bit —
+/// the fitting grid's argmin cannot move.
+///
+/// The cache is deliberately *not* shared across threads: each screening
+/// worker owns one (a worker still sees every distinct exponent only
+/// once), which keeps the hot path lock-free.
+#[derive(Debug, Default)]
+pub struct ScreeningCache {
+    /// `(n, s.to_bits())` → pmf vector of `ZipfSampler::new(n, s)`.
+    pmfs: HashMap<(usize, u64), Rc<Vec<f64>>>,
+    /// `(apps, clusters, layout)` → per-app `(cluster, within-cluster idx)`.
+    #[allow(clippy::type_complexity)]
+    placements: HashMap<(usize, usize, ClusterLayout), Rc<Vec<(usize, usize)>>>,
+    /// `(apps, z_r.to_bits(), clusters, layout)` → [`cluster_weights`].
+    weights: HashMap<(usize, u64, usize, ClusterLayout), Rc<Vec<f64>>>,
+}
+
+impl ScreeningCache {
+    /// An empty cache.
+    pub fn new() -> ScreeningCache {
+        ScreeningCache::default()
+    }
+
+    /// The pmf of `ZipfSampler::new(n, s)` as a 0-indexed vector
+    /// (`pmf[i] = P(rank = i + 1)`).
+    fn pmf(&mut self, n: usize, s: f64) -> Rc<Vec<f64>> {
+        Rc::clone(self.pmfs.entry((n, s.to_bits())).or_insert_with(|| {
+            let sampler = ZipfSampler::new(n, s);
+            Rc::new((1..=n).map(|k| sampler.pmf(k)).collect())
+        }))
+    }
+
+    /// Per-app `(cluster, within-cluster index)` under a layout.
+    fn placement(
+        &mut self,
+        apps: usize,
+        clusters: usize,
+        layout: ClusterLayout,
+    ) -> Rc<Vec<(usize, usize)>> {
+        Rc::clone(
+            self.placements
+                .entry((apps, clusters, layout))
+                .or_insert_with(|| {
+                    Rc::new(
+                        (0..apps)
+                            .map(|idx| layout.place(idx, apps, clusters))
+                            .collect(),
+                    )
+                }),
+        )
+    }
+
+    /// [`cluster_weights`], memoized on the inputs that determine it.
+    pub fn cluster_weights(&mut self, params: &ClusteringParams) -> Rc<Vec<f64>> {
+        let pop = params.population;
+        let key = (
+            pop.apps,
+            pop.zipf_exponent.to_bits(),
+            params.clusters,
+            params.layout,
+        );
+        if let Some(w) = self.weights.get(&key) {
+            return Rc::clone(w);
+        }
+        let global = self.pmf(pop.apps, pop.zipf_exponent);
+        let placement = self.placement(pop.apps, params.clusters, params.layout);
+        let mut weights = vec![0.0; params.clusters];
+        for idx in 0..pop.apps {
+            weights[placement[idx].0] += global[idx];
+        }
+        let weights = Rc::new(weights);
+        self.weights.insert(key, Rc::clone(&weights));
+        weights
+    }
+
+    /// [`expected_downloads_zipf`] through the cache.
+    pub fn expected_zipf(&mut self, params: &PopulationParams) -> Vec<f64> {
+        params.validate().expect("invalid population parameters");
+        let pmf = self.pmf(params.apps, params.zipf_exponent);
+        let total = params.total_downloads() as f64;
+        pmf.iter().map(|&q| total * q).collect()
+    }
+
+    /// [`expected_downloads_zipf_amo`] through the cache.
+    pub fn expected_zipf_amo(&mut self, params: &PopulationParams) -> Vec<f64> {
+        params
+            .validate_at_most_once()
+            .expect("invalid population parameters");
+        let pmf = self.pmf(params.apps, params.zipf_exponent);
+        let users = params.users as f64;
+        let d = f64::from(params.downloads_per_user);
+        pmf.iter()
+            .map(|&q| users * (1.0 - (1.0 - q).powf(d)))
+            .collect()
+    }
+
+    /// [`expected_downloads_clustering_weighted`] through the cache.
+    pub fn expected_clustering_weighted(&mut self, params: &ClusteringParams) -> Vec<f64> {
+        params.validate().expect("invalid clustering parameters");
+        let pop = params.population;
+        let global = self.pmf(pop.apps, pop.zipf_exponent);
+        let per_cluster: Vec<Rc<Vec<f64>>> = (0..params.clusters)
+            .map(|c| {
+                let size = params.layout.cluster_size(c, pop.apps, params.clusters);
+                self.pmf(size.max(1), params.cluster_exponent)
+            })
+            .collect();
+        let weights = self.cluster_weights(params);
+        let placement = self.placement(pop.apps, params.clusters, params.layout);
+        let users = pop.users as f64;
+        let d = f64::from(pop.downloads_per_user);
+        let global_draws = (1.0 - params.p) * d;
+        let cluster_draws = params.p * d;
+        (0..pop.apps)
+            .map(|idx| {
+                let (c, j) = placement[idx];
+                let p_global = global[idx];
+                let p_cluster = per_cluster[c][j];
+                let miss_global = (1.0 - p_global).powf(global_draws);
+                let miss_cluster =
+                    (1.0 - weights[c]) + weights[c] * (1.0 - p_cluster).powf(cluster_draws);
+                users * (1.0 - miss_global * miss_cluster)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +430,47 @@ mod tests {
                 counts[i],
                 e
             );
+        }
+    }
+
+    #[test]
+    fn screening_cache_is_bit_identical_to_free_functions() {
+        // The fitting grid's correctness rests on this: screening through
+        // the cache must reproduce the uncached expectations *exactly*
+        // (same bits), or the argmin could move between code paths.
+        let mut cache = ScreeningCache::new();
+        for &(apps, z) in &[(97usize, 1.1f64), (97, 1.4), (60, 1.4)] {
+            let params = pop(apps, 1000, 5, z);
+            // Twice each: first call populates, second hits the cache.
+            for _ in 0..2 {
+                assert_eq!(
+                    cache.expected_zipf(&params),
+                    expected_downloads_zipf(&params)
+                );
+                assert_eq!(
+                    cache.expected_zipf_amo(&params),
+                    expected_downloads_zipf_amo(&params)
+                );
+            }
+            for layout in [ClusterLayout::Interleaved, ClusterLayout::Blocked] {
+                for &(clusters, p, zc) in &[(7usize, 0.9f64, 1.3f64), (7, 0.7, 1.3), (5, 0.9, 1.0)]
+                {
+                    let cp = ClusteringParams {
+                        population: params,
+                        clusters,
+                        p,
+                        cluster_exponent: zc,
+                        layout,
+                    };
+                    for _ in 0..2 {
+                        assert_eq!(
+                            cache.expected_clustering_weighted(&cp),
+                            expected_downloads_clustering_weighted(&cp)
+                        );
+                        assert_eq!(*cache.cluster_weights(&cp), cluster_weights(&cp));
+                    }
+                }
+            }
         }
     }
 

@@ -9,11 +9,16 @@
 //!    closed-form expectation (exact for ZIPF, the standard independence
 //!    approximation for ZIPF-at-most-once, and the mass-preserving
 //!    weighted form of Eq. 5 for APP-CLUSTERING). The grid is spread over
-//!    worker threads with `crossbeam::scope`.
+//!    worker threads with [`par_map_indexed`], each worker reusing a
+//!    [`ScreeningCache`] so the `O(apps)` Zipf table behind each distinct
+//!    exponent is built once instead of once per candidate.
 //! 2. **Monte-Carlo refinement** — the `refine_top` best candidates are
 //!    re-scored by actually simulating them (averaging `replications`
 //!    runs), exactly as the paper does, and the best simulated distance
-//!    wins. Setting `refine_top = 0` keeps the fit purely analytic.
+//!    wins. The shortlist simulates in parallel; every candidate's seed
+//!    is derived from its shortlist index before any thread runs, so the
+//!    winner is bit-identical for every thread count. Setting
+//!    `refine_top = 0` keeps the fit purely analytic.
 //!
 //! Both curves are compared *as distributions*: the candidate's per-app
 //! downloads are sorted descending, like the measured ranking, before the
@@ -22,11 +27,9 @@
 //! the closed forms lose or gain the mass of rejected redraws).
 
 use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
-use crate::expectation::{
-    expected_downloads_clustering_weighted, expected_downloads_zipf, expected_downloads_zipf_amo,
-};
+use crate::expectation::ScreeningCache;
 use crate::simulate::Simulator;
-use appstore_core::Seed;
+use appstore_core::{effective_threads, par_map_indexed, Seed};
 use appstore_stats::mean_relative_error;
 use serde::{Deserialize, Serialize};
 
@@ -93,13 +96,7 @@ impl FitSpec {
     }
 
     fn worker_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        }
+        effective_threads(self.threads)
     }
 }
 
@@ -129,12 +126,25 @@ fn score(observed: &[u64], expected: Vec<f64>) -> f64 {
 
 /// Scores one candidate by Monte-Carlo simulation: averages the ranked
 /// counts of `replications` runs and computes the Eq. 6 distance.
-fn score_simulated(observed: &[u64], sim: &Simulator, replications: u32, seed: Seed) -> f64 {
+///
+/// Replications run on up to `threads` workers. Each replication's seed
+/// is fixed by its index and the average visits replications in index
+/// order, so the score is bit-identical for every thread count.
+fn score_simulated(
+    observed: &[u64],
+    sim: &Simulator,
+    replications: u32,
+    seed: Seed,
+    threads: usize,
+) -> f64 {
     let reps = replications.max(1);
-    let mut acc = vec![0.0f64; observed.len()];
-    for r in 0..reps {
+    let per_rep = par_map_indexed((0..reps).collect(), threads, |_, r: u32| {
         let mut counts = sim.simulate_counts(seed.child_indexed("rep", u64::from(r)));
         counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    });
+    let mut acc = vec![0.0f64; observed.len()];
+    for counts in per_rep {
         for (slot, c) in acc.iter_mut().zip(counts) {
             *slot += c as f64 / f64::from(reps);
         }
@@ -191,6 +201,7 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
         return None;
     }
     let mut best: Option<FitOutcome> = None;
+    let mut cache = ScreeningCache::new();
     for &z in &spec.zipf_exponents {
         let params = PopulationParams {
             apps: observed.len(),
@@ -199,7 +210,7 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
             zipf_exponent: z,
         };
         // `score` rescales to the measured total, so users/d are moot.
-        let distance = score(observed, expected_downloads_zipf(&params));
+        let distance = score(observed, cache.expected_zipf(&params));
         if best.is_none_or(|b| distance < b.distance) {
             best = Some(FitOutcome {
                 kind: ModelKind::Zipf,
@@ -230,12 +241,13 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
     let mut top: Vec<FitOutcome> = Vec::new();
     let keep = spec.refine_top.max(1);
     let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+    let mut cache = ScreeningCache::new();
     for &z in &spec.zipf_exponents {
         for &uf in &spec.user_fractions {
             let Some(params) = derive_population(observed, z, uf) else {
                 continue;
             };
-            let distance = score(observed, expected_downloads_zipf_amo(&params));
+            let distance = score(observed, cache.expected_zipf_amo(&params));
             let outcome = FitOutcome {
                 kind: ModelKind::ZipfAtMostOnce,
                 zipf_exponent: z,
@@ -261,20 +273,20 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
             top.push(outcome);
         }
     }
-    top.into_iter()
-        .enumerate()
-        .map(|(i, mut outcome)| {
-            let params = clustering_params(&outcome, observed.len(), 1).population;
-            let sim = Simulator::zipf_at_most_once(params);
-            outcome.distance = score_simulated(
-                observed,
-                &sim,
-                spec.replications,
-                seed.child_indexed("amo-refine", i as u64),
-            );
-            outcome
-        })
-        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+    par_map_indexed(top, spec.worker_count(), |i, mut outcome: FitOutcome| {
+        let params = clustering_params(&outcome, observed.len(), 1).population;
+        let sim = Simulator::zipf_at_most_once(params);
+        outcome.distance = score_simulated(
+            observed,
+            &sim,
+            spec.replications,
+            seed.child_indexed("amo-refine", i as u64),
+            1,
+        );
+        outcome
+    })
+    .into_iter()
+    .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
 }
 
 /// Fits APP-CLUSTERING over `(z_r, z_c, p, U)`: parallel analytic
@@ -301,73 +313,63 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
         return None;
     }
     let workers = spec.worker_count().min(grid.len()).max(1);
-    let chunk = grid.len().div_ceil(workers);
+    let chunk_len = grid.len().div_ceil(workers);
     let keep = spec.refine_top.max(1);
-    // Each worker keeps its local top-K *and* its best candidate per
-    // user-fraction: the analytic score's head/tail biases depend on `U`,
-    // so the global top-K can cluster in one `U` regime and starve the
-    // Monte-Carlo refinement of the regime the simulator actually
-    // prefers (the paper's own finding is that the best `U` sits near
-    // the top app's downloads — it must stay in the shortlist).
-    type Screened = (Vec<FitOutcome>, Vec<(f64, FitOutcome)>);
-    let (top, per_uf) = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for slice in grid.chunks(chunk) {
-            handles.push(scope.spawn(move |_| -> Screened {
-                let mut local: Vec<FitOutcome> = Vec::new();
-                let mut local_per_uf: Vec<(f64, FitOutcome)> = Vec::new();
-                for &(z_r, z_c, p, uf) in slice {
-                    let Some(population) = derive_population(observed, z_r, uf) else {
-                        continue;
-                    };
-                    let params = ClusteringParams {
-                        population,
-                        clusters: spec.clusters,
-                        p,
-                        cluster_exponent: z_c,
-                        layout: ClusterLayout::Interleaved,
-                    };
-                    if params.validate().is_err() {
-                        continue;
-                    }
-                    let distance = score(observed, expected_downloads_clustering_weighted(&params));
-                    let outcome = FitOutcome {
-                        kind: ModelKind::AppClustering,
-                        zipf_exponent: z_r,
-                        cluster_exponent: z_c,
-                        p,
-                        users: population.users,
-                        downloads_per_user: population.downloads_per_user,
-                        distance,
-                    };
-                    push_top(&mut local, keep, outcome);
-                    match local_per_uf.iter_mut().find(|(f, _)| *f == uf) {
-                        Some((_, best)) if outcome.distance < best.distance => *best = outcome,
-                        Some(_) => {}
-                        None => local_per_uf.push((uf, outcome)),
-                    }
-                }
-                (local, local_per_uf)
-            }));
-        }
-        let mut merged: Vec<FitOutcome> = Vec::new();
-        let mut merged_per_uf: Vec<(f64, FitOutcome)> = Vec::new();
-        for handle in handles {
-            let (local, local_per_uf) = handle.join().expect("fit worker panicked");
-            for outcome in local {
-                push_top(&mut merged, keep, outcome);
+    // Screen the grid in contiguous chunks, one [`ScreeningCache`] per
+    // worker: the grid revisits the same few exponents thousands of
+    // times, so each worker builds every distinct Zipf table once.
+    // Workers return *all* their scored candidates and the reduction
+    // below runs sequentially in grid order, so the shortlist cannot
+    // depend on the thread count — even under exact distance ties.
+    let chunks: Vec<Vec<(f64, f64, f64, f64)>> =
+        grid.chunks(chunk_len).map(<[_]>::to_vec).collect();
+    let screened = par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
+        let mut cache = ScreeningCache::new();
+        let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
+        for (z_r, z_c, p, uf) in chunk {
+            let Some(population) = derive_population(observed, z_r, uf) else {
+                continue;
+            };
+            let params = ClusteringParams {
+                population,
+                clusters: spec.clusters,
+                p,
+                cluster_exponent: z_c,
+                layout: ClusterLayout::Interleaved,
+            };
+            if params.validate().is_err() {
+                continue;
             }
-            for (uf, outcome) in local_per_uf {
-                match merged_per_uf.iter_mut().find(|(f, _)| *f == uf) {
-                    Some((_, best)) if outcome.distance < best.distance => *best = outcome,
-                    Some(_) => {}
-                    None => merged_per_uf.push((uf, outcome)),
-                }
-            }
+            let distance = score(observed, cache.expected_clustering_weighted(&params));
+            let outcome = FitOutcome {
+                kind: ModelKind::AppClustering,
+                zipf_exponent: z_r,
+                cluster_exponent: z_c,
+                p,
+                users: population.users,
+                downloads_per_user: population.downloads_per_user,
+                distance,
+            };
+            scored.push((uf, outcome));
         }
-        (merged, merged_per_uf)
-    })
-    .expect("crossbeam scope failed");
+        scored
+    });
+    // Keep the global top-K *and* the best candidate per user-fraction:
+    // the analytic score's head/tail biases depend on `U`, so the global
+    // top-K can cluster in one `U` regime and starve the Monte-Carlo
+    // refinement of the regime the simulator actually prefers (the
+    // paper's own finding is that the best `U` sits near the top app's
+    // downloads — it must stay in the shortlist).
+    let mut top: Vec<FitOutcome> = Vec::new();
+    let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+    for (uf, outcome) in screened.into_iter().flatten() {
+        push_top(&mut top, keep, outcome);
+        match per_uf.iter_mut().find(|(f, _)| *f == uf) {
+            Some((_, best)) if outcome.distance < best.distance => *best = outcome,
+            Some(_) => {}
+            None => per_uf.push((uf, outcome)),
+        }
+    }
     if top.is_empty() {
         return None;
     }
@@ -381,10 +383,10 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
             shortlist.push(outcome);
         }
     }
-    shortlist
-        .into_iter()
-        .enumerate()
-        .map(|(i, mut outcome)| {
+    par_map_indexed(
+        shortlist,
+        spec.worker_count(),
+        |i, mut outcome: FitOutcome| {
             let params = clustering_params(&outcome, observed.len(), spec.clusters);
             let sim = Simulator::app_clustering(params);
             outcome.distance = score_simulated(
@@ -392,10 +394,13 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
                 &sim,
                 spec.replications,
                 seed.child_indexed("clustering-refine", i as u64),
+                1,
             );
             outcome
-        })
-        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+        },
+    )
+    .into_iter()
+    .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
 }
 
 /// Coarse-to-fine local refinement: explores a finer grid around a
@@ -444,6 +449,10 @@ pub fn refine_locally(
 /// Fig. 10: for fixed `(z_r, z_c, p)` taken from `fit`, sweep the user
 /// count over `fractions` of the most popular app's downloads and return
 /// `(fraction, simulated distance)` pairs.
+///
+/// Each fraction simulates on its own worker (up to `threads`; 0 ⇒ one
+/// per CPU) under a seed fixed by its position in `fractions`, so the
+/// sweep is bit-identical for every thread count.
 pub fn user_count_sweep(
     observed: &[u64],
     fit: &FitOutcome,
@@ -451,35 +460,37 @@ pub fn user_count_sweep(
     fractions: &[f64],
     replications: u32,
     seed: Seed,
+    threads: usize,
 ) -> Vec<(f64, f64)> {
-    fractions
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &uf)| {
-            let population = derive_population(observed, fit.zipf_exponent, uf)?;
-            let params = ClusteringParams {
-                population,
-                clusters,
-                p: fit.p,
-                cluster_exponent: fit.cluster_exponent,
-                layout: ClusterLayout::Interleaved,
-            };
-            params.validate().ok()?;
-            let sim = Simulator::app_clustering(params);
-            let distance = score_simulated(
-                observed,
-                &sim,
-                replications,
-                seed.child_indexed("user-sweep", i as u64),
-            );
-            Some((uf, distance))
-        })
-        .collect()
+    par_map_indexed(fractions.to_vec(), threads, |i, uf: f64| {
+        let population = derive_population(observed, fit.zipf_exponent, uf)?;
+        let params = ClusteringParams {
+            population,
+            clusters,
+            p: fit.p,
+            cluster_exponent: fit.cluster_exponent,
+            layout: ClusterLayout::Interleaved,
+        };
+        params.validate().ok()?;
+        let sim = Simulator::app_clustering(params);
+        let distance = score_simulated(
+            observed,
+            &sim,
+            replications,
+            seed.child_indexed("user-sweep", i as u64),
+            1,
+        );
+        Some((uf, distance))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expectation::expected_downloads_zipf;
     use appstore_core::Seed;
 
     /// A measured curve generated by the clustering model itself.
@@ -579,7 +590,7 @@ mod tests {
         let seed = Seed::new(9);
         let best = fit_clustering(&observed, &spec, seed).unwrap();
         let fractions = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0];
-        let sweep = user_count_sweep(&observed, &best, 20, &fractions, 1, seed);
+        let sweep = user_count_sweep(&observed, &best, 20, &fractions, 1, seed, 2);
         assert_eq!(sweep.len(), fractions.len());
         let (best_frac, _) = sweep
             .iter()
@@ -605,6 +616,56 @@ mod tests {
         spec.threads = 4;
         let parallel = fit_clustering(&observed, &spec, Seed::new(1)).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn full_fit_is_deterministic_across_thread_counts() {
+        // Screening *and* Monte-Carlo refinement: the complete pipeline
+        // must produce one bit-identical winner for any thread count.
+        let observed = synthetic_observed();
+        let mut spec = small_spec();
+        let mut outcomes = Vec::new();
+        for threads in [1, 2, 5] {
+            spec.threads = threads;
+            outcomes.push(fit_clustering(&observed, &spec, Seed::new(21)).unwrap());
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+    }
+
+    #[test]
+    fn user_sweep_is_deterministic_across_thread_counts() {
+        let observed = synthetic_observed();
+        let fit = FitOutcome {
+            kind: ModelKind::AppClustering,
+            zipf_exponent: 1.2,
+            cluster_exponent: 1.8,
+            p: 0.9,
+            users: 3000,
+            downloads_per_user: 8,
+            distance: 0.0,
+        };
+        let fractions = [0.5, 1.0, 2.0, 4.0];
+        let serial = user_count_sweep(&observed, &fit, 20, &fractions, 2, Seed::new(8), 1);
+        let parallel = user_count_sweep(&observed, &fit, 20, &fractions, 2, Seed::new(8), 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn simulated_scores_are_thread_count_invariant() {
+        // Per-replication parallelism inside one score: rep seeds are
+        // index-derived and merged in rep order.
+        let observed = synthetic_observed();
+        let params = PopulationParams {
+            apps: observed.len(),
+            users: 3000,
+            downloads_per_user: 8,
+            zipf_exponent: 1.2,
+        };
+        let sim = Simulator::zipf_at_most_once(params);
+        let serial = score_simulated(&observed, &sim, 4, Seed::new(33), 1);
+        let parallel = score_simulated(&observed, &sim, 4, Seed::new(33), 3);
+        assert_eq!(serial.to_bits(), parallel.to_bits());
     }
 
     #[test]

@@ -36,10 +36,10 @@ pub mod zipf;
 pub use config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
 pub use expectation::{
     cluster_weights, expected_downloads_clustering, expected_downloads_clustering_weighted,
-    expected_downloads_zipf, expected_downloads_zipf_amo,
+    expected_downloads_zipf, expected_downloads_zipf_amo, ScreeningCache,
 };
 pub use fit::{
     fit_clustering, fit_zipf, fit_zipf_amo, refine_locally, user_count_sweep, FitOutcome, FitSpec,
 };
 pub use simulate::{DownloadTrace, Simulator};
-pub use zipf::ZipfSampler;
+pub use zipf::{AliasTable, SampleMethod, ZipfSampler};

@@ -1,0 +1,262 @@
+//! Pearson's chi-squared goodness-of-fit test.
+//!
+//! Used to check that a sampler's empirical draw frequencies match an
+//! analytic pmf (e.g. that the alias-table and inverse-CDF Zipf samplers
+//! both reproduce `P(rank = k) ∝ k^(−s)`), complementing the two-sample
+//! KS test in [`crate::kstest`] which compares samplers against each
+//! other.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a chi-squared goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquared {
+    /// The statistic `X² = Σ (O_i − E_i)² / E_i` over the used bins.
+    pub statistic: f64,
+    /// Degrees of freedom (used bins − 1).
+    pub degrees: usize,
+    /// Upper-tail p-value `P(χ²_df ≥ X²)`.
+    pub p_value: f64,
+    /// Number of bins actually used after low-expectation pooling.
+    pub bins: usize,
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, |error| < 2e-10).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut ser = 1.000_000_000_190_015;
+    let mut denom = x;
+    for c in COEFFS {
+        denom += 1.0;
+        ser += c / denom;
+    }
+    let tmp = x + 5.5;
+    (x + 0.5) * tmp.ln() - tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` by series expansion
+/// (converges fast for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-14 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` by continued fraction
+/// (converges fast for `x >= a + 1`; modified Lentz).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-14 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Upper-tail probability of the chi-squared distribution:
+/// `P(χ²_df ≥ x) = Q(df/2, x/2)`.
+///
+/// Returns 1 for `x <= 0`.
+pub fn chi_squared_survival(degrees: usize, x: f64) -> f64 {
+    if x <= 0.0 || degrees == 0 {
+        return 1.0;
+    }
+    let a = degrees as f64 / 2.0;
+    let half = x / 2.0;
+    let q = if half < a + 1.0 {
+        1.0 - gamma_p_series(a, half)
+    } else {
+        gamma_q_cf(a, half)
+    };
+    q.clamp(0.0, 1.0)
+}
+
+/// Chi-squared goodness-of-fit of observed bin counts against expected
+/// bin counts.
+///
+/// Bins with an expected count below `min_expected` are pooled into their
+/// successor (and a trailing low-expectation remainder into the last used
+/// bin), per the usual validity rule for the chi-squared approximation
+/// (`min_expected` of 5 is the textbook choice). `observed` and
+/// `expected` must have equal lengths; expected counts must be positive.
+///
+/// Returns `None` if fewer than two pooled bins remain or the inputs are
+/// degenerate (mismatched lengths, nonpositive/nonfinite expectations).
+pub fn chi_squared_gof(
+    observed: &[u64],
+    expected: &[f64],
+    min_expected: f64,
+) -> Option<ChiSquared> {
+    if observed.len() != expected.len() || observed.is_empty() {
+        return None;
+    }
+    if expected.iter().any(|&e| !e.is_finite() || e <= 0.0) {
+        return None;
+    }
+    // Pool adjacent bins until each pooled bin's expectation clears the
+    // threshold; a final under-threshold remainder merges backwards.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (observed, expected)
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o as f64;
+        acc_e += e;
+        if acc_e >= min_expected {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        }
+    }
+    if pooled.len() < 2 {
+        return None;
+    }
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            let diff = o - e;
+            diff * diff / e
+        })
+        .sum();
+    let degrees = pooled.len() - 1;
+    Some(ChiSquared {
+        statistic,
+        degrees,
+        p_value: chi_squared_survival(degrees, statistic),
+        bins: pooled.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appstore_core::Seed;
+    use rand::Rng;
+
+    #[test]
+    fn survival_matches_known_critical_values() {
+        // Textbook 5% critical values.
+        for (df, crit) in [(1, 3.841), (2, 5.991), (5, 11.070), (10, 18.307)] {
+            let p = chi_squared_survival(df, crit);
+            assert!((p - 0.05).abs() < 2e-3, "df {df}: p = {p}");
+        }
+        // Median of χ²_2 is 2 ln 2.
+        let p = chi_squared_survival(2, 2.0 * 2f64.ln());
+        assert!((p - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn survival_edge_cases() {
+        assert_eq!(chi_squared_survival(3, 0.0), 1.0);
+        assert_eq!(chi_squared_survival(3, -1.0), 1.0);
+        assert!(chi_squared_survival(1, 1e4) < 1e-12);
+    }
+
+    #[test]
+    fn exact_match_gives_p_one() {
+        let expected = [100.0, 200.0, 300.0];
+        let observed = [100u64, 200, 300];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert_eq!(t.degrees, 2);
+        assert!(t.p_value > 0.999);
+    }
+
+    #[test]
+    fn gross_mismatch_is_rejected() {
+        let expected = [100.0, 100.0, 100.0, 100.0];
+        let observed = [10u64, 390, 0, 0];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.p_value < 1e-10, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn low_expectation_bins_are_pooled() {
+        // Tail expectations of 1 each: must pool, not divide by tiny E.
+        let expected = [50.0, 30.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let observed = [50u64, 30, 1, 1, 1, 1, 1];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert_eq!(t.bins, 3, "head, head, pooled tail");
+        assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_none() {
+        assert!(chi_squared_gof(&[], &[], 5.0).is_none());
+        assert!(chi_squared_gof(&[1], &[1.0, 2.0], 5.0).is_none());
+        assert!(chi_squared_gof(&[1, 2], &[1.0, 0.0], 5.0).is_none());
+        assert!(chi_squared_gof(&[1, 2], &[1.0, f64::NAN], 5.0).is_none());
+        // Everything pools into one bin -> no degrees of freedom.
+        assert!(chi_squared_gof(&[1, 1], &[1.0, 1.0], 5.0).is_none());
+    }
+
+    #[test]
+    fn uniform_draws_are_not_rejected() {
+        let mut rng = Seed::new(17).rng();
+        let bins = 20usize;
+        let n = 100_000u64;
+        let mut observed = vec![0u64; bins];
+        for _ in 0..n {
+            observed[rng.gen_range(0..bins)] += 1;
+        }
+        let expected = vec![n as f64 / bins as f64; bins];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert_eq!(t.degrees, bins - 1);
+        assert!(t.p_value > 0.01, "false rejection: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_is_rejected() {
+        let mut rng = Seed::new(18).rng();
+        let bins = 10usize;
+        let n = 50_000u64;
+        let mut observed = vec![0u64; bins];
+        for _ in 0..n {
+            // Mild but systematic skew away from uniform.
+            let u: f64 = rng.gen();
+            observed[((u * u) * bins as f64) as usize % bins] += 1;
+        }
+        let expected = vec![n as f64 / bins as f64; bins];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.p_value < 1e-6, "missed skew: p = {}", t.p_value);
+    }
+}

@@ -16,7 +16,8 @@
 //! * [`pareto`] — top-share curves, Lorenz curve, Gini coefficient;
 //! * [`distance`] — model-vs-data distances, including the paper's
 //!   Eq. 6 mean relative error;
-//! * [`bootstrap`] — nonparametric bootstrap confidence intervals.
+//! * [`bootstrap`] — nonparametric bootstrap confidence intervals;
+//! * [`chisq`] — Pearson chi-squared goodness-of-fit with p-values.
 //!
 //! Numerical conventions: all routines take `&[f64]` or integer-count
 //! slices, never consume their input, and document their behaviour on
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod chisq;
 pub mod corr;
 pub mod distance;
 pub mod ecdf;
@@ -38,6 +40,7 @@ pub mod regression;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, BootstrapInterval};
+pub use chisq::{chi_squared_gof, chi_squared_survival, ChiSquared};
 pub use corr::{pearson, spearman};
 pub use distance::{ks_distance_ranked, log_rmse, mean_relative_error};
 pub use ecdf::Ecdf;

@@ -4,7 +4,9 @@ use crate::catalog::{build_catalog, Catalog};
 use crate::downloads::{simulate_downloads, DownloadOutcome};
 use crate::events::{generate_comments, generate_updates};
 use crate::profile::StoreProfile;
-use appstore_core::{AppObservation, DailySnapshot, Dataset, Day, Seed, StoreId, StoreMeta};
+use appstore_core::{
+    par_map_indexed, AppObservation, DailySnapshot, Dataset, Day, Seed, StoreId, StoreMeta,
+};
 
 /// A generated store: the ground-truth dataset plus the raw materials a
 /// crawl simulation needs (the catalogue and per-day counters).
@@ -91,6 +93,22 @@ pub fn generate(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> Genera
         catalog,
         outcome,
     }
+}
+
+/// Generates several stores on up to `threads` workers (0 ⇒ one per
+/// CPU), returning them in input order.
+///
+/// Each store is seeded with `seed.child(&profile.name)` — exactly what
+/// a sequential loop of [`generate`] would use — so the result is
+/// bit-identical to one-by-one generation for every thread count.
+pub fn generate_many(
+    profiles: Vec<(StoreProfile, StoreId)>,
+    seed: Seed,
+    threads: usize,
+) -> Vec<GeneratedStore> {
+    par_map_indexed(profiles, threads, |_, (profile, store_id)| {
+        generate(&profile, store_id, seed.child(&profile.name))
+    })
 }
 
 #[cfg(test)]
@@ -192,6 +210,27 @@ mod tests {
         let a = generate(&profile, StoreId(0), Seed::new(7));
         let b = generate(&profile, StoreId(0), Seed::new(7));
         assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn generate_many_matches_sequential_generation() {
+        let profiles: Vec<(StoreProfile, StoreId)> = StoreProfile::all_stores()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p.scaled_down(100), StoreId(i as u32)))
+            .collect();
+        let seed = Seed::new(3);
+        let sequential: Vec<Dataset> = profiles
+            .iter()
+            .map(|(p, id)| generate(p, *id, seed.child(&p.name)).dataset)
+            .collect();
+        for threads in [1, 4] {
+            let parallel = generate_many(profiles.clone(), seed, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (par, seq) in parallel.iter().zip(&sequential) {
+                assert_eq!(&par.dataset, seq, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod profile;
 
 pub use catalog::Catalog;
 pub use downloads::DownloadOutcome;
-pub use generate::{generate, GeneratedStore};
+pub use generate::{generate, generate_many, GeneratedStore};
 pub use profile::{PaidProfile, StoreProfile};

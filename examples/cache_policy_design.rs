@@ -34,7 +34,7 @@ fn main() {
         "simulating {} downloads per model…\n",
         params.population.total_downloads()
     );
-    let points = sweep_cache_sizes(params, &fractions, Seed::new(99), true);
+    let points = sweep_cache_sizes(params, &fractions, Seed::new(99), true, 0);
 
     for kind in ModelKind::ALL {
         println!("workload: {}", kind.name());

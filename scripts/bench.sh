@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Performance snapshot for the repro pipeline and its hot kernels.
+#
+# Times `repro all --scale 16` end-to-end — once serial (--threads 1)
+# and once with one worker per CPU — then runs the model-fit kernel
+# benches, and writes everything to BENCH_<date>.json at the repo root
+# so performance-sensitive changes leave a comparable record.
+#
+# Set BASELINE_SECONDS to record a pre-change wall time for the same
+# `repro all --scale 16` command (e.g. measured on the parent commit);
+# the report then includes the speedup against it. Set BENCH_NOTES to
+# attach free-form context (host caveats, what changed) to the report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DATE="$(date +%F)"
+OUT="BENCH_${DATE}.json"
+CPUS="$(nproc)"
+SCALE=16
+
+echo "== cargo build --release =="
+cargo build --release -q
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+run_repro() { # run_repro <threads> <stderr-log>; prints wall seconds
+    local threads="$1" log="$2" start end
+    start="$(date +%s.%N)"
+    ./target/release/repro all --scale "$SCALE" --threads "$threads" \
+        >/dev/null 2>"$log"
+    end="$(date +%s.%N)"
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.2f", e - s }'
+}
+
+echo "== repro all --scale $SCALE --threads 1 =="
+SERIAL="$(run_repro 1 "$TMP/serial.log")"
+echo "   ${SERIAL}s"
+
+echo "== repro all --scale $SCALE --threads $CPUS =="
+PARALLEL="$(run_repro "$CPUS" "$TMP/parallel.log")"
+echo "   ${PARALLEL}s"
+
+echo "== kernel benches (bench/model_fit) =="
+cargo bench -q -p bench --bench model_fit | tee "$TMP/kernels.log"
+
+# Per-experiment wall times from the parallel run's stderr progress
+# lines ("[<id> in <secs>s]").
+sed -n 's/^\[\(.*\) in \(.*\)s\]$/{"id":"\1","seconds":\2}/p' "$TMP/parallel.log" |
+    jq -s '.' >"$TMP/experiments.json"
+
+# Kernel medians from the bench harness lines
+# ("bench <id> median <duration> (<n> samples)").
+awk '/^bench .* median / {
+    printf "{\"id\":\"%s\",\"median\":\"%s\"}\n", $2, $4
+}' "$TMP/kernels.log" | jq -s '.' >"$TMP/kernels.json"
+
+jq -n \
+    --arg date "$DATE" \
+    --arg scale "$SCALE" \
+    --arg cpus "$CPUS" \
+    --arg serial "$SERIAL" \
+    --arg parallel "$PARALLEL" \
+    --arg baseline "${BASELINE_SECONDS:-}" \
+    --arg notes "${BENCH_NOTES:-}" \
+    --slurpfile experiments "$TMP/experiments.json" \
+    --slurpfile kernels "$TMP/kernels.json" \
+    '({
+        date: $date,
+        host_cpus: ($cpus | tonumber),
+        repro: ({
+            command: ("repro all --scale " + $scale),
+            threads_1_seconds: ($serial | tonumber),
+            threads_ncpu_seconds: ($parallel | tonumber),
+            per_experiment_seconds: $experiments[0]
+        } + (if $baseline == "" then {} else {
+            baseline_seconds: ($baseline | tonumber),
+            speedup_vs_baseline:
+                (($baseline | tonumber) / ($parallel | tonumber))
+        } end)),
+        kernels: $kernels[0]
+    } + (if $notes == "" then {} else { notes: $notes } end))' >"$OUT"
+
+echo "wrote $OUT"

@@ -11,6 +11,6 @@ echo "== cargo clippy (workspace, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 
 echo "== cargo test (workspace) =="
-cargo test -q
+cargo test -q --workspace
 
 echo "All checks passed."

@@ -79,7 +79,7 @@ fn lru_hit_ratio_ordering_matches_fig19() {
         cluster_exponent: 1.4,
         layout: ClusterLayout::Interleaved,
     };
-    let points = sweep_cache_sizes(params, &[0.05, 0.10, 0.20], Seed::new(205), false);
+    let points = sweep_cache_sizes(params, &[0.05, 0.10, 0.20], Seed::new(205), false, 0);
     let ratio = |kind: ModelKind, f: f64| {
         points
             .iter()
