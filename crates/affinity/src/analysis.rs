@@ -83,10 +83,13 @@ pub fn downloads_share_by_category(downloads_per_category: &[u64]) -> Vec<(usize
 /// Per-user affinity samples at the given depth, skipping users whose
 /// strings are too short to score (Fig. 7 input).
 pub fn affinity_samples(streams: &[UserStream], depth: usize) -> Vec<f64> {
-    streams
+    let samples: Vec<f64> = streams
         .iter()
         .filter_map(|s| affinity(&s.categories, depth))
-        .collect()
+        .collect();
+    appstore_obs::counter("affinity.streams", streams.len() as u64);
+    appstore_obs::counter("affinity.samples", samples.len() as u64);
+    samples
 }
 
 /// Fig. 6: groups users by their raw comment count, computes each

@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale N] [--seed S] [--threads T] [--json DIR] <experiment>...
+//! repro [--scale N] [--seed S] [--threads T] [--json DIR]
+//!       [--metrics FILE] [--no-timings] <experiment>...
 //! repro all                 # every table/figure + ablations
 //! repro list                # print the experiment ids
 //! repro fig3 fig19          # a subset
@@ -17,9 +18,16 @@
 //! identical for every thread count**, while per-experiment wall times
 //! go to stderr in completion order. `--json DIR` additionally writes
 //! each experiment's structured series to `DIR/<id>.json`.
+//!
+//! `--metrics FILE` writes one observability snapshot per experiment
+//! (plus one for store generation) as a single JSON document. With
+//! `--no-timings` every volatile field — durations, per-worker tallies —
+//! is zeroed, so the file is byte-identical for every `--threads` value;
+//! the golden regression suite pins exactly that.
 
 use appstore_core::Seed;
-use bench::{run_experiments, Stores, EXPERIMENT_IDS};
+use appstore_obs::Registry;
+use bench::{run_experiments_observed, ExperimentResult, Stores, EXPERIMENT_IDS};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -28,6 +36,8 @@ struct Args {
     seed: u64,
     threads: usize,
     json_dir: Option<String>,
+    metrics_path: Option<String>,
+    no_timings: bool,
     experiments: Vec<String>,
 }
 
@@ -37,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 2013,
         threads: 0,
         json_dir: None,
+        metrics_path: None,
+        no_timings: false,
         experiments: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
@@ -57,10 +69,16 @@ fn parse_args() -> Result<Args, String> {
             "--json" => {
                 args.json_dir = Some(iter.next().ok_or("--json needs a directory")?);
             }
+            "--metrics" => {
+                args.metrics_path = Some(iter.next().ok_or("--metrics needs a file path")?);
+            }
+            "--no-timings" => {
+                args.no_timings = true;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale N] [--seed S] [--threads T] [--json DIR] \
-                     <experiment>|all|list"
+                     [--metrics FILE] [--no-timings] <experiment>|all|list"
                 );
                 std::process::exit(0);
             }
@@ -112,7 +130,10 @@ fn main() {
         args.scale, args.seed
     );
     let seed = Seed::new(args.seed);
-    let stores = Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads);
+    let stores_registry = Registry::new();
+    let stores = appstore_obs::with_registry(&stores_registry, || {
+        Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads)
+    });
     eprintln!("stores ready in {:.1}s", started.elapsed().as_secs_f64());
 
     if let Some(dir) = &args.json_dir {
@@ -122,11 +143,11 @@ fn main() {
     // Experiments run concurrently; their text is buffered and printed
     // in id order below so stdout is byte-identical for any --threads.
     // Wall times go to stderr in completion order for live progress.
-    let results = run_experiments(&ids, &stores, seed, args.threads, |id, secs| {
+    let results = run_experiments_observed(&ids, &stores, seed, args.threads, |id, secs| {
         eprintln!("[{id} in {secs:.1}s]");
     });
     let mut stdout = std::io::stdout().lock();
-    for (result, _secs) in &results {
+    for (result, _secs, _registry) in &results {
         writeln!(stdout, "{}", result.render()).expect("stdout");
         if let Some(dir) = &args.json_dir {
             let path = format!("{dir}/{}.json", result.id);
@@ -137,9 +158,47 @@ fn main() {
             .expect("write json");
         }
     }
+    drop(stdout);
+    if let Some(path) = &args.metrics_path {
+        let doc = metrics_document(&args, &stores_registry, &results);
+        std::fs::write(path, doc).expect("write metrics");
+        eprintln!("metrics snapshot written to {path}");
+    }
     eprintln!(
         "{} experiment(s) done in {:.1}s total",
         results.len(),
         started.elapsed().as_secs_f64()
     );
+}
+
+/// Assembles the metrics snapshot: one registry export per experiment in
+/// stdout (id) order, plus the store-generation registry, under a fixed
+/// top-level key order. In `--no-timings` mode the document is a pure
+/// function of scale, seed, and experiment set.
+fn metrics_document(
+    args: &Args,
+    stores_registry: &Registry,
+    results: &[(ExperimentResult, f64, Registry)],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"scale\": {},\n", args.scale));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"no_timings\": {},\n", args.no_timings));
+    out.push_str(&format!(
+        "  \"stores\": {},\n",
+        stores_registry.snapshot_json_indented(args.no_timings, 1)
+    ));
+    out.push_str("  \"experiments\": {\n");
+    for (i, (result, _secs, registry)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{}\": {}{comma}\n",
+            result.id,
+            registry.snapshot_json_indented(args.no_timings, 2)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
 }

@@ -123,6 +123,39 @@ pub fn run_experiments<'a>(
     })
 }
 
+/// Like [`run_experiments`], but collects each experiment's metrics into
+/// its own fresh [`appstore_obs::Registry`], returned alongside the
+/// result.
+///
+/// Each experiment's registry is installed for exactly the duration of
+/// that experiment (and carried onto any worker threads it spawns), so
+/// the snapshots partition cleanly by experiment id no matter how the
+/// batch was scheduled. Deterministic metrics are identical for every
+/// thread count; volatile ones are zeroed when the snapshot is taken in
+/// no-timings mode.
+///
+/// # Panics
+/// Panics on an unknown id — validate against [`EXPERIMENT_IDS`] first.
+pub fn run_experiments_observed<'a>(
+    ids: &[&'a str],
+    stores: &Stores,
+    seed: Seed,
+    threads: usize,
+    progress: impl Fn(&str, f64) + Sync,
+) -> Vec<(ExperimentResult, f64, appstore_obs::Registry)> {
+    par_map_indexed(ids.to_vec(), threads, |_, id: &'a str| {
+        let registry = appstore_obs::Registry::new();
+        let started = Instant::now();
+        let result = appstore_obs::with_registry(&registry, || {
+            run_experiment(id, stores, seed.child("experiments"))
+                .unwrap_or_else(|| panic!("unknown experiment id: {id}"))
+        });
+        let secs = started.elapsed().as_secs_f64();
+        progress(id, secs);
+        (result, secs, registry)
+    })
+}
+
 /// Runs one experiment by id. Returns `None` for an unknown id.
 pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<ExperimentResult> {
     Some(match id {

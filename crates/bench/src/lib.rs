@@ -15,5 +15,7 @@
 pub mod experiments;
 pub mod stores;
 
-pub use experiments::{run_experiment, run_experiments, ExperimentResult, EXPERIMENT_IDS};
+pub use experiments::{
+    run_experiment, run_experiments, run_experiments_observed, ExperimentResult, EXPERIMENT_IDS,
+};
 pub use stores::{StoreBundle, Stores};

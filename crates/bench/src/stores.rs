@@ -44,7 +44,9 @@ impl Stores {
                 (profile, StoreId(i as u32))
             })
             .collect();
-        let generated = generate_many(profiles.clone(), seed, threads);
+        let generated = appstore_obs::span("stores.generate", || {
+            generate_many(profiles.clone(), seed, threads)
+        });
         let bundles = profiles
             .into_iter()
             .zip(generated)

@@ -138,7 +138,14 @@ pub fn sweep_cache_sizes(
             let mut hit_ratios = Vec::new();
             for (p, mut policy) in policies {
                 let run = hit_ratio(policy.as_mut(), &warm, &trace.events);
-                hit_ratios.push((p.name().to_string(), run.hit_ratio()));
+                // Per-policy totals are sums over a fixed (model, size)
+                // grid, so they are thread-count independent.
+                let name = p.name();
+                appstore_obs::counter(&format!("cache.{name}.requests"), run.requests);
+                appstore_obs::counter(&format!("cache.{name}.hits"), run.hits);
+                appstore_obs::counter(&format!("cache.{name}.misses"), run.requests - run.hits);
+                appstore_obs::counter(&format!("cache.{name}.evictions"), policy.evictions());
+                hit_ratios.push((name.to_string(), run.hit_ratio()));
             }
             out.push(Fig19Point {
                 model: kind,

@@ -33,6 +33,11 @@ pub trait ReplacementPolicy {
 
     /// True if the given app is currently cached (for tests/inspection).
     fn contains(&self, app: u32) -> bool;
+
+    /// Number of evictions performed so far (warm inserts never evict).
+    fn evictions(&self) -> u64 {
+        0
+    }
 }
 
 /// Which policy to run (for experiment configs and reports).
@@ -227,6 +232,7 @@ impl LruList {
 pub struct Lru {
     list: LruList,
     capacity: usize,
+    evictions: u64,
 }
 
 impl Lru {
@@ -239,6 +245,7 @@ impl Lru {
         Lru {
             list: LruList::with_capacity(capacity),
             capacity,
+            evictions: 0,
         }
     }
 }
@@ -250,6 +257,7 @@ impl ReplacementPolicy for Lru {
         }
         if self.list.len() == self.capacity {
             self.list.pop_back();
+            self.evictions += 1;
         }
         self.list.push_front(app);
         false
@@ -271,6 +279,10 @@ impl ReplacementPolicy for Lru {
 
     fn contains(&self, app: u32) -> bool {
         self.list.contains(app)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -283,6 +295,7 @@ impl ReplacementPolicy for Lru {
 pub struct Fifo {
     list: LruList,
     capacity: usize,
+    evictions: u64,
 }
 
 impl Fifo {
@@ -295,6 +308,7 @@ impl Fifo {
         Fifo {
             list: LruList::with_capacity(capacity),
             capacity,
+            evictions: 0,
         }
     }
 }
@@ -306,6 +320,7 @@ impl ReplacementPolicy for Fifo {
         }
         if self.list.len() == self.capacity {
             self.list.pop_back();
+            self.evictions += 1;
         }
         self.list.push_front(app);
         false
@@ -327,6 +342,10 @@ impl ReplacementPolicy for Fifo {
 
     fn contains(&self, app: u32) -> bool {
         self.list.contains(app)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -343,6 +362,7 @@ pub struct Lfu {
     /// frequency -> LRU list of apps at that frequency.
     buckets: HashMap<u64, LruList>,
     min_freq: u64,
+    evictions: u64,
 }
 
 impl Lfu {
@@ -357,6 +377,7 @@ impl Lfu {
             counts: HashMap::with_capacity(capacity),
             buckets: HashMap::new(),
             min_freq: 0,
+            evictions: 0,
         }
     }
 
@@ -396,6 +417,7 @@ impl ReplacementPolicy for Lfu {
                 self.buckets.remove(&self.min_freq);
             }
             self.counts.remove(&victim);
+            self.evictions += 1;
         }
         self.counts.insert(app, 1);
         self.buckets
@@ -428,6 +450,10 @@ impl ReplacementPolicy for Lfu {
     fn contains(&self, app: u32) -> bool {
         self.counts.contains_key(&app)
     }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -443,6 +469,7 @@ pub struct SegmentedLru {
     protected: LruList,
     capacity: usize,
     protected_cap: usize,
+    evictions: u64,
 }
 
 impl SegmentedLru {
@@ -458,6 +485,7 @@ impl SegmentedLru {
             protected: LruList::with_capacity(capacity),
             capacity,
             protected_cap: (capacity * 4 / 5).max(1),
+            evictions: 0,
         }
     }
 
@@ -489,6 +517,7 @@ impl ReplacementPolicy for SegmentedLru {
             } else {
                 self.protected.pop_back();
             }
+            self.evictions += 1;
         }
         self.probation.push_front(app);
         false
@@ -510,6 +539,10 @@ impl ReplacementPolicy for SegmentedLru {
 
     fn contains(&self, app: u32) -> bool {
         self.probation.contains(app) || self.protected.contains(app)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -538,6 +571,7 @@ pub struct CategoryLru {
     /// Count of each category inside the window (index = category).
     window_counts: Vec<u32>,
     window_len: usize,
+    evictions: u64,
 }
 
 impl CategoryLru {
@@ -561,6 +595,7 @@ impl CategoryLru {
             window: std::collections::VecDeque::with_capacity(window),
             window_counts: vec![0; categories],
             window_len: window.max(1),
+            evictions: 0,
         }
     }
 
@@ -579,6 +614,7 @@ impl CategoryLru {
     }
 
     fn evict(&mut self) {
+        self.evictions += 1;
         for _ in 0..Self::MAX_REPRIEVES {
             let victim = self.list.back().expect("evict on nonempty cache");
             if self.is_hot(self.category_of[victim as usize]) {
@@ -624,6 +660,10 @@ impl ReplacementPolicy for CategoryLru {
 
     fn contains(&self, app: u32) -> bool {
         self.list.contains(app)
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 

@@ -45,7 +45,13 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let workers = effective_threads(threads).min(items.len()).max(1);
+    // Call and task counts are functions of the input alone; the
+    // per-worker task distribution depends on the worker count, so it is
+    // recorded as volatile and zeroed in comparable snapshots.
+    appstore_obs::counter("core.par.calls", 1);
+    appstore_obs::counter("core.par.tasks", items.len() as u64);
     if workers <= 1 {
+        appstore_obs::observe_volatile("core.par.worker_tasks", items.len() as u64);
         return items
             .into_iter()
             .enumerate()
@@ -66,17 +72,29 @@ where
     }
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(start, || None);
+    // Carry the caller's observability context onto each worker so spans
+    // and counters recorded inside `f` land in the same registry under
+    // the same span path as a sequential run would put them.
+    let obs_ctx = appstore_obs::capture();
     std::thread::scope(|scope| {
         let f = &f;
+        let obs_ctx = &obs_ctx;
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|(base, chunk)| {
                 scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .enumerate()
-                        .map(|(k, item)| (base + k, f(base + k, item)))
-                        .collect::<Vec<(usize, R)>>()
+                    let work = || {
+                        appstore_obs::observe_volatile("core.par.worker_tasks", chunk.len() as u64);
+                        chunk
+                            .into_iter()
+                            .enumerate()
+                            .map(|(k, item)| (base + k, f(base + k, item)))
+                            .collect::<Vec<(usize, R)>>()
+                    };
+                    match obs_ctx {
+                        Some(ctx) => ctx.run(work),
+                        None => work(),
+                    }
                 })
             })
             .collect();
@@ -144,6 +162,37 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(5), 5);
+    }
+
+    #[test]
+    fn metrics_recorded_on_workers_reach_the_callers_registry() {
+        let run = |threads: usize| {
+            let registry = appstore_obs::Registry::new();
+            appstore_obs::with_registry(&registry, || {
+                appstore_obs::span("batch", || {
+                    par_map_indexed((0..23).collect::<Vec<u64>>(), threads, |_, x| {
+                        appstore_obs::counter("items.seen", 1);
+                        appstore_obs::span("item", || x * 2)
+                    })
+                })
+            });
+            registry
+        };
+        for threads in [1, 2, 8] {
+            let registry = run(threads);
+            assert_eq!(
+                registry.counter_value("items.seen"),
+                23,
+                "threads = {threads}"
+            );
+            assert_eq!(registry.counter_value("core.par.tasks"), 23);
+            let json = registry.snapshot_json(true);
+            assert!(json.contains("\"batch/item\""), "span path crosses threads");
+        }
+        // The comparable (no-timings) snapshot is thread-count invariant.
+        let one = run(1).snapshot_json(true);
+        assert_eq!(one, run(2).snapshot_json(true));
+        assert_eq!(one, run(8).snapshot_json(true));
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct ProxyPool {
     quarantined_until: Vec<u64>,
     /// Next probation window; doubles per trip, resets on success.
     probation_ms: Vec<u64>,
+    /// Breaker state: true from trip until the next success, so the
+    /// open→closed transition is observable exactly once per episode.
+    open: Vec<bool>,
     successes: Vec<u64>,
     failures: Vec<u64>,
     quarantines: Vec<u64>,
@@ -119,6 +122,7 @@ impl ProxyPool {
             streak: vec![0; n],
             quarantined_until: vec![0; n],
             probation_ms: vec![PROBATION_INITIAL_MS; n],
+            open: vec![false; n],
             successes: vec![0; n],
             failures: vec![0; n],
             quarantines: vec![0; n],
@@ -176,6 +180,9 @@ impl ProxyPool {
     /// Permanently removes a proxy from rotation (server blacklisted it).
     pub fn ban(&mut self, proxy: Proxy) {
         let i = self.index_of(proxy);
+        if !self.banned[i] {
+            appstore_obs::counter("crawl.proxy.bans", 1);
+        }
         self.banned[i] = true;
     }
 
@@ -186,6 +193,10 @@ impl ProxyPool {
         self.successes[i] = self.successes[i].saturating_add(1);
         self.streak[i] = 0;
         self.probation_ms[i] = PROBATION_INITIAL_MS;
+        if self.open[i] {
+            self.open[i] = false;
+            appstore_obs::counter("crawl.breaker.closes", 1);
+        }
     }
 
     /// Records a transport failure (dropped or corrupted response)
@@ -202,6 +213,8 @@ impl ProxyPool {
             self.quarantined_until[i] = now_ms.saturating_add(self.probation_ms[i]);
             self.probation_ms[i] = (self.probation_ms[i].saturating_mul(2)).min(PROBATION_CAP_MS);
             self.quarantines[i] = self.quarantines[i].saturating_add(1);
+            self.open[i] = true;
+            appstore_obs::counter("crawl.breaker.trips", 1);
             // A fresh streak starts after the probe.
             self.streak[i] = 0;
         }
@@ -340,6 +353,29 @@ mod tests {
         pool.hold(b, 1_000_000);
         let (only, _) = pool.acquire(10_000, None).unwrap();
         assert_eq!(only.addr, b.addr);
+    }
+
+    #[test]
+    fn breaker_transitions_and_bans_are_observable() {
+        let registry = appstore_obs::Registry::new();
+        appstore_obs::with_registry(&registry, || {
+            let mut pool = ProxyPool::planetlab(0, 2);
+            let (proxy, _) = pool.acquire(0, None).unwrap();
+            for _ in 0..3 {
+                pool.record_failure(proxy, 0);
+            }
+            // Extra successes while closed must not double-count closes.
+            pool.record_success(proxy);
+            pool.record_success(proxy);
+            for _ in 0..3 {
+                pool.record_failure(proxy, 50_000);
+            }
+            pool.ban(proxy);
+            pool.ban(proxy); // idempotent: still one ban event
+        });
+        assert_eq!(registry.counter_value("crawl.breaker.trips"), 2);
+        assert_eq!(registry.counter_value("crawl.breaker.closes"), 1);
+        assert_eq!(registry.counter_value("crawl.proxy.bans"), 1);
     }
 
     #[test]

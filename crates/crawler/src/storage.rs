@@ -546,6 +546,19 @@ pub fn read_journal_lossy<R: Read>(reader: R) -> (Option<Dataset>, JournalHealth
     if let Some(replay) = &replay {
         health.records_deduplicated = replay.deduplicated;
     }
+    appstore_obs::counter("crawl.journal.reads", 1);
+    appstore_obs::counter(
+        "crawl.journal.lines_quarantined",
+        health.quarantined.len() as u64,
+    );
+    appstore_obs::counter(
+        "crawl.journal.records_deduplicated",
+        health.records_deduplicated as u64,
+    );
+    appstore_obs::counter(
+        "crawl.journal.truncated_tails",
+        u64::from(health.truncated_tail),
+    );
     (replay.map(|r| r.dataset), health)
 }
 

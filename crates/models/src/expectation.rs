@@ -163,6 +163,11 @@ pub struct ScreeningCache {
     placements: HashMap<(usize, usize, ClusterLayout), Rc<Vec<(usize, usize)>>>,
     /// `(apps, z_r.to_bits(), clusters, layout)` → [`cluster_weights`].
     weights: HashMap<(usize, u64, usize, ClusterLayout), Rc<Vec<f64>>>,
+    /// Lookups answered from memory. Per-cache tallies: publish with
+    /// [`ScreeningCache::flush_metrics`] when the cache retires.
+    hits: u64,
+    /// Lookups that had to compute.
+    misses: u64,
 }
 
 impl ScreeningCache {
@@ -171,13 +176,28 @@ impl ScreeningCache {
         ScreeningCache::default()
     }
 
+    /// Publishes this cache's hit/miss tallies to the installed
+    /// observability registry. The counts depend on how the fitting grid
+    /// was chunked over workers (each worker owns a cache), so they are
+    /// recorded as **volatile** metrics — zeroed in comparable snapshots.
+    pub fn flush_metrics(&self) {
+        appstore_obs::counter_volatile("fit.cache.hits", self.hits);
+        appstore_obs::counter_volatile("fit.cache.misses", self.misses);
+    }
+
     /// The pmf of `ZipfSampler::new(n, s)` as a 0-indexed vector
     /// (`pmf[i] = P(rank = i + 1)`).
     fn pmf(&mut self, n: usize, s: f64) -> Rc<Vec<f64>> {
-        Rc::clone(self.pmfs.entry((n, s.to_bits())).or_insert_with(|| {
-            let sampler = ZipfSampler::new(n, s);
-            Rc::new((1..=n).map(|k| sampler.pmf(k)).collect())
-        }))
+        let key = (n, s.to_bits());
+        if let Some(pmf) = self.pmfs.get(&key) {
+            self.hits += 1;
+            return Rc::clone(pmf);
+        }
+        self.misses += 1;
+        let sampler = ZipfSampler::new(n, s);
+        let pmf = Rc::new((1..=n).map(|k| sampler.pmf(k)).collect());
+        self.pmfs.insert(key, Rc::clone(&pmf));
+        pmf
     }
 
     /// Per-app `(cluster, within-cluster index)` under a layout.
@@ -187,17 +207,19 @@ impl ScreeningCache {
         clusters: usize,
         layout: ClusterLayout,
     ) -> Rc<Vec<(usize, usize)>> {
-        Rc::clone(
-            self.placements
-                .entry((apps, clusters, layout))
-                .or_insert_with(|| {
-                    Rc::new(
-                        (0..apps)
-                            .map(|idx| layout.place(idx, apps, clusters))
-                            .collect(),
-                    )
-                }),
-        )
+        let key = (apps, clusters, layout);
+        if let Some(placement) = self.placements.get(&key) {
+            self.hits += 1;
+            return Rc::clone(placement);
+        }
+        self.misses += 1;
+        let placement = Rc::new(
+            (0..apps)
+                .map(|idx| layout.place(idx, apps, clusters))
+                .collect::<Vec<(usize, usize)>>(),
+        );
+        self.placements.insert(key, Rc::clone(&placement));
+        placement
     }
 
     /// [`cluster_weights`], memoized on the inputs that determine it.
@@ -210,8 +232,10 @@ impl ScreeningCache {
             params.layout,
         );
         if let Some(w) = self.weights.get(&key) {
+            self.hits += 1;
             return Rc::clone(w);
         }
+        self.misses += 1;
         let global = self.pmf(pop.apps, pop.zipf_exponent);
         let placement = self.placement(pop.apps, params.clusters, params.layout);
         let mut weights = vec![0.0; params.clusters];

@@ -138,6 +138,7 @@ fn score_simulated(
     threads: usize,
 ) -> f64 {
     let reps = replications.max(1);
+    appstore_obs::counter("fit.sim.replications", u64::from(reps));
     let per_rep = par_map_indexed((0..reps).collect(), threads, |_, r: u32| {
         let mut counts = sim.simulate_counts(seed.child_indexed("rep", u64::from(r)));
         counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -223,6 +224,8 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
             });
         }
     }
+    appstore_obs::counter("fit.zipf.candidates", spec.zipf_exponents.len() as u64);
+    cache.flush_metrics();
     best
 }
 
@@ -242,11 +245,13 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
     let keep = spec.refine_top.max(1);
     let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
     let mut cache = ScreeningCache::new();
+    let mut screened_count = 0u64;
     for &z in &spec.zipf_exponents {
         for &uf in &spec.user_fractions {
             let Some(params) = derive_population(observed, z, uf) else {
                 continue;
             };
+            screened_count += 1;
             let distance = score(observed, cache.expected_zipf_amo(&params));
             let outcome = FitOutcome {
                 kind: ModelKind::ZipfAtMostOnce,
@@ -265,6 +270,11 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
             }
         }
     }
+    let grid = (spec.zipf_exponents.len() * spec.user_fractions.len()) as u64;
+    appstore_obs::counter("fit.amo.grid_candidates", grid);
+    appstore_obs::counter("fit.amo.screened", screened_count);
+    appstore_obs::counter("fit.amo.pruned", grid - screened_count);
+    cache.flush_metrics();
     if spec.refine_top == 0 {
         return top.into_iter().next();
     }
@@ -273,20 +283,23 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
             top.push(outcome);
         }
     }
-    par_map_indexed(top, spec.worker_count(), |i, mut outcome: FitOutcome| {
-        let params = clustering_params(&outcome, observed.len(), 1).population;
-        let sim = Simulator::zipf_at_most_once(params);
-        outcome.distance = score_simulated(
-            observed,
-            &sim,
-            spec.replications,
-            seed.child_indexed("amo-refine", i as u64),
-            1,
-        );
-        outcome
+    appstore_obs::counter("fit.amo.refined", top.len() as u64);
+    appstore_obs::span("fit.refine", || {
+        par_map_indexed(top, spec.worker_count(), |i, mut outcome: FitOutcome| {
+            let params = clustering_params(&outcome, observed.len(), 1).population;
+            let sim = Simulator::zipf_at_most_once(params);
+            outcome.distance = score_simulated(
+                observed,
+                &sim,
+                spec.replications,
+                seed.child_indexed("amo-refine", i as u64),
+                1,
+            );
+            outcome
+        })
+        .into_iter()
+        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
     })
-    .into_iter()
-    .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
 }
 
 /// Fits APP-CLUSTERING over `(z_r, z_c, p, U)`: parallel analytic
@@ -321,39 +334,46 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
     // Workers return *all* their scored candidates and the reduction
     // below runs sequentially in grid order, so the shortlist cannot
     // depend on the thread count — even under exact distance ties.
+    appstore_obs::counter("fit.clustering.grid_candidates", grid.len() as u64);
     let chunks: Vec<Vec<(f64, f64, f64, f64)>> =
         grid.chunks(chunk_len).map(<[_]>::to_vec).collect();
-    let screened = par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
-        let mut cache = ScreeningCache::new();
-        let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
-        for (z_r, z_c, p, uf) in chunk {
-            let Some(population) = derive_population(observed, z_r, uf) else {
-                continue;
-            };
-            let params = ClusteringParams {
-                population,
-                clusters: spec.clusters,
-                p,
-                cluster_exponent: z_c,
-                layout: ClusterLayout::Interleaved,
-            };
-            if params.validate().is_err() {
-                continue;
+    let screened = appstore_obs::span("fit.screen", || {
+        par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
+            let mut cache = ScreeningCache::new();
+            let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
+            for (z_r, z_c, p, uf) in chunk {
+                let Some(population) = derive_population(observed, z_r, uf) else {
+                    continue;
+                };
+                let params = ClusteringParams {
+                    population,
+                    clusters: spec.clusters,
+                    p,
+                    cluster_exponent: z_c,
+                    layout: ClusterLayout::Interleaved,
+                };
+                if params.validate().is_err() {
+                    continue;
+                }
+                let distance = score(observed, cache.expected_clustering_weighted(&params));
+                let outcome = FitOutcome {
+                    kind: ModelKind::AppClustering,
+                    zipf_exponent: z_r,
+                    cluster_exponent: z_c,
+                    p,
+                    users: population.users,
+                    downloads_per_user: population.downloads_per_user,
+                    distance,
+                };
+                scored.push((uf, outcome));
             }
-            let distance = score(observed, cache.expected_clustering_weighted(&params));
-            let outcome = FitOutcome {
-                kind: ModelKind::AppClustering,
-                zipf_exponent: z_r,
-                cluster_exponent: z_c,
-                p,
-                users: population.users,
-                downloads_per_user: population.downloads_per_user,
-                distance,
-            };
-            scored.push((uf, outcome));
-        }
-        scored
+            cache.flush_metrics();
+            scored
+        })
     });
+    let screened_count: u64 = screened.iter().map(|chunk| chunk.len() as u64).sum();
+    appstore_obs::counter("fit.clustering.screened", screened_count);
+    appstore_obs::counter("fit.clustering.pruned", grid.len() as u64 - screened_count);
     // Keep the global top-K *and* the best candidate per user-fraction:
     // the analytic score's head/tail biases depend on `U`, so the global
     // top-K can cluster in one `U` regime and starve the Monte-Carlo
@@ -383,24 +403,27 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
             shortlist.push(outcome);
         }
     }
-    par_map_indexed(
-        shortlist,
-        spec.worker_count(),
-        |i, mut outcome: FitOutcome| {
-            let params = clustering_params(&outcome, observed.len(), spec.clusters);
-            let sim = Simulator::app_clustering(params);
-            outcome.distance = score_simulated(
-                observed,
-                &sim,
-                spec.replications,
-                seed.child_indexed("clustering-refine", i as u64),
-                1,
-            );
-            outcome
-        },
-    )
-    .into_iter()
-    .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+    appstore_obs::counter("fit.clustering.refined", shortlist.len() as u64);
+    appstore_obs::span("fit.refine", || {
+        par_map_indexed(
+            shortlist,
+            spec.worker_count(),
+            |i, mut outcome: FitOutcome| {
+                let params = clustering_params(&outcome, observed.len(), spec.clusters);
+                let sim = Simulator::app_clustering(params);
+                outcome.distance = score_simulated(
+                    observed,
+                    &sim,
+                    spec.replications,
+                    seed.child_indexed("clustering-refine", i as u64),
+                    1,
+                );
+                outcome
+            },
+        )
+        .into_iter()
+        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+    })
 }
 
 /// Coarse-to-fine local refinement: explores a finer grid around a

@@ -25,7 +25,7 @@
 //! fallback is exercised in tests.
 
 use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
-use crate::zipf::ZipfSampler;
+use crate::zipf::{SampleMethod, ZipfSampler};
 use appstore_core::{AppId, Day, DownloadEvent, Seed, UserId};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -198,26 +198,37 @@ impl Simulator {
     }
 
     /// Draws the next app for `user` according to the model rules.
-    fn next_app<R: Rng + ?Sized>(&self, rng: &mut R, user: &mut UserState) -> u32 {
+    /// `draws` tallies sampler invocations (including rejected redraws)
+    /// for the observability counters.
+    fn next_app<R: Rng + ?Sized>(&self, rng: &mut R, user: &mut UserState, draws: &mut u64) -> u32 {
         match self.kind {
-            ModelKind::Zipf => self.global.sample_index(rng) as u32,
-            ModelKind::ZipfAtMostOnce => self.draw_global_unfetched(rng, user),
+            ModelKind::Zipf => {
+                *draws += 1;
+                self.global.sample_index(rng) as u32
+            }
+            ModelKind::ZipfAtMostOnce => self.draw_global_unfetched(rng, user, draws),
             ModelKind::AppClustering => {
                 let params = self.clustering.as_ref().expect("clustering model");
                 let clustering_based =
                     !user.prev_clusters.is_empty() && rng.gen::<f64>() < params.p;
                 if clustering_based {
-                    self.draw_cluster_unfetched(rng, user)
+                    self.draw_cluster_unfetched(rng, user, draws)
                 } else {
-                    self.draw_global_unfetched(rng, user)
+                    self.draw_global_unfetched(rng, user, draws)
                 }
             }
         }
     }
 
     /// Step 2.2: redraw from `Z_G` until unfetched (bounded), then scan.
-    fn draw_global_unfetched<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserState) -> u32 {
+    fn draw_global_unfetched<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        user: &UserState,
+        draws: &mut u64,
+    ) -> u32 {
         for _ in 0..MAX_REJECTIONS {
+            *draws += 1;
             let app = self.global.sample_index(rng) as u32;
             if !user.has(app) {
                 return app;
@@ -233,13 +244,19 @@ impl Simulator {
     /// redraw from `Z_c` until unfetched (bounded). If the chosen cluster
     /// is exhausted for this user, fall back to a global draw, matching
     /// the paper's intent that users never stall.
-    fn draw_cluster_unfetched<R: Rng + ?Sized>(&self, rng: &mut R, user: &UserState) -> u32 {
+    fn draw_cluster_unfetched<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        user: &UserState,
+        draws: &mut u64,
+    ) -> u32 {
         let cluster = *user
             .prev_clusters
             .choose(rng)
             .expect("caller checked prev_clusters nonempty") as usize;
         let sampler = &self.per_cluster[cluster];
         for _ in 0..MAX_REJECTIONS {
+            *draws += 1;
             let within = sampler.sample_index(rng);
             let app = self.app_of(cluster, within) as u32;
             if !user.has(app) {
@@ -255,7 +272,20 @@ impl Simulator {
             }
         }
         // Cluster exhausted for this user: fall back to the global law.
-        self.draw_global_unfetched(rng, user)
+        self.draw_global_unfetched(rng, user, draws)
+    }
+
+    /// Publishes a replication's draw tally under the sampling method
+    /// that produced it (alias vs inverse-CDF), plus the download total.
+    /// Draw counts are a pure function of the seed, so they are
+    /// deterministic metrics.
+    fn flush_draw_metrics(&self, draws: u64, downloads: u64) {
+        let name = match self.global.method() {
+            SampleMethod::Alias => "sim.draws.alias",
+            SampleMethod::InverseCdf => "sim.draws.inverse_cdf",
+        };
+        appstore_obs::counter(name, draws);
+        appstore_obs::counter("sim.downloads", downloads);
     }
 
     /// The cluster of a global 0-based app index (0 for non-clustering
@@ -282,15 +312,17 @@ impl Simulator {
         let mut rng = seed.rng();
         let mut counts = vec![0u64; self.population.apps];
         let mut user = UserState::default();
+        let mut draws = 0u64;
         for _ in 0..self.population.users {
             user.fetched.clear();
             user.prev_clusters.clear();
             for _ in 0..self.population.downloads_per_user {
-                let app = self.next_app(&mut rng, &mut user);
+                let app = self.next_app(&mut rng, &mut user, &mut draws);
                 counts[app as usize] += 1;
                 user.record(app, self.cluster_of(app));
             }
         }
+        self.flush_draw_metrics(draws, self.population.total_downloads());
         counts
     }
 
@@ -313,11 +345,12 @@ impl Simulator {
         let mut events = Vec::with_capacity(total as usize);
         let mut counts = vec![0u64; self.population.apps];
         let mut step = 0u64;
+        let mut draws = 0u64;
         while !active.is_empty() {
             let slot = rng.gen_range(0..active.len());
             let uid = active[slot];
             let state = &mut states[uid as usize];
-            let app = self.next_app(&mut rng, state);
+            let app = self.next_app(&mut rng, state, &mut draws);
             state.record(app, self.cluster_of(app));
             counts[app as usize] += 1;
             let day = if total <= 1 {
@@ -336,6 +369,7 @@ impl Simulator {
                 active.swap_remove(slot);
             }
         }
+        self.flush_draw_metrics(draws, total);
         DownloadTrace { events, counts }
     }
 }

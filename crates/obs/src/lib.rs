@@ -1,0 +1,328 @@
+//! Deterministic observability for the planet-apps workspace.
+//!
+//! Every other crate records what it does — retries, cache hits, grid
+//! candidates pruned, span timings — through this facade. Design rules:
+//!
+//! * **Zero dependencies.** Only `std`; the JSON export is hand-rolled.
+//! * **Scoped, not global.** Nothing is recorded unless a [`Registry`]
+//!   is installed on the current thread ([`with_registry`]); with no
+//!   registry every call is a no-op, so library hot paths stay free when
+//!   nobody is listening, and tests never leak metrics into each other.
+//!   The active context (registry + open span path) can be captured and
+//!   re-entered on worker threads ([`capture`] / [`Context::run`]), which
+//!   is how `appstore_core::par_map_indexed` makes metric attribution
+//!   identical for every thread count.
+//! * **Deterministic export.** [`Registry::snapshot_json`] renders every
+//!   metric in stable (sorted) key order. Each metric carries a stability
+//!   class: *deterministic* values are functions of the seeds and inputs
+//!   alone, while *volatile* values (durations, per-worker task counts,
+//!   per-worker cache hit rates) legitimately vary with the machine or
+//!   thread count. Snapshots taken in no-timings mode zero every volatile
+//!   field, making them **byte-comparable** across `--threads N` and
+//!   across hosts — the contract the golden-figure regression suite pins.
+//!
+//! Metric kinds: monotone counters ([`counter`]), last-write gauges
+//! ([`gauge`]), histograms with a fixed power-of-two bucket layout
+//! ([`observe`]), and nestable timed spans ([`span`]) whose call counts
+//! are deterministic while their accumulated nanoseconds are volatile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+
+pub use registry::{Registry, POW2_BUCKET_BOUNDS};
+
+use std::cell::RefCell;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+/// The active collection context of a thread: the registry metrics go
+/// to, plus the stack of open span names (joined with `/` to form the
+/// exported span path).
+#[derive(Clone)]
+pub struct Context {
+    registry: Registry,
+    span_path: Vec<String>,
+}
+
+impl Context {
+    /// Runs `f` with this context installed on the current thread,
+    /// restoring whatever was installed before once `f` returns.
+    ///
+    /// Used to carry the caller's context onto worker threads so a
+    /// parallel run attributes metrics exactly like a sequential one.
+    pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = ContextGuard::install(Some(self.clone()));
+        f()
+    }
+}
+
+/// Restores the previous thread context on drop (panic-safe).
+struct ContextGuard {
+    previous: Option<Context>,
+}
+
+impl ContextGuard {
+    fn install(next: Option<Context>) -> ContextGuard {
+        let previous = CURRENT.with(|c| c.replace(next));
+        ContextGuard { previous }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Runs `f` with `registry` collecting on the current thread (fresh span
+/// path), restoring the previous context afterwards. Nestable: the inner
+/// registry shadows the outer one for the duration of `f`.
+pub fn with_registry<R>(registry: &Registry, f: impl FnOnce() -> R) -> R {
+    let _guard = ContextGuard::install(Some(Context {
+        registry: registry.clone(),
+        span_path: Vec::new(),
+    }));
+    f()
+}
+
+/// Captures the current thread's context (registry + open span path) for
+/// re-entry on another thread, or `None` when nothing is installed.
+pub fn capture() -> Option<Context> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True when a registry is installed on the current thread.
+pub fn enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_current(f: impl FnOnce(&Registry)) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            f(&ctx.registry);
+        }
+    });
+}
+
+/// Adds `delta` to the deterministic counter `name`.
+pub fn counter(name: &str, delta: u64) {
+    with_current(|r| r.counter_add(name, delta, false));
+}
+
+/// Adds `delta` to the volatile counter `name` (zeroed in no-timings
+/// snapshots; use for values that depend on worker count or machine).
+pub fn counter_volatile(name: &str, delta: u64) {
+    with_current(|r| r.counter_add(name, delta, true));
+}
+
+/// Sets the deterministic gauge `name` to `value` (last write wins).
+pub fn gauge(name: &str, value: i64) {
+    with_current(|r| r.gauge_set(name, value, false));
+}
+
+/// Sets the volatile gauge `name` to `value` (zeroed in no-timings
+/// snapshots).
+pub fn gauge_volatile(name: &str, value: i64) {
+    with_current(|r| r.gauge_set(name, value, true));
+}
+
+/// Records `value` into the deterministic histogram `name` (fixed
+/// power-of-two bucket layout, see [`POW2_BUCKET_BOUNDS`]).
+pub fn observe(name: &str, value: u64) {
+    with_current(|r| r.histogram_observe(name, value, false));
+}
+
+/// Records `value` into the volatile histogram `name` (all fields zeroed
+/// in no-timings snapshots).
+pub fn observe_volatile(name: &str, value: u64) {
+    with_current(|r| r.histogram_observe(name, value, true));
+}
+
+/// Runs `f` inside a timed span called `name`.
+///
+/// Spans nest: a span opened while another is running is exported under
+/// the joined path (`outer/inner`). The span's call count is
+/// deterministic; its accumulated wall-clock nanoseconds are volatile
+/// and zeroed in no-timings snapshots. With no registry installed, `f`
+/// runs untimed with zero overhead.
+pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let entered = CURRENT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        match borrow.as_mut() {
+            Some(ctx) => {
+                ctx.span_path.push(name.to_string());
+                true
+            }
+            None => false,
+        }
+    });
+    if !entered {
+        return f();
+    }
+    let span_guard = SpanGuard {
+        started: std::time::Instant::now(),
+    };
+    let result = f();
+    drop(span_guard); // records and pops the span, in drop order
+    result
+}
+
+/// Closes the innermost span on drop, recording its duration — also on
+/// unwind, so a panicking span still pops its path entry.
+struct SpanGuard {
+    started: std::time::Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed_ns = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        CURRENT.with(|c| {
+            let mut borrow = c.borrow_mut();
+            if let Some(ctx) = borrow.as_mut() {
+                let path = ctx.span_path.join("/");
+                ctx.registry.span_record(&path, elapsed_ns);
+                ctx.span_path.pop();
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_registry_means_no_op() {
+        assert!(!enabled());
+        counter("c", 1);
+        gauge("g", 2);
+        observe("h", 3);
+        let out = span("s", || 7);
+        assert_eq!(out, 7);
+        assert!(capture().is_none());
+    }
+
+    #[test]
+    fn counters_gauges_and_histograms_export_sorted() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            counter("b.count", 2);
+            counter("a.count", 1);
+            counter("b.count", 3);
+            gauge("z.level", -4);
+            observe("sizes", 5);
+            observe("sizes", 100);
+        });
+        let json = registry.snapshot_json(false);
+        let a = json.find("\"a.count\": 1").expect("a.count");
+        let b = json.find("\"b.count\": 5").expect("b.count");
+        assert!(a < b, "keys must sort");
+        assert!(json.contains("\"z.level\": -4"));
+        assert!(json.contains("\"sizes\""));
+        assert!(json.contains("\"count\": 2"));
+        assert!(json.contains("\"sum\": 105"));
+    }
+
+    #[test]
+    fn volatile_metrics_zero_under_no_timings() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            counter("det", 7);
+            counter_volatile("vol", 9);
+            gauge_volatile("vg", 11);
+            observe_volatile("vh", 13);
+            span("work", || {
+                std::thread::sleep(std::time::Duration::from_millis(1))
+            });
+        });
+        let timed = registry.snapshot_json(false);
+        assert!(timed.contains("\"vol\": 9"));
+        let zeroed = registry.snapshot_json(true);
+        assert!(zeroed.contains("\"det\": 7"), "deterministic survives");
+        assert!(zeroed.contains("\"vol\": 0"), "volatile zeroed");
+        assert!(zeroed.contains("\"vg\": 0"));
+        assert!(zeroed.contains("\"calls\": 1"), "span calls survive");
+        assert!(zeroed.contains("\"total_ns\": 0"), "span time zeroed");
+        assert!(!zeroed.contains("\"total_ns\": 0,\n"), "stable tail");
+    }
+
+    #[test]
+    fn no_timings_snapshot_is_stable_across_repeats() {
+        let run = || {
+            let registry = Registry::new();
+            with_registry(&registry, || {
+                span("outer", || {
+                    span("inner", || {
+                        counter("n", 3);
+                    });
+                });
+                observe("h", 42);
+            });
+            registry.snapshot_json(true)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            span("outer", || {
+                span("inner", || {});
+            });
+            span("outer", || {});
+        });
+        let json = registry.snapshot_json(true);
+        assert!(json.contains("\"outer\""));
+        assert!(json.contains("\"outer/inner\""));
+    }
+
+    #[test]
+    fn capture_carries_registry_and_span_path_across_threads() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            span("job", || {
+                let ctx = capture().expect("context installed");
+                std::thread::scope(|scope| {
+                    scope.spawn(|| {
+                        ctx.run(|| {
+                            span("task", || counter("done", 1));
+                        });
+                    });
+                });
+            });
+        });
+        let json = registry.snapshot_json(true);
+        assert!(json.contains("\"job/task\""), "worker inherits span path");
+        assert!(json.contains("\"done\": 1"));
+    }
+
+    #[test]
+    fn nested_with_registry_shadows_outer() {
+        let outer = Registry::new();
+        let inner = Registry::new();
+        with_registry(&outer, || {
+            counter("outer.only", 1);
+            with_registry(&inner, || counter("inner.only", 1));
+            counter("outer.only", 1);
+        });
+        assert!(outer.snapshot_json(true).contains("\"outer.only\": 2"));
+        assert!(!outer.snapshot_json(true).contains("inner.only"));
+        assert!(inner.snapshot_json(true).contains("\"inner.only\": 1"));
+    }
+
+    #[test]
+    fn snapshot_indent_embeds_cleanly() {
+        let registry = Registry::new();
+        with_registry(&registry, || counter("k", 1));
+        let embedded = registry.snapshot_json_indented(true, 2);
+        assert!(embedded.starts_with('{'));
+        assert!(embedded.ends_with("    }"), "closing brace at level 2");
+    }
+}

@@ -1,0 +1,304 @@
+//! Metric storage and deterministic JSON export.
+//!
+//! All state lives behind one mutex in `BTreeMap`s, so export order is
+//! the lexicographic key order regardless of insertion or thread
+//! interleaving. Exported values are integers only — no floats — so the
+//! rendered JSON is byte-stable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Upper bounds of the fixed histogram bucket layout: powers of two from
+/// 1 to 2^40, plus an implicit overflow bucket. Fixed so histograms from
+/// different runs always have comparable shapes.
+pub const POW2_BUCKET_BOUNDS: [u64; 41] = {
+    let mut bounds = [0u64; 41];
+    let mut i = 0;
+    while i < 41 {
+        bounds[i] = 1u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+#[derive(Clone, Default)]
+struct Counter {
+    value: u64,
+    volatile: bool,
+}
+
+#[derive(Clone, Default)]
+struct Gauge {
+    value: i64,
+    volatile: bool,
+}
+
+#[derive(Clone)]
+struct Histogram {
+    /// `counts[i]` is the number of observations `<= POW2_BUCKET_BOUNDS[i]`
+    /// and greater than the previous bound; the last slot is overflow.
+    counts: [u64; POW2_BUCKET_BOUNDS.len() + 1],
+    count: u64,
+    sum: u64,
+    volatile: bool,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; POW2_BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            volatile: false,
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct Span {
+    calls: u64,
+    total_ns: u64,
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, Span>,
+}
+
+/// A metric registry. Cheap to clone (shared handle); safe to record
+/// into from many threads at once.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<State>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    pub(crate) fn counter_add(&self, name: &str, delta: u64, volatile: bool) {
+        let mut state = self.inner.lock().unwrap();
+        let cell = state.counters.entry(name.to_string()).or_default();
+        cell.value = cell.value.saturating_add(delta);
+        cell.volatile |= volatile;
+    }
+
+    pub(crate) fn gauge_set(&self, name: &str, value: i64, volatile: bool) {
+        let mut state = self.inner.lock().unwrap();
+        let cell = state.gauges.entry(name.to_string()).or_default();
+        cell.value = value;
+        cell.volatile |= volatile;
+    }
+
+    pub(crate) fn histogram_observe(&self, name: &str, value: u64, volatile: bool) {
+        let mut state = self.inner.lock().unwrap();
+        let cell = state.histograms.entry(name.to_string()).or_default();
+        let bucket = POW2_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(POW2_BUCKET_BOUNDS.len());
+        cell.counts[bucket] += 1;
+        cell.count += 1;
+        cell.sum = cell.sum.saturating_add(value);
+        cell.volatile |= volatile;
+    }
+
+    pub(crate) fn span_record(&self, path: &str, elapsed_ns: u64) {
+        let mut state = self.inner.lock().unwrap();
+        let cell = state.spans.entry(path.to_string()).or_default();
+        cell.calls += 1;
+        cell.total_ns = cell.total_ns.saturating_add(elapsed_ns);
+    }
+
+    /// Reads a counter's current value (0 if never recorded). For tests
+    /// and in-process assertions; exports should go through snapshots.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let state = self.inner.lock().unwrap();
+        state.counters.get(name).map_or(0, |c| c.value)
+    }
+
+    /// Renders the registry as pretty-printed JSON with stable key order.
+    ///
+    /// With `no_timings`, every volatile field — span durations, volatile
+    /// counters/gauges/histograms — renders as zero while its key stays
+    /// in place, so two snapshots from runs that differ only in timing or
+    /// worker scheduling are byte-identical.
+    pub fn snapshot_json(&self, no_timings: bool) -> String {
+        self.snapshot_json_indented(no_timings, 0)
+    }
+
+    /// Like [`Registry::snapshot_json`] but indented `level` steps (two
+    /// spaces each) past the first line, for embedding inside a larger
+    /// hand-built JSON document.
+    pub fn snapshot_json_indented(&self, no_timings: bool, level: usize) -> String {
+        let state = self.inner.lock().unwrap();
+        let pad = "  ".repeat(level);
+        let mut out = String::new();
+        out.push_str("{\n");
+
+        let render_u64 = |vol: bool, v: u64| if no_timings && vol { 0 } else { v };
+
+        write!(out, "{pad}  \"counters\": {{").unwrap();
+        for (i, (name, c)) in state.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(
+                out,
+                "{sep}\n{pad}    {}: {}",
+                json_string(name),
+                render_u64(c.volatile, c.value)
+            )
+            .unwrap();
+        }
+        if state.counters.is_empty() {
+            out.push_str("},\n");
+        } else {
+            write!(out, "\n{pad}  }},\n").unwrap();
+        }
+
+        write!(out, "{pad}  \"gauges\": {{").unwrap();
+        for (i, (name, g)) in state.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let value = if no_timings && g.volatile { 0 } else { g.value };
+            write!(out, "{sep}\n{pad}    {}: {}", json_string(name), value).unwrap();
+        }
+        if state.gauges.is_empty() {
+            out.push_str("},\n");
+        } else {
+            write!(out, "\n{pad}  }},\n").unwrap();
+        }
+
+        write!(out, "{pad}  \"histograms\": {{").unwrap();
+        for (i, (name, h)) in state.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let zero = no_timings && h.volatile;
+            write!(
+                out,
+                "{sep}\n{pad}    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_string(name),
+                render_u64(zero, h.count),
+                render_u64(zero, h.sum)
+            )
+            .unwrap();
+            if !zero {
+                // Only non-empty buckets, as [upper_bound, count] pairs;
+                // the overflow bucket uses bound 0 as a sentinel.
+                let mut first = true;
+                for (b, &count) in h.counts.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    let bound = POW2_BUCKET_BOUNDS.get(b).copied().unwrap_or(0);
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    write!(out, "[{bound}, {count}]").unwrap();
+                    first = false;
+                }
+            }
+            out.push_str("]}");
+        }
+        if state.histograms.is_empty() {
+            out.push_str("},\n");
+        } else {
+            write!(out, "\n{pad}  }},\n").unwrap();
+        }
+
+        write!(out, "{pad}  \"spans\": {{").unwrap();
+        for (i, (path, s)) in state.spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(
+                out,
+                "{sep}\n{pad}    {}: {{\"calls\": {}, \"total_ns\": {}}}",
+                json_string(path),
+                s.calls,
+                render_u64(true, s.total_ns)
+            )
+            .unwrap();
+        }
+        if state.spans.is_empty() {
+            out.push('}');
+        } else {
+            write!(out, "\n{pad}  }}").unwrap();
+        }
+
+        write!(out, "\n{pad}}}").unwrap();
+        out
+    }
+}
+
+/// Renders a JSON string literal (quotes + escapes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(POW2_BUCKET_BOUNDS[0], 1);
+        assert_eq!(POW2_BUCKET_BOUNDS[10], 1024);
+        assert_eq!(POW2_BUCKET_BOUNDS[40], 1u64 << 40);
+    }
+
+    #[test]
+    fn histogram_buckets_values() {
+        let r = Registry::new();
+        r.histogram_observe("h", 0, false); // <= 1
+        r.histogram_observe("h", 1, false); // <= 1
+        r.histogram_observe("h", 2, false); // <= 2
+        r.histogram_observe("h", 3, false); // <= 4
+        r.histogram_observe("h", u64::MAX, false); // overflow
+        let json = r.snapshot_json(false);
+        assert!(json.contains("[1, 2]"), "two obs in first bucket: {json}");
+        assert!(json.contains("[2, 1]"));
+        assert!(json.contains("[4, 1]"));
+        assert!(json.contains("[0, 1]"), "overflow sentinel bound 0");
+        assert!(json.contains("\"count\": 5"));
+    }
+
+    #[test]
+    fn empty_registry_renders_valid_skeleton() {
+        let json = Registry::new().snapshot_json(true);
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"spans\": {}"));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn counter_value_reads_back() {
+        let r = Registry::new();
+        r.counter_add("x", 3, false);
+        r.counter_add("x", 4, false);
+        assert_eq!(r.counter_value("x"), 7);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+}

@@ -230,6 +230,54 @@ mod tests {
     }
 
     #[test]
+    fn zero_count_pooled_bins_stay_finite() {
+        // Observed counts of zero in bins with real expectation must
+        // contribute (0 − E)²/E, never NaN — including when several
+        // zero-count bins pool together.
+        let expected = [50.0, 50.0, 3.0, 3.0];
+        let observed = [60u64, 46, 0, 0];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert!(t.statistic.is_finite(), "statistic = {}", t.statistic);
+        assert!(!t.statistic.is_nan());
+        assert!(t.p_value.is_finite());
+        assert_eq!(t.bins, 3, "the two E=3 bins pool into one");
+        // Pooled zero bin contributes (0 − 6)² / 6 = 6.
+        assert!((t.statistic - (100.0 / 50.0 + 16.0 / 50.0 + 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_bin_input_is_an_error() {
+        // One bin means zero degrees of freedom: must refuse, not NaN.
+        assert!(chi_squared_gof(&[100], &[100.0], 5.0).is_none());
+    }
+
+    #[test]
+    fn dof_zero_after_pooling_is_an_error() {
+        // Many bins, but expectations so small everything pools into a
+        // single bin -> dof would be 0; must return None rather than a
+        // degenerate statistic.
+        let expected = [1.0, 1.0, 1.0, 1.0];
+        let observed = [1u64, 1, 1, 1];
+        assert!(chi_squared_gof(&observed, &expected, 5.0).is_none());
+        // Same with a huge pooling threshold over healthy expectations.
+        let expected = [100.0, 100.0, 100.0];
+        let observed = [100u64, 100, 100];
+        assert!(chi_squared_gof(&observed, &expected, 1e6).is_none());
+    }
+
+    #[test]
+    fn all_zero_observed_is_finite_and_rejected() {
+        // Every observation zero against positive expectations: the
+        // statistic is Σ E_i — finite — and the fit is firmly rejected.
+        let expected = [50.0, 50.0, 50.0];
+        let observed = [0u64, 0, 0];
+        let t = chi_squared_gof(&observed, &expected, 5.0).unwrap();
+        assert!((t.statistic - 150.0).abs() < 1e-12);
+        assert!(!t.p_value.is_nan());
+        assert!(t.p_value < 1e-12);
+    }
+
+    #[test]
     fn uniform_draws_are_not_rejected() {
         let mut rng = Seed::new(17).rng();
         let bins = 20usize;

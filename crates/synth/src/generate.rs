@@ -27,11 +27,20 @@ pub struct GeneratedStore {
 /// # Panics
 /// Panics if the profile fails validation.
 pub fn generate(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> GeneratedStore {
+    appstore_obs::span("synth.generate", || generate_inner(profile, store_id, seed))
+}
+
+fn generate_inner(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> GeneratedStore {
     profile.validate().expect("invalid store profile");
     let catalog = build_catalog(profile, seed);
     let outcome = simulate_downloads(profile, &catalog, seed);
     let comments = generate_comments(profile, &catalog, &outcome.events, seed);
     let updates = generate_updates(profile, &catalog, seed);
+    appstore_obs::counter("synth.stores", 1);
+    appstore_obs::counter("synth.apps", catalog.apps.len() as u64);
+    appstore_obs::counter("synth.downloads", outcome.events.len() as u64);
+    appstore_obs::counter("synth.comments", comments.len() as u64);
+    appstore_obs::counter("synth.updates", updates.len() as u64);
 
     // Per-app cumulative comment counters per day.
     let app_count = catalog.apps.len();
@@ -88,6 +97,7 @@ pub fn generate(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> Genera
         updates,
     };
     dataset.validate().expect("generated dataset must validate");
+    appstore_obs::counter("synth.snapshots", dataset.snapshots.len() as u64);
     GeneratedStore {
         dataset,
         catalog,

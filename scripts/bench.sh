@@ -14,20 +14,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DATE="$(date +%F)"
+# Never clobber an existing report (e.g. a same-day baseline): suffix
+# with a run number instead.
 OUT="BENCH_${DATE}.json"
+N=2
+while [ -e "$OUT" ]; do
+    OUT="BENCH_${DATE}.${N}.json"
+    N=$((N + 1))
+done
+METRICS_OUT="${OUT%.json}.metrics.json"
 CPUS="$(nproc)"
 SCALE=16
 
 echo "== cargo build --release =="
-cargo build --release -q
+if ! cargo build --release -q; then
+    echo "error: cargo build --release failed; no benchmark was run" >&2
+    exit 1
+fi
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-run_repro() { # run_repro <threads> <stderr-log>; prints wall seconds
+run_repro() { # run_repro <threads> <stderr-log> [extra args...]; prints wall seconds
     local threads="$1" log="$2" start end
+    shift 2
     start="$(date +%s.%N)"
-    ./target/release/repro all --scale "$SCALE" --threads "$threads" \
+    ./target/release/repro all --scale "$SCALE" --threads "$threads" "$@" \
         >/dev/null 2>"$log"
     end="$(date +%s.%N)"
     awk -v s="$start" -v e="$end" 'BEGIN { printf "%.2f", e - s }'
@@ -38,8 +50,11 @@ SERIAL="$(run_repro 1 "$TMP/serial.log")"
 echo "   ${SERIAL}s"
 
 echo "== repro all --scale $SCALE --threads $CPUS =="
-PARALLEL="$(run_repro "$CPUS" "$TMP/parallel.log")"
+# The parallel run also archives the observability snapshot next to the
+# report, so every benchmark leaves the metric record that explains it.
+PARALLEL="$(run_repro "$CPUS" "$TMP/parallel.log" --metrics "$METRICS_OUT")"
 echo "   ${PARALLEL}s"
+echo "   metrics snapshot: $METRICS_OUT"
 
 echo "== kernel benches (bench/model_fit) =="
 cargo bench -q -p bench --bench model_fit | tee "$TMP/kernels.log"
