@@ -87,8 +87,8 @@ pub fn affinity_samples(streams: &[UserStream], depth: usize) -> Vec<f64> {
         .iter()
         .filter_map(|s| affinity(&s.categories, depth))
         .collect();
-    appstore_obs::counter("affinity.streams", streams.len() as u64);
-    appstore_obs::counter("affinity.samples", samples.len() as u64);
+    appstore_obs::counter(appstore_obs::names::AFFINITY_STREAMS, streams.len() as u64);
+    appstore_obs::counter(appstore_obs::names::AFFINITY_SAMPLES, samples.len() as u64);
     samples
 }
 

@@ -38,6 +38,9 @@ struct Args {
     json_dir: Option<String>,
     metrics_path: Option<String>,
     no_timings: bool,
+    trace_path: Option<String>,
+    trace_folded_path: Option<String>,
+    trace_folded_wall_path: Option<String>,
     experiments: Vec<String>,
 }
 
@@ -49,6 +52,9 @@ fn parse_args() -> Result<Args, String> {
         json_dir: None,
         metrics_path: None,
         no_timings: false,
+        trace_path: None,
+        trace_folded_path: None,
+        trace_folded_wall_path: None,
         experiments: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
@@ -75,10 +81,23 @@ fn parse_args() -> Result<Args, String> {
             "--no-timings" => {
                 args.no_timings = true;
             }
+            "--trace" => {
+                args.trace_path = Some(iter.next().ok_or("--trace needs a file path")?);
+            }
+            "--trace-folded" => {
+                args.trace_folded_path =
+                    Some(iter.next().ok_or("--trace-folded needs a file path")?);
+            }
+            "--trace-folded-wall" => {
+                args.trace_folded_wall_path =
+                    Some(iter.next().ok_or("--trace-folded-wall needs a file path")?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale N] [--seed S] [--threads T] [--json DIR] \
-                     [--metrics FILE] [--no-timings] <experiment>|all|list"
+                     [--metrics FILE] [--no-timings] [--trace FILE] [--trace-folded FILE] \
+                     [--trace-folded-wall FILE] <experiment>|all|list\n\
+                     \x20      repro report [--results DIR] [--metrics FILE] [--md FILE]"
                 );
                 std::process::exit(0);
             }
@@ -94,7 +113,78 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `repro report`: grade `results/*.json` against the paper's numbers.
+/// Exits 1 when any target FAILs.
+fn report_main(rest: &[String]) -> ! {
+    let mut results_dir = "results".to_string();
+    let mut metrics_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--results" => match iter.next() {
+                Some(v) => results_dir = v.clone(),
+                None => {
+                    eprintln!("--results needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => match iter.next() {
+                Some(v) => metrics_path = Some(v.clone()),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--md" => match iter.next() {
+                Some(v) => md_path = Some(v.clone()),
+                None => {
+                    eprintln!("--md needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown report argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let results = match bench::report::load_results(&results_dir) {
+        Ok(results) => results,
+        Err(err) => {
+            eprintln!("cannot read results dir {results_dir}: {err}");
+            std::process::exit(2);
+        }
+    };
+    // The run's scale comes from the metrics snapshot; a scaled-down
+    // run only FAILs on scale-independent invariants.
+    let scale = metrics_path
+        .as_deref()
+        .map_or(1, |path| match std::fs::read_to_string(path) {
+            Ok(text) => bench::report::scale_of_metrics(&text),
+            Err(err) => {
+                eprintln!("cannot read metrics snapshot {path}: {err}");
+                std::process::exit(2);
+            }
+        });
+    let rows = bench::report::evaluate(&results, scale);
+    print!("{}", bench::report::render_text(&rows, scale));
+    if let Some(path) = &md_path {
+        std::fs::write(path, bench::report::render_markdown(&rows, scale))
+            .expect("write markdown report");
+        eprintln!("fidelity report written to {path}");
+    }
+    if bench::report::has_fail(&rows) {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("report") {
+        report_main(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -131,21 +221,38 @@ fn main() {
     );
     let seed = Seed::new(args.seed);
     let stores_registry = Registry::new();
-    let stores = appstore_obs::with_registry(&stores_registry, || {
-        Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads)
-    });
-    eprintln!("stores ready in {:.1}s", started.elapsed().as_secs_f64());
+    let wants_trace = args.trace_path.is_some()
+        || args.trace_folded_path.is_some()
+        || args.trace_folded_wall_path.is_some();
+    let tracer = wants_trace.then(appstore_obs::Tracer::new);
 
     if let Some(dir) = &args.json_dir {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
 
-    // Experiments run concurrently; their text is buffered and printed
-    // in id order below so stdout is byte-identical for any --threads.
-    // Wall times go to stderr in completion order for live progress.
-    let results = run_experiments_observed(&ids, &stores, seed, args.threads, |id, secs| {
-        eprintln!("[{id} in {secs:.1}s]");
-    });
+    // Store generation and the experiment batch each get a root track
+    // segment of their own, so their `par_map_indexed` task paths can
+    // never collide in a trace.
+    let run = || {
+        let stores = appstore_obs::with_track(0, || {
+            appstore_obs::with_registry(&stores_registry, || {
+                Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads)
+            })
+        });
+        eprintln!("stores ready in {:.1}s", started.elapsed().as_secs_f64());
+        // Experiments run concurrently; their text is buffered and
+        // printed in id order below so stdout is byte-identical for any
+        // --threads. Wall times go to stderr in completion order.
+        appstore_obs::with_track(1, || {
+            run_experiments_observed(&ids, &stores, seed, args.threads, |id, secs| {
+                eprintln!("[{id} in {secs:.1}s]");
+            })
+        })
+    };
+    let results = match &tracer {
+        Some(tracer) => appstore_obs::with_tracer(tracer, run),
+        None => run(),
+    };
     let mut stdout = std::io::stdout().lock();
     for (result, _secs, _registry) in &results {
         writeln!(stdout, "{}", result.render()).expect("stdout");
@@ -159,6 +266,32 @@ fn main() {
         }
     }
     drop(stdout);
+    if let Some(tracer) = &tracer {
+        if tracer.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring overflowed, {} oldest events dropped \
+                 (timeline truncated; not comparable across runs)",
+                tracer.dropped()
+            );
+        }
+        if let Some(path) = &args.trace_path {
+            std::fs::write(path, tracer.export_chrome()).expect("write trace");
+            eprintln!("chrome trace written to {path} (load in Perfetto)");
+        }
+        if let Some(path) = &args.trace_folded_path {
+            std::fs::write(
+                path,
+                tracer.export_collapsed(appstore_obs::TimeBase::Logical),
+            )
+            .expect("write folded trace");
+            eprintln!("logical collapsed stacks written to {path}");
+        }
+        if let Some(path) = &args.trace_folded_wall_path {
+            std::fs::write(path, tracer.export_collapsed(appstore_obs::TimeBase::Wall))
+                .expect("write folded trace");
+            eprintln!("wall-time collapsed stacks written to {path}");
+        }
+    }
     if let Some(path) = &args.metrics_path {
         let doc = metrics_document(&args, &stores_registry, &results);
         std::fs::write(path, doc).expect("write metrics");

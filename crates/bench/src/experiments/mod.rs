@@ -146,6 +146,9 @@ pub fn run_experiments_observed<'a>(
     par_map_indexed(ids.to_vec(), threads, |_, id: &'a str| {
         let registry = appstore_obs::Registry::new();
         let started = Instant::now();
+        // Name the experiment's trace track after its id so a `--trace`
+        // timeline reads "fig8", not "task 1.4".
+        appstore_obs::label_track(id);
         let result = appstore_obs::with_registry(&registry, || {
             run_experiment(id, stores, seed.child("experiments"))
                 .unwrap_or_else(|| panic!("unknown experiment id: {id}"))

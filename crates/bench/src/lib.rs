@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod stores;
 
 pub use experiments::{

@@ -44,7 +44,7 @@ impl Stores {
                 (profile, StoreId(i as u32))
             })
             .collect();
-        let generated = appstore_obs::span("stores.generate", || {
+        let generated = appstore_obs::span(appstore_obs::names::SPAN_STORES_GENERATE, || {
             generate_many(profiles.clone(), seed, threads)
         });
         let bundles = profiles

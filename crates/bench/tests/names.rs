@@ -1,0 +1,75 @@
+//! Closes the loop on the `appstore_obs::names` registry: every metric
+//! and span key in the pinned golden metrics snapshot must be declared.
+//! A call site that invents a name compiles (the record functions take
+//! `&str`), but the next blessed golden run fails here — so undeclared
+//! names cannot land silently.
+
+use appstore_obs::names;
+use serde_json::Value;
+use std::path::Path;
+
+fn golden_metrics() -> Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/metrics.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden snapshot {}", path.display()));
+    serde_json::from_str(&text).expect("golden metrics parses")
+}
+
+/// Yields every registry export in the snapshot: the store-generation
+/// registry plus one per experiment.
+fn registries(doc: &Value) -> Vec<(&str, &Value)> {
+    let mut out = vec![("stores", doc.get("stores").expect("stores registry"))];
+    let experiments = doc
+        .get("experiments")
+        .and_then(Value::as_object)
+        .expect("experiments map");
+    for (id, registry) in experiments {
+        out.push((id.as_str(), registry));
+    }
+    out
+}
+
+#[test]
+fn every_snapshot_metric_key_is_declared() {
+    let doc = golden_metrics();
+    let mut checked = 0usize;
+    for (owner, registry) in registries(&doc) {
+        for family in ["counters", "gauges", "histograms"] {
+            let Some(map) = registry.get(family).and_then(Value::as_object) else {
+                continue;
+            };
+            for (name, _) in map {
+                assert!(
+                    names::is_declared_metric(name),
+                    "{owner}/{family} records undeclared metric {name:?} — \
+                     declare it in appstore_obs::names"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 50,
+        "snapshot unexpectedly sparse ({checked} keys)"
+    );
+}
+
+#[test]
+fn every_snapshot_span_path_is_declared() {
+    let doc = golden_metrics();
+    let mut checked = 0usize;
+    for (owner, registry) in registries(&doc) {
+        let Some(spans) = registry.get("spans").and_then(Value::as_object) else {
+            continue;
+        };
+        for (path, _) in spans {
+            assert!(
+                names::is_declared_span_path(path),
+                "{owner} records undeclared span path {path:?} — \
+                 declare every segment in appstore_obs::names::ALL_SPANS"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no span paths in the golden snapshot");
+}

@@ -1,0 +1,205 @@
+//! Trace-export and fidelity-report integration tests.
+//!
+//! Runs the `repro` binary with `--trace`/`--trace-folded` at a small
+//! scale and checks the two exporter contracts end to end:
+//!
+//! * the logical-time collapsed-stack export is **byte-identical** for
+//!   `--threads 1/2/8` (the determinism promise of track-scoped logical
+//!   clocks);
+//! * the Chrome trace-event JSON parses, every track's `B`/`E` events
+//!   balance, and timestamps are monotone within each track;
+//! * `repro report` grades the checked-in full-scale `results/` with no
+//!   FAIL and no MISSING rows, and exits nonzero on a fabricated
+//!   invariant violation.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A fast, representative experiment subset: crawler spans + breaker
+/// instants (crawl), model-fit spans + candidate instants (fig8), cache
+/// sweeps (fig19, prefetch), and the table-1 summary.
+const TRACE_IDS: [&str; 5] = ["table1", "fig8", "fig19", "crawl", "prefetch"];
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn tmp(name: &str, threads: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("trace-{name}-{}-t{threads}", std::process::id()))
+}
+
+/// One traced run: returns (chrome json text, logical folded text).
+fn run_traced(threads: &str) -> (String, String) {
+    let chrome = tmp("chrome.json", threads);
+    let folded = tmp("folded.txt", threads);
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "64", "--seed", "2013", "--threads", threads])
+        .arg("--trace")
+        .arg(&chrome)
+        .arg("--trace-folded")
+        .arg(&folded)
+        .args(TRACE_IDS)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        output.status.success(),
+        "repro --threads {threads} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let chrome_text = std::fs::read_to_string(&chrome).expect("read chrome trace");
+    let folded_text = std::fs::read_to_string(&folded).expect("read folded trace");
+    let _ = std::fs::remove_file(&chrome);
+    let _ = std::fs::remove_file(&folded);
+    (chrome_text, folded_text)
+}
+
+#[test]
+fn logical_collapsed_export_is_byte_identical_across_thread_counts() {
+    let (_, folded_1) = run_traced("1");
+    assert!(
+        !folded_1.is_empty(),
+        "traced run produced an empty folded export"
+    );
+    for threads in ["2", "8"] {
+        let (_, folded_n) = run_traced(threads);
+        assert!(
+            folded_1 == folded_n,
+            "logical collapsed stacks differ between --threads 1 and --threads {threads}"
+        );
+    }
+    // Spot-check the content: span frames nest and instants appear as
+    // leaves under the span that emitted them.
+    assert!(
+        folded_1.contains("stores.generate;synth.generate"),
+        "store generation stack missing:\n{folded_1}"
+    );
+    assert!(
+        folded_1.contains("fit.screen;fit.candidate.screened"),
+        "per-candidate screening instants missing:\n{folded_1}"
+    );
+    for line in folded_1.lines() {
+        let (_, weight) = line.rsplit_once(' ').expect("collapsed line shape");
+        weight.parse::<u128>().expect("integer weight");
+    }
+}
+
+#[test]
+fn chrome_trace_validates_balanced_and_monotone_per_track() {
+    let (chrome, _) = run_traced("8");
+    let doc: Value = serde_json::from_str(&chrome).expect("chrome trace parses as JSON");
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("dropped_events"))
+            .and_then(Value::as_str),
+        Some("0"),
+        "ring overflowed in a small traced run"
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut depth: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<i64, f64> = BTreeMap::new();
+    let mut labels = Vec::new();
+    for event in events {
+        let ph = event.get("ph").and_then(Value::as_str).expect("ph");
+        let tid = event.get("tid").and_then(Value::as_i64).expect("tid");
+        match ph {
+            "M" => {
+                if event.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    let name = event
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                        .expect("thread_name value");
+                    labels.push(name.to_string());
+                }
+                continue;
+            }
+            "B" => *depth.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "track {tid} closed a span it never opened");
+            }
+            "i" | "C" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+        let ts = event.get("ts").and_then(Value::as_f64).expect("ts");
+        let prev = last_ts.entry(tid).or_insert(f64::MIN);
+        assert!(ts >= *prev, "timestamps regressed on track {tid}");
+        *prev = ts;
+    }
+    for (tid, d) in &depth {
+        assert_eq!(*d, 0, "track {tid} has unbalanced B/E events");
+    }
+    // Experiment tracks are labeled with their ids; store-generation
+    // tracks with store names.
+    for expected in ["fig8", "crawl", "anzhi"] {
+        assert!(
+            labels.iter().any(|l| l == expected),
+            "no track labeled {expected:?}; labels: {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn report_grades_checked_in_results_without_fail_or_missing() {
+    let results_dir = repo_root().join("results");
+    let md_path = tmp("fidelity.md", "report");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("report")
+        .arg("--results")
+        .arg(&results_dir)
+        .arg("--md")
+        .arg(&md_path)
+        .output()
+        .expect("spawn repro report");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "repro report failed on the checked-in results:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 fail, 0 missing"),
+        "full-scale results should grade clean:\n{stdout}"
+    );
+    // Every figure the target table covers must have been evaluated.
+    for figure in ["fig2", "fig6", "fig8", "fig9", "fig11", "fig17", "fig19"] {
+        assert!(stdout.contains(figure), "{figure} absent from report");
+    }
+    let md = std::fs::read_to_string(&md_path).expect("markdown report written");
+    let _ = std::fs::remove_file(&md_path);
+    assert!(md.contains("| Verdict |"), "markdown header missing");
+    assert!(md.contains("| PASS |"), "markdown verdicts missing");
+}
+
+#[test]
+fn report_exits_nonzero_on_invariant_violation() {
+    // A doctored results dir where affinity loses to its random-walk
+    // baseline — an ordering the paper (and any scale) guarantees.
+    let dir = tmp("bad-results", "inv");
+    std::fs::create_dir_all(&dir).expect("create doctored results dir");
+    std::fs::write(
+        dir.join("fig6.json"),
+        r#"{"depths": [{"depth": 1, "mean_affinity": 0.05, "random_walk": 0.5}]}"#,
+    )
+    .expect("write doctored fig6");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("report")
+        .arg("--results")
+        .arg(&dir)
+        .output()
+        .expect("spawn repro report");
+    let _ = std::fs::remove_dir_all(&dir);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !output.status.success(),
+        "report must exit nonzero on an invariant FAIL:\n{stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "no FAIL row rendered:\n{stdout}");
+}

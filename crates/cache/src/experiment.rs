@@ -141,10 +141,16 @@ pub fn sweep_cache_sizes(
                 // Per-policy totals are sums over a fixed (model, size)
                 // grid, so they are thread-count independent.
                 let name = p.name();
-                appstore_obs::counter(&format!("cache.{name}.requests"), run.requests);
-                appstore_obs::counter(&format!("cache.{name}.hits"), run.hits);
-                appstore_obs::counter(&format!("cache.{name}.misses"), run.requests - run.hits);
-                appstore_obs::counter(&format!("cache.{name}.evictions"), policy.evictions());
+                appstore_obs::counter(&appstore_obs::names::cache_requests(name), run.requests);
+                appstore_obs::counter(&appstore_obs::names::cache_hits(name), run.hits);
+                appstore_obs::counter(
+                    &appstore_obs::names::cache_misses(name),
+                    run.requests - run.hits,
+                );
+                appstore_obs::counter(
+                    &appstore_obs::names::cache_evictions(name),
+                    policy.evictions(),
+                );
                 hit_ratios.push((name.to_string(), run.hit_ratio()));
             }
             out.push(Fig19Point {

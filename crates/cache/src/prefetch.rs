@@ -150,11 +150,11 @@ impl<'a> PrefetchSimulator<'a> {
         }
         // Waste: staged-but-never-used across all users.
         report.wasted = self.slots.values().map(|s| s.ever_staged - s.used).sum();
-        appstore_obs::counter("prefetch.downloads", report.downloads);
-        appstore_obs::counter("prefetch.hits", report.hits);
-        appstore_obs::counter("prefetch.eligible", report.eligible);
-        appstore_obs::counter("prefetch.staged", report.staged);
-        appstore_obs::counter("prefetch.wasted", report.wasted);
+        appstore_obs::counter(appstore_obs::names::PREFETCH_DOWNLOADS, report.downloads);
+        appstore_obs::counter(appstore_obs::names::PREFETCH_HITS, report.hits);
+        appstore_obs::counter(appstore_obs::names::PREFETCH_ELIGIBLE, report.eligible);
+        appstore_obs::counter(appstore_obs::names::PREFETCH_STAGED, report.staged);
+        appstore_obs::counter(appstore_obs::names::PREFETCH_WASTED, report.wasted);
         report
     }
 }

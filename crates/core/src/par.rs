@@ -48,14 +48,20 @@ where
     // Call and task counts are functions of the input alone; the
     // per-worker task distribution depends on the worker count, so it is
     // recorded as volatile and zeroed in comparable snapshots.
-    appstore_obs::counter("core.par.calls", 1);
-    appstore_obs::counter("core.par.tasks", items.len() as u64);
+    appstore_obs::counter(appstore_obs::names::CORE_PAR_CALLS, 1);
+    appstore_obs::counter(appstore_obs::names::CORE_PAR_TASKS, items.len() as u64);
     if workers <= 1 {
-        appstore_obs::observe_volatile("core.par.worker_tasks", items.len() as u64);
+        appstore_obs::observe_volatile(
+            appstore_obs::names::CORE_PAR_WORKER_TASKS,
+            items.len() as u64,
+        );
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            // Each item runs on its own trace track named by its input
+            // index, so trace attribution is a function of the input
+            // alone — identical no matter how many threads ran.
+            .map(|(i, t)| appstore_obs::with_track(i as u64, || f(i, t)))
             .collect();
     }
     // Split into contiguous ownership chunks, remembering each chunk's
@@ -84,11 +90,17 @@ where
             .map(|(base, chunk)| {
                 scope.spawn(move || {
                     let work = || {
-                        appstore_obs::observe_volatile("core.par.worker_tasks", chunk.len() as u64);
+                        appstore_obs::observe_volatile(
+                            appstore_obs::names::CORE_PAR_WORKER_TASKS,
+                            chunk.len() as u64,
+                        );
                         chunk
                             .into_iter()
                             .enumerate()
-                            .map(|(k, item)| (base + k, f(base + k, item)))
+                            .map(|(k, item)| {
+                                let i = base + k;
+                                (i, appstore_obs::with_track(i as u64, || f(i, item)))
+                            })
                             .collect::<Vec<(usize, R)>>()
                     };
                     match obs_ctx {

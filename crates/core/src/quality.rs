@@ -256,8 +256,11 @@ pub fn repair_gaps(dataset: &Dataset, strategy: GapRepair) -> (Dataset, RepairRe
         repaired.snapshots.sort_by_key(|s| s.day);
         days_filled.push(day);
     }
-    appstore_obs::counter("core.quality.repairs", 1);
-    appstore_obs::counter("core.quality.gap_days_filled", days_filled.len() as u64);
+    appstore_obs::counter(appstore_obs::names::CORE_QUALITY_REPAIRS, 1);
+    appstore_obs::counter(
+        appstore_obs::names::CORE_QUALITY_GAP_DAYS_FILLED,
+        days_filled.len() as u64,
+    );
     (
         repaired,
         RepairReport {

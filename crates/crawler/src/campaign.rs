@@ -61,16 +61,19 @@ impl CrawlReport {
     /// registry (no-op without one). The crawl is fully deterministic
     /// given its seeds, so every value here is a deterministic metric.
     fn flush_metrics(&self) {
-        appstore_obs::counter("crawl.days", u64::from(self.days));
-        appstore_obs::counter("crawl.app_pages", self.app_pages);
-        appstore_obs::counter("crawl.comment_pages", self.comment_pages);
-        appstore_obs::counter("crawl.requests", self.requests);
-        appstore_obs::counter("crawl.retries", self.retries);
-        appstore_obs::counter("crawl.dropped", self.dropped);
-        appstore_obs::counter("crawl.corrupted", self.corrupted);
-        appstore_obs::counter("crawl.rate_limited", self.rate_limited);
-        appstore_obs::counter("crawl.proxies_banned", self.proxies_banned);
-        appstore_obs::counter("crawl.failed_pages", self.failed_pages);
+        appstore_obs::counter(appstore_obs::names::CRAWL_DAYS, u64::from(self.days));
+        appstore_obs::counter(appstore_obs::names::CRAWL_APP_PAGES, self.app_pages);
+        appstore_obs::counter(appstore_obs::names::CRAWL_COMMENT_PAGES, self.comment_pages);
+        appstore_obs::counter(appstore_obs::names::CRAWL_REQUESTS, self.requests);
+        appstore_obs::counter(appstore_obs::names::CRAWL_RETRIES, self.retries);
+        appstore_obs::counter(appstore_obs::names::CRAWL_DROPPED, self.dropped);
+        appstore_obs::counter(appstore_obs::names::CRAWL_CORRUPTED, self.corrupted);
+        appstore_obs::counter(appstore_obs::names::CRAWL_RATE_LIMITED, self.rate_limited);
+        appstore_obs::counter(
+            appstore_obs::names::CRAWL_PROXIES_BANNED,
+            self.proxies_banned,
+        );
+        appstore_obs::counter(appstore_obs::names::CRAWL_FAILED_PAGES, self.failed_pages);
     }
 
     /// Merges another report (e.g. across the runs of a crash/resume
@@ -128,71 +131,74 @@ pub fn run_campaign(
 
     let days: Vec<Day> = ground_truth.snapshots.iter().map(|s| s.day).collect();
     for (day_index, &day) in days.iter().enumerate() {
-        appstore_obs::span("crawl.day", || -> Result<(), CrawlError> {
-            // A new virtual day begins every 24h of virtual time; crawling
-            // is much faster than a day, so the clock jumps forward.
-            client.advance_to(day_index as u64 * 86_400_000);
+        appstore_obs::span(
+            appstore_obs::names::SPAN_CRAWL_DAY,
+            || -> Result<(), CrawlError> {
+                // A new virtual day begins every 24h of virtual time; crawling
+                // is much faster than a day, so the clock jumps forward.
+                client.advance_to(day_index as u64 * 86_400_000);
 
-            // 1. Discover the day's app directory.
-            let index = client.fetch(server, pool, Request::Index { day })?;
-            let Response::Index { apps } = index else {
-                return Err(CrawlError::RetriesExhausted {
-                    last: crate::wire::WireError::Corrupt,
-                });
-            };
+                // 1. Discover the day's app directory.
+                let index = client.fetch(server, pool, Request::Index { day })?;
+                let Response::Index { apps } = index else {
+                    return Err(CrawlError::RetriesExhausted {
+                        last: crate::wire::WireError::Corrupt,
+                    });
+                };
 
-            // 2. Fetch each app page.
-            let mut observations = Vec::with_capacity(apps.len());
-            for app in apps {
-                match client.fetch(server, pool, Request::AppPage { app, day }) {
-                    Ok(Response::AppPage { observation }) => {
-                        report.app_pages += 1;
-                        if let Some(previous) = last_version[observation.app.index()] {
-                            if observation.version > previous {
-                                updates.push(UpdateEvent {
-                                    app: observation.app,
-                                    day,
-                                    version: observation.version,
-                                });
+                // 2. Fetch each app page.
+                let mut observations = Vec::with_capacity(apps.len());
+                for app in apps {
+                    match client.fetch(server, pool, Request::AppPage { app, day }) {
+                        Ok(Response::AppPage { observation }) => {
+                            report.app_pages += 1;
+                            if let Some(previous) = last_version[observation.app.index()] {
+                                if observation.version > previous {
+                                    updates.push(UpdateEvent {
+                                        app: observation.app,
+                                        day,
+                                        version: observation.version,
+                                    });
+                                }
                             }
+                            last_version[observation.app.index()] = Some(observation.version);
+                            observations.push(observation);
                         }
-                        last_version[observation.app.index()] = Some(observation.version);
-                        observations.push(observation);
+                        Ok(_) => {
+                            report.failed_pages += 1;
+                        }
+                        Err(CrawlError::NotFound) => {
+                            report.failed_pages += 1;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Ok(_) => {
-                        report.failed_pages += 1;
-                    }
-                    Err(CrawlError::NotFound) => {
-                        report.failed_pages += 1;
-                    }
-                    Err(e) => return Err(e),
                 }
-            }
-            observations.sort_by_key(|o| o.app);
-            snapshots.push(DailySnapshot { day, observations });
+                observations.sort_by_key(|o| o.app);
+                snapshots.push(DailySnapshot { day, observations });
 
-            // 3. Pull the day's comment pages.
-            let mut page = 0u32;
-            loop {
-                match client.fetch(server, pool, Request::CommentsPage { day, page }) {
-                    Ok(Response::CommentsPage {
-                        comments: mut batch,
-                        has_more,
-                    }) => {
-                        report.comment_pages += 1;
-                        comments.append(&mut batch);
-                        if !has_more {
-                            break;
+                // 3. Pull the day's comment pages.
+                let mut page = 0u32;
+                loop {
+                    match client.fetch(server, pool, Request::CommentsPage { day, page }) {
+                        Ok(Response::CommentsPage {
+                            comments: mut batch,
+                            has_more,
+                        }) => {
+                            report.comment_pages += 1;
+                            comments.append(&mut batch);
+                            if !has_more {
+                                break;
+                            }
+                            page += 1;
                         }
-                        page += 1;
+                        Ok(_) => break,
+                        Err(CrawlError::NotFound) => break,
+                        Err(e) => return Err(e),
                     }
-                    Ok(_) => break,
-                    Err(CrawlError::NotFound) => break,
-                    Err(e) => return Err(e),
                 }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            },
+        )?;
     }
 
     report.days = days.len() as u32;
@@ -408,95 +414,98 @@ pub fn run_campaign_resumable(
         out
     };
 
-    appstore_obs::gauge("crawl.resume_index", resume_index as i64);
+    appstore_obs::gauge(appstore_obs::names::CRAWL_RESUME_INDEX, resume_index as i64);
     let mut report = CrawlReport::default();
     for (day_index, &day) in days.iter().enumerate().skip(resume_index) {
-        appstore_obs::span("crawl.day", || -> Result<(), CampaignError> {
-            // A fresh client per day, seeded by the day index: the request
-            // stream of day N is identical whether or not the process died
-            // and restarted in between.
-            let mut client =
-                CrawlerClient::new(region, faults, seed.child_indexed("day", day_index as u64));
-            client.advance_to(day_index as u64 * 86_400_000);
+        appstore_obs::span(
+            appstore_obs::names::SPAN_CRAWL_DAY,
+            || -> Result<(), CampaignError> {
+                // A fresh client per day, seeded by the day index: the request
+                // stream of day N is identical whether or not the process died
+                // and restarted in between.
+                let mut client =
+                    CrawlerClient::new(region, faults, seed.child_indexed("day", day_index as u64));
+                client.advance_to(day_index as u64 * 86_400_000);
 
-            // 1. Discover the day's app directory.
-            let index = client.fetch(server, pool, Request::Index { day })?;
-            let Response::Index { apps } = index else {
-                return Err(CampaignError::Crawl(CrawlError::RetriesExhausted {
-                    last: crate::wire::WireError::Corrupt,
-                }));
-            };
+                // 1. Discover the day's app directory.
+                let index = client.fetch(server, pool, Request::Index { day })?;
+                let Response::Index { apps } = index else {
+                    return Err(CampaignError::Crawl(CrawlError::RetriesExhausted {
+                        last: crate::wire::WireError::Corrupt,
+                    }));
+                };
 
-            // 2. Fetch each app page; derive updates from version diffs.
-            let mut observations = Vec::with_capacity(apps.len());
-            let mut day_updates: Vec<UpdateEvent> = Vec::new();
-            for app in apps {
-                match client.fetch(server, pool, Request::AppPage { app, day }) {
-                    Ok(Response::AppPage { observation }) => {
-                        report.app_pages += 1;
-                        if let Some(previous) = last_version[observation.app.index()] {
-                            if observation.version > previous {
-                                day_updates.push(UpdateEvent {
-                                    app: observation.app,
-                                    day,
-                                    version: observation.version,
-                                });
+                // 2. Fetch each app page; derive updates from version diffs.
+                let mut observations = Vec::with_capacity(apps.len());
+                let mut day_updates: Vec<UpdateEvent> = Vec::new();
+                for app in apps {
+                    match client.fetch(server, pool, Request::AppPage { app, day }) {
+                        Ok(Response::AppPage { observation }) => {
+                            report.app_pages += 1;
+                            if let Some(previous) = last_version[observation.app.index()] {
+                                if observation.version > previous {
+                                    day_updates.push(UpdateEvent {
+                                        app: observation.app,
+                                        day,
+                                        version: observation.version,
+                                    });
+                                }
                             }
+                            last_version[observation.app.index()] = Some(observation.version);
+                            observations.push(observation);
                         }
-                        last_version[observation.app.index()] = Some(observation.version);
-                        observations.push(observation);
-                    }
-                    Ok(_) | Err(CrawlError::NotFound) => {
-                        report.failed_pages += 1;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            observations.sort_by_key(|o| o.app);
-            out.append(&Record::Snapshot(DailySnapshot { day, observations }))?;
-
-            if crashes.crash_mid_day == Some(day_index as u32) {
-                // Simulated process death: snapshot flushed, the rest of
-                // the day (comments, updates, checkpoint) lost.
-                return Err(CampaignError::Crashed { day });
-            }
-
-            // 3. Pull the day's comment pages.
-            let mut day_comments: Vec<CommentEvent> = Vec::new();
-            let mut page = 0u32;
-            loop {
-                match client.fetch(server, pool, Request::CommentsPage { day, page }) {
-                    Ok(Response::CommentsPage {
-                        comments: mut batch,
-                        has_more,
-                    }) => {
-                        report.comment_pages += 1;
-                        day_comments.append(&mut batch);
-                        if !has_more {
-                            break;
+                        Ok(_) | Err(CrawlError::NotFound) => {
+                            report.failed_pages += 1;
                         }
-                        page += 1;
+                        Err(e) => return Err(e.into()),
                     }
-                    Ok(_) | Err(CrawlError::NotFound) => break,
-                    Err(e) => return Err(e.into()),
                 }
-            }
-            out.append_chunked(&day_comments, Record::Comments)?;
-            if !day_updates.is_empty() {
-                out.append_chunked(&day_updates, Record::Updates)?;
-            }
+                observations.sort_by_key(|o| o.app);
+                out.append(&Record::Snapshot(DailySnapshot { day, observations }))?;
 
-            // 4. Checkpoint: the day is durable.
-            out.day_complete(day)?;
-            report.days += 1;
-            report.virtual_ms = report.virtual_ms.max(client.now_ms());
-            report.absorb(client.stats);
+                if crashes.crash_mid_day == Some(day_index as u32) {
+                    // Simulated process death: snapshot flushed, the rest of
+                    // the day (comments, updates, checkpoint) lost.
+                    return Err(CampaignError::Crashed { day });
+                }
 
-            if crashes.crash_after_day == Some(day_index as u32) {
-                return Err(CampaignError::Crashed { day });
-            }
-            Ok(())
-        })?;
+                // 3. Pull the day's comment pages.
+                let mut day_comments: Vec<CommentEvent> = Vec::new();
+                let mut page = 0u32;
+                loop {
+                    match client.fetch(server, pool, Request::CommentsPage { day, page }) {
+                        Ok(Response::CommentsPage {
+                            comments: mut batch,
+                            has_more,
+                        }) => {
+                            report.comment_pages += 1;
+                            day_comments.append(&mut batch);
+                            if !has_more {
+                                break;
+                            }
+                            page += 1;
+                        }
+                        Ok(_) | Err(CrawlError::NotFound) => break,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                out.append_chunked(&day_comments, Record::Comments)?;
+                if !day_updates.is_empty() {
+                    out.append_chunked(&day_updates, Record::Updates)?;
+                }
+
+                // 4. Checkpoint: the day is durable.
+                out.day_complete(day)?;
+                report.days += 1;
+                report.virtual_ms = report.virtual_ms.max(client.now_ms());
+                report.absorb(client.stats);
+
+                if crashes.crash_after_day == Some(day_index as u32) {
+                    return Err(CampaignError::Crashed { day });
+                }
+                Ok(())
+            },
+        )?;
     }
     report.flush_metrics();
 

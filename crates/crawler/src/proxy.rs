@@ -181,7 +181,7 @@ impl ProxyPool {
     pub fn ban(&mut self, proxy: Proxy) {
         let i = self.index_of(proxy);
         if !self.banned[i] {
-            appstore_obs::counter("crawl.proxy.bans", 1);
+            appstore_obs::counter(appstore_obs::names::CRAWL_PROXY_BANS, 1);
         }
         self.banned[i] = true;
     }
@@ -195,7 +195,8 @@ impl ProxyPool {
         self.probation_ms[i] = PROBATION_INITIAL_MS;
         if self.open[i] {
             self.open[i] = false;
-            appstore_obs::counter("crawl.breaker.closes", 1);
+            appstore_obs::counter(appstore_obs::names::CRAWL_BREAKER_CLOSES, 1);
+            appstore_obs::instant(appstore_obs::names::INSTANT_CRAWL_BREAKER_CLOSE);
         }
     }
 
@@ -214,7 +215,8 @@ impl ProxyPool {
             self.probation_ms[i] = (self.probation_ms[i].saturating_mul(2)).min(PROBATION_CAP_MS);
             self.quarantines[i] = self.quarantines[i].saturating_add(1);
             self.open[i] = true;
-            appstore_obs::counter("crawl.breaker.trips", 1);
+            appstore_obs::counter(appstore_obs::names::CRAWL_BREAKER_TRIPS, 1);
+            appstore_obs::instant(appstore_obs::names::INSTANT_CRAWL_BREAKER_TRIP);
             // A fresh streak starts after the probe.
             self.streak[i] = 0;
         }

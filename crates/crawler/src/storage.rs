@@ -546,17 +546,17 @@ pub fn read_journal_lossy<R: Read>(reader: R) -> (Option<Dataset>, JournalHealth
     if let Some(replay) = &replay {
         health.records_deduplicated = replay.deduplicated;
     }
-    appstore_obs::counter("crawl.journal.reads", 1);
+    appstore_obs::counter(appstore_obs::names::CRAWL_JOURNAL_READS, 1);
     appstore_obs::counter(
-        "crawl.journal.lines_quarantined",
+        appstore_obs::names::CRAWL_JOURNAL_LINES_QUARANTINED,
         health.quarantined.len() as u64,
     );
     appstore_obs::counter(
-        "crawl.journal.records_deduplicated",
+        appstore_obs::names::CRAWL_JOURNAL_RECORDS_DEDUPLICATED,
         health.records_deduplicated as u64,
     );
     appstore_obs::counter(
-        "crawl.journal.truncated_tails",
+        appstore_obs::names::CRAWL_JOURNAL_TRUNCATED_TAILS,
         u64::from(health.truncated_tail),
     );
     (replay.map(|r| r.dataset), health)

@@ -181,8 +181,8 @@ impl ScreeningCache {
     /// was chunked over workers (each worker owns a cache), so they are
     /// recorded as **volatile** metrics — zeroed in comparable snapshots.
     pub fn flush_metrics(&self) {
-        appstore_obs::counter_volatile("fit.cache.hits", self.hits);
-        appstore_obs::counter_volatile("fit.cache.misses", self.misses);
+        appstore_obs::counter_volatile(appstore_obs::names::FIT_CACHE_HITS, self.hits);
+        appstore_obs::counter_volatile(appstore_obs::names::FIT_CACHE_MISSES, self.misses);
     }
 
     /// The pmf of `ZipfSampler::new(n, s)` as a 0-indexed vector

@@ -138,7 +138,7 @@ fn score_simulated(
     threads: usize,
 ) -> f64 {
     let reps = replications.max(1);
-    appstore_obs::counter("fit.sim.replications", u64::from(reps));
+    appstore_obs::counter(appstore_obs::names::FIT_SIM_REPLICATIONS, u64::from(reps));
     let per_rep = par_map_indexed((0..reps).collect(), threads, |_, r: u32| {
         let mut counts = sim.simulate_counts(seed.child_indexed("rep", u64::from(r)));
         counts.sort_unstable_by(|a, b| b.cmp(a));
@@ -224,7 +224,10 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
             });
         }
     }
-    appstore_obs::counter("fit.zipf.candidates", spec.zipf_exponents.len() as u64);
+    appstore_obs::counter(
+        appstore_obs::names::FIT_ZIPF_CANDIDATES,
+        spec.zipf_exponents.len() as u64,
+    );
     cache.flush_metrics();
     best
 }
@@ -263,6 +266,7 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
                 distance,
             };
             push_top(&mut top, keep, outcome);
+            appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
             match per_uf.iter_mut().find(|(f, _)| *f == uf) {
                 Some((_, best)) if outcome.distance < best.distance => *best = outcome,
                 Some(_) => {}
@@ -271,9 +275,9 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
         }
     }
     let grid = (spec.zipf_exponents.len() * spec.user_fractions.len()) as u64;
-    appstore_obs::counter("fit.amo.grid_candidates", grid);
-    appstore_obs::counter("fit.amo.screened", screened_count);
-    appstore_obs::counter("fit.amo.pruned", grid - screened_count);
+    appstore_obs::counter(appstore_obs::names::FIT_AMO_GRID_CANDIDATES, grid);
+    appstore_obs::counter(appstore_obs::names::FIT_AMO_SCREENED, screened_count);
+    appstore_obs::counter(appstore_obs::names::FIT_AMO_PRUNED, grid - screened_count);
     cache.flush_metrics();
     if spec.refine_top == 0 {
         return top.into_iter().next();
@@ -283,8 +287,8 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
             top.push(outcome);
         }
     }
-    appstore_obs::counter("fit.amo.refined", top.len() as u64);
-    appstore_obs::span("fit.refine", || {
+    appstore_obs::counter(appstore_obs::names::FIT_AMO_REFINED, top.len() as u64);
+    appstore_obs::span(appstore_obs::names::SPAN_FIT_REFINE, || {
         par_map_indexed(top, spec.worker_count(), |i, mut outcome: FitOutcome| {
             let params = clustering_params(&outcome, observed.len(), 1).population;
             let sim = Simulator::zipf_at_most_once(params);
@@ -295,6 +299,7 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
                 seed.child_indexed("amo-refine", i as u64),
                 1,
             );
+            appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_REFINED);
             outcome
         })
         .into_iter()
@@ -334,10 +339,13 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
     // Workers return *all* their scored candidates and the reduction
     // below runs sequentially in grid order, so the shortlist cannot
     // depend on the thread count — even under exact distance ties.
-    appstore_obs::counter("fit.clustering.grid_candidates", grid.len() as u64);
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_GRID_CANDIDATES,
+        grid.len() as u64,
+    );
     let chunks: Vec<Vec<(f64, f64, f64, f64)>> =
         grid.chunks(chunk_len).map(<[_]>::to_vec).collect();
-    let screened = appstore_obs::span("fit.screen", || {
+    let screened = appstore_obs::span(appstore_obs::names::SPAN_FIT_SCREEN, || {
         par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
             let mut cache = ScreeningCache::new();
             let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
@@ -366,14 +374,18 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
                     distance,
                 };
                 scored.push((uf, outcome));
+                appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
             }
             cache.flush_metrics();
             scored
         })
     });
     let screened_count: u64 = screened.iter().map(|chunk| chunk.len() as u64).sum();
-    appstore_obs::counter("fit.clustering.screened", screened_count);
-    appstore_obs::counter("fit.clustering.pruned", grid.len() as u64 - screened_count);
+    appstore_obs::counter(appstore_obs::names::FIT_CLUSTERING_SCREENED, screened_count);
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_PRUNED,
+        grid.len() as u64 - screened_count,
+    );
     // Keep the global top-K *and* the best candidate per user-fraction:
     // the analytic score's head/tail biases depend on `U`, so the global
     // top-K can cluster in one `U` regime and starve the Monte-Carlo
@@ -403,8 +415,11 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
             shortlist.push(outcome);
         }
     }
-    appstore_obs::counter("fit.clustering.refined", shortlist.len() as u64);
-    appstore_obs::span("fit.refine", || {
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_REFINED,
+        shortlist.len() as u64,
+    );
+    appstore_obs::span(appstore_obs::names::SPAN_FIT_REFINE, || {
         par_map_indexed(
             shortlist,
             spec.worker_count(),
@@ -418,6 +433,7 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
                     seed.child_indexed("clustering-refine", i as u64),
                     1,
                 );
+                appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_REFINED);
                 outcome
             },
         )

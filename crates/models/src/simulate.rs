@@ -281,11 +281,11 @@ impl Simulator {
     /// deterministic metrics.
     fn flush_draw_metrics(&self, draws: u64, downloads: u64) {
         let name = match self.global.method() {
-            SampleMethod::Alias => "sim.draws.alias",
-            SampleMethod::InverseCdf => "sim.draws.inverse_cdf",
+            SampleMethod::Alias => appstore_obs::names::SIM_DRAWS_ALIAS,
+            SampleMethod::InverseCdf => appstore_obs::names::SIM_DRAWS_INVERSE_CDF,
         };
         appstore_obs::counter(name, draws);
-        appstore_obs::counter("sim.downloads", downloads);
+        appstore_obs::counter(appstore_obs::names::SIM_DOWNLOADS, downloads);
     }
 
     /// The cluster of a global 0-based app index (0 for non-clustering

@@ -8,10 +8,10 @@
 //!   is installed on the current thread ([`with_registry`]); with no
 //!   registry every call is a no-op, so library hot paths stay free when
 //!   nobody is listening, and tests never leak metrics into each other.
-//!   The active context (registry + open span path) can be captured and
-//!   re-entered on worker threads ([`capture`] / [`Context::run`]), which
-//!   is how `appstore_core::par_map_indexed` makes metric attribution
-//!   identical for every thread count.
+//!   The active context (registry + tracer + open span path + track)
+//!   can be captured and re-entered on worker threads ([`capture`] /
+//!   [`Context::run`]), which is how `appstore_core::par_map_indexed`
+//!   makes metric attribution identical for every thread count.
 //! * **Deterministic export.** [`Registry::snapshot_json`] renders every
 //!   metric in stable (sorted) key order. Each metric carries a stability
 //!   class: *deterministic* values are functions of the seeds and inputs
@@ -25,13 +25,25 @@
 //! ([`gauge`]), histograms with a fixed power-of-two bucket layout
 //! ([`observe`]), and nestable timed spans ([`span`]) whose call counts
 //! are deterministic while their accumulated nanoseconds are volatile.
+//!
+//! Beyond aggregate metrics, a [`Tracer`] (installed with
+//! [`with_tracer`], orthogonal to the registry) records an event-level
+//! timeline: span begin/end pairs, [`instant`] markers, and
+//! deterministic counter samples, attributed to per-task *tracks* (see
+//! [`with_track`]) whose identity is stable across thread counts. The
+//! [`trace`] module documents the model and the two exporters (Chrome
+//! trace-event JSON and collapsed-stack text). All metric and span names
+//! live in [`names`] as constants so misspellings fail to compile.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod names;
 mod registry;
+pub mod trace;
 
 pub use registry::{Registry, POW2_BUCKET_BOUNDS};
+pub use trace::{TimeBase, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::RefCell;
 
@@ -40,15 +52,28 @@ thread_local! {
 }
 
 /// The active collection context of a thread: the registry metrics go
-/// to, plus the stack of open span names (joined with `/` to form the
-/// exported span path).
+/// to (if any), the tracer events go to (if any), the stack of open
+/// span names (joined with `/` to form the exported span path), and the
+/// current track — the path of task indices identifying this logical
+/// thread of execution in a trace.
 #[derive(Clone)]
 pub struct Context {
-    registry: Registry,
+    registry: Option<Registry>,
+    tracer: Option<Tracer>,
     span_path: Vec<String>,
+    track: Vec<u64>,
 }
 
 impl Context {
+    fn empty() -> Context {
+        Context {
+            registry: None,
+            tracer: None,
+            span_path: Vec::new(),
+            track: Vec::new(),
+        }
+    }
+
     /// Runs `f` with this context installed on the current thread,
     /// restoring whatever was installed before once `f` returns.
     ///
@@ -82,41 +107,81 @@ impl Drop for ContextGuard {
 
 /// Runs `f` with `registry` collecting on the current thread (fresh span
 /// path), restoring the previous context afterwards. Nestable: the inner
-/// registry shadows the outer one for the duration of `f`.
+/// registry shadows the outer one for the duration of `f`. An installed
+/// [`Tracer`] and the current track are inherited — tracing is
+/// orthogonal to metric scoping.
 pub fn with_registry<R>(registry: &Registry, f: impl FnOnce() -> R) -> R {
+    let (tracer, track) = CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (ctx.tracer.clone(), ctx.track.clone()))
+            .unwrap_or((None, Vec::new()))
+    });
     let _guard = ContextGuard::install(Some(Context {
-        registry: registry.clone(),
+        registry: Some(registry.clone()),
+        tracer,
         span_path: Vec::new(),
+        track,
     }));
     f()
 }
 
-/// Captures the current thread's context (registry + open span path) for
-/// re-entry on another thread, or `None` when nothing is installed.
+/// Runs `f` with `tracer` collecting trace events on the current thread,
+/// restoring the previous context afterwards. The registry, span path,
+/// and track of an already-installed context are inherited, so a tracer
+/// can wrap a whole pipeline while registries come and go inside it.
+pub fn with_tracer<R>(tracer: &Tracer, f: impl FnOnce() -> R) -> R {
+    let mut ctx = capture().unwrap_or_else(Context::empty);
+    ctx.tracer = Some(tracer.clone());
+    let _guard = ContextGuard::install(Some(ctx));
+    f()
+}
+
+/// Captures the current thread's context (registry + tracer + open span
+/// path + track) for re-entry on another thread, or `None` when nothing
+/// is installed.
 pub fn capture() -> Option<Context> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
 /// True when a registry is installed on the current thread.
 pub fn enabled() -> bool {
-    CURRENT.with(|c| c.borrow().is_some())
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|ctx| ctx.registry.is_some())
+    })
 }
 
 fn with_current(f: impl FnOnce(&Registry)) {
     CURRENT.with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
-            f(&ctx.registry);
+            if let Some(registry) = &ctx.registry {
+                f(registry);
+            }
         }
     });
 }
 
-/// Adds `delta` to the deterministic counter `name`.
+/// Adds `delta` to the deterministic counter `name`. With a tracer
+/// installed the increment is also recorded as a timeline counter
+/// sample on the current track.
 pub fn counter(name: &str, delta: u64) {
-    with_current(|r| r.counter_add(name, delta, false));
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if let Some(registry) = &ctx.registry {
+                registry.counter_add(name, delta, false);
+            }
+            if let Some(tracer) = &ctx.tracer {
+                tracer.counter_sample(&ctx.track, name, delta);
+            }
+        }
+    });
 }
 
 /// Adds `delta` to the volatile counter `name` (zeroed in no-timings
 /// snapshots; use for values that depend on worker count or machine).
+/// Never traced: its call placement is scheduler-dependent.
 pub fn counter_volatile(name: &str, delta: u64) {
     with_current(|r| r.counter_add(name, delta, true));
 }
@@ -144,19 +209,108 @@ pub fn observe_volatile(name: &str, value: u64) {
     with_current(|r| r.histogram_observe(name, value, true));
 }
 
+/// Records an instant event named `name` on the current track. Trace
+/// timeline only — instants never appear in metric snapshots, so they
+/// are free to mark high-frequency moments (a screened candidate, a
+/// breaker trip) without touching the golden metric surface.
+pub fn instant(name: &str) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if let Some(tracer) = &ctx.tracer {
+                tracer.instant_event(&ctx.track, name);
+            }
+        }
+    });
+}
+
+/// Labels the current track in trace exports (e.g. with an experiment
+/// id or store name). Last write wins; trace timeline only.
+pub fn label_track(name: &str) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if let Some(tracer) = &ctx.tracer {
+                tracer.label(&ctx.track, name);
+            }
+        }
+    });
+}
+
+/// Runs `f` on the child track `index` of the current track.
+///
+/// `par_map_indexed` wraps every task in this with the task's input
+/// index, so each task's trace events land on a track whose identity —
+/// the path of task indices from the root — is a pure function of the
+/// input, never of the scheduler. On entry the spans currently open are
+/// replayed onto the child track as *synthetic* begin events (closed
+/// again on exit), so child stacks stay rooted under their parent's
+/// frames in flame graphs; synthetic frames carry no logical weight.
+///
+/// With no context installed this is a plain call to `f`.
+pub fn with_track<R>(index: u64, f: impl FnOnce() -> R) -> R {
+    let entered = CURRENT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        match borrow.as_mut() {
+            Some(ctx) => {
+                ctx.track.push(index);
+                if let Some(tracer) = &ctx.tracer {
+                    for frame in &ctx.span_path {
+                        tracer.begin(&ctx.track, frame, true);
+                    }
+                }
+                Some(ctx.span_path.len())
+            }
+            None => None,
+        }
+    });
+    match entered {
+        None => f(),
+        Some(frames) => {
+            let _guard = TrackGuard { frames };
+            f()
+        }
+    }
+}
+
+/// Pops the current track on drop (panic-safe), closing the synthetic
+/// frames that rooted it.
+struct TrackGuard {
+    frames: usize,
+}
+
+impl Drop for TrackGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let mut borrow = c.borrow_mut();
+            if let Some(ctx) = borrow.as_mut() {
+                if let Some(tracer) = &ctx.tracer {
+                    for frame in ctx.span_path[..self.frames].iter().rev() {
+                        tracer.end(&ctx.track, frame, true);
+                    }
+                }
+                ctx.track.pop();
+            }
+        });
+    }
+}
+
 /// Runs `f` inside a timed span called `name`.
 ///
 /// Spans nest: a span opened while another is running is exported under
 /// the joined path (`outer/inner`). The span's call count is
 /// deterministic; its accumulated wall-clock nanoseconds are volatile
-/// and zeroed in no-timings snapshots. With no registry installed, `f`
-/// runs untimed with zero overhead.
+/// and zeroed in no-timings snapshots. With a tracer installed the span
+/// additionally emits begin/end timeline events on the current track.
+/// With no registry or tracer installed, `f` runs untimed with zero
+/// overhead.
 pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
     let entered = CURRENT.with(|c| {
         let mut borrow = c.borrow_mut();
         match borrow.as_mut() {
             Some(ctx) => {
                 ctx.span_path.push(name.to_string());
+                if let Some(tracer) = &ctx.tracer {
+                    tracer.begin(&ctx.track, name, false);
+                }
                 true
             }
             None => false,
@@ -185,9 +339,14 @@ impl Drop for SpanGuard {
         CURRENT.with(|c| {
             let mut borrow = c.borrow_mut();
             if let Some(ctx) = borrow.as_mut() {
-                let path = ctx.span_path.join("/");
-                ctx.registry.span_record(&path, elapsed_ns);
-                ctx.span_path.pop();
+                if let Some(registry) = &ctx.registry {
+                    let path = ctx.span_path.join("/");
+                    registry.span_record(&path, elapsed_ns);
+                }
+                let name = ctx.span_path.pop();
+                if let (Some(tracer), Some(name)) = (&ctx.tracer, name) {
+                    tracer.end(&ctx.track, &name, false);
+                }
             }
         });
     }
@@ -203,8 +362,12 @@ mod tests {
         counter("c", 1);
         gauge("g", 2);
         observe("h", 3);
+        instant("i");
+        label_track("t");
         let out = span("s", || 7);
         assert_eq!(out, 7);
+        let tracked = with_track(3, || 11);
+        assert_eq!(tracked, 11);
         assert!(capture().is_none());
     }
 
@@ -324,5 +487,110 @@ mod tests {
         let embedded = registry.snapshot_json_indented(true, 2);
         assert!(embedded.starts_with('{'));
         assert!(embedded.ends_with("    }"), "closing brace at level 2");
+    }
+
+    #[test]
+    fn tracer_records_spans_instants_and_counter_samples() {
+        let tracer = Tracer::new();
+        with_tracer(&tracer, || {
+            span("work", || {
+                instant("mark");
+                counter("n", 2);
+            });
+        });
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert_eq!(folded, "work 1\nwork;mark 1\nwork;n 1\n");
+    }
+
+    #[test]
+    fn with_registry_inherits_tracer() {
+        let tracer = Tracer::new();
+        let registry = Registry::new();
+        with_tracer(&tracer, || {
+            with_registry(&registry, || {
+                span("inside", || counter("c", 1));
+            });
+        });
+        assert_eq!(registry.counter_value("c"), 1);
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert!(
+            folded.contains("inside 1"),
+            "trace crossed registry: {folded}"
+        );
+    }
+
+    #[test]
+    fn with_tracer_inherits_registry() {
+        let tracer = Tracer::new();
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            with_tracer(&tracer, || counter("c", 5));
+        });
+        assert_eq!(registry.counter_value("c"), 5);
+        assert_eq!(tracer.len(), 1);
+    }
+
+    #[test]
+    fn tracks_nest_and_root_synthetic_frames() {
+        let tracer = Tracer::new();
+        with_tracer(&tracer, || {
+            span("batch", || {
+                with_track(0, || {
+                    span("item", || instant("tick"));
+                });
+                with_track(1, || instant("tock"));
+            });
+        });
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        // "batch" frames on child tracks are synthetic (weight only from
+        // the parent's own begin); children nest underneath.
+        assert_eq!(
+            folded,
+            "batch 1\nbatch;item 1\nbatch;item;tick 1\nbatch;tock 1\n"
+        );
+    }
+
+    #[test]
+    fn volatile_counters_are_not_traced() {
+        let tracer = Tracer::new();
+        let registry = Registry::new();
+        with_tracer(&tracer, || {
+            with_registry(&registry, || {
+                counter_volatile("vol", 3);
+                observe_volatile("h", 1);
+                gauge("g", 2);
+            });
+        });
+        assert!(tracer.is_empty(), "only deterministic counters trace");
+    }
+
+    #[test]
+    fn track_identity_is_thread_count_invariant() {
+        let run = |parallel: bool| {
+            let tracer = Tracer::new();
+            with_tracer(&tracer, || {
+                span("job", || {
+                    let ctx = capture().expect("installed");
+                    if parallel {
+                        std::thread::scope(|scope| {
+                            for i in 0..4u64 {
+                                let ctx = &ctx;
+                                scope.spawn(move || {
+                                    ctx.run(|| {
+                                        with_track(i, || span("task", || instant("t")));
+                                    });
+                                });
+                            }
+                        });
+                    } else {
+                        for i in 0..4u64 {
+                            with_track(i, || span("task", || instant("t")));
+                        }
+                    }
+                });
+            });
+            tracer.export_collapsed(TimeBase::Logical)
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,311 @@
+//! The metric, span, and instant-event name registry.
+//!
+//! Every name the workspace records is declared here as a constant (or,
+//! for per-policy cache metrics, a constructor), so a typo'd name is a
+//! compile error at the call site instead of a silently empty series.
+//! The golden suite closes the loop from the other side: a test asserts
+//! that every key in the pinned metrics snapshot satisfies
+//! [`is_declared_metric`] / [`is_declared_span_path`], so a name added
+//! without a declaration fails CI.
+
+// Counters, gauges, and histograms, grouped by owning crate.
+
+/// Affinity comment streams analyzed.
+pub const AFFINITY_STREAMS: &str = "affinity.streams";
+/// Affinity (user, depth) samples aggregated.
+pub const AFFINITY_SAMPLES: &str = "affinity.samples";
+
+/// `par_map_indexed` invocations.
+pub const CORE_PAR_CALLS: &str = "core.par.calls";
+/// Total tasks fanned out across all `par_map_indexed` calls.
+pub const CORE_PAR_TASKS: &str = "core.par.tasks";
+/// Per-worker task count distribution (volatile histogram).
+pub const CORE_PAR_WORKER_TASKS: &str = "core.par.worker_tasks";
+/// Gap-repair passes executed.
+pub const CORE_QUALITY_REPAIRS: &str = "core.quality.repairs";
+/// Missing days filled by gap repair.
+pub const CORE_QUALITY_GAP_DAYS_FILLED: &str = "core.quality.gap_days_filled";
+
+/// Crawl days completed.
+pub const CRAWL_DAYS: &str = "crawl.days";
+/// App pages fetched.
+pub const CRAWL_APP_PAGES: &str = "crawl.app_pages";
+/// Comment pages fetched.
+pub const CRAWL_COMMENT_PAGES: &str = "crawl.comment_pages";
+/// Total requests issued.
+pub const CRAWL_REQUESTS: &str = "crawl.requests";
+/// Requests retried.
+pub const CRAWL_RETRIES: &str = "crawl.retries";
+/// Responses dropped in transit.
+pub const CRAWL_DROPPED: &str = "crawl.dropped";
+/// Responses corrupted in transit.
+pub const CRAWL_CORRUPTED: &str = "crawl.corrupted";
+/// Requests rejected by server rate limiting.
+pub const CRAWL_RATE_LIMITED: &str = "crawl.rate_limited";
+/// Proxies blacklisted by the server.
+pub const CRAWL_PROXIES_BANNED: &str = "crawl.proxies_banned";
+/// Pages abandoned after retry exhaustion.
+pub const CRAWL_FAILED_PAGES: &str = "crawl.failed_pages";
+/// Resume position of a resumable campaign (gauge).
+pub const CRAWL_RESUME_INDEX: &str = "crawl.resume_index";
+/// Proxy-pool permanent bans.
+pub const CRAWL_PROXY_BANS: &str = "crawl.proxy.bans";
+/// Circuit-breaker trips (also an instant event).
+pub const CRAWL_BREAKER_TRIPS: &str = "crawl.breaker.trips";
+/// Circuit-breaker closes (also an instant event).
+pub const CRAWL_BREAKER_CLOSES: &str = "crawl.breaker.closes";
+/// Journal read passes.
+pub const CRAWL_JOURNAL_READS: &str = "crawl.journal.reads";
+/// Journal lines quarantined as corrupt.
+pub const CRAWL_JOURNAL_LINES_QUARANTINED: &str = "crawl.journal.lines_quarantined";
+/// Journal records deduplicated on replay.
+pub const CRAWL_JOURNAL_RECORDS_DEDUPLICATED: &str = "crawl.journal.records_deduplicated";
+/// Journals ending in a truncated tail.
+pub const CRAWL_JOURNAL_TRUNCATED_TAILS: &str = "crawl.journal.truncated_tails";
+
+/// Pure-Zipf candidates scored.
+pub const FIT_ZIPF_CANDIDATES: &str = "fit.zipf.candidates";
+/// ZIPF-at-most-once grid size.
+pub const FIT_AMO_GRID_CANDIDATES: &str = "fit.amo.grid_candidates";
+/// ZIPF-at-most-once candidates screened.
+pub const FIT_AMO_SCREENED: &str = "fit.amo.screened";
+/// ZIPF-at-most-once candidates pruned before scoring.
+pub const FIT_AMO_PRUNED: &str = "fit.amo.pruned";
+/// ZIPF-at-most-once candidates refined by simulation.
+pub const FIT_AMO_REFINED: &str = "fit.amo.refined";
+/// APP-CLUSTERING grid size.
+pub const FIT_CLUSTERING_GRID_CANDIDATES: &str = "fit.clustering.grid_candidates";
+/// APP-CLUSTERING candidates screened.
+pub const FIT_CLUSTERING_SCREENED: &str = "fit.clustering.screened";
+/// APP-CLUSTERING candidates pruned before scoring.
+pub const FIT_CLUSTERING_PRUNED: &str = "fit.clustering.pruned";
+/// APP-CLUSTERING candidates refined by simulation.
+pub const FIT_CLUSTERING_REFINED: &str = "fit.clustering.refined";
+/// Monte-Carlo replications run by a refinement score.
+pub const FIT_SIM_REPLICATIONS: &str = "fit.sim.replications";
+/// Screening-cache hits (volatile: workers own private caches).
+pub const FIT_CACHE_HITS: &str = "fit.cache.hits";
+/// Screening-cache misses (volatile).
+pub const FIT_CACHE_MISSES: &str = "fit.cache.misses";
+
+/// Simulated downloads produced.
+pub const SIM_DOWNLOADS: &str = "sim.downloads";
+/// Sampler draws via the Walker/Vose alias table.
+pub const SIM_DRAWS_ALIAS: &str = "sim.draws.alias";
+/// Sampler draws via inverse-CDF binary search.
+pub const SIM_DRAWS_INVERSE_CDF: &str = "sim.draws.inverse_cdf";
+
+/// Prefetch-eligible downloads observed.
+pub const PREFETCH_ELIGIBLE: &str = "prefetch.eligible";
+/// Downloads served from the prefetch stage.
+pub const PREFETCH_HITS: &str = "prefetch.hits";
+/// Total downloads seen by the prefetch experiment.
+pub const PREFETCH_DOWNLOADS: &str = "prefetch.downloads";
+/// Apps staged ahead of demand.
+pub const PREFETCH_STAGED: &str = "prefetch.staged";
+/// Staged apps never requested.
+pub const PREFETCH_WASTED: &str = "prefetch.wasted";
+
+/// Recommender evaluation passes.
+pub const RECOMMEND_EVALUATIONS: &str = "recommend.evaluations";
+/// Users scored by the recommender evaluation.
+pub const RECOMMEND_USERS_EVALUATED: &str = "recommend.users_evaluated";
+
+/// Break-even curve evaluations.
+pub const REVENUE_BREAKEVEN_EVALS: &str = "revenue.breakeven_evals";
+
+/// Synthetic stores generated.
+pub const SYNTH_STORES: &str = "synth.stores";
+/// Apps in generated catalogues.
+pub const SYNTH_APPS: &str = "synth.apps";
+/// Download events generated.
+pub const SYNTH_DOWNLOADS: &str = "synth.downloads";
+/// Comments generated.
+pub const SYNTH_COMMENTS: &str = "synth.comments";
+/// App updates generated.
+pub const SYNTH_UPDATES: &str = "synth.updates";
+/// Daily snapshots materialized.
+pub const SYNTH_SNAPSHOTS: &str = "synth.snapshots";
+
+/// Every fixed (non-parameterized) metric name above, for coverage
+/// checks against exported snapshots.
+pub const ALL_METRICS: &[&str] = &[
+    AFFINITY_STREAMS,
+    AFFINITY_SAMPLES,
+    CORE_PAR_CALLS,
+    CORE_PAR_TASKS,
+    CORE_PAR_WORKER_TASKS,
+    CORE_QUALITY_REPAIRS,
+    CORE_QUALITY_GAP_DAYS_FILLED,
+    CRAWL_DAYS,
+    CRAWL_APP_PAGES,
+    CRAWL_COMMENT_PAGES,
+    CRAWL_REQUESTS,
+    CRAWL_RETRIES,
+    CRAWL_DROPPED,
+    CRAWL_CORRUPTED,
+    CRAWL_RATE_LIMITED,
+    CRAWL_PROXIES_BANNED,
+    CRAWL_FAILED_PAGES,
+    CRAWL_RESUME_INDEX,
+    CRAWL_PROXY_BANS,
+    CRAWL_BREAKER_TRIPS,
+    CRAWL_BREAKER_CLOSES,
+    CRAWL_JOURNAL_READS,
+    CRAWL_JOURNAL_LINES_QUARANTINED,
+    CRAWL_JOURNAL_RECORDS_DEDUPLICATED,
+    CRAWL_JOURNAL_TRUNCATED_TAILS,
+    FIT_ZIPF_CANDIDATES,
+    FIT_AMO_GRID_CANDIDATES,
+    FIT_AMO_SCREENED,
+    FIT_AMO_PRUNED,
+    FIT_AMO_REFINED,
+    FIT_CLUSTERING_GRID_CANDIDATES,
+    FIT_CLUSTERING_SCREENED,
+    FIT_CLUSTERING_PRUNED,
+    FIT_CLUSTERING_REFINED,
+    FIT_SIM_REPLICATIONS,
+    FIT_CACHE_HITS,
+    FIT_CACHE_MISSES,
+    SIM_DOWNLOADS,
+    SIM_DRAWS_ALIAS,
+    SIM_DRAWS_INVERSE_CDF,
+    PREFETCH_ELIGIBLE,
+    PREFETCH_HITS,
+    PREFETCH_DOWNLOADS,
+    PREFETCH_STAGED,
+    PREFETCH_WASTED,
+    RECOMMEND_EVALUATIONS,
+    RECOMMEND_USERS_EVALUATED,
+    REVENUE_BREAKEVEN_EVALS,
+    SYNTH_STORES,
+    SYNTH_APPS,
+    SYNTH_DOWNLOADS,
+    SYNTH_COMMENTS,
+    SYNTH_UPDATES,
+    SYNTH_SNAPSHOTS,
+];
+
+/// Declared suffixes of the per-policy cache metric family
+/// `cache.<policy>.<suffix>`.
+pub const CACHE_METRIC_SUFFIXES: &[&str] = &["requests", "hits", "misses", "evictions"];
+
+/// Requests seen by cache policy `policy`.
+pub fn cache_requests(policy: &str) -> String {
+    format!("cache.{policy}.requests")
+}
+
+/// Hits recorded by cache policy `policy`.
+pub fn cache_hits(policy: &str) -> String {
+    format!("cache.{policy}.hits")
+}
+
+/// Misses recorded by cache policy `policy`.
+pub fn cache_misses(policy: &str) -> String {
+    format!("cache.{policy}.misses")
+}
+
+/// Evictions performed by cache policy `policy`.
+pub fn cache_evictions(policy: &str) -> String {
+    format!("cache.{policy}.evictions")
+}
+
+// Span names (segments of exported `/`-joined span paths).
+
+/// One crawl day (crawler campaign loop).
+pub const SPAN_CRAWL_DAY: &str = "crawl.day";
+/// Analytic screening pass of a model fit.
+pub const SPAN_FIT_SCREEN: &str = "fit.screen";
+/// Monte-Carlo refinement pass of a model fit.
+pub const SPAN_FIT_REFINE: &str = "fit.refine";
+/// One synthetic store generation.
+pub const SPAN_SYNTH_GENERATE: &str = "synth.generate";
+/// Generation of the whole calibrated store set.
+pub const SPAN_STORES_GENERATE: &str = "stores.generate";
+
+/// Every declared span name.
+pub const ALL_SPANS: &[&str] = &[
+    SPAN_CRAWL_DAY,
+    SPAN_FIT_SCREEN,
+    SPAN_FIT_REFINE,
+    SPAN_SYNTH_GENERATE,
+    SPAN_STORES_GENERATE,
+];
+
+// Instant-event names (trace-only; never appear in metric snapshots).
+
+/// A model-fit grid candidate was screened.
+pub const INSTANT_FIT_CANDIDATE_SCREENED: &str = "fit.candidate.screened";
+/// A shortlisted candidate was re-scored by simulation.
+pub const INSTANT_FIT_CANDIDATE_REFINED: &str = "fit.candidate.refined";
+/// A proxy circuit breaker tripped open.
+pub const INSTANT_CRAWL_BREAKER_TRIP: &str = "crawl.breaker.trip";
+/// A proxy circuit breaker closed after a successful probe.
+pub const INSTANT_CRAWL_BREAKER_CLOSE: &str = "crawl.breaker.close";
+
+/// Every declared instant-event name.
+pub const ALL_INSTANTS: &[&str] = &[
+    INSTANT_FIT_CANDIDATE_SCREENED,
+    INSTANT_FIT_CANDIDATE_REFINED,
+    INSTANT_CRAWL_BREAKER_TRIP,
+    INSTANT_CRAWL_BREAKER_CLOSE,
+];
+
+/// True when `name` is a declared counter/gauge/histogram name: either
+/// an exact [`ALL_METRICS`] entry or a `cache.<policy>.<suffix>` family
+/// member with a declared suffix and nonempty policy.
+pub fn is_declared_metric(name: &str) -> bool {
+    if ALL_METRICS.contains(&name) {
+        return true;
+    }
+    if let Some(rest) = name.strip_prefix("cache.") {
+        if let Some((policy, suffix)) = rest.rsplit_once('.') {
+            return !policy.is_empty() && CACHE_METRIC_SUFFIXES.contains(&suffix);
+        }
+    }
+    false
+}
+
+/// True when every `/`-separated segment of an exported span path is a
+/// declared span name.
+pub fn is_declared_span_path(path: &str) -> bool {
+    !path.is_empty() && path.split('/').all(|segment| ALL_SPANS.contains(&segment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_names_are_declared() {
+        assert!(is_declared_metric("crawl.retries"));
+        assert!(is_declared_metric("fit.cache.hits"));
+        assert!(!is_declared_metric("crawl.retrys"));
+        assert!(!is_declared_metric(""));
+    }
+
+    #[test]
+    fn cache_family_is_declared_by_pattern() {
+        assert!(is_declared_metric(&cache_requests("lru")));
+        assert!(is_declared_metric(&cache_evictions("belady")));
+        assert!(is_declared_metric("cache.two.level.hits"));
+        assert!(!is_declared_metric("cache..hits"));
+        assert!(!is_declared_metric("cache.lru.latency"));
+    }
+
+    #[test]
+    fn span_paths_validate_per_segment() {
+        assert!(is_declared_span_path("crawl.day"));
+        assert!(is_declared_span_path("stores.generate/synth.generate"));
+        assert!(!is_declared_span_path("stores.generate/unknown"));
+        assert!(!is_declared_span_path(""));
+    }
+
+    #[test]
+    fn no_duplicate_declarations() {
+        let mut metrics: Vec<&str> = ALL_METRICS.to_vec();
+        metrics.sort_unstable();
+        metrics.dedup();
+        assert_eq!(metrics.len(), ALL_METRICS.len());
+    }
+}

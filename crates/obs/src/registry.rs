@@ -233,7 +233,7 @@ impl Registry {
 }
 
 /// Renders a JSON string literal (quotes + escapes).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

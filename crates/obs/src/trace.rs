@@ -1,0 +1,523 @@
+//! Structured trace events: a ring-buffered event stream with two
+//! exporters (Chrome trace-event JSON and collapsed-stack text).
+//!
+//! Where the [`Registry`](crate::Registry) answers *how much* work
+//! happened, the [`Tracer`] answers *when and in what order*: every span
+//! entry/exit, instant event, and deterministic counter increment is
+//! appended to a bounded ring buffer, stamped with both a wall-clock
+//! offset and a **deterministic logical timestamp**.
+//!
+//! # Tracks
+//!
+//! Events are attributed to *tracks* — logical threads of execution
+//! identified by the path of `par_map_indexed` task indices that led to
+//! them (see [`with_track`](crate::with_track)). Because task indices
+//! are a function of the input alone, track identity is stable across
+//! `--threads N`: the same work lands on the same track no matter which
+//! OS thread ran it. Each track carries its own logical clock
+//! (incremented once per event on that track), and work on one track is
+//! sequential, so per-track event order is deterministic.
+//!
+//! # Exporters
+//!
+//! * [`Tracer::export_chrome`] renders the Chrome trace-event JSON
+//!   format, loadable in Perfetto or `chrome://tracing`; each track
+//!   becomes a named "thread". Wall-clock timestamps make this export
+//!   machine-dependent — it is for humans hunting hot paths.
+//! * [`Tracer::export_collapsed`] renders collapsed-stack text
+//!   (`frame;frame;frame weight` lines) ready for flamegraph tooling.
+//!   In [`TimeBase::Logical`] mode the weights are logical event ticks,
+//!   making the output **byte-identical across thread counts** (pinned
+//!   by tests); [`TimeBase::Wall`] weights by nanoseconds of self time.
+//!
+//! # Overflow
+//!
+//! The ring buffer holds at most `capacity` events; beyond that the
+//! oldest events are dropped and counted ([`Tracer::dropped`]). Because
+//! global arrival order is scheduler-dependent, an overflowing trace is
+//! no longer comparable across thread counts — size the buffer for the
+//! run (the default fits a full `repro all`) or treat a nonzero dropped
+//! count as "timeline only, not a determinism artifact".
+
+use crate::registry::json_string;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring capacity: comfortably fits a traced `repro all` run.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// Which clock weighs a collapsed-stack export.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TimeBase {
+    /// Self time in nanoseconds — for real profiling, machine-dependent.
+    Wall,
+    /// Logical event ticks — deterministic, byte-identical across
+    /// thread counts (and machines, for a fixed seed and scale).
+    Logical,
+}
+
+#[derive(Clone, Debug)]
+enum EventKind {
+    /// Span entry. `synthetic` marks frames replayed onto a child track
+    /// to root its stacks under the spans open at track entry; they are
+    /// excluded from logical weights because the number of track entries
+    /// (e.g. screening chunks) may legitimately vary across hosts.
+    Begin {
+        name: String,
+        synthetic: bool,
+    },
+    End {
+        name: String,
+        synthetic: bool,
+    },
+    Instant {
+        name: String,
+    },
+    Counter {
+        name: String,
+        delta: u64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    track: u32,
+    logical: u64,
+    wall_ns: u64,
+    kind: EventKind,
+}
+
+struct TrackInfo {
+    path: Vec<u64>,
+    label: Option<String>,
+    clock: u64,
+}
+
+struct TraceState {
+    epoch: Instant,
+    capacity: usize,
+    events: VecDeque<Event>,
+    tracks: Vec<TrackInfo>,
+    ids: HashMap<Vec<u64>, u32>,
+    dropped: u64,
+}
+
+impl TraceState {
+    fn intern(&mut self, path: &[u64]) -> u32 {
+        if let Some(&id) = self.ids.get(path) {
+            return id;
+        }
+        let id = self.tracks.len() as u32;
+        self.tracks.push(TrackInfo {
+            path: path.to_vec(),
+            label: None,
+            clock: 0,
+        });
+        self.ids.insert(path.to_vec(), id);
+        id
+    }
+
+    fn record(&mut self, path: &[u64], kind: EventKind) {
+        let wall_ns = self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let id = self.intern(path);
+        let track = &mut self.tracks[id as usize];
+        track.clock += 1;
+        let logical = track.clock;
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            track: id,
+            logical,
+            wall_ns,
+            kind,
+        });
+    }
+}
+
+/// A shared handle to a bounded trace-event buffer. Cheap to clone;
+/// safe to record into from many threads. Install it on the current
+/// thread with [`with_tracer`](crate::with_tracer).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TraceState>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer with the default ring capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A tracer whose ring holds at most `capacity` events (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(Mutex::new(TraceState {
+                epoch: Instant::now(),
+                capacity: capacity.max(1),
+                events: VecDeque::new(),
+                tracks: Vec::new(),
+                ids: HashMap::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when no event has been recorded (or all were dropped).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full. Nonzero means
+    /// the trace is truncated and no longer comparable across runs.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    pub(crate) fn begin(&self, track: &[u64], name: &str, synthetic: bool) {
+        self.inner.lock().unwrap().record(
+            track,
+            EventKind::Begin {
+                name: name.to_string(),
+                synthetic,
+            },
+        );
+    }
+
+    pub(crate) fn end(&self, track: &[u64], name: &str, synthetic: bool) {
+        self.inner.lock().unwrap().record(
+            track,
+            EventKind::End {
+                name: name.to_string(),
+                synthetic,
+            },
+        );
+    }
+
+    pub(crate) fn instant_event(&self, track: &[u64], name: &str) {
+        self.inner.lock().unwrap().record(
+            track,
+            EventKind::Instant {
+                name: name.to_string(),
+            },
+        );
+    }
+
+    pub(crate) fn counter_sample(&self, track: &[u64], name: &str, delta: u64) {
+        self.inner.lock().unwrap().record(
+            track,
+            EventKind::Counter {
+                name: name.to_string(),
+                delta,
+            },
+        );
+    }
+
+    pub(crate) fn label(&self, track: &[u64], name: &str) {
+        let mut state = self.inner.lock().unwrap();
+        let id = state.intern(track);
+        state.tracks[id as usize].label = Some(name.to_string());
+    }
+
+    /// Renders the buffer as Chrome trace-event JSON (the `traceEvents`
+    /// array format), loadable in Perfetto or `chrome://tracing`.
+    ///
+    /// Each track becomes one "thread" of pid 1, named by its label (see
+    /// [`label_track`](crate::label_track)) or its task-index path.
+    /// Spans render as `B`/`E` pairs, instants as `i`, and counter
+    /// samples as `C` events carrying the per-track running total.
+    pub fn export_chrome(&self) -> String {
+        let state = self.inner.lock().unwrap();
+        // Stable track numbering: sort tracks by index path, not by the
+        // scheduler-dependent order in which they were first seen.
+        let mut order: Vec<usize> = (0..state.tracks.len()).collect();
+        order.sort_by(|&a, &b| state.tracks[a].path.cmp(&state.tracks[b].path));
+        let mut tid_of = vec![0usize; state.tracks.len()];
+        for (tid, &internal) in order.iter().enumerate() {
+            tid_of[internal] = tid;
+        }
+
+        let mut out = String::new();
+        out.push_str("{\n");
+        writeln!(out, "  \"displayTimeUnit\": \"ms\",").unwrap();
+        writeln!(
+            out,
+            "  \"otherData\": {{\"dropped_events\": \"{}\"}},",
+            state.dropped
+        )
+        .unwrap();
+        out.push_str("  \"traceEvents\": [\n");
+        writeln!(
+            out,
+            "    {{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"repro\"}}}}"
+        )
+        .unwrap();
+        for (tid, &internal) in order.iter().enumerate() {
+            let track = &state.tracks[internal];
+            let name = track.label.clone().unwrap_or_else(|| {
+                if track.path.is_empty() {
+                    "main".to_string()
+                } else {
+                    let path: Vec<String> = track
+                        .path
+                        .iter()
+                        .map(|segment| segment.to_string())
+                        .collect();
+                    format!("task {}", path.join("."))
+                }
+            });
+            writeln!(
+                out,
+                "    ,{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(&name)
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "    ,{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"name\": \"thread_sort_index\", \"args\": {{\"sort_index\": {tid}}}}}"
+            )
+            .unwrap();
+        }
+
+        // Event body, grouped per track in logical order so timestamps
+        // are monotone within every tid.
+        let mut per_track: Vec<Vec<&Event>> = vec![Vec::new(); state.tracks.len()];
+        for event in &state.events {
+            per_track[event.track as usize].push(event);
+        }
+        let mut running: HashMap<(usize, &str), u64> = HashMap::new();
+        for &internal in &order {
+            let tid = tid_of[internal];
+            for event in &per_track[internal] {
+                let ts_us = event.wall_ns / 1_000;
+                let ts_frac = event.wall_ns % 1_000;
+                let logical = event.logical;
+                // Synthetic frames (context replayed onto a child track)
+                // get their own category so Perfetto queries can filter
+                // them out of span statistics.
+                let cat = |synthetic: &bool| if *synthetic { "context" } else { "span" };
+                match &event.kind {
+                    EventKind::Begin { name, synthetic } => writeln!(
+                        out,
+                        "    ,{{\"ph\": \"B\", \"pid\": 1, \"tid\": {tid}, \
+                         \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"{}\", \"name\": {}, \
+                         \"args\": {{\"logical\": {logical}}}}}",
+                        cat(synthetic),
+                        json_string(name)
+                    )
+                    .unwrap(),
+                    EventKind::End { name, synthetic } => writeln!(
+                        out,
+                        "    ,{{\"ph\": \"E\", \"pid\": 1, \"tid\": {tid}, \
+                         \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"{}\", \"name\": {}, \
+                         \"args\": {{\"logical\": {logical}}}}}",
+                        cat(synthetic),
+                        json_string(name)
+                    )
+                    .unwrap(),
+                    EventKind::Instant { name } => writeln!(
+                        out,
+                        "    ,{{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": {tid}, \
+                         \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"instant\", \"name\": {}, \
+                         \"args\": {{\"logical\": {logical}}}}}",
+                        json_string(name)
+                    )
+                    .unwrap(),
+                    EventKind::Counter { name, delta } => {
+                        let slot = running.entry((tid, name.as_str())).or_insert(0);
+                        *slot = slot.saturating_add(*delta);
+                        writeln!(
+                            out,
+                            "    ,{{\"ph\": \"C\", \"pid\": 1, \"tid\": {tid}, \
+                             \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"counter\", \
+                             \"name\": {}, \"args\": {{\"value\": {}, \"logical\": {logical}}}}}",
+                            json_string(name),
+                            slot
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the buffer as collapsed-stack text: one
+    /// `frame;frame;frame weight` line per distinct stack, sorted, ready
+    /// for `flamegraph.pl` or speedscope.
+    ///
+    /// Stacks are replayed per track from the span begin/end events
+    /// (instants and counter samples appear as leaf frames), then merged
+    /// across tracks. With [`TimeBase::Logical`] each non-synthetic
+    /// event contributes one tick to the stack it occurred under, so the
+    /// output depends only on what was executed — byte-identical across
+    /// `--threads N` as long as nothing was dropped. With
+    /// [`TimeBase::Wall`] each interval between consecutive events on a
+    /// track contributes its nanoseconds to the stack in effect.
+    pub fn export_collapsed(&self, base: TimeBase) -> String {
+        let state = self.inner.lock().unwrap();
+        let mut per_track: Vec<Vec<&Event>> = vec![Vec::new(); state.tracks.len()];
+        for event in &state.events {
+            per_track[event.track as usize].push(event);
+        }
+        let mut weights: BTreeMap<String, u128> = BTreeMap::new();
+        for events in &per_track {
+            let mut stack: Vec<&str> = Vec::new();
+            let mut prev_wall: Option<u64> = None;
+            for event in events {
+                if base == TimeBase::Wall {
+                    if let Some(prev) = prev_wall {
+                        if !stack.is_empty() {
+                            let key = stack.join(";");
+                            *weights.entry(key).or_insert(0) +=
+                                u128::from(event.wall_ns.saturating_sub(prev));
+                        }
+                    }
+                    prev_wall = Some(event.wall_ns);
+                }
+                match &event.kind {
+                    EventKind::Begin { name, synthetic } => {
+                        stack.push(name);
+                        if base == TimeBase::Logical && !synthetic {
+                            *weights.entry(stack.join(";")).or_insert(0) += 1;
+                        }
+                    }
+                    EventKind::End { .. } => {
+                        stack.pop();
+                    }
+                    EventKind::Instant { name } | EventKind::Counter { name, .. } => {
+                        if base == TimeBase::Logical {
+                            let key = if stack.is_empty() {
+                                name.clone()
+                            } else {
+                                format!("{};{name}", stack.join(";"))
+                            };
+                            *weights.entry(key).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (stack, weight) in &weights {
+            if *weight > 0 {
+                writeln!(out, "{stack} {weight}").unwrap();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let tracer = Tracer::with_capacity(3);
+        for i in 0..5u64 {
+            tracer.instant_event(&[], &format!("e{i}"));
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert!(!folded.contains("e0"), "oldest dropped: {folded}");
+        assert!(folded.contains("e4 1"));
+    }
+
+    #[test]
+    fn logical_clock_is_per_track() {
+        let tracer = Tracer::new();
+        tracer.instant_event(&[0], "a");
+        tracer.instant_event(&[1], "b");
+        tracer.instant_event(&[0], "c");
+        let state = tracer.inner.lock().unwrap();
+        let clocks: Vec<u64> = state.tracks.iter().map(|t| t.clock).collect();
+        assert_eq!(clocks, vec![2, 1]);
+    }
+
+    #[test]
+    fn collapsed_logical_nests_spans_and_leaves() {
+        let tracer = Tracer::new();
+        tracer.begin(&[], "outer", false);
+        tracer.begin(&[], "inner", false);
+        tracer.instant_event(&[], "tick");
+        tracer.end(&[], "inner", false);
+        tracer.counter_sample(&[], "n", 3);
+        tracer.end(&[], "outer", false);
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert_eq!(
+            folded,
+            "outer 1\nouter;inner 1\nouter;inner;tick 1\nouter;n 1\n"
+        );
+    }
+
+    #[test]
+    fn synthetic_frames_shape_stacks_but_carry_no_weight() {
+        let tracer = Tracer::new();
+        tracer.begin(&[7], "parent", true);
+        tracer.begin(&[7], "child", false);
+        tracer.end(&[7], "child", false);
+        tracer.end(&[7], "parent", true);
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert_eq!(folded, "parent;child 1\n");
+    }
+
+    #[test]
+    fn wall_mode_attributes_intervals_to_open_stack() {
+        let tracer = Tracer::new();
+        tracer.begin(&[], "work", false);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tracer.end(&[], "work", false);
+        let folded = tracer.export_collapsed(TimeBase::Wall);
+        let weight: u128 = folded
+            .strip_prefix("work ")
+            .and_then(|w| w.trim().parse().ok())
+            .expect("one work line");
+        assert!(weight >= 1_000_000, "at least 1ms of self time: {folded}");
+    }
+
+    #[test]
+    fn chrome_export_names_tracks_and_balances_pairs() {
+        let tracer = Tracer::new();
+        tracer.begin(&[], "root", false);
+        tracer.instant_event(&[3], "spark");
+        tracer.label(&[3], "fig9");
+        tracer.counter_sample(&[3], "n", 2);
+        tracer.counter_sample(&[3], "n", 5);
+        tracer.end(&[], "root", false);
+        let json = tracer.export_chrome();
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"fig9\""), "label used: {json}");
+        assert!(json.contains("\"main\""));
+        assert!(json.contains("\"value\": 7"), "running counter: {json}");
+        assert_eq!(json.matches("\"ph\": \"B\"").count(), 1);
+        assert_eq!(json.matches("\"ph\": \"E\"").count(), 1);
+    }
+
+    #[test]
+    fn empty_tracer_exports_cleanly() {
+        let tracer = Tracer::new();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.export_collapsed(TimeBase::Logical), "");
+        assert!(tracer.export_chrome().contains("\"traceEvents\""));
+    }
+}

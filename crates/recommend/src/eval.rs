@@ -78,8 +78,8 @@ pub fn evaluate(
         recall_sum += covered as f64 / apps.len() as f64;
     }
     let users = future.len();
-    appstore_obs::counter("recommend.evaluations", 1);
-    appstore_obs::counter("recommend.users_evaluated", users as u64);
+    appstore_obs::counter(appstore_obs::names::RECOMMEND_EVALUATIONS, 1);
+    appstore_obs::counter(appstore_obs::names::RECOMMEND_USERS_EVALUATED, users as u64);
     Some(EvalReport {
         name: recommender.name().to_string(),
         k,

@@ -50,7 +50,7 @@ fn breakeven_on(dataset: &Dataset, snapshot: &DailySnapshot) -> Option<f64> {
 /// Eq. 7 on the final snapshot: the overall break-even ad income per
 /// download (the paper's $0.21). `None` without both populations.
 pub fn breakeven_overall(dataset: &Dataset) -> Option<f64> {
-    appstore_obs::counter("revenue.breakeven_evals", 1);
+    appstore_obs::counter(appstore_obs::names::REVENUE_BREAKEVEN_EVALS, 1);
     breakeven_on(dataset, dataset.last())
 }
 

@@ -27,7 +27,9 @@ pub struct GeneratedStore {
 /// # Panics
 /// Panics if the profile fails validation.
 pub fn generate(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> GeneratedStore {
-    appstore_obs::span("synth.generate", || generate_inner(profile, store_id, seed))
+    appstore_obs::span(appstore_obs::names::SPAN_SYNTH_GENERATE, || {
+        generate_inner(profile, store_id, seed)
+    })
 }
 
 fn generate_inner(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> GeneratedStore {
@@ -36,11 +38,14 @@ fn generate_inner(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> Gene
     let outcome = simulate_downloads(profile, &catalog, seed);
     let comments = generate_comments(profile, &catalog, &outcome.events, seed);
     let updates = generate_updates(profile, &catalog, seed);
-    appstore_obs::counter("synth.stores", 1);
-    appstore_obs::counter("synth.apps", catalog.apps.len() as u64);
-    appstore_obs::counter("synth.downloads", outcome.events.len() as u64);
-    appstore_obs::counter("synth.comments", comments.len() as u64);
-    appstore_obs::counter("synth.updates", updates.len() as u64);
+    appstore_obs::counter(appstore_obs::names::SYNTH_STORES, 1);
+    appstore_obs::counter(appstore_obs::names::SYNTH_APPS, catalog.apps.len() as u64);
+    appstore_obs::counter(
+        appstore_obs::names::SYNTH_DOWNLOADS,
+        outcome.events.len() as u64,
+    );
+    appstore_obs::counter(appstore_obs::names::SYNTH_COMMENTS, comments.len() as u64);
+    appstore_obs::counter(appstore_obs::names::SYNTH_UPDATES, updates.len() as u64);
 
     // Per-app cumulative comment counters per day.
     let app_count = catalog.apps.len();
@@ -97,7 +102,10 @@ fn generate_inner(profile: &StoreProfile, store_id: StoreId, seed: Seed) -> Gene
         updates,
     };
     dataset.validate().expect("generated dataset must validate");
-    appstore_obs::counter("synth.snapshots", dataset.snapshots.len() as u64);
+    appstore_obs::counter(
+        appstore_obs::names::SYNTH_SNAPSHOTS,
+        dataset.snapshots.len() as u64,
+    );
     GeneratedStore {
         dataset,
         catalog,
@@ -117,6 +125,7 @@ pub fn generate_many(
     threads: usize,
 ) -> Vec<GeneratedStore> {
     par_map_indexed(profiles, threads, |_, (profile, store_id)| {
+        appstore_obs::label_track(&profile.name);
         generate(&profile, store_id, seed.child(&profile.name))
     })
 }

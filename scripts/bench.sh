@@ -25,6 +25,12 @@ done
 METRICS_OUT="${OUT%.json}.metrics.json"
 CPUS="$(nproc)"
 SCALE=16
+# Provenance: which commit produced this report (dirty marked), so
+# benchdiff.sh comparisons are unambiguous.
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if ! git diff --quiet HEAD 2>/dev/null; then
+    GIT_SHA="${GIT_SHA}-dirty"
+fi
 
 echo "== cargo build --release =="
 if ! cargo build --release -q; then
@@ -72,6 +78,7 @@ awk '/^bench .* median / {
 
 jq -n \
     --arg date "$DATE" \
+    --arg sha "$GIT_SHA" \
     --arg scale "$SCALE" \
     --arg cpus "$CPUS" \
     --arg serial "$SERIAL" \
@@ -82,9 +89,11 @@ jq -n \
     --slurpfile kernels "$TMP/kernels.json" \
     '({
         date: $date,
+        git_sha: $sha,
         host_cpus: ($cpus | tonumber),
         repro: ({
             command: ("repro all --scale " + $scale),
+            threads: { serial: 1, parallel: ($cpus | tonumber) },
             threads_1_seconds: ($serial | tonumber),
             threads_ncpu_seconds: ($parallel | tonumber),
             per_experiment_seconds: $experiments[0]

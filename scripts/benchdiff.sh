@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json reports (see scripts/bench.sh).
+#
+# Usage: scripts/benchdiff.sh OLD.json NEW.json [threshold-pct]
+#
+# Prints the end-to-end serial/parallel wall-time deltas and a
+# per-experiment table, flagging every experiment that slowed down by
+# more than the threshold (default 10%). Exits 1 when any regression
+# exceeds the threshold, so the script can gate CI or a local workflow.
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold-pct]" >&2
+    exit 2
+fi
+OLD="$1"
+NEW="$2"
+THRESHOLD="${3:-10}"
+for f in "$OLD" "$NEW"; do
+    [ -r "$f" ] || { echo "cannot read $f" >&2; exit 2; }
+done
+
+command -v jq >/dev/null || { echo "benchdiff.sh needs jq" >&2; exit 2; }
+
+provenance() { # provenance <file>
+    jq -r '"\(.date) @ \(.git_sha // "unknown") (\(.host_cpus) cpus)"' "$1"
+}
+echo "old: $OLD — $(provenance "$OLD")"
+echo "new: $NEW — $(provenance "$NEW")"
+if [ "$(jq -r '.git_sha // "unknown"' "$OLD")" = "unknown" ] ||
+   [ "$(jq -r '.git_sha // "unknown"' "$NEW")" = "unknown" ]; then
+    echo "note: a report lacks git_sha (predates provenance fields); comparison is ambiguous"
+fi
+echo
+
+# End-to-end wall times.
+jq -rn --slurpfile old "$OLD" --slurpfile new "$NEW" '
+    def delta(field):
+        ($old[0].repro[field]) as $o | ($new[0].repro[field]) as $n |
+        if $o and $n and $o > 0 then
+            "\(field): \($o)s -> \($n)s (\((($n - $o) / $o * 100 * 10 | round) / 10)%)"
+        else "\(field): missing in one report" end;
+    delta("threads_1_seconds"), delta("threads_ncpu_seconds")'
+echo
+
+# Per-experiment deltas, slowest-regression first. Output lines:
+#   <flag> <id> <old>s -> <new>s <pct>%
+# where flag is "!" for a regression beyond the threshold.
+TABLE="$(jq -rn --slurpfile old "$OLD" --slurpfile new "$NEW" --arg thr "$THRESHOLD" '
+    ($old[0].repro.per_experiment_seconds // []) as $o |
+    ($new[0].repro.per_experiment_seconds // []) as $n |
+    [ $o[] as $e | ($n[] | select(.id == $e.id)) as $m |
+      select($e.seconds > 0) |
+      { id: $e.id, old: $e.seconds, new: $m.seconds,
+        pct: (($m.seconds - $e.seconds) / $e.seconds * 100) } ] |
+    sort_by(-.pct) | .[] |
+    "\(if .pct > ($thr | tonumber) then "!" else " " end) \(.id) \(.old)s -> \(.new)s \((.pct * 10 | round) / 10)%"')"
+echo "$TABLE"
+echo
+
+REGRESSIONS="$(printf '%s\n' "$TABLE" | grep -c '^!' || true)"
+if [ "$REGRESSIONS" -gt 0 ]; then
+    echo "$REGRESSIONS experiment(s) regressed by more than ${THRESHOLD}%"
+    exit 1
+fi
+echo "no experiment regressed by more than ${THRESHOLD}%"
