@@ -150,7 +150,14 @@ fn report_main(rest: &[String]) -> ! {
         }
     }
     let results = match bench::report::load_results(&results_dir) {
-        Ok(results) => results,
+        Ok((results, warnings)) => {
+            // Damaged results files degrade to MISSING rows, not a crash:
+            // say which files were skipped and why, then grade the rest.
+            for warning in &warnings {
+                eprintln!("{warning}");
+            }
+            results
+        }
         Err(err) => {
             eprintln!("cannot read results dir {results_dir}: {err}");
             std::process::exit(2);
@@ -257,6 +264,11 @@ fn main() {
     for (result, _secs, _registry) in &results {
         writeln!(stdout, "{}", result.render()).expect("stdout");
         if let Some(dir) = &args.json_dir {
+            // Catch shape drift at the source: a file that would fail the
+            // report's schema check on load is worth a WARN on write.
+            if let Err(reason) = bench::schema::validate(result.id, &result.json) {
+                eprintln!("WARN: {}.json fails its own schema: {reason}", result.id);
+            }
             let path = format!("{dir}/{}.json", result.id);
             std::fs::write(
                 &path,

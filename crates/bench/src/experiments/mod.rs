@@ -60,7 +60,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id the harness knows, in paper order.
-pub const EXPERIMENT_IDS: [&str; 29] = [
+pub const EXPERIMENT_IDS: [&str; 30] = [
     "table1",
     "fig2",
     "fig3",
@@ -82,6 +82,7 @@ pub const EXPERIMENT_IDS: [&str; 29] = [
     "fig19",
     "crawl",
     "crawl-recovery",
+    "fit-recovery",
     "recommend",
     "prefetch",
     "ablate-depth",
@@ -183,6 +184,7 @@ pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<Experimen
         "fig19" => cache::fig19(seed),
         "crawl" => table1::crawl(stores, seed),
         "crawl-recovery" => recovery::run(stores, seed),
+        "fit-recovery" => recovery::fit_recovery(stores, seed),
         "recommend" => recommend::run(stores),
         "prefetch" => prefetch::run(stores),
         "ablate-depth" => behavior::ablate_depth(stores),

@@ -13,10 +13,17 @@
 
 use crate::experiments::ExperimentResult;
 use crate::stores::Stores;
+use appstore_core::faults::{
+    with_injector, FaultInjector, FaultKind, FaultPlan as InjectedFaultPlan, FaultTrigger,
+};
 use appstore_core::{assess, repair_gaps, Dataset, Day, GapRepair, Seed};
 use appstore_crawler::{
     canonicalize, read_journal_lossy, run_campaign_resumable, CampaignError, CampaignFaultPlan,
     FaultPlan, MarketplaceServer, ProxyPool, Region, ResumeOutcome, ServerPolicy,
+};
+use appstore_models::{
+    fit_clustering, fit_clustering_checkpointed, CandidateBudget, FitSpec, SITE_FIT_JOURNAL_APPEND,
+    SITE_FIT_REFINE,
 };
 use serde_json::json;
 
@@ -254,6 +261,214 @@ pub fn run(stores: &Stores, seed: Seed) -> ExperimentResult {
             "proxies_banned": banned,
             "worst_proxy_score": worst,
             "repairs": repairs,
+        }),
+    }
+}
+
+/// The spec the recovery fit uses: a compact clustering grid with the
+/// thread count pinned to 2 so every task/fault roll — and therefore the
+/// whole metrics snapshot — is machine-independent.
+fn recovery_fit_spec(clusters: usize) -> FitSpec {
+    FitSpec {
+        zipf_exponents: vec![1.0, 1.2, 1.4, 1.6],
+        cluster_exponents: vec![1.2, 1.8],
+        ps: vec![0.5, 0.9],
+        user_fractions: vec![0.5, 1.0, 2.0],
+        clusters,
+        threads: 2,
+        refine_top: 3,
+        replications: 1,
+    }
+}
+
+fn journal_lines(journal: &[u8]) -> usize {
+    journal
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .count()
+}
+
+/// `fit-recovery`: kill the clustering fit mid-grid under an injected
+/// fault plan, resume it from the sealed journal, and require the
+/// recovered winner to be bit-identical to an uninterrupted fit.
+///
+/// The chaos schedule mirrors `crawl-recovery`'s kill/corrupt/resume
+/// loop, but the faults come from [`appstore_core::faults`]: an injected
+/// I/O error kills the first run mid-screening, the second run survives
+/// an isolated worker panic (retried transparently) before a torn
+/// journal write kills it mid-refinement, and the third run resumes to
+/// completion. A final phase injects a pathological per-candidate
+/// latency and shows the deadline budget downgrading that candidate
+/// instead of stalling the fit.
+pub fn fit_recovery(stores: &Stores, seed: Seed) -> ExperimentResult {
+    let bundle = stores.anzhi();
+    let observed = bundle.store.dataset.final_downloads_ranked();
+    let spec = recovery_fit_spec(bundle.profile.categories);
+    let grid_len = (spec.zipf_exponents.len()
+        * spec.cluster_exponents.len()
+        * spec.ps.len()
+        * spec.user_fractions.len()) as u64;
+    let fit_seed = seed.child("fit-recovery");
+
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "store: {} ({} ranks, {} grid candidates, refine top {})",
+        bundle.store.dataset.store.name,
+        observed.len(),
+        grid_len,
+        spec.refine_top
+    ));
+
+    // The reference: the same fit, never interrupted and never journaled.
+    let reference = fit_clustering(&observed, &spec, fit_seed).expect("nonempty curve");
+    lines.push(format!(
+        "reference fit: z_r={:.2} z_c={:.2} p={:.2} U={} distance={:.4}",
+        reference.zipf_exponent,
+        reference.cluster_exponent,
+        reference.p,
+        reference.users,
+        reference.distance
+    ));
+
+    // The chaos schedule. Each entry is one process lifetime: a fault
+    // plan installed for the duration of one checkpointed run against
+    // the same persistent journal.
+    let schedule: Vec<(&str, InjectedFaultPlan)> = vec![
+        (
+            "I/O error mid-screening",
+            InjectedFaultPlan::seeded(1).rule(
+                SITE_FIT_JOURNAL_APPEND,
+                FaultKind::IoError,
+                FaultTrigger::AtIndex(grid_len / 2),
+            ),
+        ),
+        (
+            "worker panic + torn write in refinement",
+            InjectedFaultPlan::seeded(2)
+                .rule(
+                    appstore_core::faults::SITE_PAR_TASK,
+                    FaultKind::WorkerPanic,
+                    FaultTrigger::Probability(0.4),
+                )
+                .rule(
+                    SITE_FIT_JOURNAL_APPEND,
+                    FaultKind::PartialWrite,
+                    FaultTrigger::AtIndex(grid_len + 1),
+                ),
+        ),
+        ("clean resume", InjectedFaultPlan::none()),
+    ];
+
+    let mut journal = Vec::new();
+    let mut runs = Vec::new();
+    let mut fault_log = Vec::new();
+    let mut recovered = None;
+    for (i, (label, plan)) in schedule.into_iter().enumerate() {
+        let found = journal_lines(&journal);
+        let injector = FaultInjector::new(plan);
+        let result = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                fit_seed,
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        });
+        let outcome_text = match &result {
+            Ok(_) => "completed".to_string(),
+            Err(e) => format!("killed: {e}"),
+        };
+        let events = injector.events();
+        lines.push(format!(
+            "run {} [{}]: found {} journal lines, {} faults fired, {}",
+            i + 1,
+            label,
+            found,
+            events.len(),
+            outcome_text
+        ));
+        runs.push(json!({
+            "run": i + 1,
+            "plan": label,
+            "journal_lines_found": found,
+            "faults_fired": events.len(),
+            "outcome": outcome_text,
+        }));
+        fault_log.extend(events);
+        if let Ok(Some(outcome)) = result {
+            recovered = Some(outcome);
+            break;
+        }
+    }
+    let recovered = recovered.expect("clean resume completes");
+    let converged =
+        recovered == reference && recovered.distance.to_bits() == reference.distance.to_bits();
+    lines.push(format!(
+        "resumed winner: z_r={:.2} z_c={:.2} p={:.2} U={} distance={:.4}",
+        recovered.zipf_exponent,
+        recovered.cluster_exponent,
+        recovered.p,
+        recovered.users,
+        recovered.distance
+    ));
+    lines.push(format!(
+        "converged bit-identically to reference: {converged}"
+    ));
+
+    // Deadline budgets: one shortlist candidate is made pathologically
+    // slow; the budget downgrades it (WARN on stderr) and the fit still
+    // converges to a winner.
+    let slow_plan = InjectedFaultPlan::seeded(3).rule(
+        SITE_FIT_REFINE,
+        FaultKind::Delay { virtual_ms: 30_000 },
+        FaultTrigger::AtIndex(0),
+    );
+    let injector = FaultInjector::new(slow_plan);
+    let mut deadline_journal = Vec::new();
+    let degraded = with_injector(&injector, || {
+        fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            fit_seed,
+            CandidateBudget::with_refine_deadline(1_000),
+            &mut deadline_journal,
+        )
+    })
+    .expect("journal healthy")
+    .expect("nonempty curve");
+    let downgrades = injector.events().len();
+    fault_log.extend(injector.events());
+    lines.push(format!(
+        "deadline run: {downgrades} candidate(s) downgraded to screened-only, \
+         winner distance={:.4}",
+        degraded.distance
+    ));
+
+    let fault_log_json: Vec<_> = fault_log
+        .iter()
+        .map(|e| {
+            json!({
+                "site": e.site,
+                "index": e.index,
+                "attempt": e.attempt,
+                "kind": e.kind.label(),
+            })
+        })
+        .collect();
+
+    ExperimentResult {
+        id: "fit-recovery",
+        title: "Kill/resume convergence of the checkpointed model fit",
+        lines,
+        json: json!({
+            "grid_candidates": grid_len,
+            "runs": runs,
+            "converged": converged,
+            "winner_distance": recovered.distance,
+            "deadline_downgrades": downgrades,
+            "degraded_distance": degraded.distance,
+            "fault_log": fault_log_json,
         }),
     }
 }

@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod schema;
 pub mod stores;
 
 pub use experiments::{

@@ -486,10 +486,16 @@ fn relative_error(goal: Goal, observed: f64) -> f64 {
     }
 }
 
-/// Loads every `<experiment>.json` in `dir` into an id-keyed map.
-/// Unparseable files are skipped (their rows grade MISSING).
-pub fn load_results(dir: &str) -> std::io::Result<BTreeMap<String, Value>> {
+/// Loads every `<experiment>.json` in `dir` into an id-keyed map,
+/// validating each file against [`crate::schema`].
+///
+/// Damage degrades gracefully: an unreadable, unparseable or
+/// schema-invalid file is skipped (its dashboard rows grade MISSING) and
+/// a WARN line describing the skip is returned alongside the map. Only
+/// an unreadable *directory* is an error.
+pub fn load_results(dir: &str) -> std::io::Result<(BTreeMap<String, Value>, Vec<String>)> {
     let mut results = BTreeMap::new();
+    let mut warnings = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let path = entry?.path();
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
@@ -498,14 +504,30 @@ pub fn load_results(dir: &str) -> std::io::Result<BTreeMap<String, Value>> {
         let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
             continue;
         };
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            continue;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                warnings.push(format!(
+                    "WARN: skipping {}: unreadable: {e}",
+                    path.display()
+                ));
+                continue;
+            }
         };
-        if let Ok(value) = serde_json::from_str::<Value>(&text) {
-            results.insert(stem.to_string(), value);
+        let value = match serde_json::from_str::<Value>(&text) {
+            Ok(value) => value,
+            Err(e) => {
+                warnings.push(format!("WARN: skipping {}: not JSON: {e}", path.display()));
+                continue;
+            }
+        };
+        if let Err(reason) = crate::schema::validate(stem, &value) {
+            warnings.push(format!("WARN: skipping {}: {reason}", path.display()));
+            continue;
         }
+        results.insert(stem.to_string(), value);
     }
-    Ok(results)
+    Ok((results, warnings))
 }
 
 /// Reads the `"scale"` field of a `--metrics` snapshot (1 if absent).

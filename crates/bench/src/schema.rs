@@ -1,0 +1,187 @@
+//! Versioned shape-validation for `results/*.json`.
+//!
+//! The report and the diff tooling consume experiment JSON that may have
+//! been produced by an older build, truncated by a killed run, or
+//! bit-rotted at rest. Rather than letting a malformed file panic deep
+//! inside an extractor, every file is validated against the expected
+//! top-level shape for its experiment id on load; invalid files are
+//! skipped with a WARN and their dashboard rows grade MISSING.
+//!
+//! The schema is deliberately shallow — top-level keys only. Extractors
+//! already tolerate missing *nested* fields (they return `None`), so the
+//! schema's job is to catch wholesale damage: wrong file, wrong era,
+//! truncation, corruption.
+
+use serde_json::Value;
+
+/// Version of the results-file shape this build writes and expects.
+/// Bump when an experiment's top-level JSON layout changes.
+pub const RESULTS_SCHEMA_VERSION: u32 = 1;
+
+/// The top-level keys each experiment's JSON must carry.
+/// Ids absent from this table (e.g. from a newer build) are only
+/// required to be JSON objects.
+fn required_keys(id: &str) -> &'static [&'static str] {
+    match id {
+        "table1" => &["rows"],
+        "fig2" | "fig3" | "fig4" | "fig8" | "fig10" | "ablate-cutoff" => &["stores"],
+        "fig5" => &[
+            "categories_below_4pct",
+            "comments_cdf_le10",
+            "coverage",
+            "single_category",
+            "top_category_share",
+            "top_k_share",
+            "users",
+            "within_five",
+        ],
+        "fig6" | "fig7" | "ablate-depth" => &["depths"],
+        "fig9" | "prefetch" | "ablate-p" => &["points"],
+        "fig11" => &["free", "paid"],
+        "fig12" => &["bins", "r_price_apps", "r_price_downloads"],
+        "fig13" => &[
+            "developers",
+            "gini",
+            "max_income",
+            "p_lt_10",
+            "p_lt_100",
+            "p_lt_1500",
+            "p_zero",
+        ],
+        "fig14" => &["avg_income_many", "avg_income_single", "pearson"],
+        "fig15" => &["shares", "top4_revenue"],
+        "fig16" => &[
+            "apps_per_developer",
+            "both",
+            "free_only",
+            "p_single_app_free",
+            "p_single_app_paid",
+            "p_single_cat_free",
+            "p_single_cat_paid",
+            "paid_only",
+        ],
+        "fig17" => &["ad_fraction", "over_time", "overall", "tiers"],
+        "fig18" => &["categories"],
+        "fig19" => &["fractions", "models"],
+        "crawl" => &[
+            "app_pages",
+            "comment_pages",
+            "corrupted",
+            "days",
+            "dropped",
+            "lossless",
+            "proxies_banned",
+            "rate_limited",
+            "requests",
+            "retries",
+            "virtual_ms",
+        ],
+        "crawl-recovery" => &[
+            "breaker_trips",
+            "converged",
+            "coverage",
+            "days",
+            "lossless",
+            "proxies_banned",
+            "reference_requests",
+            "repairs",
+            "runs",
+            "worst_proxy_score",
+        ],
+        "fit-recovery" => &[
+            "converged",
+            "deadline_downgrades",
+            "degraded_distance",
+            "fault_log",
+            "grid_candidates",
+            "runs",
+            "winner_distance",
+        ],
+        "recommend" => &["k", "reports"],
+        "ablate-drift" => &["retention", "windows"],
+        "ablate-policies" => &["fractions", "policies"],
+        "ablate-cluster-size" => &["blocked_head", "divergence", "interleaved_head"],
+        _ => &[],
+    }
+}
+
+/// Validates one experiment's JSON against the expected top-level shape.
+/// `Err` carries a human-readable reason suitable for a WARN line.
+pub fn validate(id: &str, value: &Value) -> Result<(), String> {
+    let Some(object) = value.as_object() else {
+        return Err(format!(
+            "expected a JSON object at the top level, found {}",
+            json_kind(value)
+        ));
+    };
+    let missing: Vec<&str> = required_keys(id)
+        .iter()
+        .copied()
+        .filter(|k| !object.iter().any(|(key, _)| key == k))
+        .collect();
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "missing required key(s) {} (schema v{RESULTS_SCHEMA_VERSION})",
+            missing.join(", ")
+        ))
+    }
+}
+
+fn json_kind(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Number(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::experiments::EXPERIMENT_IDS;
+    use serde_json::json;
+
+    #[test]
+    fn every_experiment_id_has_schema_coverage() {
+        // Every registered experiment must be in the key table — a new
+        // experiment landing without schema coverage is a silent hole.
+        for id in EXPERIMENT_IDS {
+            assert!(
+                !required_keys(id).is_empty(),
+                "experiment {id} has no required keys registered"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_object_passes() {
+        let v = json!({"free": {}, "paid": {}});
+        assert!(validate("fig11", &v).is_ok());
+    }
+
+    #[test]
+    fn missing_key_is_named_in_the_error() {
+        let v = json!({"free": {}});
+        let err = validate("fig11", &v).unwrap_err();
+        assert!(err.contains("paid"), "{err}");
+    }
+
+    #[test]
+    fn non_object_is_rejected() {
+        for v in [json!(null), json!(3), json!("x"), json!([1, 2])] {
+            assert!(validate("fig11", &v).is_err(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_ids_only_require_an_object() {
+        assert!(validate("fig99", &json!({})).is_ok());
+        assert!(validate("fig99", &json!([])).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Fuzz tests: damaged `results/*.json` files must degrade to
+//! WARN-and-skip, never crash the report.
+//!
+//! Each case takes a real checked-in results file, truncates it at an
+//! arbitrary byte or flips an arbitrary bit, and feeds the directory to
+//! [`bench::report::load_results`]. The invariant: the loader returns
+//! `Ok`, and the damaged file is either still loadable (the mutation
+//! landed somewhere harmless) or skipped with a warning naming it —
+//! exactly one of the two. A final test drives the `repro report` binary
+//! over a corrupted directory and asserts the WARN reaches stderr while
+//! the exit stays zero (MISSING rows are not FAILs).
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// The checked-in results files the fuzzer mutates.
+const VICTIMS: [&str; 4] = ["fig11", "fig19", "crawl-recovery", "fit-recovery"];
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// Writes `content` as `<id>.json` in a fresh scratch directory.
+fn scratch_dir_with(id: &str, content: &[u8]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "results-fuzz-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(format!("{id}.json")), content).unwrap();
+    dir
+}
+
+/// The WARN-and-skip invariant: after mutation, the file either loads or
+/// is warned about — exactly one, and never a panic.
+fn assert_warn_or_load(id: &str, mutated: &[u8]) {
+    let dir = scratch_dir_with(id, mutated);
+    let (results, warnings) = bench::report::load_results(dir.to_str().unwrap()).unwrap();
+    let loaded = results.contains_key(id);
+    let warned = warnings.iter().any(|w| w.contains(&format!("{id}.json")));
+    assert!(
+        loaded != warned,
+        "{id}: loaded={loaded} warned={warned}; warnings={warnings:?}"
+    );
+    // Whatever survived must evaluate without panicking.
+    let rows = bench::report::evaluate(&results, 1);
+    assert!(!rows.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn truncated_results_warn_and_skip(victim in 0usize..VICTIMS.len(), cut in any::<usize>()) {
+        let id = VICTIMS[victim];
+        let text = std::fs::read(results_dir().join(format!("{id}.json"))).unwrap();
+        let cut = cut % text.len();
+        assert_warn_or_load(id, &text[..cut]);
+    }
+
+    #[test]
+    fn bit_flipped_results_warn_and_skip(
+        victim in 0usize..VICTIMS.len(),
+        pos in any::<usize>(),
+        bit in 0u8..8,
+    ) {
+        let id = VICTIMS[victim];
+        let mut text = std::fs::read(results_dir().join(format!("{id}.json"))).unwrap();
+        let at = pos % text.len();
+        text[at] ^= 1 << bit;
+        assert_warn_or_load(id, &text);
+    }
+}
+
+/// End to end: `repro report` over a directory holding one good and one
+/// mangled file prints a WARN to stderr, grades the good rows, and exits
+/// zero (skipped files are MISSING, not FAIL).
+#[test]
+fn repro_report_warns_and_skips_damaged_files() {
+    let good = std::fs::read(results_dir().join("fig19.json")).unwrap();
+    let dir = scratch_dir_with("fig19", &good);
+    std::fs::write(dir.join("fig11.json"), b"{\"free\": {}").unwrap(); // truncated
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["report", "--results", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn repro report");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stderr.contains("WARN") && stderr.contains("fig11.json"),
+        "stderr must warn about the damaged file:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("fig19"),
+        "the intact file must still be graded:\n{stdout}"
+    );
+    assert!(
+        output.status.success(),
+        "skip must not become a FAIL exit: {:?}\n{stderr}",
+        output.status
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

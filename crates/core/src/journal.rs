@@ -1,0 +1,173 @@
+//! CRC32-sealed journal lines — the shared durable-log primitive.
+//!
+//! The resumable crawler introduced a line-delimited journal where every
+//! line is *sealed*: prefixed with the CRC32 of its payload so storage
+//! corruption is detected instead of silently parsed. The checkpointed
+//! fit pipeline needs the same guarantee for its own intermediate state,
+//! so the format lives here and both consumers delegate to it.
+//!
+//! A sealed line is `"{crc32:08x} {payload}"`. [`unseal`] classifies a
+//! line as [`Unsealed::Valid`] (seal matches), [`Unsealed::Mismatch`]
+//! (seal-shaped but the checksum disagrees — bit rot or a torn write) or
+//! [`Unsealed::Bare`] (not seal-shaped at all; legacy journals stored
+//! bare JSON and callers may still accept it). Payload semantics — what
+//! the sealed string *means* — stay with the caller.
+
+use std::io::Write;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE 802.3) of a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Renders `payload` as a sealed journal line (without trailing newline).
+pub fn seal(payload: &str) -> String {
+    format!("{:08x} {payload}", crc32(payload.as_bytes()))
+}
+
+/// The classification [`unseal`] gives one journal line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unsealed<'a> {
+    /// Seal-shaped and the checksum matches; the verified payload.
+    Valid(&'a str),
+    /// Seal-shaped but the checksum disagrees with the payload.
+    Mismatch,
+    /// Not seal-shaped; the whole line, for legacy bare-payload readers.
+    Bare(&'a str),
+}
+
+/// Classifies one journal line against its seal.
+///
+/// A line counts as seal-shaped when it starts with eight hex digits and
+/// a space followed by at least one payload byte; anything else is
+/// [`Unsealed::Bare`] and its meaning is up to the caller.
+pub fn unseal(line: &str) -> Unsealed<'_> {
+    let bytes = line.as_bytes();
+    if bytes.len() > 9 && bytes[8] == b' ' && bytes[..8].iter().all(u8::is_ascii_hexdigit) {
+        match u32::from_str_radix(&line[..8], 16) {
+            Ok(expected) if crc32(&bytes[9..]) == expected => Unsealed::Valid(&line[9..]),
+            Ok(_) => Unsealed::Mismatch,
+            // Unreachable after the hex-digit guard, but a typed fallback
+            // beats a panic on a hostile journal.
+            Err(_) => Unsealed::Bare(line),
+        }
+    } else {
+        Unsealed::Bare(line)
+    }
+}
+
+/// Appends sealed lines to a byte stream.
+///
+/// Each [`append`](SealedWriter::append) writes one sealed line plus a
+/// newline; callers decide when to [`flush`](SealedWriter::flush) (a
+/// checkpoint stream flushes every line, a bulk export once at the end).
+pub struct SealedWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> SealedWriter<W> {
+    /// Wraps a byte stream positioned where the next line should go.
+    pub fn new(writer: W) -> SealedWriter<W> {
+        SealedWriter { writer }
+    }
+
+    /// Seals `payload` and writes it as one newline-terminated line.
+    pub fn append(&mut self, payload: &str) -> std::io::Result<()> {
+        let line = seal(payload);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Flushes the underlying stream.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE 802.3 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn seal_then_unseal_round_trips() {
+        let line = seal(r#"{"k":1}"#);
+        assert_eq!(unseal(&line), Unsealed::Valid(r#"{"k":1}"#));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_mismatch() {
+        let mut line = seal("payload").into_bytes();
+        let last = line.len() - 1;
+        line[last] ^= 0x01;
+        let line = String::from_utf8(line).unwrap();
+        assert_eq!(unseal(&line), Unsealed::Mismatch);
+    }
+
+    #[test]
+    fn flipped_seal_digit_is_a_mismatch() {
+        let line = seal("payload");
+        let flipped = if line.starts_with('0') {
+            line.replacen('0', "1", 1)
+        } else {
+            let tail = &line[1..];
+            format!("0{tail}")
+        };
+        assert_eq!(unseal(&flipped), Unsealed::Mismatch);
+    }
+
+    #[test]
+    fn non_seal_shaped_lines_are_bare() {
+        for line in ["", "{}", "not sealed", "0123456 short-prefix", "xyz45678 p"] {
+            assert_eq!(unseal(line), Unsealed::Bare(line), "line = {line:?}");
+        }
+    }
+
+    #[test]
+    fn sealed_writer_emits_parseable_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut w = SealedWriter::new(&mut buf);
+            w.append("one").unwrap();
+            w.append("two").unwrap();
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(unseal(lines[0]), Unsealed::Valid("one"));
+        assert_eq!(unseal(lines[1]), Unsealed::Valid("two"));
+    }
+}

@@ -33,7 +33,9 @@ pub mod dataset;
 pub mod developer;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod ids;
+pub mod journal;
 pub mod money;
 pub mod par;
 pub mod quality;
@@ -48,9 +50,10 @@ pub use dataset::{Dataset, StoreMeta};
 pub use developer::Developer;
 pub use error::CoreError;
 pub use event::{CommentEvent, DownloadEvent, UpdateEvent};
+pub use faults::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultTrigger};
 pub use ids::{AppId, CategoryId, DeveloperId, StoreId, UserId};
 pub use money::Cents;
-pub use par::{effective_threads, par_map_indexed};
+pub use par::{effective_threads, par_map_indexed, par_map_indexed_lossy};
 pub use quality::{
     assess, assess_span, repair_gaps, DatasetQuality, GapRepair, PartialSnapshot, RepairReport,
 };

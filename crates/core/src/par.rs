@@ -15,6 +15,19 @@
 //! Under this contract [`par_map_indexed`] is observationally equivalent
 //! to a sequential `map` — byte-identical output for any thread count —
 //! which is what lets `repro --threads N` promise bit-reproducibility.
+//!
+//! Worker panics are **isolated**: each task runs under `catch_unwind`
+//! and a panicking task is retried once on its own cloned input (the
+//! retry is `attempt = 1` at the [`faults::SITE_PAR_TASK`] injection
+//! site, so a scheduled [`faults::FaultKind::WorkerPanic`] clears on
+//! retry). A task that panics twice propagates its original panic from
+//! [`par_map_indexed`], or degrades to `None` in
+//! [`par_map_indexed_lossy`]. When no panic fires the isolation layer is
+//! observationally free and the bit-identical contract is untouched.
+
+use crate::faults;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Resolves a requested thread count: `0` means "one per available CPU".
 pub fn effective_threads(requested: usize) -> usize {
@@ -27,20 +40,56 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
-/// Applies `f` to every item on up to `threads` worker threads and
-/// returns the results **in input order**.
+/// A panic payload carried from an isolated task back to the caller.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Runs one attempt of one task on its own trace track, catching panics.
 ///
-/// `f` receives the item's input index alongside the item, so callers can
-/// derive per-item child seeds from it. With `threads <= 1` (or a single
-/// item) everything runs on the calling thread — same code path a
-/// `--threads 1` run takes, and the reference behaviour the parallel path
-/// must reproduce byte-for-byte.
-///
-/// # Panics
-/// Propagates a panic from any worker.
-pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+/// The fault injector is consulted before the task body runs, so an
+/// injected [`faults::FaultKind::WorkerPanic`] exercises exactly the
+/// unwind path a real bug would take.
+fn run_attempt<T, R>(
+    f: &(impl Fn(usize, T) -> R + Sync),
+    i: usize,
+    item: T,
+    attempt: u64,
+) -> Result<R, PanicPayload> {
+    catch_unwind(AssertUnwindSafe(|| {
+        // Each item runs on its own trace track named by its input
+        // index, so trace attribution is a function of the input alone —
+        // identical no matter how many threads ran.
+        appstore_obs::with_track(i as u64, || {
+            if let Some(faults::FaultKind::WorkerPanic) =
+                faults::roll(faults::SITE_PAR_TASK, i as u64, attempt)
+            {
+                panic!("injected worker panic at task {i}");
+            }
+            f(i, item)
+        })
+    }))
+}
+
+/// Runs one task with retry-once panic isolation.
+fn run_isolated<T: Clone, R>(
+    f: &(impl Fn(usize, T) -> R + Sync),
+    i: usize,
+    item: T,
+) -> Result<R, PanicPayload> {
+    let retry = item.clone();
+    match run_attempt(f, i, item, 0) {
+        Ok(r) => Ok(r),
+        Err(_) => {
+            appstore_obs::counter(appstore_obs::names::CORE_PAR_PANICS_ISOLATED, 1);
+            run_attempt(f, i, retry, 1)
+        }
+    }
+}
+
+/// Shared fan-out: every task's result or (double-panic) payload, in
+/// input order.
+fn par_try_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, PanicPayload>>
 where
-    T: Send,
+    T: Clone + Send,
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
@@ -58,10 +107,7 @@ where
         return items
             .into_iter()
             .enumerate()
-            // Each item runs on its own trace track named by its input
-            // index, so trace attribution is a function of the input
-            // alone — identical no matter how many threads ran.
-            .map(|(i, t)| appstore_obs::with_track(i as u64, || f(i, t)))
+            .map(|(i, t)| run_isolated(&f, i, t))
             .collect();
     }
     // Split into contiguous ownership chunks, remembering each chunk's
@@ -76,15 +122,17 @@ where
         chunks.push((start, std::mem::replace(&mut rest, tail)));
         start += take;
     }
-    let mut out: Vec<Option<R>> = Vec::new();
+    let mut out: Vec<Option<Result<R, PanicPayload>>> = Vec::new();
     out.resize_with(start, || None);
-    // Carry the caller's observability context onto each worker so spans
-    // and counters recorded inside `f` land in the same registry under
-    // the same span path as a sequential run would put them.
+    // Carry the caller's observability context and fault injector onto
+    // each worker so spans and counters land in the same registry as a
+    // sequential run and injected faults fire on the same schedule.
     let obs_ctx = appstore_obs::capture();
+    let fault_ctx = faults::capture();
     std::thread::scope(|scope| {
         let f = &f;
         let obs_ctx = &obs_ctx;
+        let fault_ctx = &fault_ctx;
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|(base, chunk)| {
@@ -99,9 +147,13 @@ where
                             .enumerate()
                             .map(|(k, item)| {
                                 let i = base + k;
-                                (i, appstore_obs::with_track(i as u64, || f(i, item)))
+                                (i, run_isolated(f, i, item))
                             })
-                            .collect::<Vec<(usize, R)>>()
+                            .collect::<Vec<(usize, Result<R, PanicPayload>)>>()
+                    };
+                    let work = || match fault_ctx {
+                        Some(injector) => faults::with_injector(injector, work),
+                        None => work(),
                     };
                     match obs_ctx {
                         Some(ctx) => ctx.run(work),
@@ -111,6 +163,8 @@ where
             })
             .collect();
         for handle in handles {
+            // Tasks catch their own panics, so a worker thread can only
+            // die abnormally outside any task body.
             for (i, r) in handle.join().expect("parallel worker panicked") {
                 out[i] = Some(r);
             }
@@ -121,9 +175,59 @@ where
         .collect()
 }
 
+/// Applies `f` to every item on up to `threads` worker threads and
+/// returns the results **in input order**.
+///
+/// `f` receives the item's input index alongside the item, so callers can
+/// derive per-item child seeds from it. With `threads <= 1` (or a single
+/// item) everything runs on the calling thread — same code path a
+/// `--threads 1` run takes, and the reference behaviour the parallel path
+/// must reproduce byte-for-byte.
+///
+/// A task that panics is retried once on a clone of its input (isolated
+/// via `catch_unwind`; counted under `core.par.panics_isolated`).
+///
+/// # Panics
+/// Re-raises the original panic of any task that panicked twice.
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Clone + Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_try_map(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+        .collect()
+}
+
+/// Like [`par_map_indexed`], but a task that panics twice **degrades**
+/// to `None` instead of taking the whole map down (counted under
+/// `core.par.tasks_degraded`). Use where partial results are better than
+/// none — chaos experiments and best-effort sweeps.
+pub fn par_map_indexed_lossy<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Option<R>>
+where
+    T: Clone + Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_try_map(items, threads, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(value) => Some(value),
+            Err(_) => {
+                appstore_obs::counter(appstore_obs::names::CORE_PAR_TASKS_DEGRADED, 1);
+                None
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultInjector, FaultKind, FaultPlan, FaultTrigger};
     use crate::seed::Seed;
     use rand::Rng;
 
@@ -208,11 +312,90 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "parallel worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
+        // A task that panics on every attempt re-raises its original
+        // panic payload after the retry.
         let _ = par_map_indexed(vec![0u32, 1, 2, 3], 2, |_, x| {
             assert!(x != 3, "boom");
             x
         });
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_output_is_unchanged() {
+        let injector = FaultInjector::new(FaultPlan::seeded(17).rule(
+            faults::SITE_PAR_TASK,
+            FaultKind::WorkerPanic,
+            FaultTrigger::AtIndex(5),
+        ));
+        let items: Vec<u64> = (0..20).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for threads in [1, 4] {
+            let registry = appstore_obs::Registry::new();
+            let got = appstore_obs::with_registry(&registry, || {
+                faults::with_injector(&injector, || {
+                    par_map_indexed(items.clone(), threads, |_, x| x * 3)
+                })
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(
+                registry.counter_value(appstore_obs::names::CORE_PAR_PANICS_ISOLATED),
+                1,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_map_degrades_twice_panicking_tasks() {
+        // Probability 1.0 fires on both attempts: the task can never
+        // succeed and must degrade to None without sinking the map.
+        let injector = FaultInjector::new(FaultPlan::seeded(3).rule(
+            faults::SITE_PAR_TASK,
+            FaultKind::WorkerPanic,
+            FaultTrigger::Probability(1.0),
+        ));
+        let registry = appstore_obs::Registry::new();
+        let got = appstore_obs::with_registry(&registry, || {
+            faults::with_injector(&injector, || {
+                par_map_indexed_lossy(vec![1u32, 2, 3], 2, |_, x| x + 1)
+            })
+        });
+        assert_eq!(got, vec![None, None, None]);
+        assert_eq!(
+            registry.counter_value(appstore_obs::names::CORE_PAR_TASKS_DEGRADED),
+            3
+        );
+    }
+
+    #[test]
+    fn lossy_map_without_faults_matches_strict() {
+        let items: Vec<u64> = (0..31).collect();
+        let strict = par_map_indexed(items.clone(), 3, |i, x| x + i as u64);
+        let lossy = par_map_indexed_lossy(items, 3, |i, x| x + i as u64);
+        assert_eq!(
+            lossy.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+            strict
+        );
+    }
+
+    #[test]
+    fn injector_reaches_parallel_workers() {
+        // AtIndex targets fire exactly once even when tasks run on
+        // spawned workers — the injector context crosses threads.
+        let injector = FaultInjector::new(FaultPlan::seeded(29).rule(
+            faults::SITE_PAR_TASK,
+            FaultKind::WorkerPanic,
+            FaultTrigger::AtIndex(13),
+        ));
+        let got = faults::with_injector(&injector, || {
+            par_map_indexed((0..40u64).collect(), 8, |_, x| x)
+        });
+        assert_eq!(got, (0..40u64).collect::<Vec<_>>());
+        let events = injector.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].index, 13);
+        assert_eq!(events[0].attempt, 0);
     }
 }

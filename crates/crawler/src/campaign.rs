@@ -387,7 +387,12 @@ pub fn run_campaign_resumable(
         out.append_chunked(&ground_truth.developers, Record::Developers)?;
         out
     } else {
-        let replayed = replayed.as_ref().expect("non-fresh journal has a dataset");
+        // A non-fresh journal replayed a header; a missing dataset here
+        // means the journal bytes changed under us — surface it as the
+        // typed storage error instead of panicking.
+        let Some(replayed) = replayed.as_ref() else {
+            return Err(CampaignError::Storage(StorageError::MissingHeader));
+        };
         let mut out = JournalWriter::resume(&mut *journal);
         // Re-flush registry entries lost to corruption or truncation;
         // replay dedup keeps exactly one copy of each.
@@ -513,7 +518,12 @@ pub fn run_campaign_resumable(
     // pipeline reads the same bytes. Canonical order makes the result
     // independent of the crash/corruption history behind the journal.
     let (dataset, _) = read_journal_lossy(journal.as_slice());
-    let mut dataset = dataset.expect("journal written by this run has a header");
+    // This run wrote (or resumed past) a header, so replay must yield a
+    // dataset; anything else is a storage-layer failure, not a bug to
+    // panic over.
+    let Some(mut dataset) = dataset else {
+        return Err(CampaignError::Storage(StorageError::MissingHeader));
+    };
     canonicalize(&mut dataset);
     Ok(ResumeOutcome {
         dataset,
@@ -524,6 +534,7 @@ pub fn run_campaign_resumable(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::server::ServerPolicy;

@@ -206,6 +206,7 @@ impl CrawlerClient {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::server::ServerPolicy;

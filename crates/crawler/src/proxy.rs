@@ -251,6 +251,7 @@ impl ProxyPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

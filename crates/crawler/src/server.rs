@@ -206,6 +206,7 @@ impl<'a> MarketplaceServer<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::wire::decode_response;

@@ -25,7 +25,8 @@
 //!   resume), giving `run_campaign` its checkpoint stream.
 
 use appstore_core::{
-    App, CategorySet, CommentEvent, DailySnapshot, Dataset, Day, Developer, StoreMeta, UpdateEvent,
+    journal, App, CategorySet, CommentEvent, DailySnapshot, Dataset, Day, Developer, StoreMeta,
+    UpdateEvent,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -100,46 +101,17 @@ impl From<std::io::Error> for StorageError {
 }
 
 // ---------------------------------------------------------------------------
-// Line sealing
+// Line sealing (format shared with `appstore_core::journal`)
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
-/// CRC32 (IEEE 802.3) of a byte string.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+pub use appstore_core::journal::crc32;
 
 /// Renders a record as a sealed journal line (without trailing newline).
 fn seal(record: &Record) -> Result<String, StorageError> {
     let payload = serde_json::to_string(record).map_err(|e| StorageError::Serialize {
         detail: e.to_string(),
     })?;
-    Ok(format!("{:08x} {payload}", crc32(payload.as_bytes())))
+    Ok(journal::seal(&payload))
 }
 
 /// Why a journal line was rejected.
@@ -162,16 +134,15 @@ impl std::fmt::Display for LineFault {
 
 /// Parses one journal line, sealed (`crc32 json`) or bare legacy JSON.
 fn parse_line(line: &str) -> Result<Record, LineFault> {
-    let bytes = line.as_bytes();
-    if bytes.len() > 9 && bytes[8] == b' ' && bytes[..8].iter().all(u8::is_ascii_hexdigit) {
-        let expected = u32::from_str_radix(&line[..8], 16).expect("8 hex digits");
-        let payload = &line[9..];
-        if crc32(payload.as_bytes()) != expected {
-            return Err(LineFault::ChecksumMismatch);
+    match journal::unseal(line) {
+        journal::Unsealed::Valid(payload) => {
+            serde_json::from_str::<Record>(payload).map_err(|_| LineFault::Unparseable)
         }
-        return serde_json::from_str::<Record>(payload).map_err(|_| LineFault::Unparseable);
+        journal::Unsealed::Mismatch => Err(LineFault::ChecksumMismatch),
+        journal::Unsealed::Bare(raw) => {
+            serde_json::from_str::<Record>(raw).map_err(|_| LineFault::Unparseable)
+        }
     }
-    serde_json::from_str::<Record>(line).map_err(|_| LineFault::Unparseable)
 }
 
 // ---------------------------------------------------------------------------
@@ -563,6 +534,7 @@ pub fn read_journal_lossy<R: Read>(reader: R) -> (Option<Dataset>, JournalHealth
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use appstore_core::{Seed, StoreId};

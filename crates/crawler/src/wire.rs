@@ -113,6 +113,7 @@ pub fn decode_response(payload: &Bytes) -> Result<Response, WireError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use appstore_core::{CategoryId, Cents, DeveloperId};

@@ -300,6 +300,7 @@ impl ScreeningCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::ClusterLayout;

@@ -29,9 +29,13 @@
 use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
 use crate::expectation::ScreeningCache;
 use crate::simulate::Simulator;
+use appstore_core::faults::{self, FaultKind};
+use appstore_core::journal::{seal, unseal, Unsealed};
 use appstore_core::{effective_threads, par_map_indexed, Seed};
 use appstore_stats::mean_relative_error;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The winning parameters of a grid search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -233,10 +237,68 @@ pub fn fit_zipf(observed: &[u64], spec: &FitSpec) -> Option<FitOutcome> {
 }
 
 /// Keeps the `k` smallest-distance outcomes.
+///
+/// Distances are non-negative (possibly `+inf`, never `-0.0`), so
+/// `total_cmp` orders them exactly like `partial_cmp` would — without a
+/// panic path for NaN.
 fn push_top(top: &mut Vec<FitOutcome>, k: usize, candidate: FitOutcome) {
     top.push(candidate);
-    top.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"));
+    top.sort_by(|a, b| a.distance.total_cmp(&b.distance));
     top.truncate(k.max(1));
+}
+
+/// Accumulates screened candidates into the refinement shortlist: the
+/// global top-K *and* the best candidate per user-fraction. The analytic
+/// score's head/tail biases depend on `U`, so the global top-K can
+/// cluster in one `U` regime and starve the Monte-Carlo refinement of
+/// the regime the simulator actually prefers (the paper's own finding is
+/// that the best `U` sits near the top app's downloads — it must stay in
+/// the shortlist). Candidates must be fed **in grid order** so the
+/// shortlist cannot depend on the thread count, even under exact
+/// distance ties.
+struct ShortlistBuilder {
+    keep: usize,
+    top: Vec<FitOutcome>,
+    per_uf: Vec<(f64, FitOutcome)>,
+}
+
+impl ShortlistBuilder {
+    fn new(keep: usize) -> ShortlistBuilder {
+        ShortlistBuilder {
+            keep,
+            top: Vec::new(),
+            per_uf: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, uf: f64, outcome: FitOutcome) {
+        push_top(&mut self.top, self.keep, outcome);
+        match self.per_uf.iter_mut().find(|(f, _)| *f == uf) {
+            Some((_, best)) if outcome.distance < best.distance => *best = outcome,
+            Some(_) => {}
+            None => self.per_uf.push((uf, outcome)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.top.is_empty()
+    }
+
+    /// The best analytic candidate (for `refine_top == 0` fits).
+    fn best_screened(self) -> Option<FitOutcome> {
+        self.top.into_iter().next()
+    }
+
+    /// Global top-K followed by each user-fraction's best (deduplicated).
+    fn shortlist(self) -> Vec<FitOutcome> {
+        let mut shortlist = self.top;
+        for (_, outcome) in self.per_uf {
+            if !shortlist.contains(&outcome) {
+                shortlist.push(outcome);
+            }
+        }
+        shortlist
+    }
 }
 
 /// Fits ZIPF-at-most-once over `(z_r, U)` with analytic screening and
@@ -244,9 +306,7 @@ fn push_top(top: &mut Vec<FitOutcome>, k: usize, candidate: FitOutcome) {
 ///
 /// Returns `None` for an empty or all-zero curve or an empty grid.
 pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitOutcome> {
-    let mut top: Vec<FitOutcome> = Vec::new();
-    let keep = spec.refine_top.max(1);
-    let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
     let mut cache = ScreeningCache::new();
     let mut screened_count = 0u64;
     for &z in &spec.zipf_exponents {
@@ -265,13 +325,8 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
                 downloads_per_user: params.downloads_per_user,
                 distance,
             };
-            push_top(&mut top, keep, outcome);
+            builder.add(uf, outcome);
             appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
-            match per_uf.iter_mut().find(|(f, _)| *f == uf) {
-                Some((_, best)) if outcome.distance < best.distance => *best = outcome,
-                Some(_) => {}
-                None => per_uf.push((uf, outcome)),
-            }
         }
     }
     let grid = (spec.zipf_exponents.len() * spec.user_fractions.len()) as u64;
@@ -280,13 +335,9 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
     appstore_obs::counter(appstore_obs::names::FIT_AMO_PRUNED, grid - screened_count);
     cache.flush_metrics();
     if spec.refine_top == 0 {
-        return top.into_iter().next();
+        return builder.best_screened();
     }
-    for (_, outcome) in per_uf {
-        if !top.contains(&outcome) {
-            top.push(outcome);
-        }
-    }
+    let top = builder.shortlist();
     appstore_obs::counter(appstore_obs::names::FIT_AMO_REFINED, top.len() as u64);
     appstore_obs::span(appstore_obs::names::SPAN_FIT_REFINE, || {
         par_map_indexed(top, spec.worker_count(), |i, mut outcome: FitOutcome| {
@@ -303,7 +354,7 @@ pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitO
             outcome
         })
         .into_iter()
-        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+        .min_by(|a, b| a.distance.total_cmp(&b.distance))
     })
 }
 
@@ -316,23 +367,12 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
     if observed.is_empty() {
         return None;
     }
-    // Materialize the candidate grid.
-    let mut grid: Vec<(f64, f64, f64, f64)> = Vec::new();
-    for &z_r in &spec.zipf_exponents {
-        for &z_c in &spec.cluster_exponents {
-            for &p in &spec.ps {
-                for &uf in &spec.user_fractions {
-                    grid.push((z_r, z_c, p, uf));
-                }
-            }
-        }
-    }
+    let grid = clustering_grid(spec);
     if grid.is_empty() {
         return None;
     }
     let workers = spec.worker_count().min(grid.len()).max(1);
     let chunk_len = grid.len().div_ceil(workers);
-    let keep = spec.refine_top.max(1);
     // Screen the grid in contiguous chunks, one [`ScreeningCache`] per
     // worker: the grid revisits the same few exponents thousands of
     // times, so each worker builds every distinct Zipf table once.
@@ -349,32 +389,10 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
         par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
             let mut cache = ScreeningCache::new();
             let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
-            for (z_r, z_c, p, uf) in chunk {
-                let Some(population) = derive_population(observed, z_r, uf) else {
-                    continue;
-                };
-                let params = ClusteringParams {
-                    population,
-                    clusters: spec.clusters,
-                    p,
-                    cluster_exponent: z_c,
-                    layout: ClusterLayout::Interleaved,
-                };
-                if params.validate().is_err() {
-                    continue;
+            for candidate in chunk {
+                if let Some(hit) = screen_candidate(observed, spec, &mut cache, candidate) {
+                    scored.push(hit);
                 }
-                let distance = score(observed, cache.expected_clustering_weighted(&params));
-                let outcome = FitOutcome {
-                    kind: ModelKind::AppClustering,
-                    zipf_exponent: z_r,
-                    cluster_exponent: z_c,
-                    p,
-                    users: population.users,
-                    downloads_per_user: population.downloads_per_user,
-                    distance,
-                };
-                scored.push((uf, outcome));
-                appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
             }
             cache.flush_metrics();
             scored
@@ -386,60 +404,101 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
         appstore_obs::names::FIT_CLUSTERING_PRUNED,
         grid.len() as u64 - screened_count,
     );
-    // Keep the global top-K *and* the best candidate per user-fraction:
-    // the analytic score's head/tail biases depend on `U`, so the global
-    // top-K can cluster in one `U` regime and starve the Monte-Carlo
-    // refinement of the regime the simulator actually prefers (the
-    // paper's own finding is that the best `U` sits near the top app's
-    // downloads — it must stay in the shortlist).
-    let mut top: Vec<FitOutcome> = Vec::new();
-    let mut per_uf: Vec<(f64, FitOutcome)> = Vec::new();
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
     for (uf, outcome) in screened.into_iter().flatten() {
-        push_top(&mut top, keep, outcome);
-        match per_uf.iter_mut().find(|(f, _)| *f == uf) {
-            Some((_, best)) if outcome.distance < best.distance => *best = outcome,
-            Some(_) => {}
-            None => per_uf.push((uf, outcome)),
-        }
+        builder.add(uf, outcome);
     }
-    if top.is_empty() {
+    if builder.is_empty() {
         return None;
     }
     if spec.refine_top == 0 {
-        return top.into_iter().next();
+        return builder.best_screened();
     }
-    // Refinement shortlist: global top-K plus the best per user-fraction.
-    let mut shortlist = top;
-    for (_, outcome) in per_uf {
-        if !shortlist.contains(&outcome) {
-            shortlist.push(outcome);
-        }
-    }
+    let shortlist = builder.shortlist();
     appstore_obs::counter(
         appstore_obs::names::FIT_CLUSTERING_REFINED,
         shortlist.len() as u64,
     );
     appstore_obs::span(appstore_obs::names::SPAN_FIT_REFINE, || {
-        par_map_indexed(
-            shortlist,
-            spec.worker_count(),
-            |i, mut outcome: FitOutcome| {
-                let params = clustering_params(&outcome, observed.len(), spec.clusters);
-                let sim = Simulator::app_clustering(params);
-                outcome.distance = score_simulated(
-                    observed,
-                    &sim,
-                    spec.replications,
-                    seed.child_indexed("clustering-refine", i as u64),
-                    1,
-                );
-                appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_REFINED);
-                outcome
-            },
-        )
+        par_map_indexed(shortlist, spec.worker_count(), |i, outcome: FitOutcome| {
+            refine_clustering_candidate(
+                observed,
+                spec,
+                outcome,
+                seed.child_indexed("clustering-refine", i as u64),
+            )
+        })
         .into_iter()
-        .min_by(|a, b| a.distance.partial_cmp(&b.distance).expect("no NaN"))
+        .min_by(|a, b| a.distance.total_cmp(&b.distance))
     })
+}
+
+/// Materializes the APP-CLUSTERING candidate grid in its canonical
+/// order: `z_r` outermost, then `z_c`, `p`, and user-fraction. Every
+/// consumer — plain fit, checkpointed fit, journal replay — must agree
+/// on this order, because journal records address candidates by their
+/// grid index.
+type GridCandidate = (f64, f64, f64, f64);
+
+fn clustering_grid(spec: &FitSpec) -> Vec<GridCandidate> {
+    let mut grid: Vec<GridCandidate> = Vec::new();
+    for &z_r in &spec.zipf_exponents {
+        for &z_c in &spec.cluster_exponents {
+            for &p in &spec.ps {
+                for &uf in &spec.user_fractions {
+                    grid.push((z_r, z_c, p, uf));
+                }
+            }
+        }
+    }
+    grid
+}
+
+/// Analytically screens one APP-CLUSTERING candidate; `None` when the
+/// candidate is infeasible (pruned before scoring).
+fn screen_candidate(
+    observed: &[u64],
+    spec: &FitSpec,
+    cache: &mut ScreeningCache,
+    (z_r, z_c, p, uf): (f64, f64, f64, f64),
+) -> Option<(f64, FitOutcome)> {
+    let population = derive_population(observed, z_r, uf)?;
+    let params = ClusteringParams {
+        population,
+        clusters: spec.clusters,
+        p,
+        cluster_exponent: z_c,
+        layout: ClusterLayout::Interleaved,
+    };
+    params.validate().ok()?;
+    let distance = score(observed, cache.expected_clustering_weighted(&params));
+    let outcome = FitOutcome {
+        kind: ModelKind::AppClustering,
+        zipf_exponent: z_r,
+        cluster_exponent: z_c,
+        p,
+        users: population.users,
+        downloads_per_user: population.downloads_per_user,
+        distance,
+    };
+    appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
+    Some((uf, outcome))
+}
+
+/// Monte-Carlo re-scores one shortlisted candidate under its
+/// shortlist-index-derived seed (`score_simulated` on one worker, so the
+/// outer refinement parallelism owns the fan-out).
+fn refine_clustering_candidate(
+    observed: &[u64],
+    spec: &FitSpec,
+    mut outcome: FitOutcome,
+    seed: Seed,
+) -> FitOutcome {
+    let params = clustering_params(&outcome, observed.len(), spec.clusters);
+    let sim = Simulator::app_clustering(params);
+    outcome.distance = score_simulated(observed, &sim, spec.replications, seed, 1);
+    appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_REFINED);
+    outcome
 }
 
 /// Coarse-to-fine local refinement: explores a finer grid around a
@@ -526,7 +585,500 @@ pub fn user_count_sweep(
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointed fitting (resumable grid search)
+// ---------------------------------------------------------------------------
+
+/// Fault-injection site: each sealed append to a fit journal. The
+/// `index` coordinate is the record's logical index — the candidate's
+/// grid index for screening records, `grid_len + shortlist_index` for
+/// refinement records, `u64::MAX` for the header — so a fault plan can
+/// kill or corrupt the fit at an exact, replayable point.
+pub const SITE_FIT_JOURNAL_APPEND: &str = "fit.journal.append";
+
+/// Fault-injection site: per-candidate Monte-Carlo refinement latency.
+/// A [`FaultKind::Delay`] fired here (indexed by shortlist position)
+/// counts against the [`CandidateBudget`] deadline.
+pub const SITE_FIT_REFINE: &str = "fit.refine";
+
+/// Errors from a checkpointed fit. Screening and refinement themselves
+/// are pure computation; only the journal can fail.
+#[derive(Debug)]
+pub enum FitError {
+    /// The fit journal could not be appended (I/O failure, torn write).
+    Journal {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::Journal { detail } => write!(f, "fit journal append failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Per-candidate resource budget for the refinement stage.
+///
+/// A refinement candidate whose injected latency
+/// ([`FaultKind::Delay`] at [`SITE_FIT_REFINE`]) exceeds the deadline is
+/// **downgraded**: its analytic (screened) distance is kept, a
+/// `Downgraded` record is journaled, a WARN goes to stderr and
+/// `fit.refine.deadline_downgrades` is counted — the fit completes
+/// instead of stalling on one pathological candidate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateBudget {
+    /// Maximum virtual milliseconds one refinement candidate may take;
+    /// `None` = unlimited.
+    pub refine_deadline_virtual_ms: Option<u64>,
+}
+
+impl CandidateBudget {
+    /// No deadline: every candidate refines to completion.
+    pub const UNLIMITED: CandidateBudget = CandidateBudget {
+        refine_deadline_virtual_ms: None,
+    };
+
+    /// A budget with the given per-candidate virtual-time deadline.
+    pub fn with_refine_deadline(virtual_ms: u64) -> CandidateBudget {
+        CandidateBudget {
+            refine_deadline_virtual_ms: Some(virtual_ms),
+        }
+    }
+}
+
+/// A [`FitOutcome`] with every float stored as IEEE bits: `serde_json`
+/// cannot round-trip `inf` (a legal screening distance), and resume
+/// convergence must be *byte*-identical, so journal records never go
+/// through decimal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct JournalOutcome {
+    kind: ModelKind,
+    zipf_exponent: u64,
+    cluster_exponent: u64,
+    p: u64,
+    users: usize,
+    downloads_per_user: u32,
+    distance: u64,
+}
+
+impl From<FitOutcome> for JournalOutcome {
+    fn from(o: FitOutcome) -> JournalOutcome {
+        JournalOutcome {
+            kind: o.kind,
+            zipf_exponent: o.zipf_exponent.to_bits(),
+            cluster_exponent: o.cluster_exponent.to_bits(),
+            p: o.p.to_bits(),
+            users: o.users,
+            downloads_per_user: o.downloads_per_user,
+            distance: o.distance.to_bits(),
+        }
+    }
+}
+
+impl From<JournalOutcome> for FitOutcome {
+    fn from(o: JournalOutcome) -> FitOutcome {
+        FitOutcome {
+            kind: o.kind,
+            zipf_exponent: f64::from_bits(o.zipf_exponent),
+            cluster_exponent: f64::from_bits(o.cluster_exponent),
+            p: f64::from_bits(o.p),
+            users: o.users,
+            downloads_per_user: o.downloads_per_user,
+            distance: f64::from_bits(o.distance),
+        }
+    }
+}
+
+/// One sealed line of a fit journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FitRecord {
+    /// Identifies the fit (curve + grid + seed); must come first. A
+    /// journal whose fingerprint disagrees with the requested fit is
+    /// discarded, never merged.
+    Header {
+        /// Fingerprint of `(observed, spec, seed)`.
+        fingerprint: u64,
+    },
+    /// One screened grid candidate; `None` = pruned as infeasible.
+    /// `uf` is the candidate's user-fraction as IEEE bits.
+    Screened {
+        /// Grid index of the candidate.
+        index: u64,
+        /// `(uf_bits, outcome)`, or `None` for a pruned candidate.
+        outcome: Option<(u64, JournalOutcome)>,
+    },
+    /// One Monte-Carlo-refined shortlist candidate.
+    Refined {
+        /// Shortlist index of the candidate.
+        index: u64,
+        /// The refined outcome.
+        outcome: JournalOutcome,
+    },
+    /// A shortlist candidate downgraded to its screened-only score by
+    /// the [`CandidateBudget`] deadline.
+    Downgraded {
+        /// Shortlist index of the candidate.
+        index: u64,
+    },
+}
+
+/// FNV-1a, folding 8 bytes per step — cheap and stable across runs.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Fingerprint {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Fingerprints one fit request. Everything that changes the answer is
+/// mixed in — the measured curve, the full grid, the refinement knobs
+/// and a value derived from the seed — so a journal can only resume the
+/// exact fit that started it.
+fn fit_fingerprint(observed: &[u64], spec: &FitSpec, seed: Seed) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.mix(seed.child("fit-journal-fingerprint").rng().gen::<u64>());
+    fp.mix(observed.len() as u64);
+    for &v in observed {
+        fp.mix(v);
+    }
+    for axis in [
+        &spec.zipf_exponents,
+        &spec.cluster_exponents,
+        &spec.ps,
+        &spec.user_fractions,
+    ] {
+        fp.mix(axis.len() as u64);
+        for &v in axis {
+            fp.mix(v.to_bits());
+        }
+    }
+    fp.mix(spec.clusters as u64);
+    fp.mix(spec.refine_top as u64);
+    fp.mix(u64::from(spec.replications));
+    fp.0
+}
+
+/// What a fit journal replays to. Damaged lines are quarantined (counted,
+/// never trusted); duplicate indices keep their first record, mirroring
+/// the crawl journal's replay discipline.
+#[derive(Default)]
+struct FitReplay {
+    header: Option<u64>,
+    screened: BTreeMap<u64, Option<(f64, FitOutcome)>>,
+    refined: BTreeMap<u64, FitOutcome>,
+    downgraded: BTreeSet<u64>,
+    quarantined: u64,
+}
+
+fn replay_fit_journal(journal: &[u8]) -> FitReplay {
+    let mut replay = FitReplay::default();
+    let text = String::from_utf8_lossy(journal);
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let record = match unseal(line) {
+            Unsealed::Valid(payload) => match serde_json::from_str::<FitRecord>(payload) {
+                Ok(record) => record,
+                Err(_) => {
+                    replay.quarantined += 1;
+                    continue;
+                }
+            },
+            // Fit journals are always sealed: a bare line is damage, not
+            // a legacy format.
+            Unsealed::Mismatch | Unsealed::Bare(_) => {
+                replay.quarantined += 1;
+                continue;
+            }
+        };
+        match record {
+            FitRecord::Header { fingerprint } => {
+                if replay.header.is_none() {
+                    replay.header = Some(fingerprint);
+                }
+            }
+            FitRecord::Screened { index, outcome } => {
+                replay.screened.entry(index).or_insert_with(|| {
+                    outcome.map(|(uf, o)| (f64::from_bits(uf), FitOutcome::from(o)))
+                });
+            }
+            FitRecord::Refined { index, outcome } => {
+                replay
+                    .refined
+                    .entry(index)
+                    .or_insert_with(|| outcome.into());
+            }
+            FitRecord::Downgraded { index } => {
+                replay.downgraded.insert(index);
+            }
+        }
+    }
+    replay
+}
+
+/// Seals one record onto the journal, consulting the fault injector at
+/// [`SITE_FIT_JOURNAL_APPEND`] — where an injected `IoError` kills the
+/// fit, a `PartialWrite` tears the line mid-byte, and a `Corrupt`
+/// flips a seal digit so replay quarantines the line.
+fn append_fit_record(
+    journal: &mut Vec<u8>,
+    record: &FitRecord,
+    logical_index: u64,
+) -> Result<(), FitError> {
+    let payload = serde_json::to_string(record).map_err(|e| FitError::Journal {
+        detail: e.to_string(),
+    })?;
+    let line = seal(&payload);
+    match faults::roll(SITE_FIT_JOURNAL_APPEND, logical_index, 0) {
+        Some(FaultKind::IoError) => {
+            return Err(FitError::Journal {
+                detail: format!("injected I/O error at journal index {logical_index}"),
+            });
+        }
+        Some(FaultKind::PartialWrite) => {
+            // Half the line reaches the journal, no newline: the torn
+            // tail is quarantined on replay and resealed by the resume.
+            let half = line.len() / 2;
+            journal.extend_from_slice(&line.as_bytes()[..half]);
+            return Err(FitError::Journal {
+                detail: format!("injected torn write at journal index {logical_index}"),
+            });
+        }
+        Some(FaultKind::Corrupt) => {
+            // Silent corruption: alter one seal digit and keep going.
+            // The in-memory value stays good; only a later resume sees
+            // (and quarantines) the damage.
+            let mut bytes = line.into_bytes();
+            bytes[0] = if bytes[0] == b'f' { b'0' } else { b'f' };
+            journal.extend_from_slice(&bytes);
+            journal.push(b'\n');
+        }
+        _ => {
+            journal.extend_from_slice(line.as_bytes());
+            journal.push(b'\n');
+        }
+    }
+    appstore_obs::counter(appstore_obs::names::FIT_JOURNAL_APPENDS, 1);
+    Ok(())
+}
+
+/// [`fit_clustering`] with a checkpoint journal: every screened grid
+/// candidate and every refined shortlist candidate is sealed into
+/// `journal` (CRC32 lines, same format as the crawl journal) as it
+/// completes, so an interrupted fit — crash, injected I/O fault, torn
+/// write — resumes from the last sealed candidate instead of restarting
+/// the multi-minute grid from zero.
+///
+/// Guarantees:
+///
+/// - **Byte-identical convergence.** With the same `(observed, spec,
+///   seed)`, any interleaving of kills and resumes produces the exact
+///   winner (bit-for-bit, including the distance) of an uninterrupted
+///   [`fit_clustering`] run — journal floats travel as IEEE bits and
+///   replayed candidates keep their original shortlist seeds.
+/// - **Corruption is quarantined.** Damaged journal lines are counted
+///   (`fit.journal.lines_quarantined`) and their candidates recomputed;
+///   a journal whose header fingerprint disagrees with the requested
+///   fit is discarded entirely.
+/// - **Deadlines degrade, not fail.** See [`CandidateBudget`].
+///
+/// `Err` means the journal itself could not be appended (the in-memory
+/// journal keeps every line sealed before the failure, so a retry
+/// resumes); `Ok(None)` mirrors [`fit_clustering`]'s degenerate cases.
+pub fn fit_clustering_checkpointed(
+    observed: &[u64],
+    spec: &FitSpec,
+    seed: Seed,
+    budget: CandidateBudget,
+    journal: &mut Vec<u8>,
+) -> Result<Option<FitOutcome>, FitError> {
+    if observed.is_empty() {
+        return Ok(None);
+    }
+    let grid = clustering_grid(spec);
+    if grid.is_empty() {
+        return Ok(None);
+    }
+    // Heal a torn tail (a partial write without newline) so fresh
+    // appends start on their own line; replay quarantines the fragment.
+    if journal.last().is_some_and(|&b| b != b'\n') {
+        journal.push(b'\n');
+    }
+    let fingerprint = fit_fingerprint(observed, spec, seed);
+    let mut replay = replay_fit_journal(journal);
+    appstore_obs::counter(
+        appstore_obs::names::FIT_JOURNAL_LINES_QUARANTINED,
+        replay.quarantined,
+    );
+    if replay.header != Some(fingerprint) {
+        // Foreign or headerless journal: this is a different fit (or
+        // nothing useful survived). Start over.
+        journal.clear();
+        replay = FitReplay::default();
+        append_fit_record(journal, &FitRecord::Header { fingerprint }, u64::MAX)?;
+    }
+    let resumed = (replay.screened.len() + replay.refined.len() + replay.downgraded.len()) as u64;
+    appstore_obs::counter(appstore_obs::names::FIT_JOURNAL_CANDIDATES_RESUMED, resumed);
+
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_GRID_CANDIDATES,
+        grid.len() as u64,
+    );
+    // Screen whatever the journal does not already hold, in parallel
+    // with per-worker caches (same scheme as `fit_clustering`), then
+    // seal the results sequentially in grid order — so the journal's
+    // sealed prefix always corresponds to a prefix-closed candidate set
+    // and a kill mid-seal loses only unsealed work.
+    let missing: Vec<(u64, GridCandidate)> = grid
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !replay.screened.contains_key(&(*i as u64)))
+        .map(|(i, &candidate)| (i as u64, candidate))
+        .collect();
+    if !missing.is_empty() {
+        let workers = spec.worker_count().min(missing.len()).max(1);
+        let chunk_len = missing.len().div_ceil(workers);
+        let chunks: Vec<Vec<(u64, GridCandidate)>> =
+            missing.chunks(chunk_len).map(<[_]>::to_vec).collect();
+        let computed = appstore_obs::span(appstore_obs::names::SPAN_FIT_SCREEN, || {
+            par_map_indexed(chunks, workers, |_, chunk: Vec<(u64, GridCandidate)>| {
+                let mut cache = ScreeningCache::new();
+                let scored: Vec<(u64, Option<(f64, FitOutcome)>)> = chunk
+                    .into_iter()
+                    .map(|(i, candidate)| {
+                        (i, screen_candidate(observed, spec, &mut cache, candidate))
+                    })
+                    .collect();
+                cache.flush_metrics();
+                scored
+            })
+        });
+        for (i, screened) in computed.into_iter().flatten() {
+            let record = FitRecord::Screened {
+                index: i,
+                outcome: screened.map(|(uf, o)| (uf.to_bits(), JournalOutcome::from(o))),
+            };
+            append_fit_record(journal, &record, i)?;
+            replay.screened.insert(i, screened);
+        }
+    }
+    let screened_count = replay
+        .screened
+        .values()
+        .filter(|outcome| outcome.is_some())
+        .count() as u64;
+    appstore_obs::counter(appstore_obs::names::FIT_CLUSTERING_SCREENED, screened_count);
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_PRUNED,
+        grid.len() as u64 - screened_count,
+    );
+
+    // The shortlist is rebuilt from the (now complete) screening table in
+    // grid order — deterministic, so shortlist indices in the journal
+    // stay stable across resumes.
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
+    for index in 0..grid.len() as u64 {
+        if let Some(Some((uf, outcome))) = replay.screened.get(&index) {
+            builder.add(*uf, *outcome);
+        }
+    }
+    if builder.is_empty() {
+        return Ok(None);
+    }
+    if spec.refine_top == 0 {
+        return Ok(builder.best_screened());
+    }
+    let shortlist = builder.shortlist();
+    appstore_obs::counter(
+        appstore_obs::names::FIT_CLUSTERING_REFINED,
+        shortlist.len() as u64,
+    );
+    let refined = appstore_obs::span(
+        appstore_obs::names::SPAN_FIT_REFINE,
+        || -> Result<Vec<FitOutcome>, FitError> {
+            let grid_len = grid.len() as u64;
+            let mut resolved: Vec<Option<FitOutcome>> = vec![None; shortlist.len()];
+            let mut to_compute: Vec<(u64, FitOutcome)> = Vec::new();
+            for (i, &analytic) in shortlist.iter().enumerate() {
+                let index = i as u64;
+                if replay.downgraded.contains(&index) {
+                    resolved[i] = Some(analytic);
+                } else if let Some(&refined) = replay.refined.get(&index) {
+                    resolved[i] = Some(refined);
+                } else if let Some(over) = refine_deadline_exceeded(index, budget) {
+                    eprintln!(
+                        "WARN: fit candidate {index} exceeded its refinement deadline \
+                         ({over} ms of virtual latency); downgraded to screened-only score"
+                    );
+                    appstore_obs::counter(appstore_obs::names::FIT_REFINE_DEADLINE_DOWNGRADES, 1);
+                    append_fit_record(journal, &FitRecord::Downgraded { index }, grid_len + index)?;
+                    resolved[i] = Some(analytic);
+                } else {
+                    to_compute.push((index, analytic));
+                }
+            }
+            // Refined candidates keep their *shortlist* seed index, so a
+            // partially-resumed refinement draws exactly the streams an
+            // uninterrupted run would.
+            let computed = par_map_indexed(
+                to_compute,
+                spec.worker_count(),
+                |_, (index, outcome): (u64, FitOutcome)| {
+                    (
+                        index,
+                        refine_clustering_candidate(
+                            observed,
+                            spec,
+                            outcome,
+                            seed.child_indexed("clustering-refine", index),
+                        ),
+                    )
+                },
+            );
+            for (index, outcome) in computed {
+                append_fit_record(
+                    journal,
+                    &FitRecord::Refined {
+                        index,
+                        outcome: JournalOutcome::from(outcome),
+                    },
+                    grid_len + index,
+                )?;
+                resolved[index as usize] = Some(outcome);
+            }
+            Ok(resolved.into_iter().flatten().collect())
+        },
+    )?;
+    Ok(refined
+        .into_iter()
+        .min_by(|a, b| a.distance.total_cmp(&b.distance)))
+}
+
+/// How far over the [`CandidateBudget`] deadline the injected latency of
+/// shortlist candidate `index` lands; `None` when it fits the budget (or
+/// no deadline / no delay fault applies).
+fn refine_deadline_exceeded(index: u64, budget: CandidateBudget) -> Option<u64> {
+    let deadline = budget.refine_deadline_virtual_ms?;
+    match faults::roll(SITE_FIT_REFINE, index, 0) {
+        Some(FaultKind::Delay { virtual_ms }) if virtual_ms > deadline => Some(virtual_ms),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::expectation::expected_downloads_zipf;
@@ -736,6 +1288,294 @@ mod tests {
         }
         let distances: Vec<f64> = top.iter().map(|o| o.distance).collect();
         assert_eq!(distances, vec![0.1, 0.2, 0.3]);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod checkpoint_tests {
+    use super::*;
+    use appstore_core::faults::{with_injector, FaultInjector, FaultPlan, FaultTrigger};
+    use appstore_core::Seed;
+
+    fn observed() -> Vec<u64> {
+        let params = ClusteringParams {
+            population: PopulationParams {
+                apps: 400,
+                users: 3000,
+                downloads_per_user: 8,
+                zipf_exponent: 1.2,
+            },
+            clusters: 20,
+            p: 0.9,
+            cluster_exponent: 1.8,
+            layout: ClusterLayout::Interleaved,
+        };
+        let mut counts = Simulator::app_clustering(params).simulate_counts(Seed::new(5));
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        counts
+    }
+
+    fn spec() -> FitSpec {
+        FitSpec {
+            zipf_exponents: vec![1.0, 1.2, 1.4, 1.6],
+            cluster_exponents: vec![1.0, 1.4, 1.8],
+            ps: vec![0.0, 0.5, 0.9],
+            user_fractions: vec![0.5, 1.0, 2.0],
+            clusters: 20,
+            threads: 2,
+            refine_top: 6,
+            replications: 1,
+        }
+    }
+
+    #[test]
+    fn empty_journal_matches_uncheckpointed_fit() {
+        let observed = observed();
+        let spec = spec();
+        let reference = fit_clustering(&observed, &spec, Seed::new(42)).unwrap();
+        let mut journal = Vec::new();
+        let checkpointed = fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            Seed::new(42),
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, checkpointed);
+        assert_eq!(
+            reference.distance.to_bits(),
+            checkpointed.distance.to_bits()
+        );
+        assert!(!journal.is_empty());
+    }
+
+    #[test]
+    fn io_kill_mid_screen_resumes_byte_identically() {
+        let observed = observed();
+        let spec = spec();
+        let reference = fit_clustering(&observed, &spec, Seed::new(7)).unwrap();
+        let mut journal = Vec::new();
+        // Kill at the 41st screening seal; everything sealed before it
+        // survives in the journal.
+        let plan = FaultPlan::seeded(1).rule(
+            SITE_FIT_JOURNAL_APPEND,
+            FaultKind::IoError,
+            FaultTrigger::AtIndex(40),
+        );
+        let injector = FaultInjector::new(plan);
+        let killed = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                Seed::new(7),
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        });
+        assert!(killed.is_err(), "injected I/O error must surface");
+        assert!(!journal.is_empty(), "sealed prefix must survive the kill");
+        let resumed = fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            Seed::new(7),
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, resumed);
+        assert_eq!(reference.distance.to_bits(), resumed.distance.to_bits());
+    }
+
+    #[test]
+    fn torn_write_in_refine_resumes_byte_identically() {
+        let observed = observed();
+        let spec = spec();
+        let reference = fit_clustering(&observed, &spec, Seed::new(19)).unwrap();
+        let grid_len = clustering_grid(&spec).len() as u64;
+        let mut journal = Vec::new();
+        // Tear the very first refinement seal mid-line.
+        let plan = FaultPlan::seeded(2).rule(
+            SITE_FIT_JOURNAL_APPEND,
+            FaultKind::PartialWrite,
+            FaultTrigger::AtIndex(grid_len),
+        );
+        let injector = FaultInjector::new(plan);
+        let killed = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                Seed::new(19),
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        });
+        assert!(killed.is_err(), "torn write must surface");
+        assert_ne!(
+            journal.last(),
+            Some(&b'\n'),
+            "the tail must actually be torn"
+        );
+        let registry = appstore_obs::Registry::new();
+        let resumed = appstore_obs::with_registry(&registry, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                Seed::new(19),
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, resumed);
+        assert!(
+            registry.counter_value(appstore_obs::names::FIT_JOURNAL_LINES_QUARANTINED) >= 1,
+            "the torn fragment must be quarantined on replay"
+        );
+    }
+
+    #[test]
+    fn corrupt_seal_is_quarantined_and_recomputed() {
+        let observed = observed();
+        let spec = spec();
+        let reference = fit_clustering(&observed, &spec, Seed::new(11)).unwrap();
+        let mut journal = Vec::new();
+        // Silently corrupt the seal of screening record 10; the first run
+        // still completes (the in-memory value is good).
+        let plan = FaultPlan::seeded(3).rule(
+            SITE_FIT_JOURNAL_APPEND,
+            FaultKind::Corrupt,
+            FaultTrigger::AtIndex(10),
+        );
+        let injector = FaultInjector::new(plan);
+        let first = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                Seed::new(11),
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, first);
+        // A later resume must notice the damage, recompute candidate 10
+        // and still land on the same winner.
+        let registry = appstore_obs::Registry::new();
+        let resumed = appstore_obs::with_registry(&registry, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                Seed::new(11),
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, resumed);
+        assert_eq!(
+            registry.counter_value(appstore_obs::names::FIT_JOURNAL_LINES_QUARANTINED),
+            1
+        );
+    }
+
+    #[test]
+    fn foreign_journal_is_discarded_not_merged() {
+        let observed = observed();
+        let spec = spec();
+        let mut journal = Vec::new();
+        fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            Seed::new(1),
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        // Same journal buffer, different seed: the fingerprint disagrees,
+        // so nothing may be reused.
+        let reference = fit_clustering(&observed, &spec, Seed::new(2)).unwrap();
+        let other = fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            Seed::new(2),
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(reference, other);
+    }
+
+    #[test]
+    fn deadline_downgrades_slow_candidate_with_warn_counter() {
+        let observed = observed();
+        let spec = spec();
+        let mut journal = Vec::new();
+        // Shortlist candidate 0 takes 5000 virtual ms; the budget allows
+        // 100, so it must be downgraded to its screened-only score.
+        let plan = FaultPlan::seeded(4).rule(
+            SITE_FIT_REFINE,
+            FaultKind::Delay { virtual_ms: 5000 },
+            FaultTrigger::AtIndex(0),
+        );
+        let injector = FaultInjector::new(plan);
+        let registry = appstore_obs::Registry::new();
+        let outcome = appstore_obs::with_registry(&registry, || {
+            with_injector(&injector, || {
+                fit_clustering_checkpointed(
+                    &observed,
+                    &spec,
+                    Seed::new(31),
+                    CandidateBudget::with_refine_deadline(100),
+                    &mut journal,
+                )
+            })
+        })
+        .unwrap();
+        assert!(outcome.is_some(), "the fit must still converge");
+        assert_eq!(
+            registry.counter_value(appstore_obs::names::FIT_REFINE_DEADLINE_DOWNGRADES),
+            1
+        );
+        let replay = replay_fit_journal(&journal);
+        assert!(
+            replay.downgraded.contains(&0),
+            "the downgrade must be journaled for resume"
+        );
+        assert!(!replay.refined.contains_key(&0));
+    }
+
+    #[test]
+    fn journal_floats_round_trip_infinity() {
+        // Screening can legitimately produce an infinite distance;
+        // the bit-level encoding must survive a journal round trip.
+        let outcome = FitOutcome {
+            kind: ModelKind::AppClustering,
+            zipf_exponent: 1.25,
+            cluster_exponent: f64::INFINITY,
+            p: 0.9,
+            users: 10,
+            downloads_per_user: 3,
+            distance: f64::INFINITY,
+        };
+        let record = FitRecord::Refined {
+            index: 3,
+            outcome: JournalOutcome::from(outcome),
+        };
+        let mut journal = Vec::new();
+        append_fit_record(&mut journal, &record, 3).unwrap();
+        let replay = replay_fit_journal(&journal);
+        let back = replay.refined[&3];
+        assert_eq!(outcome, back);
+        assert_eq!(outcome.distance.to_bits(), back.distance.to_bits());
     }
 }
 

@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod config;
 pub mod expectation;
@@ -39,7 +40,9 @@ pub use expectation::{
     expected_downloads_zipf, expected_downloads_zipf_amo, ScreeningCache,
 };
 pub use fit::{
-    fit_clustering, fit_zipf, fit_zipf_amo, refine_locally, user_count_sweep, FitOutcome, FitSpec,
+    fit_clustering, fit_clustering_checkpointed, fit_zipf, fit_zipf_amo, refine_locally,
+    user_count_sweep, CandidateBudget, FitError, FitOutcome, FitSpec, SITE_FIT_JOURNAL_APPEND,
+    SITE_FIT_REFINE,
 };
 pub use simulate::{DownloadTrace, Simulator};
 pub use zipf::{AliasTable, SampleMethod, ZipfSampler};

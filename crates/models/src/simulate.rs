@@ -375,6 +375,7 @@ impl Simulator {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use appstore_core::Seed;

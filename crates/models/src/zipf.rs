@@ -251,6 +251,7 @@ impl ZipfSampler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use appstore_core::Seed;

@@ -1,0 +1,128 @@
+//! Property tests: the checkpointed fit converges byte-identically to
+//! the uninterrupted fit from *any* kill point, even when the journal is
+//! bit-flipped while the process is down.
+
+#![allow(clippy::unwrap_used)]
+
+use appstore_core::faults::{with_injector, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
+use appstore_core::Seed;
+use appstore_models::{
+    fit_clustering, fit_clustering_checkpointed, CandidateBudget, FitSpec, SITE_FIT_JOURNAL_APPEND,
+};
+use proptest::prelude::*;
+
+/// A grid small enough that one proptest case stays in the milliseconds:
+/// 8 screened candidates, at most 4 refined.
+fn tiny_spec() -> FitSpec {
+    FitSpec {
+        zipf_exponents: vec![1.0, 1.4],
+        cluster_exponents: vec![1.5],
+        ps: vec![0.0, 0.9],
+        user_fractions: vec![0.5, 1.5],
+        clusters: 5,
+        threads: 2,
+        refine_top: 2,
+        replications: 1,
+    }
+}
+
+/// A fixed synthetic popularity curve (30 ranks, roughly Zipf).
+fn observed() -> Vec<u64> {
+    (1..=30u32)
+        .map(|r| (2_000.0 / f64::from(r).powf(1.2)) as u64 + 1)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Kill the fit at an arbitrary journal append — via an injected hard
+    /// I/O error or a torn write — then resume clean: the winner must be
+    /// bit-identical to an uninterrupted run.
+    #[test]
+    fn resume_from_any_kill_point_converges(kill in 0u64..14, torn in any::<bool>()) {
+        let observed = observed();
+        let spec = tiny_spec();
+        let seed = Seed::new(77);
+        let reference = fit_clustering(&observed, &spec, seed).unwrap();
+
+        let kind = if torn { FaultKind::PartialWrite } else { FaultKind::IoError };
+        let plan = FaultPlan::seeded(kill).rule(
+            SITE_FIT_JOURNAL_APPEND,
+            kind,
+            FaultTrigger::AtIndex(kill),
+        );
+        let injector = FaultInjector::new(plan);
+        let mut journal = Vec::new();
+        let first = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                seed,
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        });
+        // Kill points past the journal's actual length simply don't fire.
+        if let Ok(Some(winner)) = &first {
+            prop_assert_eq!(winner, &reference);
+        }
+        let resumed = fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            seed,
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        prop_assert_eq!(resumed, reference);
+        prop_assert_eq!(resumed.distance.to_bits(), reference.distance.to_bits());
+    }
+
+    /// Kill the fit, flip an arbitrary journal byte while the process is
+    /// "down" (at-rest corruption), then resume: damaged lines are
+    /// quarantined and recomputed, and the winner still converges.
+    #[test]
+    fn resume_survives_bit_flips_between_runs(
+        kill in 0u64..14,
+        flip_pos in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let observed = observed();
+        let spec = tiny_spec();
+        let seed = Seed::new(78);
+        let reference = fit_clustering(&observed, &spec, seed).unwrap();
+
+        let plan = FaultPlan::seeded(kill).rule(
+            SITE_FIT_JOURNAL_APPEND,
+            FaultKind::IoError,
+            FaultTrigger::AtIndex(kill),
+        );
+        let injector = FaultInjector::new(plan);
+        let mut journal = Vec::new();
+        let _ = with_injector(&injector, || {
+            fit_clustering_checkpointed(
+                &observed,
+                &spec,
+                seed,
+                CandidateBudget::UNLIMITED,
+                &mut journal,
+            )
+        });
+        if !journal.is_empty() {
+            let at = flip_pos % journal.len();
+            journal[at] ^= 1 << flip_bit;
+        }
+        let resumed = fit_clustering_checkpointed(
+            &observed,
+            &spec,
+            seed,
+            CandidateBudget::UNLIMITED,
+            &mut journal,
+        )
+        .unwrap()
+        .unwrap();
+        prop_assert_eq!(resumed, reference);
+    }
+}

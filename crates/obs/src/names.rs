@@ -21,6 +21,12 @@ pub const CORE_PAR_CALLS: &str = "core.par.calls";
 pub const CORE_PAR_TASKS: &str = "core.par.tasks";
 /// Per-worker task count distribution (volatile histogram).
 pub const CORE_PAR_WORKER_TASKS: &str = "core.par.worker_tasks";
+/// Worker panics caught and retried by `par_map_indexed`.
+pub const CORE_PAR_PANICS_ISOLATED: &str = "core.par.panics_isolated";
+/// Tasks dropped by `par_map_indexed_lossy` after a failed retry.
+pub const CORE_PAR_TASKS_DEGRADED: &str = "core.par.tasks_degraded";
+/// Faults fired by the deterministic fault injector.
+pub const FAULTS_INJECTED: &str = "faults.injected";
 /// Gap-repair passes executed.
 pub const CORE_QUALITY_REPAIRS: &str = "core.quality.repairs";
 /// Missing days filled by gap repair.
@@ -87,6 +93,14 @@ pub const FIT_SIM_REPLICATIONS: &str = "fit.sim.replications";
 pub const FIT_CACHE_HITS: &str = "fit.cache.hits";
 /// Screening-cache misses (volatile).
 pub const FIT_CACHE_MISSES: &str = "fit.cache.misses";
+/// Records appended to a checkpointed fit journal.
+pub const FIT_JOURNAL_APPENDS: &str = "fit.journal.appends";
+/// Fit candidates restored from a journal instead of recomputed.
+pub const FIT_JOURNAL_CANDIDATES_RESUMED: &str = "fit.journal.candidates_resumed";
+/// Fit-journal lines quarantined as corrupt or unparseable.
+pub const FIT_JOURNAL_LINES_QUARANTINED: &str = "fit.journal.lines_quarantined";
+/// Refinement candidates downgraded to screened-only by a deadline.
+pub const FIT_REFINE_DEADLINE_DOWNGRADES: &str = "fit.refine.deadline_downgrades";
 
 /// Simulated downloads produced.
 pub const SIM_DOWNLOADS: &str = "sim.downloads";
@@ -135,6 +149,9 @@ pub const ALL_METRICS: &[&str] = &[
     CORE_PAR_CALLS,
     CORE_PAR_TASKS,
     CORE_PAR_WORKER_TASKS,
+    CORE_PAR_PANICS_ISOLATED,
+    CORE_PAR_TASKS_DEGRADED,
+    FAULTS_INJECTED,
     CORE_QUALITY_REPAIRS,
     CORE_QUALITY_GAP_DAYS_FILLED,
     CRAWL_DAYS,
@@ -167,6 +184,10 @@ pub const ALL_METRICS: &[&str] = &[
     FIT_SIM_REPLICATIONS,
     FIT_CACHE_HITS,
     FIT_CACHE_MISSES,
+    FIT_JOURNAL_APPENDS,
+    FIT_JOURNAL_CANDIDATES_RESUMED,
+    FIT_JOURNAL_LINES_QUARANTINED,
+    FIT_REFINE_DEADLINE_DOWNGRADES,
     SIM_DOWNLOADS,
     SIM_DRAWS_ALIAS,
     SIM_DRAWS_INVERSE_CDF,

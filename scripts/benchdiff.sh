@@ -16,11 +16,25 @@ fi
 OLD="$1"
 NEW="$2"
 THRESHOLD="${3:-10}"
+command -v jq >/dev/null || { echo "benchdiff.sh needs jq" >&2; exit 2; }
+
 for f in "$OLD" "$NEW"; do
-    [ -r "$f" ] || { echo "cannot read $f" >&2; exit 2; }
+    [ -e "$f" ] || { echo "benchdiff: $f does not exist (run scripts/bench.sh to produce it)" >&2; exit 2; }
+    [ -r "$f" ] || { echo "benchdiff: cannot read $f (check permissions)" >&2; exit 2; }
+    jq empty "$f" 2>/dev/null || { echo "benchdiff: $f is not valid JSON (truncated or not a BENCH_*.json report?)" >&2; exit 2; }
 done
 
-command -v jq >/dev/null || { echo "benchdiff.sh needs jq" >&2; exit 2; }
+# Refuse to "compare" reports with no experiment in common — that would
+# render an empty table and a misleading "no regressions" verdict.
+SHARED="$(jq -rn --slurpfile old "$OLD" --slurpfile new "$NEW" '
+    [($old[0].repro.per_experiment_seconds // [])[].id] as $o |
+    [($new[0].repro.per_experiment_seconds // [])[].id] as $n |
+    [$o[] | select(. as $id | $n | index($id))] | length')"
+if [ "$SHARED" -eq 0 ]; then
+    echo "benchdiff: $OLD and $NEW share no experiment ids; nothing to compare" >&2
+    echo "benchdiff: (are both files BENCH_*.json reports from scripts/bench.sh?)" >&2
+    exit 2
+fi
 
 provenance() { # provenance <file>
     jq -r '"\(.date) @ \(.git_sha // "unknown") (\(.host_cpus) cpus)"' "$1"
