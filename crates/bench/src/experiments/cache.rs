@@ -12,8 +12,10 @@ use serde_json::json;
 
 /// The paper's Fig. 19 setup, scaled 1/10 (60,000 apps → 6,000; 600,000
 /// users → 60,000; 2M downloads → 200k) with the published parameters
-/// `z_r = 1.7`, `z_c = 1.4`, `p = 0.9`, 30 categories.
-fn fig19_params() -> ClusteringParams {
+/// `z_r = 1.7`, `z_c = 1.4`, `p = 0.9`, 30 categories. Shared with the
+/// serve-replay experiment so the serving layer faces the same workload
+/// the cache study measured.
+pub(crate) fn fig19_params() -> ClusteringParams {
     ClusteringParams {
         population: PopulationParams {
             apps: 6_000,

@@ -10,6 +10,7 @@ pub mod prefetch;
 pub mod pricing;
 pub mod recommend;
 pub mod recovery;
+pub mod serve_replay;
 pub mod table1;
 
 use crate::stores::Stores;
@@ -60,7 +61,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id the harness knows, in paper order.
-pub const EXPERIMENT_IDS: [&str; 30] = [
+pub const EXPERIMENT_IDS: [&str; 31] = [
     "table1",
     "fig2",
     "fig3",
@@ -91,6 +92,7 @@ pub const EXPERIMENT_IDS: [&str; 30] = [
     "ablate-cluster-size",
     "ablate-cutoff",
     "ablate-p",
+    "serve-replay",
 ];
 
 /// Runs a batch of experiments on up to `threads` workers (0 ⇒ one per
@@ -193,6 +195,7 @@ pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<Experimen
         "ablate-cluster-size" => cache::ablate_cluster_size(seed),
         "ablate-cutoff" => popularity::ablate_cutoff(stores),
         "ablate-p" => model_fit::ablate_p(stores, seed),
+        "serve-replay" => serve_replay::run(seed),
         _ => return None,
     })
 }

@@ -1,0 +1,293 @@
+//! The serve-replay experiment: the serving layer under the paper's §5
+//! workloads, over real sockets, with a chaos window in the middle.
+//!
+//! Phase 1 replays the ZIPF and APP-CLUSTERING download traces from the
+//! Fig. 19 setup against `appstore-serve` fronting a 6,000-app store
+//! with a 15% edge cache warmed with the most popular apps — the edge
+//! hit rates must land inside the paper's published bands (ZIPF ≥ 99%,
+//! APP-CLUSTERING 67.1–96.3%). Phase 2 re-runs the clustering workload
+//! with a deterministic fault window armed: injected backing-store I/O
+//! errors trip the circuit breaker, handler panics and slowdowns land
+//! mid-stream, and the server is required to *shed and degrade* (503s
+//! with Retry-After, stale rankings) instead of stalling or dying —
+//! then recover to fresh serving once the window passes. A final probe
+//! replay pins the recovery: zero sheds, zero errors.
+//!
+//! Everything runs on virtual time stamped by the replay client, so the
+//! output is bit-identical across machines, thread counts, and scales.
+
+use crate::experiments::{cache::fig19_params, ExperimentResult};
+use appstore_core::faults::{with_injector, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
+use appstore_core::{
+    App, AppId, AppObservation, CategoryId, CategorySet, Cents, DailySnapshot, Dataset, Day,
+    Developer, DeveloperId, PricingTier, Seed, StoreId, StoreMeta,
+};
+use appstore_models::{ModelKind, Simulator};
+use appstore_serve::{
+    replay, with_server, ReplayConfig, ReplayStats, ServeConfig, Workload, SITE_SERVE_BACKING,
+    SITE_SERVE_HANDLER,
+};
+use serde_json::json;
+
+/// Edge cache size as a fraction of the app population (the 15% point
+/// of Fig. 19, where both workloads sit comfortably inside their
+/// published bands).
+const CACHE_FRACTION: f64 = 0.15;
+
+/// The chaos window, in request indices: every backing call in
+/// `[CHAOS_START, CHAOS_END)` fails with an injected I/O error.
+const CHAOS_START: u64 = 5_000;
+const CHAOS_END: u64 = 5_600;
+
+/// Handler-level faults inside the window: panics and a pathological
+/// slowdown, at fixed request indices.
+const PANIC_INDICES: [u64; 3] = [5_050, 5_250, 5_450];
+const DELAY_INDICES: [u64; 2] = [5_150, 5_350];
+
+/// A single-day marketplace whose app ids are popularity ranks — the
+/// store the §5 workload models assume. The serving layer fronts this
+/// dataset; the backing `MarketplaceServer` serves its pages.
+fn rank_ordered_dataset(apps: usize, categories: usize) -> Dataset {
+    let registry: Vec<App> = (0..apps)
+        .map(|i| App {
+            id: AppId(i as u32),
+            category: CategoryId((i % categories) as u32),
+            developer: DeveloperId(0),
+            tier: PricingTier::Free,
+            price: Cents::ZERO,
+            created: Day(0),
+            apk_size: 3_500_000,
+            libraries: Vec::new(),
+        })
+        .collect();
+    let observations = (0..apps)
+        .map(|i| AppObservation {
+            app: AppId(i as u32),
+            category: CategoryId((i % categories) as u32),
+            developer: DeveloperId(0),
+            downloads: (apps - i) as u64,
+            comments: 0,
+            version: 1,
+            price: Cents::ZERO,
+        })
+        .collect();
+    Dataset {
+        store: StoreMeta {
+            id: StoreId(0),
+            name: "serve-replay".into(),
+            has_paid_apps: false,
+        },
+        categories: CategorySet::anonymous(categories),
+        apps: registry,
+        developers: vec![Developer::numbered(DeveloperId(0))],
+        snapshots: vec![DailySnapshot {
+            day: Day(0),
+            observations,
+        }],
+        comments: Vec::new(),
+        updates: Vec::new(),
+    }
+}
+
+fn serve_config(seed: Seed, cache_apps: usize) -> ServeConfig {
+    let mut config = ServeConfig::replay_default(seed.child("server"));
+    config.cache_capacity = cache_apps;
+    config.warm_apps = cache_apps;
+    // A short rankings TTL so refreshes are due *inside* the chaos
+    // window — forcing the stale-while-revalidate rung of the ladder.
+    config.rankings_ttl_ms = 2_000;
+    config
+}
+
+/// The phase-2 fault plan: a bounded, index-keyed chaos window.
+fn chaos_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(2013);
+    for index in CHAOS_START..CHAOS_END {
+        plan = plan.rule(
+            SITE_SERVE_BACKING,
+            FaultKind::IoError,
+            FaultTrigger::AtIndex(index),
+        );
+    }
+    for index in PANIC_INDICES {
+        plan = plan.rule(
+            SITE_SERVE_HANDLER,
+            FaultKind::WorkerPanic,
+            FaultTrigger::AtIndex(index),
+        );
+    }
+    for index in DELAY_INDICES {
+        plan = plan.rule(
+            SITE_SERVE_HANDLER,
+            FaultKind::Delay { virtual_ms: 5_000 },
+            FaultTrigger::AtIndex(index),
+        );
+    }
+    plan
+}
+
+fn stats_json(stats: &ReplayStats) -> serde_json::Value {
+    json!({
+        "requests_sent": stats.requests_sent,
+        "app_ok": stats.app_ok,
+        "edge_hits": stats.app_edge_hits,
+        "backing": stats.app_backing,
+        "hit_rate": stats.hit_rate(),
+        "rankings_fresh": stats.rankings_fresh,
+        "rankings_stale": stats.rankings_stale,
+        "shed_503": stats.shed_503,
+        "shed_504": stats.shed_504,
+        "rate_limited": stats.rate_limited_429,
+        "server_errors": stats.server_errors,
+        "retries": stats.retries,
+        "retries_denied": stats.retries_denied,
+        "exhausted": stats.exhausted,
+        "p99_virtual_ms": stats.p99_virtual_ms(),
+    })
+}
+
+/// `serve-replay`: hit-rate bands over real sockets, then chaos.
+pub fn run(seed: Seed) -> ExperimentResult {
+    let params = fig19_params();
+    let apps = params.population.apps;
+    let cache_apps = ((apps as f64 * CACHE_FRACTION).round() as usize).max(1);
+    let dataset = rank_ordered_dataset(apps, params.clusters);
+    let serve_seed = seed.child("serve-replay");
+
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "store: {} apps, edge cache {} apps ({:.0}%), warm-started; workloads from fig19",
+        apps,
+        cache_apps,
+        CACHE_FRACTION * 100.0
+    ));
+
+    // Phase 1 — healthy serving: both §5 workloads, published bands.
+    let mut band_results = Vec::new();
+    let mut healthy = Vec::new();
+    for kind in [ModelKind::Zipf, ModelKind::AppClustering] {
+        let trace =
+            Simulator::for_kind(kind, params).simulate_trace(serve_seed.child(kind.name()), 30);
+        let workload = Workload::from_trace(kind.name(), &trace.events);
+        let config = serve_config(serve_seed, cache_apps);
+        let replay_config = ReplayConfig::new(serve_seed.child("client").child(kind.name()));
+        let stats = with_server(&dataset, &config, |handle| {
+            replay(handle.addr(), &workload, &replay_config).expect("loopback replay")
+        });
+        lines.push(format!(
+            "{:<16} {:>6} requests: hit rate {:>5.1}%, {} sheds, {} retries, p99 {} virtual ms",
+            kind.name(),
+            workload.len(),
+            stats.hit_rate() * 100.0,
+            stats.sheds(),
+            stats.retries,
+            stats.p99_virtual_ms()
+        ));
+        band_results.push((kind, stats.clone()));
+        healthy.push(json!({ "model": kind.name(), "stats": stats_json(&stats) }));
+    }
+    let zipf_hit = band_results[0].1.hit_rate();
+    let clustering_hit = band_results[1].1.hit_rate();
+    lines.push("paper bands: ZIPF >=99%; APP-CLUSTERING 67.1-96.3% at this cache size".into());
+
+    // Phase 2 — the same clustering workload with the chaos window
+    // armed: breaker trips, panics are caught, rankings degrade to
+    // stale, and the tail of the stream recovers.
+    let trace = Simulator::for_kind(ModelKind::AppClustering, params)
+        .simulate_trace(serve_seed.child(ModelKind::AppClustering.name()), 30);
+    let workload = Workload::from_trace("clustering-chaos", &trace.events);
+    let config = serve_config(serve_seed, cache_apps);
+    let replay_config = ReplayConfig::new(serve_seed.child("client").child("chaos"));
+    let probe_events: Vec<_> = workload.events[workload.events.len() - 2_000..].to_vec();
+    let probe_workload = Workload {
+        name: "recovery-probe".into(),
+        events: probe_events,
+    };
+    let injector = FaultInjector::new(chaos_plan());
+    let (chaos, probe, panics_caught) = with_injector(&injector, || {
+        with_server(&dataset, &config, |handle| {
+            let chaos = replay(handle.addr(), &workload, &replay_config).expect("loopback replay");
+            // The window is long past: the breaker must have closed and
+            // fresh serving resumed. The probe sees a healthy server.
+            let probe =
+                replay(handle.addr(), &probe_workload, &replay_config).expect("loopback replay");
+            (chaos, probe, handle.panics_caught())
+        })
+    });
+    let events = injector.events();
+    let panics_fired = events
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::WorkerPanic))
+        .count() as u64;
+    let io_errors_fired = events
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::IoError))
+        .count() as u64;
+    let panics_escaped = panics_fired.saturating_sub(panics_caught);
+    let recovered = probe.sheds() == 0 && probe.server_errors == 0 && probe.panics_seen == 0;
+    lines.push(format!(
+        "chaos window [{CHAOS_START}, {CHAOS_END}): {} backing I/O errors, {} panics fired",
+        io_errors_fired, panics_fired
+    ));
+    lines.push(format!(
+        "  server shed {} (503={} 504={}), served {} stale rankings, hit rate {:>5.1}%",
+        chaos.sheds(),
+        chaos.shed_503,
+        chaos.shed_504,
+        chaos.rankings_stale,
+        chaos.hit_rate() * 100.0
+    ));
+    lines.push(format!(
+        "  panics: {} fired / {} caught / {} escaped; client saw {} panic responses",
+        panics_fired, panics_caught, panics_escaped, chaos.panics_seen
+    ));
+    lines.push(format!(
+        "  client retries {} ({} denied by budget, {} exhausted), p99 {} virtual ms",
+        chaos.retries,
+        chaos.retries_denied,
+        chaos.exhausted,
+        chaos.p99_virtual_ms()
+    ));
+    lines.push(format!(
+        "recovery probe ({} requests): {} sheds, {} errors -> recovered: {}",
+        probe_workload.len(),
+        probe.sheds(),
+        probe.server_errors,
+        recovered
+    ));
+
+    let fault_log: Vec<_> = events
+        .iter()
+        .map(|e| {
+            json!({
+                "site": e.site,
+                "index": e.index,
+                "attempt": e.attempt,
+                "kind": e.kind.label(),
+            })
+        })
+        .collect();
+
+    ExperimentResult {
+        id: "serve-replay",
+        title: "Serving layer under replayed §5 workloads with chaos",
+        lines,
+        json: json!({
+            "apps": apps,
+            "cache_apps": cache_apps,
+            "zipf_hit_rate": zipf_hit,
+            "clustering_hit_rate": clustering_hit,
+            "healthy": healthy,
+            "chaos": stats_json(&chaos),
+            "probe": stats_json(&probe),
+            "sheds": chaos.sheds(),
+            "stale_served": chaos.rankings_stale,
+            "panics_fired": panics_fired,
+            "panics_caught": panics_caught,
+            "panics_escaped": panics_escaped,
+            "p99_virtual_ms": chaos.p99_virtual_ms(),
+            "recovered": if recovered { 1.0 } else { 0.0 },
+            "fault_log": fault_log,
+        }),
+    }
+}

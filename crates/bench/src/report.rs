@@ -448,6 +448,59 @@ fn targets() -> Vec<TargetSpec> {
                 min_of(Some(gaps))
             },
         },
+        // serve-replay: the serving layer must reproduce the §5 cache
+        // bands over real sockets and survive the chaos window. All
+        // rows are invariant — virtual time makes them scale-free.
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "edge hit rate, APP-CLUSTERING",
+            paper: "clustering caches at 67.1–96.3% across Fig. 19 sizes",
+            goal: Goal::Band(0.671, 0.963),
+            pass_tol: 0.0,
+            warn_tol: 0.05,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["clustering_hit_rate"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "edge hit rate, ZIPF",
+            paper: "the ZIPF workload is near-perfectly cacheable (≥ 99%)",
+            goal: Goal::Min(0.99),
+            pass_tol: 0.0,
+            warn_tol: 0.01,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["zipf_hit_rate"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "handler panics escaped",
+            paper: "injected worker panics must never escape a handler",
+            goal: Goal::Value(0.0),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["panics_escaped"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "recovered after chaos window",
+            paper: "the breaker closes and fresh serving resumes (probe clean)",
+            goal: Goal::Min(1.0),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["recovered"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "p99 virtual latency (ms)",
+            paper: "deadlines bound tail latency even during the fault window",
+            goal: Goal::Band(1.0, 200.0),
+            pass_tol: 0.0,
+            warn_tol: 0.5,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["p99_virtual_ms"]),
+        },
     ]
 }
 

@@ -101,6 +101,20 @@ fn required_keys(id: &str) -> &'static [&'static str] {
         "ablate-drift" => &["retention", "windows"],
         "ablate-policies" => &["fractions", "policies"],
         "ablate-cluster-size" => &["blocked_head", "divergence", "interleaved_head"],
+        "serve-replay" => &[
+            "chaos",
+            "clustering_hit_rate",
+            "fault_log",
+            "healthy",
+            "p99_virtual_ms",
+            "panics_caught",
+            "panics_escaped",
+            "probe",
+            "recovered",
+            "sheds",
+            "stale_served",
+            "zipf_hit_rate",
+        ],
         _ => &[],
     }
 }

@@ -248,6 +248,31 @@ impl Lru {
             evictions: 0,
         }
     }
+
+    /// Promotes `app` to most-recently-used if it is cached; returns
+    /// whether it was. Unlike [`ReplacementPolicy::access`] a miss does
+    /// NOT insert — the serve-layer edge cache only admits an app after
+    /// its payload has actually been fetched from the backing store.
+    pub fn touch(&mut self, app: u32) -> bool {
+        self.list.touch(app)
+    }
+
+    /// Inserts `app` as most-recently-used, returning the app evicted to
+    /// make room (so a value-carrying cache layered on top can drop the
+    /// matching payload). Promotes without evicting when already cached.
+    pub fn insert_evicting(&mut self, app: u32) -> Option<u32> {
+        if self.list.touch(app) {
+            return None;
+        }
+        let evicted = if self.list.len() == self.capacity {
+            self.evictions += 1;
+            self.list.pop_back()
+        } else {
+            None
+        };
+        self.list.push_front(app);
+        evicted
+    }
 }
 
 impl ReplacementPolicy for Lru {

@@ -1,0 +1,248 @@
+//! Deterministic retry backoff and retry budgets.
+//!
+//! Every retrying client in the workspace — the crawler fetching through
+//! flaky PlanetLab proxies, the serve-layer replay client riding out
+//! load sheds — uses the same schedule: exponential backoff on the
+//! attempt number with ±25% multiplicative jitter, capped so a request
+//! that keeps failing never waits longer than `base_ms << 8` (~25 s at
+//! the crawler's 100 ms base). Jitter draws come from the caller's
+//! seeded rng (one `f64` per delay), so a fixed seed replays the exact
+//! same schedule.
+//!
+//! [`RetryBudget`] bounds the *aggregate* retry volume the way finagle's
+//! retry budgets do: retries spend from a token bucket that only refills
+//! as fresh requests arrive, so a struggling server sees retry traffic
+//! proportional to real demand instead of an amplification storm.
+
+use crate::seed::Seed;
+use rand::Rng;
+
+/// Exponent clamp for [`backoff_delay_ms`]: delays stop growing at
+/// `base_ms << BACKOFF_MAX_SHIFT`.
+pub const BACKOFF_MAX_SHIFT: u32 = 8;
+
+/// Jitter floor: a jittered delay is at least 75% of the nominal delay.
+pub const JITTER_MIN: f64 = 0.75;
+
+/// Jitter span: the multiplier is uniform in `[0.75, 1.25)`.
+pub const JITTER_SPAN: f64 = 0.5;
+
+/// Nominal backoff delay (before jitter) ahead of retry `attempt`
+/// (1-based): exponential in the attempt number, with the exponent
+/// clamped so the delay never exceeds `base_ms << 8` no matter how long
+/// a request keeps failing.
+pub fn backoff_delay_ms(base_ms: u64, attempt: u32) -> u64 {
+    base_ms.saturating_mul(1 << attempt.min(BACKOFF_MAX_SHIFT))
+}
+
+/// Applies ±25% multiplicative jitter to a nominal delay, consuming
+/// exactly one `f64` draw from `rng`. Deterministic for a fixed rng
+/// state; the result is always within `[0.75 × delay, 1.25 × delay)`.
+pub fn jittered<R: Rng>(delay_ms: u64, rng: &mut R) -> u64 {
+    let jitter = JITTER_MIN + JITTER_SPAN * rng.gen::<f64>();
+    ((delay_ms as f64) * jitter) as u64
+}
+
+/// A self-seeded backoff schedule: delay for attempt `a` is
+/// `jittered(backoff_delay_ms(base_ms, a))` with the jitter draw derived
+/// from `seed.child_indexed("attempt", a)`, so any attempt's delay can
+/// be computed independently (and repeatably) without threading an rng
+/// through the retry loop.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    base_ms: u64,
+    seed: Seed,
+}
+
+impl BackoffSchedule {
+    /// Creates a schedule with the given base delay.
+    pub fn new(base_ms: u64, seed: Seed) -> BackoffSchedule {
+        BackoffSchedule { base_ms, seed }
+    }
+
+    /// Jittered delay before retry `attempt` (1-based).
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let mut rng = self.seed.child_indexed("attempt", u64::from(attempt)).rng();
+        jittered(backoff_delay_ms(self.base_ms, attempt), &mut rng)
+    }
+
+    /// Largest delay this schedule can produce (the cap, jittered high).
+    pub fn max_delay_ms(&self) -> u64 {
+        let cap = backoff_delay_ms(self.base_ms, BACKOFF_MAX_SHIFT);
+        ((cap as f64) * (JITTER_MIN + JITTER_SPAN)) as u64
+    }
+}
+
+/// Millitokens granted to the budget per fresh (non-retry) request,
+/// scaled by the configured ratio. One retry costs 1000 millitokens.
+const MILLITOKENS_PER_RETRY: u64 = 1_000;
+
+/// A deterministic retry budget: retries may only spend tokens earned
+/// by fresh requests, so retry volume stays a bounded fraction of real
+/// traffic. Integer millitoken arithmetic keeps it exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    /// Millitokens currently available.
+    balance: u64,
+    /// Millitokens earned per fresh request (`ratio × 1000`).
+    earn_per_request: u64,
+    /// Balance cap, in millitokens.
+    capacity: u64,
+}
+
+impl RetryBudget {
+    /// Creates a budget that allows roughly `ratio` retries per fresh
+    /// request, with headroom for `burst` retries before any traffic is
+    /// observed (the initial balance and cap).
+    pub fn new(ratio: f64, burst: u64) -> RetryBudget {
+        let capacity = burst.saturating_mul(MILLITOKENS_PER_RETRY);
+        RetryBudget {
+            balance: capacity,
+            earn_per_request: (ratio.clamp(0.0, 1000.0) * MILLITOKENS_PER_RETRY as f64) as u64,
+            capacity,
+        }
+    }
+
+    /// Records a fresh request: the budget earns its per-request tokens.
+    pub fn deposit(&mut self) {
+        self.balance = self
+            .balance
+            .saturating_add(self.earn_per_request)
+            .min(self.capacity);
+    }
+
+    /// Attempts to spend one retry's worth of tokens. Returns `false`
+    /// (and leaves the balance unchanged) when the budget is exhausted —
+    /// the caller should surface the failure instead of retrying.
+    pub fn try_spend(&mut self) -> bool {
+        if self.balance >= MILLITOKENS_PER_RETRY {
+            self.balance -= MILLITOKENS_PER_RETRY;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole retries the budget can currently afford.
+    pub fn available(&self) -> u64 {
+        self.balance / MILLITOKENS_PER_RETRY
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nominal_delays_double_then_cap() {
+        assert_eq!(backoff_delay_ms(100, 1), 200);
+        assert_eq!(backoff_delay_ms(100, 2), 400);
+        assert_eq!(backoff_delay_ms(100, 8), 25_600);
+        assert_eq!(backoff_delay_ms(100, 9), 25_600, "clamped at shift 8");
+        assert_eq!(backoff_delay_ms(100, 200), 25_600);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed_and_attempt() {
+        let a = BackoffSchedule::new(100, Seed::new(9));
+        let b = BackoffSchedule::new(100, Seed::new(9));
+        for attempt in 1..12 {
+            assert_eq!(a.delay_ms(attempt), b.delay_ms(attempt));
+        }
+        let c = BackoffSchedule::new(100, Seed::new(10));
+        assert!((1..12).any(|n| a.delay_ms(n) != c.delay_ms(n)));
+    }
+
+    #[test]
+    fn budget_earns_only_with_fresh_traffic() {
+        let mut budget = RetryBudget::new(0.2, 2);
+        assert!(budget.try_spend());
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend(), "burst spent, nothing earned yet");
+        // Five fresh requests at ratio 0.2 earn exactly one retry.
+        for _ in 0..5 {
+            budget.deposit();
+        }
+        assert_eq!(budget.available(), 1);
+        assert!(budget.try_spend());
+        assert!(!budget.try_spend());
+    }
+
+    #[test]
+    fn budget_balance_is_capped() {
+        let mut budget = RetryBudget::new(1.0, 3);
+        for _ in 0..100 {
+            budget.deposit();
+        }
+        assert_eq!(budget.available(), 3, "cap holds at the burst size");
+    }
+
+    proptest! {
+        /// Jittered delays are monotone in the attempt number below the
+        /// cap (a ×2 nominal step dominates the worst ±25% jitter swing)
+        /// and never exceed the jittered cap.
+        #[test]
+        fn delays_are_monotone_bounded(
+            seed in 0u64..1_000,
+            base_ms in 1u64..2_000,
+        ) {
+            let schedule = BackoffSchedule::new(base_ms, Seed::new(seed));
+            let cap = schedule.max_delay_ms();
+            let mut prev = 0u64;
+            for attempt in 1..=BACKOFF_MAX_SHIFT {
+                let delay = schedule.delay_ms(attempt);
+                // ×2 nominal growth beats jitter: 2×0.75 > 1×1.25.
+                prop_assert!(
+                    delay >= prev,
+                    "attempt {attempt}: {delay} < previous {prev}"
+                );
+                prop_assert!(delay <= cap, "attempt {attempt}: {delay} > cap {cap}");
+                // Keep the floor for the next attempt conservative: the
+                // next nominal is exactly double, so its jittered floor
+                // is 1.5× this attempt's nominal.
+                prev = (backoff_delay_ms(base_ms, attempt) as f64 * JITTER_MIN) as u64;
+            }
+            // Past the clamp the nominal stops growing but stays bounded.
+            for attempt in BACKOFF_MAX_SHIFT..BACKOFF_MAX_SHIFT + 8 {
+                prop_assert!(schedule.delay_ms(attempt) <= cap);
+            }
+        }
+
+        /// Total retries granted never exceed the burst capacity plus
+        /// the earned fraction of fresh traffic.
+        #[test]
+        fn budget_caps_aggregate_retries(
+            ratio in 0.0f64..1.0,
+            burst in 0u64..10,
+            requests in 0usize..500,
+        ) {
+            let mut budget = RetryBudget::new(ratio, burst);
+            let mut granted = 0u64;
+            for _ in 0..requests {
+                budget.deposit();
+                while budget.try_spend() {
+                    granted += 1;
+                }
+            }
+            let earned = (ratio * requests as f64).ceil() as u64;
+            prop_assert!(
+                granted <= burst + earned,
+                "granted {granted} > burst {burst} + earned {earned}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// `jittered` stays within the documented ±25% envelope.
+        #[test]
+        fn jitter_envelope(seed in 0u64..10_000, delay in 0u64..1_000_000) {
+            let mut rng = Seed::new(seed).rng();
+            let j = jittered(delay, &mut rng);
+            prop_assert!(j >= (delay as f64 * JITTER_MIN) as u64);
+            prop_assert!(j <= (delay as f64 * (JITTER_MIN + JITTER_SPAN)) as u64);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod backoff;
 pub mod bitset;
 pub mod category;
 pub mod dataset;
@@ -44,6 +45,7 @@ pub mod snapshot;
 pub mod time;
 
 pub use app::{AdLibrary, App, PricingTier, AD_NETWORK_CATALOGUE};
+pub use backoff::{backoff_delay_ms, jittered, BackoffSchedule, RetryBudget};
 pub use bitset::DenseBitset;
 pub use category::{CategoryInfo, CategorySet};
 pub use dataset::{Dataset, StoreMeta};

@@ -81,13 +81,10 @@ impl std::fmt::Display for CrawlError {
 
 impl std::error::Error for CrawlError {}
 
-/// Nominal backoff delay (before jitter) ahead of retry `attempt`
-/// (1-based): exponential in the attempt number, with the exponent
-/// clamped so the delay never exceeds `base_ms << 8` (~25 s at the
-/// default base) no matter how long a request keeps failing.
-pub fn backoff_delay_ms(base_ms: u64, attempt: u32) -> u64 {
-    base_ms.saturating_mul(1 << attempt.min(8))
-}
+/// Nominal backoff delay (before jitter) ahead of retry `attempt` —
+/// re-exported from [`appstore_core::backoff`], where the schedule now
+/// lives so the serve-layer replay client shares it.
+pub use appstore_core::backoff::backoff_delay_ms;
 
 /// A crawler instance bound to one store.
 pub struct CrawlerClient {
@@ -199,8 +196,7 @@ impl CrawlerClient {
             self.stats.retries += 1;
             // Exponential backoff with ±25% jitter, capped at ~25 s.
             let exp = backoff_delay_ms(self.backoff_base_ms, attempt);
-            let jitter = 0.75 + 0.5 * self.rng.gen::<f64>();
-            self.now_ms += ((exp as f64) * jitter) as u64;
+            self.now_ms += appstore_core::backoff::jittered(exp, &mut self.rng);
         }
     }
 }

@@ -209,6 +209,15 @@ impl ProxyPool {
     pub fn record_failure(&mut self, proxy: Proxy, now_ms: u64) {
         let i = self.index_of(proxy);
         self.failures[i] = self.failures[i].saturating_add(1);
+        // A failure reported while the breaker is still open is a stale
+        // in-flight response from the episode that already tripped it (a
+        // probe that timed out exactly at the deadline lands at
+        // `quarantined_until`, which counts). Tally the ledger but do not
+        // advance the streak, or one bad episode double-counts and the
+        // probation window ratchets without a fresh probe ever failing.
+        if self.open[i] && now_ms < self.quarantined_until[i] {
+            return;
+        }
         self.streak[i] = self.streak[i].saturating_add(1);
         if self.streak[i] >= BREAKER_STREAK {
             self.quarantined_until[i] = now_ms.saturating_add(self.probation_ms[i]);
@@ -336,6 +345,36 @@ mod tests {
         assert_eq!(health.quarantines, 3);
         assert!(!health.banned);
         assert!(health.score() < 0.2);
+    }
+
+    #[test]
+    fn stale_failures_inside_an_open_window_do_not_double_count() {
+        let mut pool = ProxyPool::planetlab(0, 1);
+        let (proxy, _) = pool.acquire(0, None).unwrap();
+        // Trip at 1_000: quarantined until 6_000, probation doubles to 10s.
+        for now in [800, 900, 1_000] {
+            pool.record_failure(proxy, now);
+        }
+        assert!(pool.is_quarantined(proxy, 1_000));
+        // Stale in-flight failures from the same episode drain while the
+        // breaker is open: ledger grows, but no second trip and no streak.
+        for now in [3_000, 3_500, 4_000] {
+            pool.record_failure(proxy, now);
+        }
+        let health = &pool.health()[0];
+        assert_eq!(health.failures, 6, "ledger still counts every failure");
+        assert_eq!(health.quarantines, 1, "but the breaker tripped once");
+        // A probe failing exactly at the deadline is a genuine new
+        // failure (single-counted): two more leave the streak short…
+        pool.record_failure(proxy, 6_000);
+        pool.record_failure(proxy, 6_100);
+        assert!(!pool.is_quarantined(proxy, 6_100), "streak is 2, not 5");
+        // …and a third trips the second quarantine with the doubled
+        // window, proving probation did not ratchet during the stale run.
+        pool.record_failure(proxy, 6_200);
+        assert_eq!(pool.health()[0].quarantines, 2);
+        let (_, probe) = pool.acquire(6_200, None).unwrap();
+        assert_eq!(probe, 6_200 + 10_000, "exactly one doubling");
     }
 
     #[test]

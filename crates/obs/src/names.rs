@@ -128,6 +128,44 @@ pub const RECOMMEND_USERS_EVALUATED: &str = "recommend.users_evaluated";
 /// Break-even curve evaluations.
 pub const REVENUE_BREAKEVEN_EVALS: &str = "revenue.breakeven_evals";
 
+/// HTTP requests the serving layer parsed off its sockets.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Responses served fresh (edge hit or live backing fetch).
+pub const SERVE_RESPONSES_FRESH: &str = "serve.responses.fresh";
+/// Responses degraded to a stale edge copy.
+pub const SERVE_RESPONSES_STALE: &str = "serve.responses.stale";
+/// Responses shed (503/504) instead of served.
+pub const SERVE_RESPONSES_SHED: &str = "serve.responses.shed";
+/// Connections shed at the accept queue (503 + Retry-After).
+pub const SERVE_SHEDS_QUEUE: &str = "serve.sheds.queue";
+/// Requests shed because their deadline budget ran out (504).
+pub const SERVE_SHEDS_DEADLINE: &str = "serve.sheds.deadline";
+/// Requests shed because the backing breaker was open and no stale
+/// copy existed (503).
+pub const SERVE_SHEDS_BREAKER: &str = "serve.sheds.breaker";
+/// Handler panics caught at the worker boundary (500, worker survives).
+pub const SERVE_PANICS_CAUGHT: &str = "serve.panics.caught";
+/// Edge-cache hits on the app-page path.
+pub const SERVE_EDGE_HITS: &str = "serve.edge.hits";
+/// Edge-cache misses on the app-page path.
+pub const SERVE_EDGE_MISSES: &str = "serve.edge.misses";
+/// Edge-cache payload evictions.
+pub const SERVE_EDGE_EVICTIONS: &str = "serve.edge.evictions";
+/// Rankings served from a fresh edge copy.
+pub const SERVE_RANKINGS_FRESH: &str = "serve.rankings.fresh";
+/// Rankings served stale (stale-while-revalidate degradation).
+pub const SERVE_RANKINGS_STALE: &str = "serve.rankings.stale";
+/// Calls that reached the backing store.
+pub const SERVE_BACKING_CALLS: &str = "serve.backing.calls";
+/// Backing calls that failed (injected I/O errors, timeouts).
+pub const SERVE_BACKING_FAILURES: &str = "serve.backing.failures";
+/// Requests refused by the backing store's per-client rate limit (429).
+pub const SERVE_RATE_LIMITED: &str = "serve.rate_limited";
+/// Per-request virtual latency (deterministic histogram, virtual ms).
+pub const SERVE_LATENCY_VIRTUAL_MS: &str = "serve.latency.virtual_ms";
+/// Per-request wall-clock latency (volatile histogram, microseconds).
+pub const SERVE_LATENCY_REAL_US: &str = "serve.latency.real_us";
+
 /// Synthetic stores generated.
 pub const SYNTH_STORES: &str = "synth.stores";
 /// Apps in generated catalogues.
@@ -199,6 +237,24 @@ pub const ALL_METRICS: &[&str] = &[
     RECOMMEND_EVALUATIONS,
     RECOMMEND_USERS_EVALUATED,
     REVENUE_BREAKEVEN_EVALS,
+    SERVE_REQUESTS,
+    SERVE_RESPONSES_FRESH,
+    SERVE_RESPONSES_STALE,
+    SERVE_RESPONSES_SHED,
+    SERVE_SHEDS_QUEUE,
+    SERVE_SHEDS_DEADLINE,
+    SERVE_SHEDS_BREAKER,
+    SERVE_PANICS_CAUGHT,
+    SERVE_EDGE_HITS,
+    SERVE_EDGE_MISSES,
+    SERVE_EDGE_EVICTIONS,
+    SERVE_RANKINGS_FRESH,
+    SERVE_RANKINGS_STALE,
+    SERVE_BACKING_CALLS,
+    SERVE_BACKING_FAILURES,
+    SERVE_RATE_LIMITED,
+    SERVE_LATENCY_VIRTUAL_MS,
+    SERVE_LATENCY_REAL_US,
     SYNTH_STORES,
     SYNTH_APPS,
     SYNTH_DOWNLOADS,

@@ -1,0 +1,83 @@
+//! Per-request deadline budgets in virtual time.
+//!
+//! A [`Deadline`] is a millisecond budget the handler charges as it
+//! works: queueing, backing-store latency, injected slowdowns. Charging
+//! past the budget flips the deadline to exceeded — the handler then
+//! degrades or sheds instead of continuing work nobody is waiting for.
+//! Budgets propagate: the replay client stamps `X-Deadline-Ms` on each
+//! request, and the handler passes the *remaining* budget to the
+//! backing call so a request that has already burned its time fails
+//! fast instead of queueing behind a slow store.
+
+/// A virtual-time deadline budget for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    budget_ms: u64,
+    charged_ms: u64,
+}
+
+impl Deadline {
+    /// Creates a deadline with `budget_ms` of virtual time to spend.
+    pub fn new(budget_ms: u64) -> Deadline {
+        Deadline {
+            budget_ms,
+            charged_ms: 0,
+        }
+    }
+
+    /// Charges `ms` of virtual work against the budget. Returns `true`
+    /// while the budget still covers everything charged so far.
+    pub fn charge(&mut self, ms: u64) -> bool {
+        self.charged_ms = self.charged_ms.saturating_add(ms);
+        !self.exceeded()
+    }
+
+    /// True once more has been charged than the budget allows.
+    pub fn exceeded(&self) -> bool {
+        self.charged_ms > self.budget_ms
+    }
+
+    /// Budget not yet charged (0 when exceeded).
+    pub fn remaining_ms(&self) -> u64 {
+        self.budget_ms.saturating_sub(self.charged_ms)
+    }
+
+    /// Virtual milliseconds charged so far — the request's deterministic
+    /// latency, reported back to the client in `X-Virtual-Ms`.
+    pub fn charged_ms(&self) -> u64 {
+        self.charged_ms
+    }
+
+    /// True when the remaining budget covers `ms` more work — the
+    /// propagation check a handler runs before starting a stage whose
+    /// cost it knows up front.
+    pub fn covers(&self, ms: u64) -> bool {
+        self.remaining_ms() >= ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_until_exceeded() {
+        let mut d = Deadline::new(100);
+        assert!(d.charge(60));
+        assert_eq!(d.remaining_ms(), 40);
+        assert!(d.covers(40));
+        assert!(!d.covers(41));
+        assert!(d.charge(40), "exactly on budget is still within it");
+        assert!(!d.charge(1));
+        assert!(d.exceeded());
+        assert_eq!(d.remaining_ms(), 0);
+        assert_eq!(d.charged_ms(), 101);
+    }
+
+    #[test]
+    fn zero_budget_fails_on_first_charge() {
+        let mut d = Deadline::new(0);
+        assert!(!d.exceeded(), "nothing charged yet");
+        assert!(!d.charge(1));
+    }
+}

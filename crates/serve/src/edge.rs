@@ -1,0 +1,178 @@
+//! The edge cache: LRU app pages plus stale-while-revalidate rankings.
+//!
+//! The paper's §5 argument is that an appstore-side cache absorbs most
+//! download traffic; this module is that cache, placed in front of the
+//! backing store by the serving layer. App pages live in an
+//! [`appstore_cache::Lru`] (unit-size objects, exactly the paper's
+//! Fig. 19 setup) with the encoded payload carried alongside, so a hit
+//! is served without touching the backing store at all. The rankings
+//! page is a single hot object cached with a virtual-time TTL: within
+//! the TTL it is *fresh*; after the TTL it is *stale* but retained, so
+//! that when the backing store is tripped or slow the server can keep
+//! answering — marked degraded — instead of erroring. That retained
+//! copy is the middle rung of the fresh → stale → shed ladder.
+
+use appstore_cache::{Lru, ReplacementPolicy};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// What the edge knows about the rankings page right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RankingsView {
+    /// A copy within its TTL: serve it, skip the backing store.
+    Fresh(Bytes),
+    /// A retained copy past its TTL: good enough when the backing
+    /// store is unavailable, served with `X-Degraded: stale`.
+    Stale(Bytes),
+    /// Never fetched (or the server just started): nothing to degrade
+    /// to — a backing failure here means shedding.
+    Missing,
+}
+
+/// The serving layer's edge cache.
+pub struct EdgeCache {
+    apps: Lru,
+    payloads: HashMap<u32, Bytes>,
+    rankings: Option<(Bytes, u64)>,
+    rankings_ttl_ms: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EdgeCache {
+    /// Creates an edge cache holding up to `capacity` app pages, with
+    /// rankings considered fresh for `rankings_ttl_ms` of virtual time.
+    pub fn new(capacity: usize, rankings_ttl_ms: u64) -> EdgeCache {
+        EdgeCache {
+            apps: Lru::new(capacity),
+            payloads: HashMap::with_capacity(capacity),
+            rankings: None,
+            rankings_ttl_ms,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pre-fills one app page without counting a hit or a miss (the
+    /// paper's warm start: most-popular apps already at the edge).
+    pub fn warm_app(&mut self, app: u32, payload: Bytes) {
+        self.apps.warm(app);
+        if self.apps.contains(app) {
+            self.payloads.insert(app, payload);
+        }
+    }
+
+    /// Looks up an app page. A hit promotes the entry and returns its
+    /// payload; a miss returns `None` *without* admitting the app — the
+    /// caller admits via [`EdgeCache::fill_app`] only after the backing
+    /// store actually produced the page.
+    pub fn lookup_app(&mut self, app: u32) -> Option<Bytes> {
+        if self.apps.touch(app) {
+            self.hits += 1;
+            appstore_obs::counter(appstore_obs::names::SERVE_EDGE_HITS, 1);
+            self.payloads.get(&app).cloned()
+        } else {
+            self.misses += 1;
+            appstore_obs::counter(appstore_obs::names::SERVE_EDGE_MISSES, 1);
+            None
+        }
+    }
+
+    /// Admits a freshly fetched app page, evicting the LRU victim's
+    /// payload if the cache was full.
+    pub fn fill_app(&mut self, app: u32, payload: Bytes) {
+        if let Some(evicted) = self.apps.insert_evicting(app) {
+            self.payloads.remove(&evicted);
+            appstore_obs::counter(appstore_obs::names::SERVE_EDGE_EVICTIONS, 1);
+        }
+        self.payloads.insert(app, payload);
+    }
+
+    /// The rankings page as of virtual time `now_ms`.
+    pub fn rankings(&self, now_ms: u64) -> RankingsView {
+        match &self.rankings {
+            Some((payload, fetched_at)) => {
+                if now_ms.saturating_sub(*fetched_at) <= self.rankings_ttl_ms {
+                    RankingsView::Fresh(payload.clone())
+                } else {
+                    RankingsView::Stale(payload.clone())
+                }
+            }
+            None => RankingsView::Missing,
+        }
+    }
+
+    /// Stores a freshly fetched rankings page, restarting its TTL.
+    pub fn put_rankings(&mut self, payload: Bytes, now_ms: u64) {
+        self.rankings = Some((payload, now_ms));
+    }
+
+    /// App-page hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// App-page misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// App-page hit rate in [0, 1]; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn payload(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 4])
+    }
+
+    #[test]
+    fn lru_hits_and_evictions_track_payloads() {
+        let mut edge = EdgeCache::new(2, 1_000);
+        assert!(edge.lookup_app(1).is_none(), "cold miss");
+        edge.fill_app(1, payload(1));
+        edge.fill_app(2, payload(2));
+        assert_eq!(edge.lookup_app(1), Some(payload(1)), "hit promotes 1");
+        edge.fill_app(3, payload(3)); // evicts 2 (LRU)
+        assert!(edge.lookup_app(2).is_none());
+        assert_eq!(edge.lookup_app(1), Some(payload(1)));
+        assert_eq!(edge.hits(), 2);
+        assert_eq!(edge.misses(), 2);
+        // The evicted payload is gone from the side table too.
+        assert_eq!(edge.payloads.len(), 2);
+    }
+
+    #[test]
+    fn warm_start_counts_nothing() {
+        let mut edge = EdgeCache::new(4, 1_000);
+        edge.warm_app(1, payload(1));
+        edge.warm_app(2, payload(2));
+        assert_eq!((edge.hits(), edge.misses()), (0, 0));
+        assert_eq!(edge.lookup_app(1), Some(payload(1)));
+        assert_eq!(edge.hits(), 1);
+    }
+
+    #[test]
+    fn rankings_age_from_fresh_to_stale() {
+        let mut edge = EdgeCache::new(2, 500);
+        assert_eq!(edge.rankings(0), RankingsView::Missing);
+        edge.put_rankings(payload(9), 1_000);
+        assert_eq!(edge.rankings(1_400), RankingsView::Fresh(payload(9)));
+        assert_eq!(edge.rankings(1_500), RankingsView::Fresh(payload(9)));
+        assert_eq!(edge.rankings(1_501), RankingsView::Stale(payload(9)));
+        // A refresh restarts the TTL.
+        edge.put_rankings(payload(8), 2_000);
+        assert_eq!(edge.rankings(2_400), RankingsView::Fresh(payload(8)));
+    }
+}

@@ -1,0 +1,280 @@
+//! A minimal HTTP/1.1 wire implementation over `std` I/O.
+//!
+//! Just enough of the protocol for the serving layer and its replay
+//! client: GET requests with a query string and headers, keep-alive
+//! connections, `Content-Length`-framed bodies, and pipelining (the
+//! replay client writes whole batches before reading the responses
+//! back, which is what makes a six-figure replay fast over a real
+//! socket). No chunked encoding, no bodies on requests.
+//!
+//! The resilience headers are part of the contract:
+//!
+//! * `X-Client` — the client's stable address, fed to the backing
+//!   store's per-client token bucket;
+//! * `X-Now-Ms` — the client's virtual clock, driving TTLs, breaker
+//!   probation, and rate-limit refill deterministically;
+//! * `X-Deadline-Ms` — the request's deadline budget (propagated);
+//! * `X-Retry-After-Ms` / `Retry-After` — shed/throttle backpressure;
+//! * `X-Degraded` — how a degraded response was degraded
+//!   (`stale`, `deadline`, `panic`, ...);
+//! * `X-Source` — where a 200 came from (`edge`, `backing`);
+//! * `X-Virtual-Ms` — the deterministic virtual latency the request
+//!   was charged.
+
+use bytes::Bytes;
+use std::io::{self, BufRead, Write};
+
+/// A parsed request line plus headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (the serving layer only routes GET).
+    pub method: String,
+    /// Path portion of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// First value of query key `key`.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query key `key`, parsed as `u64`.
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query_value(key)?.parse().ok()
+    }
+
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value parsed as `u64`.
+    pub fn header_u64(&self, name: &str) -> Option<u64> {
+        self.header(name)?.trim().parse().ok()
+    }
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 404, 429, 500, 503, 504, ...).
+    pub status: u16,
+    /// Header `(name, value)` pairs (`Content-Length` is added on
+    /// write; names here keep their given case).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Bytes,
+}
+
+impl HttpResponse {
+    /// An empty-bodied response with the given status.
+    pub fn new(status: u16) -> HttpResponse {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Adds a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl ToString) -> HttpResponse {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body (builder style).
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> HttpResponse {
+        self.body = body.into();
+        self
+    }
+
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value parsed as `u64`.
+    pub fn header_u64(&self, name: &str) -> Option<u64> {
+        self.header(name)?.trim().parse().ok()
+    }
+
+    /// Serializes the response, adding `Content-Length`.
+    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_text(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n\r\n", self.body.len())?;
+        out.write_all(&self.body)
+    }
+}
+
+/// Reason phrase for the status codes the serving layer emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request off a connection. `Ok(None)` is a clean EOF
+/// (client closed a keep-alive connection); an error is a torn or
+/// malformed request.
+pub fn read_request(reader: &mut impl BufRead) -> io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(malformed("request line"));
+    };
+    let (path, query_string) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_string
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+    let headers = read_headers(reader)?;
+    Ok(Some(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+    }))
+}
+
+/// Reads one response (status line, headers, `Content-Length` body).
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<HttpResponse> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before response",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let status = parts
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| malformed("status line"))?;
+    let headers = read_headers(reader)?;
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.trim().parse().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; length];
+    io::Read::read_exact(reader, &mut body)?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: Bytes::from(body),
+    })
+}
+
+fn read_headers(reader: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(malformed("headers truncated"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| malformed("header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed {what}"))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let raw = b"GET /app?id=42&day=3 HTTP/1.1\r\nX-Client: 7\r\nX-Now-Ms: 1500\r\n\r\n";
+        let request = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/app");
+        assert_eq!(request.query_u64("id"), Some(42));
+        assert_eq!(request.query_u64("day"), Some(3));
+        assert_eq!(request.header_u64("x-client"), Some(7));
+        assert_eq!(request.header_u64("X-Now-Ms"), Some(1500));
+        assert_eq!(request.header("missing"), None);
+    }
+
+    #[test]
+    fn eof_is_a_clean_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(raw)).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let response = HttpResponse::new(503)
+            .with_header("Retry-After", 2)
+            .with_header("X-Retry-After-Ms", 1500)
+            .with_body("shed".to_string());
+        let mut wire = Vec::new();
+        response.write_to(&mut wire).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 503);
+        assert_eq!(parsed.header_u64("x-retry-after-ms"), Some(1500));
+        assert_eq!(parsed.body, Bytes::from(b"shed".to_vec()));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut reader = BufReader::new(raw.as_slice());
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request(&mut reader).unwrap().unwrap().path, "/b");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

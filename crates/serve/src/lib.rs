@@ -1,0 +1,66 @@
+//! The resilient appstore serving layer.
+//!
+//! Everything before this crate treats the store as a passive dataset
+//! behind a simulated wire; this crate promotes it into a real network
+//! service — a threaded TCP/HTTP front end over the store state (app
+//! pages, rankings, the download endpoint) built from `std` only — and
+//! wraps it in the resilience machinery a bursty, heavy-tailed
+//! marketplace workload demands:
+//!
+//! * **per-request deadlines** ([`deadline`]) — every request carries a
+//!   virtual-time budget (propagated from the client via a header) that
+//!   each stage of handler work charges against; an exhausted budget
+//!   turns into a 504 instead of a stalled socket;
+//! * **bounded admission** ([`queue`]) — connections enter a bounded
+//!   work queue with a seeded admission policy; past the high watermark
+//!   the server sheds with an explicit `503 Retry-After` instead of
+//!   letting latency grow without bound;
+//! * **circuit-broken backing fetches** ([`server`]) — misses go to the
+//!   backing [`appstore_crawler::MarketplaceServer`] (reusing its
+//!   per-client token-bucket rate limits) through the same
+//!   [`appstore_crawler::ProxyPool`] circuit breaker the crawler uses,
+//!   so a sick backing store is probed, not hammered;
+//! * **graceful degradation** ([`edge`]) — rankings are cached at the
+//!   edge with stale-while-revalidate: while the breaker is open the
+//!   server serves the stale copy (marked `X-Degraded: stale`) instead
+//!   of erroring, and only sheds when it has nothing at all;
+//! * **a deterministic load generator** ([`replay`]) — replays
+//!   APP-CLUSTERING / ZIPF download traces at a configurable QPS over a
+//!   real socket, with jittered-backoff retries governed by an
+//!   [`appstore_core::backoff::RetryBudget`] so retries cannot amplify
+//!   overload.
+//!
+//! The degradation ladder is always *fresh → stale → shed*: serve live
+//! data when the backing store is healthy, serve a stale edge copy when
+//! it is not, and shed explicitly when even that is impossible.
+//!
+//! Determinism: all resilience decisions run on virtual time (the
+//! replay client stamps every request with `X-Now-Ms`), fault rolls and
+//! shed rolls key off sequential request indices, and wall-clock only
+//! feeds volatile metrics — so a seeded replay produces byte-identical
+//! counters, hit rates, and fault logs on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadline;
+pub mod edge;
+pub mod http;
+pub mod queue;
+pub mod replay;
+pub mod server;
+
+pub use deadline::Deadline;
+pub use edge::{EdgeCache, RankingsView};
+pub use http::{HttpRequest, HttpResponse};
+pub use queue::{Admission, AdmissionPolicy, BoundedQueue};
+pub use replay::{replay, ReplayConfig, ReplayStats, Workload};
+pub use server::{with_server, ServeConfig, ServerHandle};
+
+/// Fault-injection site: one roll per request at the handler boundary
+/// (worker panics, injected handler delays and I/O errors).
+pub const SITE_SERVE_HANDLER: &str = "serve.handler";
+
+/// Fault-injection site: one roll per backing-store call (I/O errors and
+/// slowdowns on the path behind the edge cache).
+pub const SITE_SERVE_BACKING: &str = "serve.backing";

@@ -1,0 +1,719 @@
+//! The threaded TCP/HTTP front end with the full resilience stack.
+//!
+//! [`with_server`] binds a loopback listener over a dataset and runs
+//! workers inside a [`std::thread::scope`], so the server borrows the
+//! dataset safely and everything is torn down when the caller's
+//! closure returns. Connections flow acceptor → bounded queue →
+//! worker; each request then runs the degradation ladder:
+//!
+//! 1. **fresh** — edge hit, or a live backing fetch through the
+//!    circuit breaker (reusing the backing store's per-client token
+//!    buckets for rate limiting);
+//! 2. **stale** — the breaker is open or the deadline cannot cover a
+//!    backing fetch, but the edge holds a stale rankings copy: serve
+//!    it, marked `X-Degraded: stale`;
+//! 3. **shed** — nothing to degrade to: explicit 503 (+ Retry-After)
+//!    or 504 when the deadline budget ran out.
+//!
+//! Handlers run under `catch_unwind`: an injected (or real) panic
+//! costs one 500 response and is counted — it never kills a worker or
+//! wedges the accept queue. Fault rolls happen at two sites,
+//! [`crate::SITE_SERVE_HANDLER`] (per request) and
+//! [`crate::SITE_SERVE_BACKING`] (per backing call), both keyed by
+//! sequential indices so chaos schedules replay deterministically.
+
+use crate::deadline::Deadline;
+use crate::edge::{EdgeCache, RankingsView};
+use crate::http::{read_request, HttpRequest, HttpResponse};
+use crate::queue::{AdmissionPolicy, BoundedQueue};
+use crate::{SITE_SERVE_BACKING, SITE_SERVE_HANDLER};
+use appstore_core::faults::{self, FaultKind};
+use appstore_core::{Dataset, Day, Seed};
+use appstore_crawler::wire::encode_response;
+use appstore_crawler::{
+    MarketplaceServer, Proxy, ProxyPool, Region, Request, Response, ServerPolicy, WireError,
+};
+use appstore_obs::names;
+use bytes::Bytes;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// The client address the edge itself uses when refreshing rankings
+/// (kept away from real client ids so the refresher has its own token
+/// bucket at the backing store).
+pub const EDGE_CLIENT_ADDR: u32 = u32::MAX;
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accept-queue admission policy.
+    pub admission: AdmissionPolicy,
+    /// Default per-request deadline budget (virtual ms) when the
+    /// client does not propagate one via `X-Deadline-Ms`.
+    pub deadline_ms: u64,
+    /// Virtual base cost charged per request for parse/route work.
+    pub handler_cost_ms: u64,
+    /// Virtual cost charged per download-endpoint request.
+    pub download_cost_ms: u64,
+    /// App pages held at the edge.
+    pub cache_capacity: usize,
+    /// Apps (by popularity rank 0..n) pre-filled at the edge.
+    pub warm_apps: usize,
+    /// Virtual TTL of the edge's rankings copy.
+    pub rankings_ttl_ms: u64,
+    /// The day of store state this server fronts.
+    pub day: Day,
+    /// Backing-store policy (per-client token buckets, latency).
+    pub backing: ServerPolicy,
+}
+
+impl ServeConfig {
+    /// A deterministic default sized for tests and the replay
+    /// experiment: 2 workers, generous queue, generous backing limits.
+    pub fn replay_default(seed: Seed) -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            admission: AdmissionPolicy::generous(seed.child("admission")),
+            deadline_ms: 1_000,
+            handler_cost_ms: 1,
+            download_cost_ms: 5,
+            cache_capacity: 64,
+            warm_apps: 0,
+            rankings_ttl_ms: 10_000,
+            day: Day(0),
+            backing: ServerPolicy {
+                requests_per_second: 2_000.0,
+                burst: 4_000,
+                ..ServerPolicy::default()
+            },
+        }
+    }
+}
+
+/// What the caller's closure gets: where to connect, plus liveness
+/// counters that must survive handler panics.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    panics_caught: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// The bound loopback address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Handler panics caught at the worker boundary so far.
+    pub fn panics_caught(&self) -> u64 {
+        self.panics_caught.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs `f` under the captured observability context, if any — worker
+/// threads attribute metrics exactly like the thread that started the
+/// server.
+fn in_context<R>(context: &Option<appstore_obs::Context>, f: impl FnOnce() -> R) -> R {
+    match context {
+        Some(context) => context.run(f),
+        None => f(),
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: a handler panic must not
+/// permanently wedge the edge cache or the breaker for every
+/// subsequent request.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Shared<'a> {
+    backing: MarketplaceServer<'a>,
+    dataset: &'a Dataset,
+    config: ServeConfig,
+    edge: Mutex<EdgeCache>,
+    breaker: Mutex<ProxyPool>,
+    backing_proxy: Proxy,
+    request_index: AtomicU64,
+    fallback_clock_ms: AtomicU64,
+    panics_caught: Arc<AtomicU64>,
+}
+
+impl<'a> Shared<'a> {
+    fn new(dataset: &'a Dataset, config: ServeConfig) -> Shared<'a> {
+        let mut edge = EdgeCache::new(config.cache_capacity, config.rankings_ttl_ms);
+        // Warm start (the paper's §5 setup): the most popular apps —
+        // app id == popularity rank — are already at the edge.
+        if let Some(snapshot) = dataset.snapshots.iter().find(|s| s.day == config.day) {
+            for observation in snapshot.observations.iter().take(config.warm_apps) {
+                let payload = encode_response(&Response::AppPage {
+                    observation: *observation,
+                });
+                edge.warm_app(observation.app.0, payload);
+            }
+        }
+        // A single-proxy pool: the one "proxy" stands for the backing
+        // store itself, giving its circuit breaker (streaks, doubling
+        // probation, health ledger) to the serving path unchanged.
+        let breaker = ProxyPool::planetlab(0, 1);
+        let backing_proxy = breaker
+            .acquire(0, None)
+            .map(|(proxy, _)| proxy)
+            .expect("pool has one proxy");
+        Shared {
+            backing: MarketplaceServer::new(dataset, config.backing),
+            dataset,
+            config,
+            edge: Mutex::new(edge),
+            breaker: Mutex::new(breaker),
+            backing_proxy,
+            request_index: AtomicU64::new(0),
+            fallback_clock_ms: AtomicU64::new(0),
+            panics_caught: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Why a backing fetch did not produce a payload.
+enum BackingError {
+    /// Breaker open: not probing until the given virtual time.
+    Open { retry_at_ms: u64 },
+    /// The call failed (injected I/O error or transport fault).
+    Failed,
+    /// The deadline cannot cover (or no longer covers) the fetch.
+    Deadline,
+    /// Per-client token bucket said wait.
+    RateLimited { retry_after_ms: u64 },
+    /// The client is blacklisted at the backing store.
+    Blacklisted,
+    /// Unknown app or day.
+    NotFound,
+}
+
+/// One backing-store fetch through the circuit breaker, charging the
+/// deadline for the latency actually incurred.
+fn call_backing(
+    shared: &Shared<'_>,
+    client: u32,
+    now_ms: u64,
+    index: u64,
+    deadline: &mut Deadline,
+    request: Request,
+) -> Result<Bytes, BackingError> {
+    let mut breaker = lock(&shared.breaker);
+    if breaker.is_quarantined(shared.backing_proxy, now_ms) {
+        let retry_at_ms = breaker
+            .acquire(now_ms, None)
+            .map(|(_, at)| at)
+            .unwrap_or(now_ms);
+        return Err(BackingError::Open { retry_at_ms });
+    }
+    // Deadline propagation: don't start a fetch the budget can't cover.
+    if !deadline.covers(shared.config.backing.latency_ms) {
+        return Err(BackingError::Deadline);
+    }
+    appstore_obs::counter(names::SERVE_BACKING_CALLS, 1);
+    match faults::roll(SITE_SERVE_BACKING, index, 0) {
+        Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
+            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
+            breaker.record_failure(shared.backing_proxy, now_ms);
+            return Err(BackingError::Failed);
+        }
+        // An injected slowdown: charge it; past the deadline the fetch
+        // counts as a timeout — a breaker failure. (A covered delay
+        // charges in the guard and falls through to the live call.)
+        Some(FaultKind::Delay { virtual_ms }) if !deadline.charge(virtual_ms) => {
+            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
+            breaker.record_failure(shared.backing_proxy, now_ms);
+            return Err(BackingError::Deadline);
+        }
+        Some(FaultKind::WorkerPanic) => panic!("injected panic in backing call"),
+        Some(FaultKind::Delay { .. }) | None => {}
+    }
+    match shared
+        .backing
+        .handle(client, Region::Europe, now_ms, request)
+    {
+        Ok((payload, latency_ms)) => {
+            deadline.charge(latency_ms);
+            breaker.record_success(shared.backing_proxy);
+            Ok(payload)
+        }
+        Err(WireError::RateLimited { retry_after_ms }) => {
+            appstore_obs::counter(names::SERVE_RATE_LIMITED, 1);
+            Err(BackingError::RateLimited { retry_after_ms })
+        }
+        Err(WireError::Blacklisted) => Err(BackingError::Blacklisted),
+        Err(WireError::NotFound) => Err(BackingError::NotFound),
+        Err(_) => {
+            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
+            breaker.record_failure(shared.backing_proxy, now_ms);
+            Err(BackingError::Failed)
+        }
+    }
+}
+
+fn shed(status: u16, reason: &str, retry_after_ms: u64) -> HttpResponse {
+    HttpResponse::new(status)
+        .with_header("X-Degraded", reason)
+        .with_header("Retry-After", retry_after_ms.div_ceil(1_000).max(1))
+        .with_header("X-Retry-After-Ms", retry_after_ms.max(1))
+}
+
+fn rankings(shared: &Shared<'_>, now_ms: u64, index: u64, deadline: &mut Deadline) -> HttpResponse {
+    let view = lock(&shared.edge).rankings(now_ms);
+    if let RankingsView::Fresh(payload) = view {
+        appstore_obs::counter(names::SERVE_RANKINGS_FRESH, 1);
+        return HttpResponse::new(200)
+            .with_header("X-Source", "edge")
+            .with_body(payload);
+    }
+    // Missing or stale: try a refresh through the breaker.
+    let day = shared.config.day;
+    match call_backing(
+        shared,
+        EDGE_CLIENT_ADDR,
+        now_ms,
+        index,
+        deadline,
+        Request::Index { day },
+    ) {
+        Ok(payload) => {
+            lock(&shared.edge).put_rankings(payload.clone(), now_ms);
+            appstore_obs::counter(names::SERVE_RANKINGS_FRESH, 1);
+            HttpResponse::new(200)
+                .with_header("X-Source", "backing")
+                .with_body(payload)
+        }
+        Err(BackingError::NotFound) => HttpResponse::new(404),
+        Err(BackingError::Blacklisted) => HttpResponse::new(403),
+        Err(error) => {
+            // Degrade to the stale copy if the edge holds one —
+            // stale-while-revalidate's whole point.
+            if let RankingsView::Stale(payload) = view {
+                appstore_obs::counter(names::SERVE_RANKINGS_STALE, 1);
+                return HttpResponse::new(200)
+                    .with_header("X-Source", "edge")
+                    .with_header("X-Degraded", "stale")
+                    .with_body(payload);
+            }
+            match error {
+                BackingError::Open { retry_at_ms } => {
+                    appstore_obs::counter(names::SERVE_SHEDS_BREAKER, 1);
+                    shed(503, "breaker-open", retry_at_ms.saturating_sub(now_ms))
+                }
+                BackingError::Deadline => {
+                    appstore_obs::counter(names::SERVE_SHEDS_DEADLINE, 1);
+                    shed(504, "deadline", 1_000)
+                }
+                BackingError::RateLimited { retry_after_ms } => {
+                    shed(503, "backing-throttled", retry_after_ms)
+                }
+                _ => shed(503, "backing-failed", 1_000),
+            }
+        }
+    }
+}
+
+fn app_page(
+    shared: &Shared<'_>,
+    request: &HttpRequest,
+    client: u32,
+    now_ms: u64,
+    index: u64,
+    deadline: &mut Deadline,
+) -> HttpResponse {
+    let Some(app) = request.query_u64("id") else {
+        return HttpResponse::new(400);
+    };
+    let app = app as u32;
+    if let Some(payload) = lock(&shared.edge).lookup_app(app) {
+        return HttpResponse::new(200)
+            .with_header("X-Source", "edge")
+            .with_body(payload);
+    }
+    let day = shared.config.day;
+    match call_backing(
+        shared,
+        client,
+        now_ms,
+        index,
+        deadline,
+        Request::AppPage {
+            app: appstore_core::AppId(app),
+            day,
+        },
+    ) {
+        Ok(payload) => {
+            lock(&shared.edge).fill_app(app, payload.clone());
+            HttpResponse::new(200)
+                .with_header("X-Source", "backing")
+                .with_body(payload)
+        }
+        Err(BackingError::Open { retry_at_ms }) => {
+            appstore_obs::counter(names::SERVE_SHEDS_BREAKER, 1);
+            shed(503, "breaker-open", retry_at_ms.saturating_sub(now_ms))
+        }
+        Err(BackingError::Failed) => HttpResponse::new(502)
+            .with_header("X-Degraded", "backing-failed")
+            .with_header("X-Retry-After-Ms", 100),
+        Err(BackingError::Deadline) => {
+            appstore_obs::counter(names::SERVE_SHEDS_DEADLINE, 1);
+            shed(504, "deadline", 1_000)
+        }
+        Err(BackingError::RateLimited { retry_after_ms }) => HttpResponse::new(429)
+            .with_header("Retry-After", retry_after_ms.div_ceil(1_000).max(1))
+            .with_header("X-Retry-After-Ms", retry_after_ms.max(1)),
+        Err(BackingError::Blacklisted) => HttpResponse::new(403),
+        Err(BackingError::NotFound) => HttpResponse::new(404),
+    }
+}
+
+fn download(shared: &Shared<'_>, request: &HttpRequest, deadline: &mut Deadline) -> HttpResponse {
+    let Some(app) = request.query_u64("app") else {
+        return HttpResponse::new(400);
+    };
+    deadline.charge(shared.config.download_cost_ms);
+    if deadline.exceeded() {
+        appstore_obs::counter(names::SERVE_SHEDS_DEADLINE, 1);
+        return shed(504, "deadline", 1_000);
+    }
+    // APK metadata comes straight from the catalogue — the paper's
+    // download path is fronted by exactly the cache this server is.
+    match shared.dataset.apps.get(app as usize) {
+        Some(entry) => HttpResponse::new(200)
+            .with_header("X-Source", "edge")
+            .with_body(format!(
+                "{{\"app\": {}, \"apk_size\": {}}}",
+                app, entry.apk_size
+            )),
+        None => HttpResponse::new(404),
+    }
+}
+
+/// Routes one request. Runs inside `catch_unwind`.
+fn handle_request(
+    shared: &Shared<'_>,
+    request: &HttpRequest,
+    index: u64,
+    now_ms: u64,
+) -> HttpResponse {
+    let budget = request
+        .header_u64("x-deadline-ms")
+        .unwrap_or(shared.config.deadline_ms);
+    let mut deadline = Deadline::new(budget);
+    match faults::roll(SITE_SERVE_HANDLER, index, 0) {
+        Some(FaultKind::WorkerPanic) => panic!("injected worker panic in handler"),
+        Some(FaultKind::Delay { virtual_ms }) => {
+            deadline.charge(virtual_ms);
+        }
+        Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
+            let response = HttpResponse::new(500).with_header("X-Degraded", "io-error");
+            return finalize(response, &deadline);
+        }
+        None => {}
+    }
+    deadline.charge(shared.config.handler_cost_ms);
+    if deadline.exceeded() {
+        appstore_obs::counter(names::SERVE_SHEDS_DEADLINE, 1);
+        return finalize(shed(504, "deadline", 1_000), &deadline);
+    }
+    if request.method != "GET" {
+        return finalize(HttpResponse::new(400), &deadline);
+    }
+    let client = request.header_u64("x-client").unwrap_or(0) as u32;
+    let response = match request.path.as_str() {
+        "/rankings" => rankings(shared, now_ms, index, &mut deadline),
+        "/app" => app_page(shared, request, client, now_ms, index, &mut deadline),
+        "/download" => download(shared, request, &mut deadline),
+        _ => HttpResponse::new(404),
+    };
+    finalize(response, &deadline)
+}
+
+/// Stamps the deterministic virtual latency onto a response.
+fn finalize(response: HttpResponse, deadline: &Deadline) -> HttpResponse {
+    response.with_header("X-Virtual-Ms", deadline.charged_ms())
+}
+
+/// Panic-isolated request dispatch plus response classification.
+fn guarded_handle(shared: &Shared<'_>, request: &HttpRequest) -> HttpResponse {
+    let started = Instant::now();
+    let index = shared.request_index.fetch_add(1, Ordering::SeqCst);
+    appstore_obs::counter(names::SERVE_REQUESTS, 1);
+    let now_ms = request
+        .header_u64("x-now-ms")
+        .unwrap_or_else(|| shared.fallback_clock_ms.fetch_add(1, Ordering::SeqCst));
+    let response = catch_unwind(AssertUnwindSafe(|| {
+        handle_request(shared, request, index, now_ms)
+    }))
+    .unwrap_or_else(|_| {
+        shared.panics_caught.fetch_add(1, Ordering::SeqCst);
+        appstore_obs::counter(names::SERVE_PANICS_CAUGHT, 1);
+        HttpResponse::new(500)
+            .with_header("X-Degraded", "panic")
+            .with_header("X-Virtual-Ms", 0u64)
+    });
+    match (response.status, response.header("x-degraded")) {
+        (200, None) => appstore_obs::counter(names::SERVE_RESPONSES_FRESH, 1),
+        (200, Some(_)) => appstore_obs::counter(names::SERVE_RESPONSES_STALE, 1),
+        (503 | 504, _) => appstore_obs::counter(names::SERVE_RESPONSES_SHED, 1),
+        _ => {}
+    }
+    appstore_obs::observe(
+        names::SERVE_LATENCY_VIRTUAL_MS,
+        response.header_u64("x-virtual-ms").unwrap_or(0),
+    );
+    appstore_obs::observe_volatile(
+        names::SERVE_LATENCY_REAL_US,
+        started.elapsed().as_micros() as u64,
+    );
+    response
+}
+
+/// Serves one connection until EOF, flushing pipelined batches of
+/// responses together.
+fn handle_connection(shared: &Shared<'_>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        // About to block for input: push out everything pending first.
+        if reader.buffer().is_empty() && writer.flush().is_err() {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(Some(request)) => {
+                let response = guarded_handle(shared, &request);
+                if response.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(None) | Err(_) => break,
+        }
+    }
+    let _ = writer.flush();
+}
+
+/// Starts the server over `dataset`, runs `f` against it, and tears
+/// everything down before returning `f`'s result. Worker threads
+/// inherit the caller's observability context and fault injector, so
+/// metrics and chaos behave exactly as if the handlers ran inline.
+pub fn with_server<R>(
+    dataset: &Dataset,
+    config: &ServeConfig,
+    f: impl FnOnce(&ServerHandle) -> R,
+) -> R {
+    let shared = Shared::new(dataset, config.clone());
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let queue: BoundedQueue<TcpStream> = BoundedQueue::new(config.admission.clone());
+    let stop = AtomicBool::new(false);
+    let obs_context = appstore_obs::capture();
+    let injector = faults::capture();
+    let handle = ServerHandle {
+        addr,
+        panics_caught: Arc::clone(&shared.panics_caught),
+    };
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let queue = &queue;
+        let stop = &stop;
+        for _ in 0..config.workers.max(1) {
+            let obs_context = obs_context.clone();
+            let injector = injector.clone();
+            scope.spawn(move || {
+                in_context(&obs_context, || {
+                    let work = || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(shared, stream);
+                        }
+                    };
+                    match &injector {
+                        Some(injector) => faults::with_injector(injector, work),
+                        None => work(),
+                    }
+                });
+            });
+        }
+        let obs_context = obs_context.clone();
+        scope.spawn(move || {
+            in_context(&obs_context, || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let (_, rejected) = queue.push(stream);
+                    if let Some(rejected) = rejected {
+                        // Explicit load shed at the front door: the
+                        // client gets told to back off, not a hang.
+                        appstore_obs::counter(names::SERVE_SHEDS_QUEUE, 1);
+                        appstore_obs::counter(names::SERVE_RESPONSES_SHED, 1);
+                        let mut writer = BufWriter::new(rejected);
+                        let _ = shed(503, "queue-full", 1_000).write_to(&mut writer);
+                        let _ = writer.flush();
+                    }
+                }
+            });
+        });
+
+        let result = f(&handle);
+
+        stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor; it checks `stop` before queueing.
+        let _ = TcpStream::connect(addr);
+        queue.close();
+        result
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use crate::replay::test_dataset;
+    use appstore_core::faults::{with_injector, FaultInjector, FaultPlan, FaultTrigger};
+
+    fn get(addr: SocketAddr, target: &str, now_ms: u64) -> HttpResponse {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write!(
+            writer,
+            "GET {target} HTTP/1.1\r\nX-Client: 1\r\nX-Now-Ms: {now_ms}\r\n\r\n"
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        read_response(&mut reader).unwrap()
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            cache_capacity: 8,
+            warm_apps: 4,
+            ..ServeConfig::replay_default(Seed::new(11))
+        }
+    }
+
+    #[test]
+    fn serves_warm_app_pages_from_the_edge_and_cold_from_backing() {
+        let dataset = test_dataset(32);
+        with_server(&dataset, &test_config(), |handle| {
+            let warm = get(handle.addr(), "/app?id=1", 0);
+            assert_eq!(warm.status, 200);
+            assert_eq!(warm.header("x-source"), Some("edge"));
+            let cold = get(handle.addr(), "/app?id=20", 10);
+            assert_eq!(cold.status, 200);
+            assert_eq!(cold.header("x-source"), Some("backing"));
+            // Second fetch of the cold app now hits the edge.
+            let again = get(handle.addr(), "/app?id=20", 20);
+            assert_eq!(again.header("x-source"), Some("edge"));
+            let missing = get(handle.addr(), "/app?id=999", 30);
+            assert_eq!(missing.status, 404);
+        });
+    }
+
+    #[test]
+    fn rankings_degrade_to_stale_and_recover() {
+        let dataset = test_dataset(16);
+        // Request index 2's backing refresh fails; everything else works.
+        let plan = FaultPlan::seeded(5).rule(
+            SITE_SERVE_BACKING,
+            FaultKind::IoError,
+            FaultTrigger::AtIndex(2),
+        );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            with_server(&dataset, &test_config(), |handle| {
+                // Index 0: edge is empty, backing refresh fills it.
+                let first = get(handle.addr(), "/rankings", 0);
+                assert_eq!(first.status, 200);
+                assert_eq!(first.header("x-source"), Some("backing"));
+                // Index 1, within the 10 s TTL: served fresh off the edge.
+                let edge = get(handle.addr(), "/rankings", 5_000);
+                assert_eq!(edge.header("x-source"), Some("edge"));
+                assert_eq!(edge.header("x-degraded"), None);
+                // Index 2, past the TTL with the refresh failing: the
+                // retained copy is served stale instead of a 5xx.
+                let stale = get(handle.addr(), "/rankings", 20_000);
+                assert_eq!(stale.status, 200);
+                assert_eq!(stale.header("x-degraded"), Some("stale"));
+                // Index 3: the backing store is healthy again, so the
+                // refresh goes through and fresh serving resumes.
+                let recovered = get(handle.addr(), "/rankings", 21_000);
+                assert_eq!(recovered.status, 200);
+                assert_eq!(recovered.header("x-source"), Some("backing"));
+                assert_eq!(recovered.header("x-degraded"), None);
+            });
+        });
+    }
+
+    #[test]
+    fn injected_panics_are_caught_and_counted() {
+        let dataset = test_dataset(16);
+        let plan = FaultPlan::seeded(6).rule(
+            SITE_SERVE_HANDLER,
+            FaultKind::WorkerPanic,
+            FaultTrigger::AtIndex(1),
+        );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            with_server(&dataset, &test_config(), |handle| {
+                assert_eq!(get(handle.addr(), "/app?id=1", 0).status, 200);
+                let boom = get(handle.addr(), "/app?id=2", 1);
+                assert_eq!(boom.status, 500);
+                assert_eq!(boom.header("x-degraded"), Some("panic"));
+                // The worker survived: the next request is served.
+                assert_eq!(get(handle.addr(), "/app?id=1", 2).status, 200);
+                assert_eq!(handle.panics_caught(), 1);
+            });
+        });
+    }
+
+    #[test]
+    fn deadline_budget_sheds_instead_of_serving_late() {
+        let dataset = test_dataset(16);
+        with_server(&dataset, &test_config(), |handle| {
+            let stream = TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            // A cold app page needs a backing fetch (80 virtual ms);
+            // a 10 ms budget cannot cover it.
+            write!(
+                writer,
+                "GET /app?id=9 HTTP/1.1\r\nX-Client: 1\r\nX-Now-Ms: 0\r\nX-Deadline-Ms: 10\r\n\r\n"
+            )
+            .unwrap();
+            writer.flush().unwrap();
+            let response = read_response(&mut reader).unwrap();
+            assert_eq!(response.status, 504);
+            assert_eq!(response.header("x-degraded"), Some("deadline"));
+        });
+    }
+
+    #[test]
+    fn download_endpoint_reports_apk_metadata() {
+        let dataset = test_dataset(8);
+        with_server(&dataset, &test_config(), |handle| {
+            let response = get(handle.addr(), "/download?app=3", 0);
+            assert_eq!(response.status, 200);
+            let body = String::from_utf8(response.body.to_vec()).unwrap();
+            assert!(body.contains("\"app\": 3"), "{body}");
+            assert_eq!(get(handle.addr(), "/download?app=99", 1).status, 404);
+        });
+    }
+}
