@@ -5,8 +5,8 @@
 use appstore_core::Seed;
 use appstore_models::{
     expected_downloads_clustering_weighted, expected_downloads_zipf_amo, fit_clustering,
-    ClusterLayout, ClusteringParams, FitSpec, ModelKind, PopulationParams, SampleMethod, Simulator,
-    ZipfSampler,
+    ClusterLayout, ClusteringParams, CoarseMode, FitSpec, ModelKind, PopulationParams,
+    SampleMethod, ScreeningCache, Simulator, ZipfFamily, ZipfSampler,
 };
 use appstore_stats::mean_relative_error;
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
@@ -88,6 +88,67 @@ fn bench_fig9_distance(c: &mut Criterion) {
     });
 }
 
+/// Fig. 9: the screening expectation over one grid "column" — fixed
+/// exponents, the production `p` × user-fraction sweep (12 candidates).
+/// The naive path re-runs the `O(apps)` `powf` sweeps per candidate;
+/// the [`ScreeningCache`] miss-table path pays them once per distinct
+/// draw count and turns the rest into multiply-add passes over a reused
+/// arena — the exact shape of the fit-grid screening hot loop.
+fn bench_fig9_screening_cache(c: &mut Criterion) {
+    let base = params();
+    let ps = [0.5, 0.8, 0.95];
+    let user_fractions = [0.5, 1.0, 2.0, 4.0];
+    let candidates: Vec<ClusteringParams> = ps
+        .iter()
+        .flat_map(|&p| {
+            user_fractions.iter().map(move |&uf| {
+                let mut candidate = base;
+                candidate.p = p;
+                candidate.population.users = (base.population.users as f64 * uf).round() as usize;
+                candidate
+            })
+        })
+        .collect();
+    c.bench_function("fig9/screen_expectation_12cand_naive_powf", |b| {
+        b.iter(|| {
+            for candidate in &candidates {
+                black_box(expected_downloads_clustering_weighted(black_box(candidate)));
+            }
+        })
+    });
+    c.bench_function("fig9/screen_expectation_12cand_miss_table", |b| {
+        b.iter_batched(
+            ScreeningCache::new,
+            |mut cache| {
+                let mut arena = Vec::new();
+                for candidate in &candidates {
+                    cache.expected_clustering_weighted_into(black_box(candidate), &mut arena);
+                    black_box(arena.as_slice());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// Fig. 9: the per-exponent Zipf weight family behind the coarse
+/// screen — [`ZipfFamily::build`] shares one transcendental sweep
+/// across adjacent exponents via incremental updates, vs building a
+/// fresh [`ZipfSampler`] per exponent.
+fn bench_fig9_zipf_family(c: &mut Criterion) {
+    let exponents = [0.8, 1.0, 1.2, 1.4, 1.6, 1.8];
+    c.bench_function("fig9/zipf_family_6_exponents_incremental", |b| {
+        b.iter(|| ZipfFamily::build(black_box(20_000), black_box(&exponents)))
+    });
+    c.bench_function("fig9/zipf_family_6_exponents_fresh_samplers", |b| {
+        b.iter(|| {
+            for &s in &exponents {
+                black_box(ZipfSampler::new(black_box(20_000), s));
+            }
+        })
+    });
+}
+
 /// Fig. 10: a full (small-grid) clustering fit including refinement.
 fn bench_fig10_fit(c: &mut Criterion) {
     let p = params();
@@ -102,6 +163,7 @@ fn bench_fig10_fit(c: &mut Criterion) {
         threads: 0,
         refine_top: 2,
         replications: 1,
+        coarse: CoarseMode::Auto,
     };
     let mut group = c.benchmark_group("fig10/fit_clustering_small_grid");
     group.sample_size(10);
@@ -121,6 +183,8 @@ criterion_group!(
     bench_fig8_simulators,
     bench_fig8_closed_forms,
     bench_fig9_distance,
+    bench_fig9_screening_cache,
+    bench_fig9_zipf_family,
     bench_fig10_fit
 );
 criterion_main!(benches);

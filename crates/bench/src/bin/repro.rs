@@ -252,7 +252,7 @@ fn main() {
         // --threads. Wall times go to stderr in completion order.
         appstore_obs::with_track(1, || {
             run_experiments_observed(&ids, &stores, seed, args.threads, |id, secs| {
-                eprintln!("[{id} in {secs:.1}s]");
+                eprintln!("[{id} in {secs:.3}s]");
             })
         })
     };

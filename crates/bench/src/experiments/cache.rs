@@ -1,7 +1,7 @@
 //! Figure 19 and the cache-policy / cluster-layout ablations.
 
 use crate::experiments::ExperimentResult;
-use appstore_cache::{belady_hit_ratio, sweep_cache_sizes};
+use appstore_cache::{belady_hit_ratio, sweep_cache_sizes, sweep_policies_on_trace};
 use appstore_core::Seed;
 use appstore_models::{
     expected_downloads_clustering_weighted, ClusterLayout, ClusteringParams, ModelKind,
@@ -86,7 +86,24 @@ pub fn fig19(seed: Seed) -> ExperimentResult {
 /// user behavior").
 pub fn ablate_policies(seed: Seed) -> ExperimentResult {
     let fractions = [0.01, 0.05, 0.10];
-    let points = sweep_cache_sizes(fig19_params(), &fractions, seed.child("policies"), true, 0);
+    // Only the clustering workload is reported here, so simulate its
+    // trace exactly once — with the same seed chain `sweep_cache_sizes`
+    // would derive, keeping the hit ratios bit-identical — and share it
+    // between the policy sweep and the Belady upper bound below.
+    let params = fig19_params();
+    let sim = Simulator::for_kind(ModelKind::AppClustering, params);
+    let trace = sim.simulate_trace(
+        seed.child("policies")
+            .child(ModelKind::AppClustering.name()),
+        30,
+    );
+    let points = sweep_policies_on_trace(
+        ModelKind::AppClustering,
+        &trace.events,
+        params,
+        &fractions,
+        true,
+    );
     let mut lines = Vec::new();
     let mut series = Vec::new();
     lines.push(format!(
@@ -97,16 +114,9 @@ pub fn ablate_policies(seed: Seed) -> ExperimentResult {
             .collect::<Vec<_>>()
             .join(", ")
     ));
-    let clustering_points: Vec<_> = points
-        .iter()
-        .filter(|p| p.model == ModelKind::AppClustering)
-        .collect();
-    if let Some(first) = clustering_points.first() {
+    if let Some(first) = points.first() {
         for (i, (name, _)) in first.hit_ratios.iter().enumerate() {
-            let ratios: Vec<f64> = clustering_points
-                .iter()
-                .map(|p| p.hit_ratios[i].1)
-                .collect();
+            let ratios: Vec<f64> = points.iter().map(|p| p.hit_ratios[i].1).collect();
             lines.push(format!(
                 "{:<14} {}",
                 name,
@@ -120,9 +130,6 @@ pub fn ablate_policies(seed: Seed) -> ExperimentResult {
         }
     }
     // Upper bound: Belady's optimal offline policy on the same trace.
-    let params = fig19_params();
-    let sim = Simulator::for_kind(ModelKind::AppClustering, params);
-    let trace = sim.simulate_trace(seed.child("policies").child("APP-CLUSTERING"), 30);
     let optimal: Vec<f64> = fractions
         .iter()
         .map(|&f| {

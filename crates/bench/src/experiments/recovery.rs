@@ -22,8 +22,8 @@ use appstore_crawler::{
     FaultPlan, MarketplaceServer, ProxyPool, Region, ResumeOutcome, ServerPolicy,
 };
 use appstore_models::{
-    fit_clustering, fit_clustering_checkpointed, CandidateBudget, FitSpec, SITE_FIT_JOURNAL_APPEND,
-    SITE_FIT_REFINE,
+    fit_clustering, fit_clustering_checkpointed, CandidateBudget, CoarseMode, FitSpec,
+    SITE_FIT_JOURNAL_APPEND, SITE_FIT_REFINE,
 };
 use serde_json::json;
 
@@ -278,6 +278,7 @@ fn recovery_fit_spec(clusters: usize) -> FitSpec {
         threads: 2,
         refine_top: 3,
         replications: 1,
+        coarse: CoarseMode::Auto,
     }
 }
 

@@ -163,8 +163,11 @@ pub fn run(seed: Seed) -> ExperimentResult {
     ));
 
     // Phase 1 — healthy serving: both §5 workloads, published bands.
+    // The clustering trace is kept for phase 2, which replays the same
+    // workload (same seed chain, so reuse is bit-identical) under chaos.
     let mut band_results = Vec::new();
     let mut healthy = Vec::new();
+    let mut clustering_trace = None;
     for kind in [ModelKind::Zipf, ModelKind::AppClustering] {
         let trace =
             Simulator::for_kind(kind, params).simulate_trace(serve_seed.child(kind.name()), 30);
@@ -185,6 +188,9 @@ pub fn run(seed: Seed) -> ExperimentResult {
         ));
         band_results.push((kind, stats.clone()));
         healthy.push(json!({ "model": kind.name(), "stats": stats_json(&stats) }));
+        if kind == ModelKind::AppClustering {
+            clustering_trace = Some(trace);
+        }
     }
     let zipf_hit = band_results[0].1.hit_rate();
     let clustering_hit = band_results[1].1.hit_rate();
@@ -193,8 +199,7 @@ pub fn run(seed: Seed) -> ExperimentResult {
     // Phase 2 — the same clustering workload with the chaos window
     // armed: breaker trips, panics are caught, rankings degrade to
     // stale, and the tail of the stream recovers.
-    let trace = Simulator::for_kind(ModelKind::AppClustering, params)
-        .simulate_trace(serve_seed.child(ModelKind::AppClustering.name()), 30);
+    let trace = clustering_trace.expect("phase 1 always runs the clustering workload");
     let workload = Workload::from_trace("clustering-chaos", &trace.events);
     let config = serve_config(serve_seed, cache_apps);
     let replay_config = ReplayConfig::new(serve_seed.child("client").child("chaos"));

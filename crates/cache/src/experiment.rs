@@ -98,71 +98,86 @@ pub fn sweep_cache_sizes(
     threads: usize,
 ) -> Vec<Fig19Point> {
     params.validate().expect("invalid clustering parameters");
+    let per_model = par_map_indexed(ModelKind::ALL.to_vec(), threads, |_, kind: ModelKind| {
+        let sim = Simulator::for_kind(kind, params);
+        let trace = sim.simulate_trace(seed.child(kind.name()), 30);
+        sweep_policies_on_trace(kind, &trace.events, params, fractions, all_policies)
+    });
+    per_model.into_iter().flatten().collect()
+}
+
+/// Replays one prebuilt download trace through the cache-size × policy
+/// sweep — the per-model body of [`sweep_cache_sizes`], exposed so an
+/// experiment that needs a single model's trace (e.g. the policy
+/// ablation, which also feeds the same trace to Belady's MIN) can
+/// simulate it once and reuse it instead of paying for all three
+/// models. Emits the same `cache.*` counters as the full sweep.
+pub fn sweep_policies_on_trace(
+    kind: ModelKind,
+    trace: &[DownloadEvent],
+    params: ClusteringParams,
+    fractions: &[f64],
+    all_policies: bool,
+) -> Vec<Fig19Point> {
     let apps = params.population.apps;
     // app -> category table for the category-aware policy.
     let category_of: Vec<u32> = (0..apps)
         .map(|i| params.layout.place(i, apps, params.clusters).0 as u32)
         .collect();
-    let category_of = &category_of;
-    let per_model = par_map_indexed(ModelKind::ALL.to_vec(), threads, |_, kind: ModelKind| {
-        let mut out = Vec::new();
-        let sim = Simulator::for_kind(kind, params);
-        let trace = sim.simulate_trace(seed.child(kind.name()), 30);
-        // Warm start: the most popular apps by global rank (app index ==
-        // global rank in the model simulators).
-        for &fraction in fractions {
-            let cache_apps = ((apps as f64 * fraction).round() as usize).max(1);
-            let warm: Vec<u32> = (0..cache_apps as u32).collect();
-            let policies: Vec<(PolicyKind, Box<dyn ReplacementPolicy>)> = if all_policies {
-                sweep_policy_order()
-                    .into_iter()
-                    .map(|p| {
-                        let boxed: Box<dyn ReplacementPolicy> = match p {
-                            PolicyKind::Lru => Box::new(Lru::new(cache_apps)),
-                            PolicyKind::Fifo => Box::new(Fifo::new(cache_apps)),
-                            PolicyKind::Lfu => Box::new(Lfu::new(cache_apps)),
-                            PolicyKind::SegmentedLru => Box::new(SegmentedLru::new(cache_apps)),
-                            PolicyKind::CategoryLru => {
-                                Box::new(CategoryLru::new(cache_apps, category_of.clone(), 64))
-                            }
-                        };
-                        (p, boxed)
-                    })
-                    .collect()
-            } else {
-                vec![(
-                    PolicyKind::Lru,
-                    Box::new(Lru::new(cache_apps)) as Box<dyn ReplacementPolicy>,
-                )]
-            };
-            let mut hit_ratios = Vec::new();
-            for (p, mut policy) in policies {
-                let run = hit_ratio(policy.as_mut(), &warm, &trace.events);
-                // Per-policy totals are sums over a fixed (model, size)
-                // grid, so they are thread-count independent.
-                let name = p.name();
-                appstore_obs::counter(&appstore_obs::names::cache_requests(name), run.requests);
-                appstore_obs::counter(&appstore_obs::names::cache_hits(name), run.hits);
-                appstore_obs::counter(
-                    &appstore_obs::names::cache_misses(name),
-                    run.requests - run.hits,
-                );
-                appstore_obs::counter(
-                    &appstore_obs::names::cache_evictions(name),
-                    policy.evictions(),
-                );
-                hit_ratios.push((name.to_string(), run.hit_ratio()));
-            }
-            out.push(Fig19Point {
-                model: kind,
-                cache_fraction: fraction,
-                cache_apps,
-                hit_ratios,
-            });
+    let mut out = Vec::new();
+    // Warm start: the most popular apps by global rank (app index ==
+    // global rank in the model simulators).
+    for &fraction in fractions {
+        let cache_apps = ((apps as f64 * fraction).round() as usize).max(1);
+        let warm: Vec<u32> = (0..cache_apps as u32).collect();
+        let policies: Vec<(PolicyKind, Box<dyn ReplacementPolicy>)> = if all_policies {
+            sweep_policy_order()
+                .into_iter()
+                .map(|p| {
+                    let boxed: Box<dyn ReplacementPolicy> = match p {
+                        PolicyKind::Lru => Box::new(Lru::new(cache_apps)),
+                        PolicyKind::Fifo => Box::new(Fifo::new(cache_apps)),
+                        PolicyKind::Lfu => Box::new(Lfu::new(cache_apps)),
+                        PolicyKind::SegmentedLru => Box::new(SegmentedLru::new(cache_apps)),
+                        PolicyKind::CategoryLru => {
+                            Box::new(CategoryLru::new(cache_apps, category_of.clone(), 64))
+                        }
+                    };
+                    (p, boxed)
+                })
+                .collect()
+        } else {
+            vec![(
+                PolicyKind::Lru,
+                Box::new(Lru::new(cache_apps)) as Box<dyn ReplacementPolicy>,
+            )]
+        };
+        let mut hit_ratios = Vec::new();
+        for (p, mut policy) in policies {
+            let run = hit_ratio(policy.as_mut(), &warm, trace);
+            // Per-policy totals are sums over a fixed (model, size)
+            // grid, so they are thread-count independent.
+            let name = p.name();
+            appstore_obs::counter(&appstore_obs::names::cache_requests(name), run.requests);
+            appstore_obs::counter(&appstore_obs::names::cache_hits(name), run.hits);
+            appstore_obs::counter(
+                &appstore_obs::names::cache_misses(name),
+                run.requests - run.hits,
+            );
+            appstore_obs::counter(
+                &appstore_obs::names::cache_evictions(name),
+                policy.evictions(),
+            );
+            hit_ratios.push((name.to_string(), run.hit_ratio()));
         }
-        out
-    });
-    per_model.into_iter().flatten().collect()
+        out.push(Fig19Point {
+            model: kind,
+            cache_fraction: fraction,
+            cache_apps,
+            hit_ratios,
+        });
+    }
+    out
 }
 
 #[cfg(test)]

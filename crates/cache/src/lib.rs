@@ -29,6 +29,6 @@ pub mod policy;
 pub mod prefetch;
 
 pub use belady::{belady_hit_ratio, BeladyRun};
-pub use experiment::{hit_ratio, sweep_cache_sizes, CacheRun, Fig19Point};
+pub use experiment::{hit_ratio, sweep_cache_sizes, sweep_policies_on_trace, CacheRun, Fig19Point};
 pub use policy::{CategoryLru, Fifo, Lfu, Lru, PolicyKind, ReplacementPolicy, SegmentedLru};
 pub use prefetch::{PrefetchReport, PrefetchSimulator};

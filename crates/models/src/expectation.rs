@@ -163,6 +163,12 @@ pub struct ScreeningCache {
     placements: HashMap<(usize, usize, ClusterLayout), Rc<Vec<(usize, usize)>>>,
     /// `(apps, z_r.to_bits(), clusters, layout)` → [`cluster_weights`].
     weights: HashMap<(usize, u64, usize, ClusterLayout), Rc<Vec<f64>>>,
+    /// `(n, s.to_bits(), draws.to_bits())` → miss table
+    /// `(1 − pmf[k])^draws`. The fitting grid's exponents `draws` take
+    /// only a handful of distinct values (one per `(p, U)` pair), so the
+    /// `O(apps)` `powf` sweep behind each candidate collapses to a table
+    /// lookup — the screening hot loop becomes pure multiply-adds.
+    miss_tables: HashMap<(usize, u64, u64), Rc<Vec<f64>>>,
     /// Lookups answered from memory. Per-cache tallies: publish with
     /// [`ScreeningCache::flush_metrics`] when the cache retires.
     hits: u64,
@@ -198,6 +204,23 @@ impl ScreeningCache {
         let pmf = Rc::new((1..=n).map(|k| sampler.pmf(k)).collect());
         self.pmfs.insert(key, Rc::clone(&pmf));
         pmf
+    }
+
+    /// The miss table `(1 − pmf[k])^draws` for `ZipfSampler::new(n, s)`,
+    /// 0-indexed by rank. Each entry is computed by exactly the
+    /// expression the uncached expectations use, so reuse is
+    /// bit-identical.
+    fn miss_table(&mut self, n: usize, s: f64, draws: f64) -> Rc<Vec<f64>> {
+        let key = (n, s.to_bits(), draws.to_bits());
+        if let Some(table) = self.miss_tables.get(&key) {
+            self.hits += 1;
+            return Rc::clone(table);
+        }
+        let pmf = self.pmf(n, s);
+        self.misses += 1;
+        let table = Rc::new(pmf.iter().map(|&q| (1.0 - q).powf(draws)).collect());
+        self.miss_tables.insert(key, Rc::clone(&table));
+        table
     }
 
     /// Per-app `(cluster, within-cluster index)` under a layout.
@@ -260,42 +283,54 @@ impl ScreeningCache {
         params
             .validate_at_most_once()
             .expect("invalid population parameters");
-        let pmf = self.pmf(params.apps, params.zipf_exponent);
-        let users = params.users as f64;
         let d = f64::from(params.downloads_per_user);
-        pmf.iter()
-            .map(|&q| users * (1.0 - (1.0 - q).powf(d)))
-            .collect()
+        let miss = self.miss_table(params.apps, params.zipf_exponent, d);
+        let users = params.users as f64;
+        miss.iter().map(|&m| users * (1.0 - m)).collect()
     }
 
     /// [`expected_downloads_clustering_weighted`] through the cache.
     pub fn expected_clustering_weighted(&mut self, params: &ClusteringParams) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.expected_clustering_weighted_into(params, &mut out);
+        out
+    }
+
+    /// [`expected_downloads_clustering_weighted`] through the cache,
+    /// written into a caller-owned buffer (cleared first).
+    ///
+    /// This is the fitting grid's hot loop: with the `powf` sweeps
+    /// memoized as miss tables — the global table is shared by every
+    /// `(p, U)` pair with the same effective draw count, the per-cluster
+    /// tables by every cluster of the same size — one candidate costs a
+    /// single `O(apps)` pass of multiply-adds into a reused arena, with
+    /// no allocation and no transcendental calls.
+    pub fn expected_clustering_weighted_into(
+        &mut self,
+        params: &ClusteringParams,
+        out: &mut Vec<f64>,
+    ) {
         params.validate().expect("invalid clustering parameters");
         let pop = params.population;
-        let global = self.pmf(pop.apps, pop.zipf_exponent);
+        let d = f64::from(pop.downloads_per_user);
+        let global_draws = (1.0 - params.p) * d;
+        let cluster_draws = params.p * d;
+        let miss_global = self.miss_table(pop.apps, pop.zipf_exponent, global_draws);
         let per_cluster: Vec<Rc<Vec<f64>>> = (0..params.clusters)
             .map(|c| {
                 let size = params.layout.cluster_size(c, pop.apps, params.clusters);
-                self.pmf(size.max(1), params.cluster_exponent)
+                self.miss_table(size.max(1), params.cluster_exponent, cluster_draws)
             })
             .collect();
         let weights = self.cluster_weights(params);
         let placement = self.placement(pop.apps, params.clusters, params.layout);
         let users = pop.users as f64;
-        let d = f64::from(pop.downloads_per_user);
-        let global_draws = (1.0 - params.p) * d;
-        let cluster_draws = params.p * d;
-        (0..pop.apps)
-            .map(|idx| {
-                let (c, j) = placement[idx];
-                let p_global = global[idx];
-                let p_cluster = per_cluster[c][j];
-                let miss_global = (1.0 - p_global).powf(global_draws);
-                let miss_cluster =
-                    (1.0 - weights[c]) + weights[c] * (1.0 - p_cluster).powf(cluster_draws);
-                users * (1.0 - miss_global * miss_cluster)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..pop.apps).map(|idx| {
+            let (c, j) = placement[idx];
+            let miss_cluster = (1.0 - weights[c]) + weights[c] * per_cluster[c][j];
+            users * (1.0 - miss_global[idx] * miss_cluster)
+        }));
     }
 }
 

@@ -28,6 +28,7 @@
 
 use crate::config::{ClusterLayout, ClusteringParams, ModelKind, PopulationParams};
 use crate::expectation::ScreeningCache;
+use crate::kernel;
 use crate::simulate::Simulator;
 use appstore_core::faults::{self, FaultKind};
 use appstore_core::journal::{seal, unseal, Unsealed};
@@ -78,6 +79,42 @@ pub struct FitSpec {
     pub refine_top: usize,
     /// Monte-Carlo replications averaged per refined candidate.
     pub replications: u32,
+    /// Coarse-to-fine screening policy (see [`CoarseMode`]). Absent in
+    /// serialized specs from before the field existed ⇒ [`CoarseMode::Auto`].
+    #[serde(default)]
+    pub coarse: CoarseMode,
+}
+
+/// How [`fit_clustering`] screens the candidate grid.
+///
+/// Under coarse-to-fine, every feasible candidate is first scored on a
+/// deterministic subsample of the rank axis (cheap, serial, heuristic);
+/// only the best `keep_global` overall plus the best `keep_per_uf` per
+/// user-fraction column are re-scored by the unchanged exact screening
+/// path, which alone feeds the refinement shortlist. The survivor
+/// budget is sized so the winner matches the exhaustive grid search —
+/// asserted across seeded stores in `tests/coarse_to_fine.rs` — while
+/// exact screening work drops by the survivor ratio (~50× on the
+/// standard grid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CoarseMode {
+    /// Coarse-to-fine with default budgets, but only when the grid is
+    /// large enough that screening it exhaustively costs more than the
+    /// coarse pass saves. Small grids (every unit-test spec) screen
+    /// exhaustively, unchanged.
+    #[default]
+    Auto,
+    /// Always screen the full grid exactly.
+    Off,
+    /// Coarse-to-fine with explicit budgets.
+    On {
+        /// Target number of sampled ranks (clamped to `[min(apps, 32), apps]`).
+        sample: usize,
+        /// Globally best candidates kept for exact re-screening.
+        keep_global: usize,
+        /// Best candidates kept per user-fraction column.
+        keep_per_uf: usize,
+    },
 }
 
 impl FitSpec {
@@ -96,16 +133,55 @@ impl FitSpec {
             threads: 0,
             refine_top: 8,
             replications: 2,
+            coarse: CoarseMode::Auto,
         }
     }
 
     fn worker_count(&self) -> usize {
         effective_threads(self.threads)
     }
+
+    /// Resolves [`CoarseMode`] for a grid of `grid_len` candidates:
+    /// `Some((sample, keep_global, keep_per_uf))` when the coarse pass
+    /// should run.
+    ///
+    /// `Auto` scales the survivor floors with the grid — an eighth of
+    /// the grid globally and an eighth of each user-fraction column —
+    /// because the exact screening landscape is *flat* near its optimum
+    /// (shortlisted candidates typically sit within a few percent of
+    /// each other) while the subsampled coarse score carries noise of
+    /// the same order, so small fixed budgets would cut exact near-ties.
+    /// The counts are floors only: [`kernel::coarse_select`] additionally
+    /// keeps every candidate whose coarse score lands within a relative
+    /// band of the best. `Auto` activates only when the grid dwarfs the
+    /// survivor floor (≥ 2×, and at least 256 candidates), so small
+    /// grids keep the exhaustive path with zero overhead.
+    fn coarse_plan(&self, grid_len: usize) -> Option<(usize, usize, usize)> {
+        match self.coarse {
+            CoarseMode::Off => None,
+            CoarseMode::On {
+                sample,
+                keep_global,
+                keep_per_uf,
+            } => Some((sample.max(1), keep_global.max(1), keep_per_uf.max(1))),
+            CoarseMode::Auto => {
+                let column = grid_len / self.user_fractions.len().max(1);
+                let keep_global = 64.max(16 * self.refine_top.max(1)).max(grid_len / 8);
+                let keep_per_uf = 8.max(2 * self.refine_top).max(column / 8);
+                let budget = keep_global + self.user_fractions.len() * keep_per_uf;
+                if grid_len >= 256.max(2 * budget) {
+                    Some((128, keep_global, keep_per_uf))
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// Converts a per-app expectation vector into a descending integer
 /// popularity curve comparable with the measured one.
+#[cfg(test)]
 pub(crate) fn to_ranked(expected: Vec<f64>) -> Vec<u64> {
     let mut ranked: Vec<u64> = expected
         .into_iter()
@@ -118,14 +194,39 @@ pub(crate) fn to_ranked(expected: Vec<f64>) -> Vec<u64> {
 /// Scores one analytic candidate against the measured curve, rescaling
 /// the expectation to the measured total first (see module docs).
 fn score(observed: &[u64], expected: Vec<f64>) -> f64 {
+    let mut ranked = Vec::new();
+    score_into(observed, &expected, &mut ranked)
+}
+
+/// [`score`] into a caller-owned rank buffer: the screening hot path
+/// reuses one arena across thousands of candidates instead of
+/// allocating two vectors per candidate. Operation order matches
+/// [`score`] exactly (scale, round, clamp, sort), so both paths produce
+/// the same bits.
+fn score_into(observed: &[u64], expected: &[f64], ranked: &mut Vec<u64>) -> f64 {
     let observed_total: u64 = observed.iter().sum();
     let expected_total: f64 = expected.iter().sum();
     if expected_total <= 0.0 {
         return f64::INFINITY;
     }
     let scale = observed_total as f64 / expected_total;
-    let ranked = to_ranked(expected.into_iter().map(|e| e * scale).collect());
-    mean_relative_error(observed, &ranked).unwrap_or(f64::INFINITY)
+    ranked.clear();
+    ranked.extend(
+        expected
+            .iter()
+            .map(|&e| (e * scale).round().max(0.0) as u64),
+    );
+    ranked.sort_unstable_by(|a, b| b.cmp(a));
+    mean_relative_error(observed, ranked).unwrap_or(f64::INFINITY)
+}
+
+/// Reused per-worker buffers for the screening hot loop: the expectation
+/// arena and the ranked-curve scratch. One pair serves an entire grid
+/// chunk, so screening allocates nothing per candidate.
+#[derive(Default)]
+struct ScreenScratch {
+    expected: Vec<f64>,
+    ranked: Vec<u64>,
 }
 
 /// Scores one candidate by Monte-Carlo simulation: averages the ranked
@@ -158,7 +259,11 @@ fn score_simulated(
     mean_relative_error(observed, &ranked).unwrap_or(f64::INFINITY)
 }
 
-fn derive_population(observed: &[u64], z_r: f64, user_fraction: f64) -> Option<PopulationParams> {
+pub(crate) fn derive_population(
+    observed: &[u64],
+    z_r: f64,
+    user_fraction: f64,
+) -> Option<PopulationParams> {
     let apps = observed.len();
     let total: u64 = observed.iter().sum();
     let top = *observed.first()?;
@@ -256,27 +361,43 @@ fn push_top(top: &mut Vec<FitOutcome>, k: usize, candidate: FitOutcome) {
 /// the shortlist). Candidates must be fed **in grid order** so the
 /// shortlist cannot depend on the thread count, even under exact
 /// distance ties.
+/// Per-user-fraction slots are pre-seeded from the spec's axis (deduped,
+/// axis order), so the shortlist's tail ordering depends only on the
+/// axis — not on which candidate happened to be fed first. Feeding the
+/// whole grid and feeding any survivor subset that contains each
+/// column's best therefore produce identical shortlists, which the
+/// coarse-to-fine path relies on (refinement seeds are keyed on
+/// shortlist position).
 struct ShortlistBuilder {
     keep: usize,
     top: Vec<FitOutcome>,
-    per_uf: Vec<(f64, FitOutcome)>,
+    per_uf: Vec<(f64, Option<FitOutcome>)>,
 }
 
 impl ShortlistBuilder {
-    fn new(keep: usize) -> ShortlistBuilder {
+    fn new(keep: usize, user_fractions: &[f64]) -> ShortlistBuilder {
+        let mut per_uf: Vec<(f64, Option<FitOutcome>)> = Vec::new();
+        for &uf in user_fractions {
+            if !per_uf.iter().any(|(f, _)| *f == uf) {
+                per_uf.push((uf, None));
+            }
+        }
         ShortlistBuilder {
             keep,
             top: Vec::new(),
-            per_uf: Vec::new(),
+            per_uf,
         }
     }
 
     fn add(&mut self, uf: f64, outcome: FitOutcome) {
         push_top(&mut self.top, self.keep, outcome);
         match self.per_uf.iter_mut().find(|(f, _)| *f == uf) {
-            Some((_, best)) if outcome.distance < best.distance => *best = outcome,
-            Some(_) => {}
-            None => self.per_uf.push((uf, outcome)),
+            Some((_, Some(best))) if outcome.distance < best.distance => *best = outcome,
+            Some((_, Some(_))) => {}
+            Some((_, slot @ None)) => *slot = Some(outcome),
+            // A NaN fraction never matches its own slot; keep the legacy
+            // behaviour of appending a fresh entry.
+            None => self.per_uf.push((uf, Some(outcome))),
         }
     }
 
@@ -292,7 +413,7 @@ impl ShortlistBuilder {
     /// Global top-K followed by each user-fraction's best (deduplicated).
     fn shortlist(self) -> Vec<FitOutcome> {
         let mut shortlist = self.top;
-        for (_, outcome) in self.per_uf {
+        for outcome in self.per_uf.into_iter().filter_map(|(_, o)| o) {
             if !shortlist.contains(&outcome) {
                 shortlist.push(outcome);
             }
@@ -306,7 +427,7 @@ impl ShortlistBuilder {
 ///
 /// Returns `None` for an empty or all-zero curve or an empty grid.
 pub fn fit_zipf_amo(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<FitOutcome> {
-    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1), &spec.user_fractions);
     let mut cache = ScreeningCache::new();
     let mut screened_count = 0u64;
     for &z in &spec.zipf_exponents {
@@ -371,40 +492,82 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
     if grid.is_empty() {
         return None;
     }
-    let workers = spec.worker_count().min(grid.len()).max(1);
-    let chunk_len = grid.len().div_ceil(workers);
-    // Screen the grid in contiguous chunks, one [`ScreeningCache`] per
-    // worker: the grid revisits the same few exponents thousands of
-    // times, so each worker builds every distinct Zipf table once.
-    // Workers return *all* their scored candidates and the reduction
-    // below runs sequentially in grid order, so the shortlist cannot
-    // depend on the thread count — even under exact distance ties.
     appstore_obs::counter(
         appstore_obs::names::FIT_CLUSTERING_GRID_CANDIDATES,
         grid.len() as u64,
     );
-    let chunks: Vec<Vec<(f64, f64, f64, f64)>> =
-        grid.chunks(chunk_len).map(<[_]>::to_vec).collect();
-    let screened = appstore_obs::span(appstore_obs::names::SPAN_FIT_SCREEN, || {
-        par_map_indexed(chunks, workers, |_, chunk: Vec<(f64, f64, f64, f64)>| {
-            let mut cache = ScreeningCache::new();
-            let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
-            for candidate in chunk {
-                if let Some(hit) = screen_candidate(observed, spec, &mut cache, candidate) {
-                    scored.push(hit);
+    // Coarse-to-fine: a serial subsample pass over the whole grid picks
+    // the candidates worth exact screening; small grids skip it and
+    // screen everything. Either way the exact screening below is the
+    // only thing that feeds the shortlist.
+    let (screened, screened_count) =
+        appstore_obs::span(appstore_obs::names::SPAN_FIT_SCREEN, || {
+            let selection =
+                spec.coarse_plan(grid.len())
+                    .map(|(sample, keep_global, keep_per_uf)| {
+                        kernel::coarse_select(
+                            observed,
+                            spec,
+                            &grid,
+                            sample,
+                            keep_global,
+                            keep_per_uf,
+                        )
+                    });
+            let targets: Vec<GridCandidate> = match &selection {
+                Some(sel) => sel.survivors.iter().map(|&i| grid[i]).collect(),
+                None => grid.clone(),
+            };
+            // Screen the targets in contiguous chunks, one
+            // [`ScreeningCache`] per worker: the grid revisits the same
+            // few exponents thousands of times, so each worker builds
+            // every distinct Zipf table once. Workers return *all* their
+            // scored candidates and the reduction below runs
+            // sequentially in grid order, so the shortlist cannot depend
+            // on the thread count — even under exact distance ties.
+            let workers = spec.worker_count().min(targets.len()).max(1);
+            let chunk_len = targets.len().div_ceil(workers).max(1);
+            let chunks: Vec<Vec<GridCandidate>> =
+                targets.chunks(chunk_len).map(<[_]>::to_vec).collect();
+            let screened = par_map_indexed(chunks, workers, |_, chunk: Vec<GridCandidate>| {
+                let mut cache = ScreeningCache::new();
+                let mut scratch = ScreenScratch::default();
+                let mut scored: Vec<(f64, FitOutcome)> = Vec::with_capacity(chunk.len());
+                for candidate in chunk {
+                    if let Some(hit) =
+                        screen_candidate(observed, spec, &mut cache, &mut scratch, candidate)
+                    {
+                        scored.push(hit);
+                    }
                 }
-            }
-            cache.flush_metrics();
-            scored
-        })
-    });
-    let screened_count: u64 = screened.iter().map(|chunk| chunk.len() as u64).sum();
+                cache.flush_metrics();
+                scored
+            });
+            // The screened/pruned tallies always describe the *full*
+            // grid's feasibility, so their values match the exhaustive
+            // path whatever the coarse mode.
+            let screened_count: u64 = match &selection {
+                Some(sel) => {
+                    appstore_obs::counter(
+                        appstore_obs::names::FIT_COARSE_SURVIVORS,
+                        sel.survivors.len() as u64,
+                    );
+                    appstore_obs::counter(
+                        appstore_obs::names::FIT_COARSE_PRUNED,
+                        sel.feasible - sel.survivors.len() as u64,
+                    );
+                    sel.feasible
+                }
+                None => screened.iter().map(|chunk| chunk.len() as u64).sum(),
+            };
+            (screened, screened_count)
+        });
     appstore_obs::counter(appstore_obs::names::FIT_CLUSTERING_SCREENED, screened_count);
     appstore_obs::counter(
         appstore_obs::names::FIT_CLUSTERING_PRUNED,
         grid.len() as u64 - screened_count,
     );
-    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1), &spec.user_fractions);
     for (uf, outcome) in screened.into_iter().flatten() {
         builder.add(uf, outcome);
     }
@@ -435,10 +598,11 @@ pub fn fit_clustering(observed: &[u64], spec: &FitSpec, seed: Seed) -> Option<Fi
 
 /// Materializes the APP-CLUSTERING candidate grid in its canonical
 /// order: `z_r` outermost, then `z_c`, `p`, and user-fraction. Every
-/// consumer — plain fit, checkpointed fit, journal replay — must agree
-/// on this order, because journal records address candidates by their
-/// grid index.
-type GridCandidate = (f64, f64, f64, f64);
+/// consumer — plain fit, coarse pass, checkpointed fit, journal replay —
+/// must agree on this order, because journal records address candidates
+/// by their grid index (and the coarse pass recovers axis indices from
+/// it arithmetically).
+pub(crate) type GridCandidate = (f64, f64, f64, f64);
 
 fn clustering_grid(spec: &FitSpec) -> Vec<GridCandidate> {
     let mut grid: Vec<GridCandidate> = Vec::new();
@@ -454,14 +618,15 @@ fn clustering_grid(spec: &FitSpec) -> Vec<GridCandidate> {
     grid
 }
 
-/// Analytically screens one APP-CLUSTERING candidate; `None` when the
-/// candidate is infeasible (pruned before scoring).
-fn screen_candidate(
+/// The validated [`ClusteringParams`] of one grid candidate; `None`
+/// when the candidate is infeasible. Both the exact screen and the
+/// coarse pass run exactly this check, so they agree candidate by
+/// candidate on feasibility.
+pub(crate) fn candidate_params(
     observed: &[u64],
     spec: &FitSpec,
-    cache: &mut ScreeningCache,
-    (z_r, z_c, p, uf): (f64, f64, f64, f64),
-) -> Option<(f64, FitOutcome)> {
+    (z_r, z_c, p, uf): GridCandidate,
+) -> Option<ClusteringParams> {
     let population = derive_population(observed, z_r, uf)?;
     let params = ClusteringParams {
         population,
@@ -471,14 +636,29 @@ fn screen_candidate(
         layout: ClusterLayout::Interleaved,
     };
     params.validate().ok()?;
-    let distance = score(observed, cache.expected_clustering_weighted(&params));
+    Some(params)
+}
+
+/// Analytically screens one APP-CLUSTERING candidate; `None` when the
+/// candidate is infeasible (pruned before scoring).
+fn screen_candidate(
+    observed: &[u64],
+    spec: &FitSpec,
+    cache: &mut ScreeningCache,
+    scratch: &mut ScreenScratch,
+    candidate: GridCandidate,
+) -> Option<(f64, FitOutcome)> {
+    let (z_r, z_c, p, uf) = candidate;
+    let params = candidate_params(observed, spec, candidate)?;
+    cache.expected_clustering_weighted_into(&params, &mut scratch.expected);
+    let distance = score_into(observed, &scratch.expected, &mut scratch.ranked);
     let outcome = FitOutcome {
         kind: ModelKind::AppClustering,
         zipf_exponent: z_r,
         cluster_exponent: z_c,
         p,
-        users: population.users,
-        downloads_per_user: population.downloads_per_user,
+        users: params.population.users,
+        downloads_per_user: params.population.downloads_per_user,
         distance,
     };
     appstore_obs::instant(appstore_obs::names::INSTANT_FIT_CANDIDATE_SCREENED);
@@ -537,6 +717,7 @@ pub fn refine_locally(
         threads: spec.threads,
         refine_top: spec.refine_top,
         replications: spec.replications,
+        coarse: spec.coarse,
     };
     match fit_clustering(observed, &local, seed.child("local")) {
         Some(fine) if fine.distance < coarse.distance => fine,
@@ -955,10 +1136,14 @@ pub fn fit_clustering_checkpointed(
         let computed = appstore_obs::span(appstore_obs::names::SPAN_FIT_SCREEN, || {
             par_map_indexed(chunks, workers, |_, chunk: Vec<(u64, GridCandidate)>| {
                 let mut cache = ScreeningCache::new();
+                let mut scratch = ScreenScratch::default();
                 let scored: Vec<(u64, Option<(f64, FitOutcome)>)> = chunk
                     .into_iter()
                     .map(|(i, candidate)| {
-                        (i, screen_candidate(observed, spec, &mut cache, candidate))
+                        (
+                            i,
+                            screen_candidate(observed, spec, &mut cache, &mut scratch, candidate),
+                        )
                     })
                     .collect();
                 cache.flush_metrics();
@@ -988,7 +1173,7 @@ pub fn fit_clustering_checkpointed(
     // The shortlist is rebuilt from the (now complete) screening table in
     // grid order — deterministic, so shortlist indices in the journal
     // stay stable across resumes.
-    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1));
+    let mut builder = ShortlistBuilder::new(spec.refine_top.max(1), &spec.user_fractions);
     for index in 0..grid.len() as u64 {
         if let Some(Some((uf, outcome))) = replay.screened.get(&index) {
             builder.add(*uf, *outcome);
@@ -1113,6 +1298,105 @@ mod tests {
             threads: 2,
             refine_top: 6,
             replications: 1,
+            coarse: CoarseMode::Auto,
+        }
+    }
+
+    #[test]
+    #[ignore = "diagnostic: prints coarse-rank coverage of the exact top candidates (used to calibrate survivor bands)"]
+    fn coarse_rank_coverage_diagnostic() {
+        let params = ClusteringParams {
+            population: PopulationParams {
+                apps: 250,
+                users: 2000,
+                downloads_per_user: 5,
+                zipf_exponent: 1.3,
+            },
+            clusters: 10,
+            p: 0.9,
+            cluster_exponent: 1.5,
+            layout: ClusterLayout::Interleaved,
+        };
+        let mut observed = Simulator::app_clustering(params).simulate_counts(Seed::new(11));
+        observed.sort_unstable_by(|a, b| b.cmp(a));
+        let mut spec = FitSpec::standard(10);
+        spec.threads = 2;
+        spec.replications = 1;
+        spec.coarse = CoarseMode::Off;
+        let grid = clustering_grid(&spec);
+        let mut cache = ScreeningCache::new();
+        let mut scratch = ScreenScratch::default();
+        // Exact screening distances for the full grid.
+        let mut exact: Vec<(f64, usize)> = Vec::new();
+        for (i, &candidate) in grid.iter().enumerate() {
+            if let Some((_, outcome)) =
+                screen_candidate(&observed, &spec, &mut cache, &mut scratch, candidate)
+            {
+                exact.push((outcome.distance, i));
+            }
+        }
+        exact.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Coarse scores for the full grid.
+        let mut screener = kernel::CoarseScreener::new(&observed, &spec, 128);
+        let len_uf = spec.user_fractions.len();
+        let len_p = spec.ps.len();
+        let len_zc = spec.cluster_exponents.len();
+        let mut coarse: Vec<(f64, usize)> = Vec::new();
+        let mut expected = Vec::new();
+        for (i, &candidate) in grid.iter().enumerate() {
+            let Some(params) = candidate_params(&observed, &spec, candidate) else {
+                continue;
+            };
+            let zr = i / (len_zc * len_p * len_uf);
+            let zc = (i / (len_p * len_uf)) % len_zc;
+            let d = screener.score(
+                zr,
+                zc,
+                params.p,
+                params.population.users,
+                params.population.downloads_per_user,
+                &mut expected,
+            );
+            coarse.push((d, i));
+        }
+        coarse.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let coarse_rank: std::collections::HashMap<usize, usize> = coarse
+            .iter()
+            .enumerate()
+            .map(|(rank, &(_, i))| (i, rank))
+            .collect();
+        println!("grid {} feasible {}", grid.len(), exact.len());
+        println!(
+            "coarse best {:.5} p50 {:.5} p90 {:.5}",
+            coarse[0].0,
+            coarse[coarse.len() / 2].0,
+            coarse[coarse.len() * 9 / 10].0
+        );
+        let coarse_score: std::collections::HashMap<usize, f64> =
+            coarse.iter().map(|&(s, i)| (i, s)).collect();
+        for (k, &(dist, i)) in exact.iter().take(16).enumerate() {
+            let (z_r, z_c, p, uf) = grid[i];
+            println!(
+                "exact #{k:2} dist {dist:.5} grid {i:4} (zr {z_r:.1} zc {z_c:.1} p {p:.2} uf {uf}) -> coarse rank {} score {:.5} (x{:.3} of best)",
+                coarse_rank[&i],
+                coarse_score[&i],
+                coarse_score[&i] / coarse[0].0
+            );
+        }
+        // Worst coarse rank among per-uf exact bests.
+        for uf_col in 0..len_uf {
+            let best = exact.iter().find(|&&(_, i)| i % len_uf == uf_col);
+            if let Some(&(dist, i)) = best {
+                // Rank within the coarse uf column.
+                let col_rank = coarse
+                    .iter()
+                    .filter(|&&(_, j)| j % len_uf == uf_col)
+                    .position(|&(_, j)| j == i);
+                println!(
+                    "uf col {uf_col} exact best dist {dist:.5} grid {i:4} -> coarse global rank {} col rank {:?}",
+                    coarse_rank[&i], col_rank
+                );
+            }
         }
     }
 
@@ -1326,6 +1610,7 @@ mod checkpoint_tests {
             threads: 2,
             refine_top: 6,
             replications: 1,
+            coarse: CoarseMode::Auto,
         }
     }
 
@@ -1610,6 +1895,7 @@ mod refine_tests {
             threads: 2,
             refine_top: 3,
             replications: 1,
+            coarse: CoarseMode::Auto,
         };
         let seed = Seed::new(56);
         let coarse = fit_clustering(&observed, &spec, seed).expect("coarse fit");

@@ -31,6 +31,7 @@
 pub mod config;
 pub mod expectation;
 pub mod fit;
+pub mod kernel;
 pub mod simulate;
 pub mod zipf;
 
@@ -41,8 +42,9 @@ pub use expectation::{
 };
 pub use fit::{
     fit_clustering, fit_clustering_checkpointed, fit_zipf, fit_zipf_amo, refine_locally,
-    user_count_sweep, CandidateBudget, FitError, FitOutcome, FitSpec, SITE_FIT_JOURNAL_APPEND,
-    SITE_FIT_REFINE,
+    user_count_sweep, CandidateBudget, CoarseMode, FitError, FitOutcome, FitSpec,
+    SITE_FIT_JOURNAL_APPEND, SITE_FIT_REFINE,
 };
+pub use kernel::ZipfFamily;
 pub use simulate::{DownloadTrace, Simulator};
 pub use zipf::{AliasTable, SampleMethod, ZipfSampler};

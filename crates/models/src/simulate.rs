@@ -97,6 +97,14 @@ pub struct Simulator {
     global: ZipfSampler,
     /// One sampler per cluster (clustering model only).
     per_cluster: Vec<ZipfSampler>,
+    /// Precomputed app → cluster map (clustering model only, else
+    /// empty). `cluster_of` runs once per download, so the per-call
+    /// `layout.place` arithmetic (a divide/modulo for the blocked
+    /// layout) is paid once per app at build instead.
+    cluster_map: Vec<u32>,
+    /// Precomputed first global app index of each cluster under the
+    /// blocked layout (empty otherwise); `app_of` becomes one add.
+    block_start: Vec<u32>,
 }
 
 impl Simulator {
@@ -114,6 +122,8 @@ impl Simulator {
             population,
             clustering: None,
             per_cluster: Vec::new(),
+            cluster_map: Vec::new(),
+            block_start: Vec::new(),
         }
     }
 
@@ -131,6 +141,8 @@ impl Simulator {
             population,
             clustering: None,
             per_cluster: Vec::new(),
+            cluster_map: Vec::new(),
+            block_start: Vec::new(),
         }
     }
 
@@ -147,12 +159,29 @@ impl Simulator {
                 ZipfSampler::new(size.max(1), params.cluster_exponent)
             })
             .collect();
+        let cluster_map: Vec<u32> = (0..pop.apps)
+            .map(|app| params.layout.place(app, pop.apps, params.clusters).0 as u32)
+            .collect();
+        let block_start = match params.layout {
+            ClusterLayout::Blocked => {
+                let mut starts = Vec::with_capacity(params.clusters);
+                let mut next = 0u32;
+                for c in 0..params.clusters {
+                    starts.push(next);
+                    next += params.layout.cluster_size(c, pop.apps, params.clusters) as u32;
+                }
+                starts
+            }
+            ClusterLayout::Interleaved => Vec::new(),
+        };
         Simulator {
             kind: ModelKind::AppClustering,
             global: ZipfSampler::new(pop.apps, pop.zipf_exponent),
             population: pop,
             clustering: Some(params),
             per_cluster,
+            cluster_map,
+            block_start,
         }
     }
 
@@ -183,17 +212,7 @@ impl Simulator {
         let params = self.clustering.as_ref().expect("clustering model");
         match params.layout {
             ClusterLayout::Interleaved => within * params.clusters + cluster,
-            ClusterLayout::Blocked => {
-                let apps = self.population.apps;
-                let base = apps / params.clusters;
-                let extra = apps % params.clusters;
-                let before = if cluster <= extra {
-                    (base + 1) * cluster
-                } else {
-                    (base + 1) * extra + base * (cluster - extra)
-                };
-                before + within
-            }
+            ClusterLayout::Blocked => self.block_start[cluster] as usize + within,
         }
     }
 
@@ -292,14 +311,10 @@ impl Simulator {
     /// models, which behave as a single cluster).
     #[inline]
     fn cluster_of(&self, app: u32) -> u32 {
-        match &self.clustering {
-            Some(params) => {
-                params
-                    .layout
-                    .place(app as usize, self.population.apps, params.clusters)
-                    .0 as u32
-            }
-            None => 0,
+        if self.cluster_map.is_empty() {
+            0
+        } else {
+            self.cluster_map[app as usize]
         }
     }
 

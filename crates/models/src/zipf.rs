@@ -107,11 +107,11 @@ impl AliasTable {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let col = rng.gen_range(0..self.prob.len());
         let coin: f64 = rng.gen();
-        if coin < self.prob[col] {
-            col
-        } else {
-            self.alias[col]
-        }
+        // Branchless select (compiles to a cmov): the coin flip is a
+        // coin toss by construction, so a conditional jump here would
+        // mispredict half the time in the simulators' draw loops.
+        let candidates = [col, self.alias[col]];
+        candidates[usize::from(coin >= self.prob[col])]
     }
 }
 
@@ -136,6 +136,14 @@ impl AliasTable {
 pub struct ZipfSampler {
     /// Cumulative probabilities; `cumulative[k-1] = P(rank ≤ k)`.
     cumulative: Vec<f64>,
+    /// Guide table for the inverse-CDF draw: `guide[j]` is the first
+    /// index whose cumulative mass reaches `j / n`, so a uniform `u`
+    /// lands within a couple of entries of `guide[⌊u·n⌋]`. Turns the
+    /// O(log n) binary search into an O(1) expected lookup while
+    /// returning the *same index* for the same uniform (the correction
+    /// loops in [`ZipfSampler::sample`] restore exact `partition_point`
+    /// semantics), so the draw stream is unchanged.
+    guide: Vec<u32>,
     exponent: f64,
     /// Present iff the sampler was built with [`SampleMethod::Alias`].
     alias: Option<AliasTable>,
@@ -184,12 +192,26 @@ impl ZipfSampler {
         }
         // Guard against floating-point shortfall at the top.
         *cumulative.last_mut().expect("nonempty") = 1.0;
+        // One merged pass builds the guide table: a pointer walks the
+        // cumulative vector once while the bucket thresholds ascend, so
+        // construction stays O(n) overall.
+        let mut guide = Vec::with_capacity(n + 1);
+        let inv_n = 1.0 / n as f64;
+        let mut i = 0usize;
+        for j in 0..=n {
+            let threshold = j as f64 * inv_n;
+            while i < n && cumulative[i] < threshold {
+                i += 1;
+            }
+            guide.push(i.min(n - 1) as u32);
+        }
         let alias = match method {
             SampleMethod::InverseCdf => None,
             SampleMethod::Alias => Some(AliasTable::from_weights(&weights)),
         };
         ZipfSampler {
             cumulative,
+            guide,
             exponent: s,
             alias,
         }
@@ -237,8 +259,24 @@ impl ZipfSampler {
         match &self.alias {
             None => {
                 let u: f64 = rng.gen();
-                // First index with cumulative >= u.
-                self.cumulative.partition_point(|&c| c < u) + 1
+                // Guide-table lookup plus correction loops: start near
+                // the answer, then walk to the exact first index with
+                // cumulative >= u. The forward/backward pair makes the
+                // result identical to `partition_point(|&c| c < u)`
+                // from any starting position on a nondecreasing vector,
+                // so FP rounding in the bucket index cannot shift a
+                // draw. `u < 1.0` and `cumulative[n-1] == 1.0` bound
+                // the forward walk.
+                let n = self.cumulative.len();
+                let bucket = ((u * n as f64) as usize).min(n - 1);
+                let mut i = self.guide[bucket] as usize;
+                while self.cumulative[i] < u {
+                    i += 1;
+                }
+                while i > 0 && self.cumulative[i - 1] >= u {
+                    i -= 1;
+                }
+                i + 1
             }
             Some(table) => table.sample(rng) + 1,
         }
@@ -296,6 +334,46 @@ mod tests {
         let mut rng_b = Seed::new(99).rng();
         for _ in 0..1_000 {
             assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn guide_table_sample_equals_partition_point() {
+        // The guide-table fast path must return the exact index the
+        // plain binary search would, for every draw — the calibrated
+        // RNG stream consumes one uniform either way, so equality here
+        // means the goldens cannot move. Exercised across support
+        // sizes (including n = 1 and sizes near guide-bucket
+        // boundaries) and exponents (uniform through steep).
+        for &n in &[1usize, 2, 3, 7, 64, 65, 1_000] {
+            for &s in &[0.0f64, 0.6, 1.0, 1.4, 2.5] {
+                let sampler = ZipfSampler::new(n, s);
+                let mut rng_fast = Seed::new(n as u64 ^ s.to_bits()).rng();
+                let mut rng_ref = rng_fast.clone();
+                for _ in 0..2_000 {
+                    let fast = sampler.sample(&mut rng_fast);
+                    let u: f64 = rng_ref.gen();
+                    let reference = sampler.cumulative.partition_point(|&c| c < u) + 1;
+                    assert_eq!(fast, reference, "n={n} s={s} u={u}");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn guide_table_equivalence_holds_for_random_supports(
+            n in 1usize..800, s in 0.0f64..3.0, seed in any::<u64>()
+        ) {
+            let sampler = ZipfSampler::new(n, s);
+            let mut rng_fast = Seed::new(seed).rng();
+            let mut rng_ref = rng_fast.clone();
+            for _ in 0..64 {
+                let fast = sampler.sample(&mut rng_fast);
+                let u: f64 = rng_ref.gen();
+                let reference = sampler.cumulative.partition_point(|&c| c < u) + 1;
+                prop_assert_eq!(fast, reference);
+            }
         }
     }
 

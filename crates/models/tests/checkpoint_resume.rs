@@ -7,7 +7,8 @@
 use appstore_core::faults::{with_injector, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 use appstore_core::Seed;
 use appstore_models::{
-    fit_clustering, fit_clustering_checkpointed, CandidateBudget, FitSpec, SITE_FIT_JOURNAL_APPEND,
+    fit_clustering, fit_clustering_checkpointed, CandidateBudget, CoarseMode, FitSpec,
+    SITE_FIT_JOURNAL_APPEND,
 };
 use proptest::prelude::*;
 
@@ -23,6 +24,7 @@ fn tiny_spec() -> FitSpec {
         threads: 2,
         refine_top: 2,
         replications: 1,
+        coarse: CoarseMode::Auto,
     }
 }
 

@@ -87,6 +87,11 @@ pub const FIT_CLUSTERING_SCREENED: &str = "fit.clustering.screened";
 pub const FIT_CLUSTERING_PRUNED: &str = "fit.clustering.pruned";
 /// APP-CLUSTERING candidates refined by simulation.
 pub const FIT_CLUSTERING_REFINED: &str = "fit.clustering.refined";
+/// Feasible candidates kept by the coarse subsample pass for exact
+/// re-screening (0 when coarse-to-fine is inactive).
+pub const FIT_COARSE_SURVIVORS: &str = "fit.coarse.survivors";
+/// Feasible candidates dropped by the coarse subsample pass.
+pub const FIT_COARSE_PRUNED: &str = "fit.coarse.pruned";
 /// Monte-Carlo replications run by a refinement score.
 pub const FIT_SIM_REPLICATIONS: &str = "fit.sim.replications";
 /// Screening-cache hits (volatile: workers own private caches).
@@ -219,6 +224,8 @@ pub const ALL_METRICS: &[&str] = &[
     FIT_CLUSTERING_SCREENED,
     FIT_CLUSTERING_PRUNED,
     FIT_CLUSTERING_REFINED,
+    FIT_COARSE_SURVIVORS,
+    FIT_COARSE_PRUNED,
     FIT_SIM_REPLICATIONS,
     FIT_CACHE_HITS,
     FIT_CACHE_MISSES,

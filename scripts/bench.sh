@@ -32,8 +32,11 @@ if ! git diff --quiet HEAD 2>/dev/null; then
     GIT_SHA="${GIT_SHA}-dirty"
 fi
 
-echo "== cargo build --release =="
-if ! cargo build --release -q; then
+# --workspace: the root manifest is both a workspace and a package, so a
+# bare `cargo build` covers only the root package and can leave
+# target/release/repro (package `bench`) stale.
+echo "== cargo build --release --workspace =="
+if ! cargo build --release --workspace -q; then
     echo "error: cargo build --release failed; no benchmark was run" >&2
     exit 1
 fi
@@ -48,7 +51,7 @@ run_repro() { # run_repro <threads> <stderr-log> [extra args...]; prints wall se
     ./target/release/repro all --scale "$SCALE" --threads "$threads" "$@" \
         >/dev/null 2>"$log"
     end="$(date +%s.%N)"
-    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.2f", e - s }'
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", e - s }'
 }
 
 echo "== repro all --scale $SCALE --threads 1 =="
@@ -65,9 +68,11 @@ echo "   metrics snapshot: $METRICS_OUT"
 echo "== kernel benches (bench/model_fit) =="
 cargo bench -q -p bench --bench model_fit | tee "$TMP/kernels.log"
 
-# Per-experiment wall times from the parallel run's stderr progress
-# lines ("[<id> in <secs>s]").
-sed -n 's/^\[\(.*\) in \(.*\)s\]$/{"id":"\1","seconds":\2}/p' "$TMP/parallel.log" |
+# Per-experiment wall times from the *serial* run's stderr progress
+# lines ("[<id> in <secs>s]", millisecond resolution). The serial run
+# times each experiment alone; under --threads N experiments overlap
+# and contend, so their individual wall times say little.
+sed -n 's/^\[\(.*\) in \(.*\)s\]$/{"id":"\1","seconds":\2}/p' "$TMP/serial.log" |
     jq -s '.' >"$TMP/experiments.json"
 
 # Kernel medians from the bench harness lines

@@ -3,8 +3,8 @@
 use planet_apps::cache::sweep_cache_sizes;
 use planet_apps::core::{Seed, StoreId};
 use planet_apps::models::{
-    fit_clustering, fit_zipf, fit_zipf_amo, ClusterLayout, ClusteringParams, FitSpec, ModelKind,
-    PopulationParams,
+    fit_clustering, fit_zipf, fit_zipf_amo, ClusterLayout, ClusteringParams, CoarseMode, FitSpec,
+    ModelKind, PopulationParams,
 };
 use planet_apps::synth::{generate, StoreProfile};
 
@@ -18,6 +18,7 @@ fn quick_spec(clusters: usize) -> FitSpec {
         threads: 2,
         refine_top: 4,
         replications: 1,
+        coarse: CoarseMode::Auto,
     }
 }
 
