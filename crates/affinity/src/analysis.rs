@@ -1,7 +1,7 @@
 //! Per-user aggregations behind Figures 5–7.
 
 use crate::metric::affinity;
-use crate::strings::UserStream;
+use crate::strings::{UserCommentProfile, UserStream};
 use appstore_stats::mean_ci95;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -40,22 +40,25 @@ pub fn unique_categories_per_user(streams: &[UserStream]) -> Vec<u64> {
 ///
 /// Returns `None` if no user qualifies or `k == 0`.
 pub fn top_k_comment_share(streams: &[UserStream], k: usize) -> Option<f64> {
+    let profiles: Vec<UserCommentProfile> = streams.iter().map(UserStream::profile).collect();
+    top_k_share_from_profiles(&profiles, k)
+}
+
+/// [`top_k_comment_share`] on pre-collapsed profiles — the fold form
+/// the out-of-core path uses. Profiles must be in the same (ascending
+/// user) order `build_user_streams` produces, so the two paths sum
+/// shares in the same order and agree bit-for-bit.
+pub fn top_k_share_from_profiles(profiles: &[UserCommentProfile], k: usize) -> Option<f64> {
     if k == 0 {
         return None;
     }
     let mut shares = Vec::new();
-    for s in streams {
-        if s.len() < 2 {
+    for p in profiles {
+        if p.stream_len < 2 {
             continue;
         }
-        let mut freq: BTreeMap<u32, usize> = BTreeMap::new();
-        for c in &s.categories {
-            *freq.entry(c.0).or_insert(0) += 1;
-        }
-        let mut counts: Vec<usize> = freq.into_values().collect();
-        counts.sort_unstable_by(|a, b| b.cmp(a));
-        let top: usize = counts.iter().take(k).sum();
-        shares.push(top as f64 / s.len() as f64);
+        let top: usize = p.category_counts.iter().take(k).sum();
+        shares.push(top as f64 / p.stream_len as f64);
     }
     if shares.is_empty() {
         None

@@ -28,8 +28,8 @@ pub use drift::{affinity_over_windows, interest_retention, WindowAffinity};
 
 pub use analysis::{
     affinity_by_group, affinity_samples, comments_per_user, downloads_share_by_category,
-    top_k_comment_share, unique_categories_per_user, GroupAffinity,
+    top_k_comment_share, top_k_share_from_profiles, unique_categories_per_user, GroupAffinity,
 };
 pub use baseline::random_walk_affinity;
 pub use metric::affinity;
-pub use strings::{build_user_streams, UserStream};
+pub use strings::{build_user_streams, UserCommentProfile, UserStream};

@@ -8,7 +8,24 @@
 //! *category string* the affinity metric consumes.
 
 use appstore_core::{AppId, CategoryId, CommentEvent, UserId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// The per-user aggregate the Fig. 5 analyses actually consume: raw and
+/// deduplicated comment counts plus the user's per-category comment
+/// histogram, largest first. A profile is O(categories) however long
+/// the comment history — the unit of state the out-of-core fold keeps
+/// per user instead of the full [`UserStream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserCommentProfile {
+    /// The user.
+    pub user: UserId,
+    /// Number of raw comments before deduplication.
+    pub raw_comments: usize,
+    /// Length of the deduplicated app string.
+    pub stream_len: usize,
+    /// Per-category counts over the deduplicated string, descending.
+    pub category_counts: Vec<usize>,
+}
 
 /// One user's deduplicated comment history.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +57,22 @@ impl UserStream {
         cats.sort_unstable();
         cats.dedup();
         cats.len()
+    }
+
+    /// Collapses the stream to its Fig. 5 aggregate.
+    pub fn profile(&self) -> UserCommentProfile {
+        let mut freq: BTreeMap<u32, usize> = BTreeMap::new();
+        for c in &self.categories {
+            *freq.entry(c.0).or_insert(0) += 1;
+        }
+        let mut category_counts: Vec<usize> = freq.into_values().collect();
+        category_counts.sort_unstable_by(|a, b| b.cmp(a));
+        UserCommentProfile {
+            user: self.user,
+            raw_comments: self.raw_comments,
+            stream_len: self.apps.len(),
+            category_counts,
+        }
     }
 }
 

@@ -24,11 +24,27 @@
 //! `--no-timings` every volatile field — durations, per-worker tallies —
 //! is zeroed, so the file is byte-identical for every `--threads` value;
 //! the golden regression suite pins exactly that.
+//!
+//! `--streaming` switches to the out-of-core pipeline: stores are
+//! generated straight into sharded spill files (`--shards`, default 4)
+//! under `--spill-dir` (default: a per-run temp directory, removed on
+//! exit) and the experiments run as one-pass folds over those files, so
+//! resident memory stays bounded by the largest shard instead of the
+//! full event history. Only the fold-based experiments (`fig3`, `fig5`,
+//! `fig8`) run in this mode — `all` narrows to exactly that set — and
+//! their stdout is byte-identical to the in-memory path. Peak RSS is
+//! reported on stderr; with `--mem-cap-mb` the run exits 3 (after
+//! writing every output) if the peak exceeded the cap.
 
 use appstore_core::Seed;
 use appstore_obs::Registry;
-use bench::{run_experiments_observed, ExperimentResult, Stores, EXPERIMENT_IDS};
+use bench::{
+    is_streaming_id, run_experiments_observed, run_experiments_observed_with,
+    run_streaming_experiment, ExperimentResult, Stores, StreamingStores, EXPERIMENT_IDS,
+    STREAMING_IDS,
+};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 struct Args {
@@ -41,6 +57,10 @@ struct Args {
     trace_path: Option<String>,
     trace_folded_path: Option<String>,
     trace_folded_wall_path: Option<String>,
+    streaming: bool,
+    shards: usize,
+    spill_dir: Option<String>,
+    mem_cap_mb: Option<u64>,
     experiments: Vec<String>,
 }
 
@@ -55,6 +75,10 @@ fn parse_args() -> Result<Args, String> {
         trace_path: None,
         trace_folded_path: None,
         trace_folded_wall_path: None,
+        streaming: false,
+        shards: 4,
+        spill_dir: None,
+        mem_cap_mb: None,
         experiments: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
@@ -92,11 +116,29 @@ fn parse_args() -> Result<Args, String> {
                 args.trace_folded_wall_path =
                     Some(iter.next().ok_or("--trace-folded-wall needs a file path")?);
             }
+            "--streaming" => {
+                args.streaming = true;
+            }
+            "--shards" => {
+                let v = iter.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|_| format!("bad shard count: {v}"))?;
+                if args.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--spill-dir" => {
+                args.spill_dir = Some(iter.next().ok_or("--spill-dir needs a directory")?);
+            }
+            "--mem-cap-mb" => {
+                let v = iter.next().ok_or("--mem-cap-mb needs a value")?;
+                args.mem_cap_mb = Some(v.parse().map_err(|_| format!("bad memory cap: {v}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale N] [--seed S] [--threads T] [--json DIR] \
                      [--metrics FILE] [--no-timings] [--trace FILE] [--trace-folded FILE] \
-                     [--trace-folded-wall FILE] <experiment>|all|list\n\
+                     [--trace-folded-wall FILE] [--streaming] [--shards N] [--spill-dir DIR] \
+                     [--mem-cap-mb MB] <experiment>|all|list\n\
                      \x20      repro report [--results DIR] [--metrics FILE] [--md FILE]"
                 );
                 std::process::exit(0);
@@ -208,7 +250,17 @@ fn main() {
     }
 
     let ids: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
-        EXPERIMENT_IDS.to_vec()
+        if args.streaming {
+            // The out-of-core path implements the fold-based analyses;
+            // `all` means "everything this mode can run".
+            eprintln!(
+                "streaming mode: running the fold-based experiments ({})",
+                STREAMING_IDS.join(", ")
+            );
+            STREAMING_IDS.to_vec()
+        } else {
+            EXPERIMENT_IDS.to_vec()
+        }
     } else {
         args.experiments.iter().map(String::as_str).collect()
     };
@@ -217,6 +269,14 @@ fn main() {
     for id in &ids {
         if !EXPERIMENT_IDS.contains(id) {
             eprintln!("unknown experiment: {id} (try `repro list`)");
+            std::process::exit(2);
+        }
+        if args.streaming && !is_streaming_id(id) {
+            eprintln!(
+                "experiment {id} has no streaming implementation \
+                 (streaming ids: {})",
+                STREAMING_IDS.join(", ")
+            );
             std::process::exit(2);
         }
     }
@@ -237,10 +297,63 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
 
+    // Spill files land in --spill-dir when given (kept afterwards for
+    // inspection or resumed merges), else a per-run temp directory
+    // removed before exit.
+    let spill_dir: Option<PathBuf> = args.streaming.then(|| {
+        let dir = args.spill_dir.as_ref().map_or_else(
+            || std::env::temp_dir().join(format!("repro-spill-{}", std::process::id())),
+            PathBuf::from,
+        );
+        std::fs::create_dir_all(&dir).expect("create spill dir");
+        dir
+    });
+
     // Store generation and the experiment batch each get a root track
     // segment of their own, so their `par_map_indexed` task paths can
     // never collide in a trace.
     let run = || {
+        if let Some(dir) = &spill_dir {
+            // Out-of-core path: generate straight into sharded spill
+            // files, then run the experiments as folds over them. Same
+            // seed chain as the in-memory path, so stdout is identical.
+            let streaming = appstore_obs::with_track(0, || {
+                appstore_obs::with_registry(&stores_registry, || {
+                    StreamingStores::generate_pure(
+                        args.scale,
+                        seed.child("stores"),
+                        args.threads,
+                        dir,
+                        args.shards,
+                    )
+                })
+            })
+            .unwrap_or_else(|err| {
+                eprintln!("spill generation failed: {err}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "stores spilled in {:.1}s ({} shard(s)/store, {:.1} MiB on disk)",
+                started.elapsed().as_secs_f64(),
+                streaming.shards(),
+                streaming.bytes_spilled() as f64 / (1024.0 * 1024.0)
+            );
+            return appstore_obs::with_track(1, || {
+                run_experiments_observed_with(
+                    &ids,
+                    seed,
+                    args.threads,
+                    |id, secs| {
+                        eprintln!("[{id} in {secs:.3}s]");
+                    },
+                    |id, seed| {
+                        run_streaming_experiment(id, &streaming, seed)
+                            .expect("ids validated against STREAMING_IDS")
+                            .unwrap_or_else(|err| panic!("streaming {id} failed: {err}"))
+                    },
+                )
+            });
+        }
         let stores = appstore_obs::with_track(0, || {
             appstore_obs::with_registry(&stores_registry, || {
                 Stores::generate_all_threaded(args.scale, seed.child("stores"), args.threads)
@@ -314,6 +427,48 @@ fn main() {
         results.len(),
         started.elapsed().as_secs_f64()
     );
+    if args.streaming {
+        // Quarantined chunks mean damaged spill data was skipped: the
+        // printed numbers exclude it, so surface the loss loudly.
+        for (result, _, _) in &results {
+            let quarantined = result
+                .json
+                .get("streaming")
+                .and_then(|s| s.get("quarantined_chunks"))
+                .and_then(|q| q.as_u64())
+                .unwrap_or(0);
+            if quarantined > 0 {
+                eprintln!(
+                    "WARN: {}: {quarantined} spill chunk(s) quarantined — \
+                     results computed without the damaged rows",
+                    result.id
+                );
+            }
+        }
+        if args.spill_dir.is_none() {
+            if let Some(dir) = &spill_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+    match appstore_core::spill::peak_rss_bytes() {
+        Some(bytes) => {
+            let mib = bytes.div_ceil(1024 * 1024);
+            eprintln!("peak RSS {mib} MiB");
+            if let Some(cap) = args.mem_cap_mb {
+                if mib > cap {
+                    eprintln!("FAIL: peak RSS {mib} MiB exceeds --mem-cap-mb {cap}");
+                    std::process::exit(3);
+                }
+                eprintln!("within --mem-cap-mb {cap}");
+            }
+        }
+        None => {
+            if args.mem_cap_mb.is_some() {
+                eprintln!("peak RSS unavailable on this platform; --mem-cap-mb not enforced");
+            }
+        }
+    }
 }
 
 /// Assembles the metrics snapshot: one registry export per experiment in

@@ -3,9 +3,8 @@
 use crate::experiments::{gap_repaired, ExperimentResult};
 use crate::stores::Stores;
 use appstore_affinity::{
-    affinity_by_group, affinity_samples, build_user_streams, comments_per_user,
-    downloads_share_by_category, random_walk_affinity, top_k_comment_share,
-    unique_categories_per_user,
+    affinity_by_group, affinity_samples, build_user_streams, downloads_share_by_category,
+    random_walk_affinity, top_k_share_from_profiles, UserCommentProfile, UserStream,
 };
 use appstore_stats::Ecdf;
 use serde_json::json;
@@ -18,20 +17,35 @@ pub fn fig5(stores: &Stores) -> ExperimentResult {
     let (view, coverage) = gap_repaired(&anzhi.store.dataset);
     let d = view.as_ref();
     let streams = build_user_streams(&d.comments, |a| d.category_of(a));
+    let profiles: Vec<UserCommentProfile> = streams.iter().map(UserStream::profile).collect();
+    fig5_from_profiles(&profiles, &d.downloads_by_category(d.last()), &coverage)
+}
+
+/// Fig. 5 kernel over per-user comment profiles and per-category
+/// download totals — the O(users + categories) state the out-of-core
+/// fold carries instead of the full comment log.
+pub fn fig5_from_profiles(
+    profiles: &[UserCommentProfile],
+    downloads_per_category: &[u64],
+    coverage: &str,
+) -> ExperimentResult {
     let mut lines = Vec::new();
 
     // (a) comments per user.
-    let per_user = comments_per_user(&streams);
+    let per_user: Vec<u64> = profiles.iter().map(|p| p.raw_comments as u64).collect();
     let ecdf_comments = Ecdf::from_counts(&per_user);
     lines.push(format!(
         "(a) users: {}   P(comments<=10): {:.2}   P(<=30): {:.2}",
-        streams.len(),
+        profiles.len(),
         ecdf_comments.eval(10.0),
         ecdf_comments.eval(30.0)
     ));
 
     // (b) unique categories per user.
-    let cats_per_user = unique_categories_per_user(&streams);
+    let cats_per_user: Vec<u64> = profiles
+        .iter()
+        .map(|p| p.category_counts.len() as u64)
+        .collect();
     let ecdf_cats = Ecdf::from_counts(&cats_per_user);
     lines.push(format!(
         "(b) P(1 category): {:.2}   P(<=5 categories): {:.2}",
@@ -43,7 +57,7 @@ pub fn fig5(stores: &Stores) -> ExperimentResult {
     // (c) average share of comments in the user's top-k categories.
     let mut topk = Vec::new();
     for k in [1usize, 2, 3, 5, 10] {
-        let share = top_k_comment_share(&streams, k).unwrap_or(0.0);
+        let share = top_k_share_from_profiles(profiles, k).unwrap_or(0.0);
         topk.push((k, share));
     }
     lines.push(format!(
@@ -56,7 +70,7 @@ pub fn fig5(stores: &Stores) -> ExperimentResult {
     lines.push("    paper: 66% in the top category, 95% within five".into());
 
     // (d) downloads per category.
-    let shares = downloads_share_by_category(&d.downloads_by_category(d.last()));
+    let shares = downloads_share_by_category(downloads_per_category);
     let top = shares.first().map(|&(_, s)| s).unwrap_or(0.0);
     let below4 = shares.iter().filter(|&&(_, s)| s < 0.04).count();
     lines.push(format!(
@@ -74,7 +88,7 @@ pub fn fig5(stores: &Stores) -> ExperimentResult {
         lines,
         json: json!({
             "coverage": coverage,
-            "users": streams.len(),
+            "users": profiles.len(),
             "comments_cdf_le10": ecdf_comments.eval(10.0),
             "single_category": ecdf_cats.eval(1.0),
             "within_five": ecdf_cats.eval(5.0),

@@ -139,12 +139,31 @@ pub fn run_experiments<'a>(
 ///
 /// # Panics
 /// Panics on an unknown id — validate against [`EXPERIMENT_IDS`] first.
-pub fn run_experiments_observed<'a>(
-    ids: &[&'a str],
+pub fn run_experiments_observed(
+    ids: &[&str],
     stores: &Stores,
     seed: Seed,
     threads: usize,
     progress: impl Fn(&str, f64) + Sync,
+) -> Vec<(ExperimentResult, f64, appstore_obs::Registry)> {
+    run_experiments_observed_with(ids, seed, threads, progress, |id, seed| {
+        run_experiment(id, stores, seed).unwrap_or_else(|| panic!("unknown experiment id: {id}"))
+    })
+}
+
+/// The scheduling/observation shell of [`run_experiments_observed`],
+/// generic over how one experiment id becomes a result — the streaming
+/// path plugs its fold-based runner in here so both paths share the
+/// per-experiment registry, track-labelling, and ordering machinery.
+///
+/// `run` receives the id and the batch's `experiments`-child seed,
+/// exactly what [`run_experiment`] gets.
+pub fn run_experiments_observed_with<'a>(
+    ids: &[&'a str],
+    seed: Seed,
+    threads: usize,
+    progress: impl Fn(&str, f64) + Sync,
+    run: impl Fn(&'a str, Seed) -> ExperimentResult + Sync,
 ) -> Vec<(ExperimentResult, f64, appstore_obs::Registry)> {
     par_map_indexed(ids.to_vec(), threads, |_, id: &'a str| {
         let registry = appstore_obs::Registry::new();
@@ -152,10 +171,7 @@ pub fn run_experiments_observed<'a>(
         // Name the experiment's trace track after its id so a `--trace`
         // timeline reads "fig8", not "task 1.4".
         appstore_obs::label_track(id);
-        let result = appstore_obs::with_registry(&registry, || {
-            run_experiment(id, stores, seed.child("experiments"))
-                .unwrap_or_else(|| panic!("unknown experiment id: {id}"))
-        });
+        let result = appstore_obs::with_registry(&registry, || run(id, seed.child("experiments")));
         let secs = started.elapsed().as_secs_f64();
         progress(id, secs);
         (result, secs, registry)

@@ -9,7 +9,7 @@ use appstore_models::{
 use serde_json::json;
 
 /// The three "free-app" stores the paper fits in Figs. 8–10.
-const FIT_STORES: [&str; 3] = ["appchina", "anzhi", "1mobile"];
+pub const FIT_STORES: [&str; 3] = ["appchina", "anzhi", "1mobile"];
 
 fn spec_for(clusters: usize) -> FitSpec {
     let mut spec = FitSpec::standard(clusters);
@@ -20,8 +20,17 @@ fn spec_for(clusters: usize) -> FitSpec {
     spec
 }
 
+/// APP-CLUSTERING is only feasible with `clusters <= apps`: every grid
+/// candidate fails validation otherwise and the fit returns `None`.
+/// Extreme `--scale` floors can shrink a store below its category
+/// count, so clamp; at every calibrated scale apps far exceeds
+/// categories and this is the identity.
+pub(crate) fn feasible_clusters(clusters: usize, apps: usize) -> usize {
+    clusters.min(apps).max(1)
+}
+
 fn fit_all(observed: &[u64], clusters: usize, seed: Seed) -> (FitOutcome, FitOutcome, FitOutcome) {
-    let spec = spec_for(clusters);
+    let spec = spec_for(feasible_clusters(clusters, observed.len()));
     let zipf = fit_zipf(observed, &spec).expect("nonempty curve");
     let amo = fit_zipf_amo(observed, &spec, seed.child("amo")).expect("nonempty curve");
     let clustering =
@@ -33,6 +42,41 @@ fn fit_all(observed: &[u64], clusters: usize, seed: Seed) -> (FitOutcome, FitOut
 /// snapshot (paper reports e.g. AppChina: ZIPF z=1.4, AMO z=1.6,
 /// APP-CLUSTERING z_r=1.7, p=0.9, z_c=1.4).
 pub fn fig8(stores: &Stores, seed: Seed) -> ExperimentResult {
+    let inputs: Vec<FitInput> = FIT_STORES
+        .iter()
+        .map(|&name| {
+            let bundle = stores.by_name(name).expect("store exists");
+            // Fits run on the gap-repaired view of the crawl.
+            let (view, note) = gap_repaired(&bundle.store.dataset);
+            FitInput {
+                name,
+                observed: view.final_downloads_ranked(),
+                clusters: bundle.profile.categories,
+                note,
+            }
+        })
+        .collect();
+    fig8_from_inputs(&inputs, seed)
+}
+
+/// One store's input to the Fig. 8 kernel: the measured final download
+/// curve plus the cluster count and coverage note.
+pub struct FitInput {
+    /// Store name (must be one of the paper's fit stores for the seed
+    /// chain to match the in-memory path).
+    pub name: &'static str,
+    /// Final downloads ranked descending, all apps.
+    pub observed: Vec<u64>,
+    /// Cluster count for the APP-CLUSTERING model.
+    pub clusters: usize,
+    /// Coverage annotation.
+    pub note: String,
+}
+
+/// Fig. 8 kernel: fits the three models per store. `seed` is the same
+/// `experiments`-child seed `fig8` receives, and each store's fits are
+/// seeded with `seed.child(name)` exactly as the in-memory path does.
+pub fn fig8_from_inputs(inputs: &[FitInput], seed: Seed) -> ExperimentResult {
     let mut lines = Vec::new();
     let mut series = Vec::new();
     lines.push(format!(
@@ -40,14 +84,11 @@ pub fn fig8(stores: &Stores, seed: Seed) -> ExperimentResult {
         "store", "model", "z_r", "z_c", "p", "users", "distance"
     ));
     let mut coverage = Vec::new();
-    for name in FIT_STORES {
-        let bundle = stores.by_name(name).expect("store exists");
-        // Fits run on the gap-repaired view of the crawl.
-        let (view, note) = gap_repaired(&bundle.store.dataset);
+    for input in inputs {
+        let name = input.name;
+        let note = &input.note;
         coverage.push(format!("{name}: {note}"));
-        let observed = view.final_downloads_ranked();
-        let clusters = bundle.profile.categories;
-        let (zipf, amo, clustering) = fit_all(&observed, clusters, seed.child(name));
+        let (zipf, amo, clustering) = fit_all(&input.observed, input.clusters, seed.child(name));
         for fit in [&zipf, &amo, &clustering] {
             lines.push(format!(
                 "{:<10} {:<20} {:>6.2} {:>6.2} {:>6.2} {:>12} {:>10.3}",
@@ -148,7 +189,7 @@ pub fn fig10(stores: &Stores, seed: Seed) -> ExperimentResult {
     for name in FIT_STORES {
         let bundle = stores.by_name(name).expect("store exists");
         let observed = bundle.store.dataset.final_downloads_ranked();
-        let clusters = bundle.profile.categories;
+        let clusters = feasible_clusters(bundle.profile.categories, observed.len());
         let spec = spec_for(clusters);
         let best = fit_clustering(&observed, &spec, seed.child(name).child("fit"))
             .expect("nonempty curve");
@@ -197,7 +238,7 @@ pub fn fig10(stores: &Stores, seed: Seed) -> ExperimentResult {
 pub fn ablate_p(stores: &Stores, seed: Seed) -> ExperimentResult {
     let bundle = stores.anzhi();
     let observed = bundle.store.dataset.final_downloads_ranked();
-    let clusters = bundle.profile.categories;
+    let clusters = feasible_clusters(bundle.profile.categories, observed.len());
     let spec = spec_for(clusters);
     let best = fit_clustering(&observed, &spec, seed.child("ablate-p")).expect("nonempty curve");
     let mut lines = Vec::new();

@@ -48,10 +48,57 @@ pub fn fig2(stores: &Stores) -> ExperimentResult {
     }
 }
 
+/// One store's input to the Fig. 3 kernel: free-app downloads ranked
+/// descending, plus the coverage note to print below the table. Both
+/// the in-memory and the out-of-core paths reduce to this.
+pub struct PopularityInput {
+    /// Store name as printed in the table.
+    pub name: String,
+    /// Free-app final downloads, sorted descending.
+    pub ranked: Vec<u64>,
+    /// Coverage annotation (from [`gap_repaired`] or its streaming twin).
+    pub note: String,
+}
+
 /// Fig. 3 — downloads vs rank (log-log) per store with the trunk Zipf
 /// exponent (paper: Anzhi 1.42, AppChina 1.51, 1Mobile 0.92, SlideMe
 /// 0.90) and the double truncation evidence.
 pub fn fig3(stores: &Stores) -> ExperimentResult {
+    let inputs: Vec<PopularityInput> = stores
+        .bundles
+        .iter()
+        .map(|bundle| {
+            // Analyses run on the gap-repaired view of each crawl, with
+            // the coverage noted below the table.
+            let (view, note) = gap_repaired(&bundle.store.dataset);
+            // The paper plots SlideMe's free apps in Fig. 3d (paid apps
+            // get their own Fig. 11b); mixing the two tiers muddies the
+            // trunk.
+            let ranked: Vec<u64> = {
+                let d = view.as_ref();
+                let mut v: Vec<u64> = d
+                    .last()
+                    .observations
+                    .iter()
+                    .filter(|o| !d.apps[o.app.index()].is_paid())
+                    .map(|o| o.downloads)
+                    .collect();
+                v.sort_unstable_by(|a, b| b.cmp(a));
+                v
+            };
+            PopularityInput {
+                name: bundle.profile.name.to_string(),
+                ranked,
+                note,
+            }
+        })
+        .collect();
+    fig3_from_inputs(&inputs)
+}
+
+/// Fig. 3 kernel over pre-ranked download vectors. All fitting and
+/// formatting lives here so the streaming path reuses it verbatim.
+pub fn fig3_from_inputs(inputs: &[PopularityInput]) -> ExperimentResult {
     let mut lines = Vec::new();
     let mut series = Vec::new();
     lines.push(format!(
@@ -59,28 +106,12 @@ pub fn fig3(stores: &Stores) -> ExperimentResult {
         "store", "apps", "downloads", "trunk z", "r^2", "head flat?"
     ));
     let mut coverage = Vec::new();
-    for bundle in &stores.bundles {
-        // Analyses run on the gap-repaired view of each crawl, with the
-        // coverage noted below the table.
-        let (view, note) = gap_repaired(&bundle.store.dataset);
-        coverage.push(format!("{}: {}", bundle.profile.name, note));
-        // The paper plots SlideMe's free apps in Fig. 3d (paid apps get
-        // their own Fig. 11b); mixing the two tiers muddies the trunk.
-        let ranked: Vec<u64> = {
-            let d = view.as_ref();
-            let mut v: Vec<u64> = d
-                .last()
-                .observations
-                .iter()
-                .filter(|o| !d.apps[o.app.index()].is_paid())
-                .map(|o| o.downloads)
-                .collect();
-            v.sort_unstable_by(|a, b| b.cmp(a));
-            v
-        };
+    for input in inputs {
+        coverage.push(format!("{}: {}", input.name, input.note));
+        let ranked = &input.ranked;
         let n = ranked.len();
         let total: u64 = ranked.iter().sum();
-        let fit = zipf_fit_trunk(&ranked, n / 50, n / 4);
+        let fit = zipf_fit_trunk(ranked, n / 50, n / 4);
         // Head-flattening evidence: ratio of rank-1 to rank-10 downloads
         // is far below a pure Zipf prediction when fetch-at-most-once
         // truncates the head.
@@ -96,7 +127,7 @@ pub fn fig3(stores: &Stores) -> ExperimentResult {
         let truncated = head_ratio < zipf_head_ratio * 0.5;
         lines.push(format!(
             "{:<12} {:>8} {:>12} {:>10.2} {:>12.3} {:>12}",
-            bundle.profile.name, n, total, z, r2, truncated
+            input.name, n, total, z, r2, truncated
         ));
         // Log-spaced (rank, downloads) samples for plotting.
         let mut samples = Vec::new();
@@ -106,11 +137,11 @@ pub fn fig3(stores: &Stores) -> ExperimentResult {
             rank = ((rank as f64) * 1.5).ceil() as usize;
         }
         series.push(json!({
-            "store": bundle.profile.name,
+            "store": input.name,
             "trunk_exponent": z,
             "r_squared": r2,
             "head_truncated": truncated,
-            "coverage": note,
+            "coverage": input.note,
             "rank_samples": samples,
         }));
     }

@@ -304,7 +304,10 @@ fn journal_lines(journal: &[u8]) -> usize {
 pub fn fit_recovery(stores: &Stores, seed: Seed) -> ExperimentResult {
     let bundle = stores.anzhi();
     let observed = bundle.store.dataset.final_downloads_ranked();
-    let spec = recovery_fit_spec(bundle.profile.categories);
+    let spec = recovery_fit_spec(crate::experiments::model_fit::feasible_clusters(
+        bundle.profile.categories,
+        observed.len(),
+    ));
     let grid_len = (spec.zipf_exponents.len()
         * spec.cluster_exponents.len()
         * spec.ps.len()

@@ -16,8 +16,14 @@ pub mod experiments;
 pub mod report;
 pub mod schema;
 pub mod stores;
+pub mod streaming;
 
 pub use experiments::{
-    run_experiment, run_experiments, run_experiments_observed, ExperimentResult, EXPERIMENT_IDS,
+    run_experiment, run_experiments, run_experiments_observed, run_experiments_observed_with,
+    ExperimentResult, EXPERIMENT_IDS,
 };
 pub use stores::{StoreBundle, Stores};
+pub use streaming::{
+    fold_comments, fold_downloads, is_streaming_id, run_streaming_experiment, StreamingStores,
+    STREAMING_IDS,
+};

@@ -448,6 +448,28 @@ fn targets() -> Vec<TargetSpec> {
                 min_of(Some(gaps))
             },
         },
+        // Streaming integrity: a `repro --streaming` run reports how
+        // many spill chunks were quarantined during the folds. Zero is
+        // the healthy state; any loss means the numbers above were
+        // computed without the damaged rows, worth a WARN but never a
+        // FAIL (the fold itself is the recovery mechanism). An
+        // in-memory run never writes the telemetry block — no spill
+        // layer means vacuously zero quarantined chunks, so the row
+        // grades PASS rather than MISSING (a *truncated* streaming
+        // block is caught by the schema and skips the whole file).
+        TargetSpec {
+            figure: "fig3",
+            metric: "spill chunks quarantined",
+            paper: "out-of-core folds read every sealed chunk back intact",
+            goal: Goal::Value(0.0),
+            pass_tol: 0.0,
+            warn_tol: f64::INFINITY,
+            invariant: false,
+            extract: |r| {
+                let fig3 = r.get("fig3")?;
+                Some(num(fig3, &["streaming", "quarantined_chunks"]).unwrap_or(0.0))
+            },
+        },
         // serve-replay: the serving layer must reproduce the §5 cache
         // bands over real sockets and survive the chaos window. All
         // rows are invariant — virtual time makes them scale-free.
@@ -786,6 +808,37 @@ mod tests {
                 assert_ne!(row.verdict, Verdict::Fail, "{} downgraded", row.metric);
             }
         }
+    }
+
+    #[test]
+    fn quarantined_chunks_warn_but_never_fail() {
+        let row_for = |results: &BTreeMap<String, Value>| {
+            evaluate(results, 1)
+                .into_iter()
+                .find(|r| r.metric == "spill chunks quarantined")
+                .expect("streaming row present")
+                .verdict
+        };
+        // Without any fig3 results the row cannot be graded at all.
+        assert_eq!(row_for(&BTreeMap::new()), Verdict::Missing);
+        // An in-memory run never writes the block: no spill layer,
+        // vacuously zero quarantined chunks.
+        let mut results = BTreeMap::new();
+        results.insert("fig3".to_string(), json!({"stores": Vec::<u64>::new()}));
+        assert_eq!(row_for(&results), Verdict::Pass);
+        // A clean streaming run passes.
+        results.insert(
+            "fig3".to_string(),
+            json!({"stores": Vec::<u64>::new(), "streaming": {"quarantined_chunks": 0}}),
+        );
+        assert_eq!(row_for(&results), Verdict::Pass);
+        // Quarantined data is loss worth surfacing, but the fold already
+        // recovered: WARN, never FAIL.
+        results.insert(
+            "fig3".to_string(),
+            json!({"stores": Vec::<u64>::new(), "streaming": {"quarantined_chunks": 3}}),
+        );
+        assert_eq!(row_for(&results), Verdict::Warn);
     }
 
     #[test]

@@ -133,15 +133,44 @@ pub fn validate(id: &str, value: &Value) -> Result<(), String> {
         .copied()
         .filter(|k| !object.iter().any(|(key, _)| key == k))
         .collect();
-    if missing.is_empty() {
-        Ok(())
-    } else {
-        Err(format!(
+    if !missing.is_empty() {
+        return Err(format!(
             "missing required key(s) {} (schema v{RESULTS_SCHEMA_VERSION})",
             missing.join(", ")
-        ))
+        ));
     }
+    // The optional "streaming" telemetry block (written by
+    // `repro --streaming`) has a shape of its own; validate it when
+    // present so a truncated streaming run is caught on load.
+    if let Some(streaming) = value.get("streaming") {
+        let Some(block) = streaming.as_object() else {
+            return Err(format!(
+                "\"streaming\" should be an object, found {}",
+                json_kind(streaming)
+            ));
+        };
+        let missing: Vec<&str> = STREAMING_REQUIRED_KEYS
+            .iter()
+            .copied()
+            .filter(|k| !block.iter().any(|(key, _)| key == k))
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "\"streaming\" block missing key(s) {} (schema v{RESULTS_SCHEMA_VERSION})",
+                missing.join(", ")
+            ));
+        }
+    }
+    Ok(())
 }
+
+/// Keys every `"streaming"` telemetry block must carry.
+pub const STREAMING_REQUIRED_KEYS: [&str; 4] = [
+    "quantile_error_bound",
+    "quarantined_chunks",
+    "shards",
+    "spill_bytes",
+];
 
 fn json_kind(value: &Value) -> &'static str {
     match value {
@@ -197,5 +226,33 @@ mod tests {
     fn unknown_ids_only_require_an_object() {
         assert!(validate("fig99", &json!({})).is_ok());
         assert!(validate("fig99", &json!([])).is_err());
+    }
+
+    #[test]
+    fn streaming_block_is_validated_when_present() {
+        let good = json!({
+            "stores": Vec::<u64>::new(),
+            "streaming": {
+                "shards": 4,
+                "spill_bytes": 1024,
+                "quarantined_chunks": 0,
+                "quantile_error_bound": 0.0,
+            },
+        });
+        assert!(validate("fig3", &good).is_ok());
+
+        let truncated = json!({
+            "stores": Vec::<u64>::new(),
+            "streaming": { "shards": 4 },
+        });
+        let err = validate("fig3", &truncated).unwrap_err();
+        assert!(err.contains("spill_bytes"), "{err}");
+
+        let wrong_kind = json!({ "stores": Vec::<u64>::new(), "streaming": 7 });
+        let err = validate("fig3", &wrong_kind).unwrap_err();
+        assert!(err.contains("streaming"), "{err}");
+
+        // Absent block stays valid — the in-memory path never writes it.
+        assert!(validate("fig3", &json!({"stores": Vec::<u64>::new()})).is_ok());
     }
 }

@@ -14,7 +14,7 @@
 //! promises. Regenerate the goldens with `scripts/bless.sh` (which sets
 //! `GOLDEN_BLESS=1`) after an intentional output change.
 
-use bench::EXPERIMENT_IDS;
+use bench::{EXPERIMENT_IDS, STREAMING_IDS};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -167,4 +167,55 @@ fn golden_stdout_and_metrics_are_pinned_for_every_thread_count() {
         bless,
         "metrics snapshot",
     );
+}
+
+/// The out-of-core path is pinned to the *same* goldens as the
+/// in-memory path: `repro --streaming` stdout for the fold-based
+/// experiments must match the checked-in sections byte-for-byte. This
+/// test never blesses — the in-memory run above owns the goldens, and
+/// a streaming divergence is always a streaming bug.
+#[test]
+fn streaming_stdout_matches_the_inmemory_goldens() {
+    let dir = golden_dir();
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--scale",
+            GOLDEN_SCALE,
+            "--seed",
+            GOLDEN_SEED,
+            "--threads",
+            "1",
+            "--no-timings",
+            "--streaming",
+            "--shards",
+            "3",
+            "all",
+        ])
+        .output()
+        .expect("spawn repro --streaming");
+    assert!(
+        output.status.success(),
+        "repro --streaming failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("repro stdout is UTF-8");
+    let sections = split_sections(&stdout);
+    for id in STREAMING_IDS {
+        let section = sections
+            .get(id)
+            .unwrap_or_else(|| panic!("experiment {id} missing from streaming stdout"));
+        let path = dir.join(format!("{id}.stdout.txt"));
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden {} — run scripts/bless.sh (in-memory path) first",
+                path.display()
+            )
+        });
+        assert!(
+            expected == *section,
+            "streaming {id} stdout drifted from the in-memory golden {}.\n\
+             --- golden ---\n{expected}\n--- streaming ---\n{section}",
+            path.display()
+        );
+    }
 }

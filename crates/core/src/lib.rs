@@ -42,6 +42,7 @@ pub mod par;
 pub mod quality;
 pub mod seed;
 pub mod snapshot;
+pub mod spill;
 pub mod time;
 
 pub use app::{AdLibrary, App, PricingTier, AD_NETWORK_CATALOGUE};
@@ -61,4 +62,5 @@ pub use quality::{
 };
 pub use seed::Seed;
 pub use snapshot::{AppObservation, DailySnapshot};
+pub use spill::{ShardPlan, SpillHealth, SpillReader, SpillWriter};
 pub use time::Day;

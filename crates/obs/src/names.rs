@@ -184,6 +184,19 @@ pub const SYNTH_UPDATES: &str = "synth.updates";
 /// Daily snapshots materialized.
 pub const SYNTH_SNAPSHOTS: &str = "synth.snapshots";
 
+/// Bytes written to columnar spill files (volatile: layout-dependent).
+pub const SPILL_BYTES_WRITTEN: &str = "spill.bytes.written";
+/// Sealed chunks written to spill files (volatile: shard-dependent).
+pub const SPILL_CHUNKS_WRITTEN: &str = "spill.chunks.written";
+/// Bytes read back during shard-merge folds (volatile).
+pub const SPILL_BYTES_MERGED: &str = "spill.bytes.merged";
+/// Sealed chunks folded during shard merges (volatile).
+pub const SPILL_CHUNKS_MERGED: &str = "spill.chunks.merged";
+/// Spill chunks quarantined on read (seal mismatch or undecodable).
+pub const SPILL_CHUNKS_QUARANTINED: &str = "spill.chunks.quarantined";
+/// Shards in the active out-of-core shard plan (volatile gauge).
+pub const SPILL_SHARDS: &str = "spill.shards";
+
 /// Every fixed (non-parameterized) metric name above, for coverage
 /// checks against exported snapshots.
 pub const ALL_METRICS: &[&str] = &[
@@ -268,6 +281,12 @@ pub const ALL_METRICS: &[&str] = &[
     SYNTH_COMMENTS,
     SYNTH_UPDATES,
     SYNTH_SNAPSHOTS,
+    SPILL_BYTES_WRITTEN,
+    SPILL_CHUNKS_WRITTEN,
+    SPILL_BYTES_MERGED,
+    SPILL_CHUNKS_MERGED,
+    SPILL_CHUNKS_QUARANTINED,
+    SPILL_SHARDS,
 ];
 
 /// Declared suffixes of the per-policy cache metric family
@@ -306,6 +325,10 @@ pub const SPAN_FIT_REFINE: &str = "fit.refine";
 pub const SPAN_SYNTH_GENERATE: &str = "synth.generate";
 /// Generation of the whole calibrated store set.
 pub const SPAN_STORES_GENERATE: &str = "stores.generate";
+/// One store generated straight into spill files (out-of-core path).
+pub const SPAN_SPILL_STORE: &str = "spill.store";
+/// One shard-merge fold over spill files.
+pub const SPAN_SPILL_FOLD: &str = "spill.fold";
 
 /// Every declared span name.
 pub const ALL_SPANS: &[&str] = &[
@@ -314,6 +337,8 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_FIT_REFINE,
     SPAN_SYNTH_GENERATE,
     SPAN_STORES_GENERATE,
+    SPAN_SPILL_STORE,
+    SPAN_SPILL_FOLD,
 ];
 
 // Instant-event names (trace-only; never appear in metric snapshots).

@@ -17,7 +17,10 @@
 //! * [`distance`] — model-vs-data distances, including the paper's
 //!   Eq. 6 mean relative error;
 //! * [`bootstrap`] — nonparametric bootstrap confidence intervals;
-//! * [`chisq`] — Pearson chi-squared goodness-of-fit with p-values.
+//! * [`chisq`] — Pearson chi-squared goodness-of-fit with p-values;
+//! * [`sketch`] — mergeable streaming sketches (KLL-style quantiles,
+//!   SpaceSaving top-k) with rigorous error-bound accessors, for the
+//!   out-of-core analysis path.
 //!
 //! Numerical conventions: all routines take `&[f64]` or integer-count
 //! slices, never consume their input, and document their behaviour on
@@ -37,6 +40,7 @@ pub mod multifit;
 pub mod pareto;
 pub mod powerlaw;
 pub mod regression;
+pub mod sketch;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, BootstrapInterval};
@@ -52,4 +56,5 @@ pub use powerlaw::{
     generalized_harmonic, zipf_fit_loglog, zipf_fit_mle, zipf_fit_trunk, zipf_pmf, PowerLawFit,
 };
 pub use regression::{ols, OlsFit};
+pub use sketch::{QuantileSketch, SpaceSaving};
 pub use summary::{mean, mean_ci95, stddev, variance, Summary};

@@ -214,26 +214,46 @@ impl<'a> FreeProcess<'a> {
     }
 }
 
-/// Runs the full download campaign for one store.
+/// Receives the download campaign one day at a time.
+///
+/// [`drive_downloads`] pushes each day's events through a sink instead
+/// of materializing the whole campaign, which is what lets the
+/// out-of-core path spill events to disk as they are generated. The
+/// in-memory [`simulate_downloads`] is a sink that records everything.
+pub trait DownloadSink {
+    /// One finished campaign day: the day's free events (in emission
+    /// order), its paid events (sorted by `(user, app)`), and the
+    /// per-app cumulative counters *after* the day.
+    fn on_day(
+        &mut self,
+        day: Day,
+        free: &[DownloadEvent],
+        paid: &[DownloadEvent],
+        counters: &[u64],
+    );
+}
+
+/// Runs the full download campaign for one store, pushing each day into
+/// `sink`. Identical draw sequence to [`simulate_downloads`] — the two
+/// paths are bit-equivalent by construction.
 ///
 /// Day 0 carries the warmup burst (the downloads accumulated before the
 /// crawl started, Table 1's first-day totals) followed by one regular
 /// day's traffic; days 1..days each carry `downloads_per_day` (±20%
 /// day-to-day noise, deterministic per seed).
-pub fn simulate_downloads(
+pub fn drive_downloads(
     profile: &StoreProfile,
     catalog: &Catalog,
     seed: Seed,
-) -> DownloadOutcome {
+    sink: &mut impl DownloadSink,
+) {
     let mut rng = seed.child("downloads").rng();
     let mut free = FreeProcess::new(profile, catalog);
     let app_count = catalog.apps.len();
     let mut counters = vec![0u64; app_count];
-    let mut cumulative: Vec<Vec<u64>> = Vec::with_capacity(profile.days as usize + 1);
-    let mut events = Vec::new();
+    let mut day_free: Vec<DownloadEvent> = Vec::new();
 
     // ---- paid side: pure Zipf-at-most-once purchases --------------------
-    let mut paid_events = Vec::new();
     let mut paid_by_day: Vec<Vec<DownloadEvent>> = vec![Vec::new(); profile.days as usize + 1];
     if let Some(paid) = &profile.paid {
         let sampler = ZipfSampler::new(catalog.paid_count().max(1), paid.zipf_exponent);
@@ -274,23 +294,55 @@ pub fn simulate_downloads(
             let noise = 0.8 + 0.4 * rng.gen::<f64>();
             ((profile.downloads_per_day as f64) * noise).round() as u64
         };
+        day_free.clear();
         for _ in 0..volume {
             if let Some(event) = free.step(&mut rng, day) {
                 counters[event.app.index()] += 1;
-                events.push(event);
+                day_free.push(event);
             }
         }
         for event in &paid_by_day[day.index()] {
             counters[event.app.index()] += 1;
-            paid_events.push(*event);
         }
-        cumulative.push(counters.clone());
+        sink.on_day(day, &day_free, &paid_by_day[day.index()], &counters);
     }
+}
 
+/// Records everything [`drive_downloads`] emits.
+#[derive(Default)]
+struct RecordingSink {
+    cumulative: Vec<Vec<u64>>,
+    events: Vec<DownloadEvent>,
+    paid_events: Vec<DownloadEvent>,
+}
+
+impl DownloadSink for RecordingSink {
+    fn on_day(
+        &mut self,
+        _day: Day,
+        free: &[DownloadEvent],
+        paid: &[DownloadEvent],
+        counters: &[u64],
+    ) {
+        self.events.extend_from_slice(free);
+        self.paid_events.extend_from_slice(paid);
+        self.cumulative.push(counters.to_vec());
+    }
+}
+
+/// Runs the full download campaign for one store, materialized in
+/// memory. See [`drive_downloads`] for the day-by-day contract.
+pub fn simulate_downloads(
+    profile: &StoreProfile,
+    catalog: &Catalog,
+    seed: Seed,
+) -> DownloadOutcome {
+    let mut sink = RecordingSink::default();
+    drive_downloads(profile, catalog, seed, &mut sink);
     DownloadOutcome {
-        cumulative,
-        events,
-        paid_events,
+        cumulative: sink.cumulative,
+        events: sink.events,
+        paid_events: sink.paid_events,
     }
 }
 

@@ -18,92 +18,144 @@ use crate::catalog::Catalog;
 use crate::profile::StoreProfile;
 use appstore_core::{AppId, CommentEvent, Day, DownloadEvent, Seed, UpdateEvent, UserId};
 use rand::Rng;
+use rand_chacha::ChaCha12Rng;
 use std::collections::HashMap;
+
+/// Incremental comment emitter: feed download events in generation
+/// order, receive the comments they trigger.
+///
+/// This is [`generate_comments`] unrolled so the out-of-core path can
+/// route comments to spill shards as downloads are generated, without
+/// ever holding the download stream in memory. Feeding the same events
+/// in the same order produces the identical comment sequence — both
+/// paths draw from one rng in event order.
+pub struct CommentStream {
+    rng: ChaCha12Rng,
+    /// Per-user comment probability, decided once per user.
+    rate_of: Vec<f64>,
+    free_app_count: u32,
+    comment_noise: f64,
+    /// (user, day) -> next sequence number.
+    seq: HashMap<(UserId, Day), u32>,
+    users: usize,
+    spam_users: usize,
+    spam_comments_each: u32,
+    days: u32,
+}
+
+impl CommentStream {
+    /// Prepares the per-user commenter population for one store.
+    ///
+    /// Commenter status and per-user posting intensity are decided once
+    /// per user, deterministically. Intensities are heterogeneous (most
+    /// commenters post rarely, a few post a lot), matching the steep
+    /// comments-per-user CDF of Fig. 5a.
+    pub fn new(profile: &StoreProfile, catalog: &Catalog, seed: Seed) -> CommentStream {
+        let rate_of: Vec<f64> = {
+            let mut commenter_rng = seed.child("commenters").rng();
+            (0..profile.users)
+                .map(|_| {
+                    if commenter_rng.gen::<f64>() >= profile.commenter_fraction {
+                        return 0.0;
+                    }
+                    let intensity: f64 = match commenter_rng.gen::<f64>() {
+                        u if u < 0.6 => 0.5,
+                        u if u < 0.9 => 1.5,
+                        _ => 4.0,
+                    };
+                    (profile.comment_rate * intensity).min(1.0)
+                })
+                .collect()
+        };
+        CommentStream {
+            rng: seed.child("comments").rng(),
+            rate_of,
+            free_app_count: catalog.free_count() as u32,
+            comment_noise: profile.comment_noise,
+            seq: HashMap::new(),
+            users: profile.users,
+            spam_users: profile.spam_users,
+            spam_comments_each: profile.spam_comments_each,
+            days: profile.days,
+        }
+    }
+
+    /// Emits the comments triggered by a batch of download events.
+    pub fn on_downloads(
+        &mut self,
+        downloads: &[DownloadEvent],
+        mut emit: impl FnMut(CommentEvent),
+    ) {
+        for event in downloads {
+            let rate = self.rate_of.get(event.user.index()).copied().unwrap_or(0.0);
+            if self.rng.gen::<f64>() >= rate {
+                continue;
+            }
+            // Noise: some comments target apps acquired outside this store.
+            let target = if self.rng.gen::<f64>() < self.comment_noise {
+                AppId(self.rng.gen_range(0..self.free_app_count.max(1)))
+            } else {
+                event.app
+            };
+            let key = (event.user, event.day);
+            let next = self.seq.entry(key).or_insert(0);
+            // Ratings skew positive (4–5 stars dominate real stores).
+            let rating = match self.rng.gen::<f64>() {
+                u if u < 0.45 => 5,
+                u if u < 0.75 => 4,
+                u if u < 0.88 => 3,
+                u if u < 0.96 => 2,
+                _ => 1,
+            };
+            emit(CommentEvent {
+                user: event.user,
+                app: target,
+                day: event.day,
+                seq: *next,
+                rating,
+            });
+            *next += 1;
+        }
+    }
+
+    /// Emits the spam tail: high-volume comments on random existing
+    /// apps from accounts with ids above the regular population.
+    pub fn finish(mut self, mut emit: impl FnMut(CommentEvent)) {
+        for s in 0..self.spam_users {
+            let user = UserId((self.users + s) as u32);
+            for k in 0..self.spam_comments_each {
+                let day = Day(self.rng.gen_range(0..=self.days));
+                let app = AppId(self.rng.gen_range(0..self.free_app_count.max(1)));
+                let key = (user, day);
+                let next = self.seq.entry(key).or_insert(0);
+                emit(CommentEvent {
+                    user,
+                    app,
+                    day,
+                    seq: *next,
+                    rating: 1 + (k % 5) as u8,
+                });
+                *next += 1;
+            }
+        }
+    }
+}
 
 /// Emits rated comments for a fraction of downloads, plus spam accounts.
 ///
 /// Spam accounts get user ids above the regular population
-/// (`profile.users + i`) and comment on uniformly random apps.
+/// (`profile.users + i`) and comment on uniformly random apps. See
+/// [`CommentStream`] for the incremental form this delegates to.
 pub fn generate_comments(
     profile: &StoreProfile,
     catalog: &Catalog,
     downloads: &[DownloadEvent],
     seed: Seed,
 ) -> Vec<CommentEvent> {
-    let mut rng = seed.child("comments").rng();
     let mut comments = Vec::new();
-    // Commenter status and per-user posting intensity are decided once
-    // per user, deterministically. Intensities are heterogeneous (most
-    // commenters post rarely, a few post a lot), matching the steep
-    // comments-per-user CDF of Fig. 5a.
-    let rate_of: Vec<f64> = {
-        let mut commenter_rng = seed.child("commenters").rng();
-        (0..profile.users)
-            .map(|_| {
-                if commenter_rng.gen::<f64>() >= profile.commenter_fraction {
-                    return 0.0;
-                }
-                let intensity: f64 = match commenter_rng.gen::<f64>() {
-                    u if u < 0.6 => 0.5,
-                    u if u < 0.9 => 1.5,
-                    _ => 4.0,
-                };
-                (profile.comment_rate * intensity).min(1.0)
-            })
-            .collect()
-    };
-    let free_app_count = catalog.free_count() as u32;
-    // (user, day) -> next sequence number.
-    let mut seq: HashMap<(UserId, Day), u32> = HashMap::new();
-    for event in downloads {
-        let rate = rate_of.get(event.user.index()).copied().unwrap_or(0.0);
-        if rng.gen::<f64>() >= rate {
-            continue;
-        }
-        // Noise: some comments target apps acquired outside this store.
-        let target = if rng.gen::<f64>() < profile.comment_noise {
-            AppId(rng.gen_range(0..free_app_count.max(1)))
-        } else {
-            event.app
-        };
-        let key = (event.user, event.day);
-        let next = seq.entry(key).or_insert(0);
-        // Ratings skew positive (4–5 stars dominate real stores).
-        let rating = match rng.gen::<f64>() {
-            u if u < 0.45 => 5,
-            u if u < 0.75 => 4,
-            u if u < 0.88 => 3,
-            u if u < 0.96 => 2,
-            _ => 1,
-        };
-        comments.push(CommentEvent {
-            user: event.user,
-            app: target,
-            day: event.day,
-            seq: *next,
-            rating,
-        });
-        *next += 1;
-    }
-    // Spam accounts: high-volume comments on random existing apps.
-    let free_apps = catalog.free_count() as u32;
-    for s in 0..profile.spam_users {
-        let user = UserId((profile.users + s) as u32);
-        for k in 0..profile.spam_comments_each {
-            let day = Day(rng.gen_range(0..=profile.days));
-            let app = AppId(rng.gen_range(0..free_apps.max(1)));
-            let key = (user, day);
-            let next = seq.entry(key).or_insert(0);
-            comments.push(CommentEvent {
-                user,
-                app,
-                day,
-                seq: *next,
-                rating: 1 + (k % 5) as u8,
-            });
-            *next += 1;
-        }
-    }
+    let mut stream = CommentStream::new(profile, catalog, seed);
+    stream.on_downloads(downloads, |c| comments.push(c));
+    stream.finish(|c| comments.push(c));
     comments
 }
 

@@ -34,8 +34,11 @@ pub mod downloads;
 pub mod events;
 pub mod generate;
 pub mod profile;
+pub mod stream;
 
 pub use catalog::Catalog;
-pub use downloads::DownloadOutcome;
+pub use downloads::{DownloadOutcome, DownloadSink};
+pub use events::CommentStream;
 pub use generate::{generate, generate_many, GeneratedStore};
 pub use profile::{PaidProfile, StoreProfile};
+pub use stream::{spill_from_store, spill_generate, StoreSpill};

@@ -1,0 +1,524 @@
+//! Out-of-core store generation: events go straight to spill files.
+//!
+//! [`spill_generate`] runs the same deterministic generation chain as
+//! [`generate`](crate::generate::generate) — same catalogue, same
+//! download draws, same comment stream — but never materializes the
+//! event vectors or the snapshot series. Instead, events are routed by
+//! user id through a [`ShardPlan`] into per-shard columnar spill files
+//! ([`appstore_core::spill`]), so resident memory stays O(apps + users
+//! + one chunk buffer per shard) regardless of campaign length.
+//!
+//! [`spill_from_store`] routes an already-generated store's events
+//! through the identical writer, producing byte-identical spill files —
+//! the bridge the differential tests use to prove the two paths agree.
+
+use crate::catalog::build_catalog;
+use crate::downloads::{drive_downloads, DownloadSink};
+use crate::events::CommentStream;
+use crate::generate::GeneratedStore;
+use crate::profile::StoreProfile;
+use appstore_core::spill::{spill_path, ShardPlan, SpillWriter};
+use appstore_core::{Day, DownloadEvent, Seed};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rows buffered per shard before a chunk is sealed to disk.
+pub const EVENT_CHUNK_ROWS: usize = 8192;
+
+/// Chunk kind tag for download events (columns: user, app, day).
+pub const KIND_DOWNLOAD: &str = "dl";
+/// Chunk kind tag for comments (columns: user, app, day, seq, rating).
+pub const KIND_COMMENT: &str = "cm";
+
+/// One store generated out-of-core: spill file paths plus the compact
+/// per-app metadata the fold-based analyses need (O(apps) memory).
+#[derive(Debug, Clone)]
+pub struct StoreSpill {
+    /// Store name (profile name).
+    pub name: String,
+    /// Regular user population.
+    pub users: usize,
+    /// Spam accounts (user ids above `users`).
+    pub spam_users: usize,
+    /// Campaign length; days run `0..=days`.
+    pub days: u32,
+    /// Number of categories.
+    pub categories: usize,
+    /// Whether the store carries a paid tier.
+    pub has_paid: bool,
+    /// Category index per app.
+    pub app_category: Vec<u32>,
+    /// Paid flag per app.
+    pub app_paid: Vec<bool>,
+    /// Whether the app appears in the final snapshot (`created <= days`).
+    pub app_in_final: Vec<bool>,
+    /// Per-shard free-download spill files, in shard (= ascending user
+    /// range) order.
+    pub shard_downloads: Vec<PathBuf>,
+    /// Per-shard comment spill files, same order.
+    pub shard_comments: Vec<PathBuf>,
+    /// Paid purchase events (one unsharded file; paid stores are small).
+    pub paid_downloads: PathBuf,
+    /// Free download events spilled.
+    pub total_downloads: u64,
+    /// Comments spilled.
+    pub total_comments: u64,
+    /// Paid events spilled.
+    pub total_paid: u64,
+    /// Total bytes written across every spill file.
+    pub bytes_spilled: u64,
+    /// Total sealed chunks written.
+    pub chunks_spilled: u64,
+}
+
+impl StoreSpill {
+    /// The shard plan this spill was written under.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(
+            (self.users + self.spam_users) as u64,
+            self.shard_downloads.len(),
+        )
+    }
+}
+
+/// Routes fixed-width rows to per-shard spill files, sealing a chunk
+/// whenever a shard's buffer reaches [`EVENT_CHUNK_ROWS`]. Chunk
+/// boundaries are a pure function of the per-shard row sequence, which
+/// is what makes the pure and from-store paths byte-identical.
+struct ShardedColumnWriter {
+    plan: ShardPlan,
+    kind: &'static str,
+    writers: Vec<SpillWriter>,
+    /// `buffers[shard][column]`.
+    buffers: Vec<Vec<Vec<u64>>>,
+    rows: u64,
+}
+
+impl ShardedColumnWriter {
+    fn create(
+        dir: &Path,
+        prefix: &str,
+        kind: &'static str,
+        cols: usize,
+        plan: ShardPlan,
+    ) -> io::Result<(ShardedColumnWriter, Vec<PathBuf>)> {
+        let mut writers = Vec::with_capacity(plan.shards());
+        let mut paths = Vec::with_capacity(plan.shards());
+        for shard in 0..plan.shards() {
+            let path = spill_path(dir, &format!("{prefix}-{shard}"));
+            writers.push(SpillWriter::create(&path)?);
+            paths.push(path);
+        }
+        let buffers = vec![vec![Vec::new(); cols]; plan.shards()];
+        Ok((
+            ShardedColumnWriter {
+                plan,
+                kind,
+                writers,
+                buffers,
+                rows: 0,
+            },
+            paths,
+        ))
+    }
+
+    fn push(&mut self, user: u64, row: &[u64]) -> io::Result<()> {
+        let shard = self.plan.shard_of(user);
+        for (column, &value) in self.buffers[shard].iter_mut().zip(row) {
+            column.push(value);
+        }
+        self.rows += 1;
+        if self.buffers[shard][0].len() >= EVENT_CHUNK_ROWS {
+            self.seal_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    fn seal_shard(&mut self, shard: usize) -> io::Result<()> {
+        if self.buffers[shard][0].is_empty() {
+            return Ok(());
+        }
+        let columns: Vec<&[u64]> = self.buffers[shard].iter().map(Vec::as_slice).collect();
+        self.writers[shard].append(self.kind, &columns)?;
+        for column in &mut self.buffers[shard] {
+            column.clear();
+        }
+        Ok(())
+    }
+
+    /// Seals remaining partial chunks and closes every shard file.
+    /// Returns `(rows, chunks, bytes)`.
+    fn finish(mut self) -> io::Result<(u64, u64, u64)> {
+        let mut chunks = 0;
+        let mut bytes = 0;
+        for shard in 0..self.plan.shards() {
+            self.seal_shard(shard)?;
+        }
+        for writer in self.writers {
+            let (c, b) = writer.finish()?;
+            chunks += c;
+            bytes += b;
+        }
+        Ok((self.rows, chunks, bytes))
+    }
+}
+
+fn download_row(event: &DownloadEvent) -> [u64; 3] {
+    [
+        u64::from(event.user.0),
+        u64::from(event.app.0),
+        u64::from(event.day.0),
+    ]
+}
+
+/// The generation sink: routes each day's events into the spill
+/// writers. I/O errors are stashed (the [`DownloadSink`] contract is
+/// infallible) and surfaced after the drive completes.
+struct SpillSink<'a> {
+    downloads: &'a mut ShardedColumnWriter,
+    comments: &'a mut ShardedColumnWriter,
+    paid: &'a mut ShardedColumnWriter,
+    stream: CommentStream,
+    error: Option<io::Error>,
+}
+
+impl SpillSink<'_> {
+    fn stash(&mut self, result: io::Result<()>) {
+        if self.error.is_none() {
+            if let Err(err) = result {
+                self.error = Some(err);
+            }
+        }
+    }
+}
+
+impl DownloadSink for SpillSink<'_> {
+    fn on_day(
+        &mut self,
+        _day: Day,
+        free: &[DownloadEvent],
+        paid: &[DownloadEvent],
+        _counters: &[u64],
+    ) {
+        if self.error.is_some() {
+            return;
+        }
+        for event in free {
+            let row = download_row(event);
+            let result = self.downloads.push(row[0], &row);
+            self.stash(result);
+        }
+        let comments = &mut *self.comments;
+        let mut comment_error = Ok(());
+        self.stream.on_downloads(free, |c| {
+            if comment_error.is_ok() {
+                comment_error = comments.push(
+                    u64::from(c.user.0),
+                    &[
+                        u64::from(c.user.0),
+                        u64::from(c.app.0),
+                        u64::from(c.day.0),
+                        u64::from(c.seq),
+                        u64::from(c.rating),
+                    ],
+                );
+            }
+        });
+        self.stash(comment_error);
+        for event in paid {
+            let row = download_row(event);
+            let result = self.paid.push(row[0], &row);
+            self.stash(result);
+        }
+    }
+}
+
+struct SpillLayout {
+    downloads: ShardedColumnWriter,
+    comments: ShardedColumnWriter,
+    paid: ShardedColumnWriter,
+    dl_paths: Vec<PathBuf>,
+    cm_paths: Vec<PathBuf>,
+    paid_path: PathBuf,
+}
+
+fn create_layout(profile: &StoreProfile, dir: &Path, shards: usize) -> io::Result<SpillLayout> {
+    let plan = ShardPlan::new((profile.users + profile.spam_users) as u64, shards);
+    let (downloads, dl_paths) = ShardedColumnWriter::create(
+        dir,
+        &format!("{}-dl", profile.name),
+        KIND_DOWNLOAD,
+        3,
+        plan.clone(),
+    )?;
+    let (comments, cm_paths) =
+        ShardedColumnWriter::create(dir, &format!("{}-cm", profile.name), KIND_COMMENT, 5, plan)?;
+    let (paid, mut paid_paths) = ShardedColumnWriter::create(
+        dir,
+        &format!("{}-paid", profile.name),
+        KIND_DOWNLOAD,
+        3,
+        ShardPlan::new(u64::MAX, 1),
+    )?;
+    Ok(SpillLayout {
+        downloads,
+        comments,
+        paid,
+        dl_paths,
+        cm_paths,
+        paid_path: paid_paths.remove(0),
+    })
+}
+
+fn assemble(
+    profile: &StoreProfile,
+    app_category: Vec<u32>,
+    app_paid: Vec<bool>,
+    app_in_final: Vec<bool>,
+    layout: (Vec<PathBuf>, Vec<PathBuf>, PathBuf),
+    totals: [(u64, u64, u64); 3],
+) -> StoreSpill {
+    let (dl_paths, cm_paths, paid_path) = layout;
+    let [(dl_rows, dl_chunks, dl_bytes), (cm_rows, cm_chunks, cm_bytes), (paid_rows, paid_chunks, paid_bytes)] =
+        totals;
+    appstore_obs::counter(appstore_obs::names::SYNTH_STORES, 1);
+    appstore_obs::counter(appstore_obs::names::SYNTH_APPS, app_category.len() as u64);
+    appstore_obs::counter(appstore_obs::names::SYNTH_DOWNLOADS, dl_rows);
+    appstore_obs::counter(appstore_obs::names::SYNTH_COMMENTS, cm_rows);
+    appstore_obs::gauge_volatile(appstore_obs::names::SPILL_SHARDS, dl_paths.len() as i64);
+    StoreSpill {
+        name: profile.name.clone(),
+        users: profile.users,
+        spam_users: profile.spam_users,
+        days: profile.days,
+        categories: profile.categories,
+        has_paid: profile.paid.is_some(),
+        app_category,
+        app_paid,
+        app_in_final,
+        shard_downloads: dl_paths,
+        shard_comments: cm_paths,
+        paid_downloads: paid_path,
+        total_downloads: dl_rows,
+        total_comments: cm_rows,
+        total_paid: paid_rows,
+        bytes_spilled: dl_bytes + cm_bytes + paid_bytes,
+        chunks_spilled: dl_chunks + cm_chunks + paid_chunks,
+    }
+}
+
+/// Generates one store straight into spill files under `dir` — the
+/// out-of-core analogue of [`generate`](crate::generate::generate).
+///
+/// Runs the identical download and comment draw sequence (same seed
+/// children, same rng order), so the events landing on disk are exactly
+/// the events the in-memory path would hold in vectors. Updates and
+/// snapshots are not generated: the fold-based analyses (fig3/fig5/
+/// fig8) never read them, and their seeds are independent children, so
+/// skipping them cannot perturb the shared draws.
+///
+/// # Panics
+/// Panics if the profile fails validation.
+pub fn spill_generate(
+    profile: &StoreProfile,
+    seed: Seed,
+    dir: &Path,
+    shards: usize,
+) -> io::Result<StoreSpill> {
+    appstore_obs::span(appstore_obs::names::SPAN_SPILL_STORE, || {
+        spill_generate_inner(profile, seed, dir, shards)
+    })
+}
+
+fn spill_generate_inner(
+    profile: &StoreProfile,
+    seed: Seed,
+    dir: &Path,
+    shards: usize,
+) -> io::Result<StoreSpill> {
+    profile.validate().expect("invalid store profile");
+    let catalog = build_catalog(profile, seed);
+    let mut layout = create_layout(profile, dir, shards)?;
+    let mut sink = SpillSink {
+        downloads: &mut layout.downloads,
+        comments: &mut layout.comments,
+        paid: &mut layout.paid,
+        stream: CommentStream::new(profile, &catalog, seed),
+        error: None,
+    };
+    drive_downloads(profile, &catalog, seed, &mut sink);
+    let SpillSink { stream, error, .. } = sink;
+    if let Some(err) = error {
+        return Err(err);
+    }
+    // Spam tail, routed like any other comment (spam user ids live in
+    // the last shard's range by construction of the plan).
+    let comments = &mut layout.comments;
+    let mut comment_error = Ok(());
+    stream.finish(|c| {
+        if comment_error.is_ok() {
+            comment_error = comments.push(
+                u64::from(c.user.0),
+                &[
+                    u64::from(c.user.0),
+                    u64::from(c.app.0),
+                    u64::from(c.day.0),
+                    u64::from(c.seq),
+                    u64::from(c.rating),
+                ],
+            );
+        }
+    });
+    comment_error?;
+
+    let last_day = Day(profile.days);
+    let app_category: Vec<u32> = catalog.apps.iter().map(|a| a.category.0).collect();
+    let app_paid: Vec<bool> = catalog.apps.iter().map(|a| a.is_paid()).collect();
+    let app_in_final: Vec<bool> = catalog.apps.iter().map(|a| a.created <= last_day).collect();
+    let totals = [
+        layout.downloads.finish()?,
+        layout.comments.finish()?,
+        layout.paid.finish()?,
+    ];
+    Ok(assemble(
+        profile,
+        app_category,
+        app_paid,
+        app_in_final,
+        (layout.dl_paths, layout.cm_paths, layout.paid_path),
+        totals,
+    ))
+}
+
+/// Routes an already-generated store's events through the spill writer,
+/// producing files byte-identical to [`spill_generate`] for the same
+/// `(profile, seed, shards)` — both paths emit the same per-shard row
+/// sequences, and chunk boundaries are a pure function of those.
+pub fn spill_from_store(
+    profile: &StoreProfile,
+    store: &GeneratedStore,
+    dir: &Path,
+    shards: usize,
+) -> io::Result<StoreSpill> {
+    let mut layout = create_layout(profile, dir, shards)?;
+    for event in &store.outcome.events {
+        let row = download_row(event);
+        layout.downloads.push(row[0], &row)?;
+    }
+    for c in &store.dataset.comments {
+        layout.comments.push(
+            u64::from(c.user.0),
+            &[
+                u64::from(c.user.0),
+                u64::from(c.app.0),
+                u64::from(c.day.0),
+                u64::from(c.seq),
+                u64::from(c.rating),
+            ],
+        )?;
+    }
+    for event in &store.outcome.paid_events {
+        let row = download_row(event);
+        layout.paid.push(row[0], &row)?;
+    }
+    let last_day = Day(profile.days);
+    let app_category: Vec<u32> = store.catalog.apps.iter().map(|a| a.category.0).collect();
+    let app_paid: Vec<bool> = store.catalog.apps.iter().map(|a| a.is_paid()).collect();
+    let app_in_final: Vec<bool> = store
+        .catalog
+        .apps
+        .iter()
+        .map(|a| a.created <= last_day)
+        .collect();
+    let totals = [
+        layout.downloads.finish()?,
+        layout.comments.finish()?,
+        layout.paid.finish()?,
+    ];
+    Ok(assemble(
+        profile,
+        app_category,
+        app_paid,
+        app_in_final,
+        (layout.dl_paths, layout.cm_paths, layout.paid_path),
+        totals,
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use appstore_core::spill::fold_spill_file;
+    use appstore_core::StoreId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("synth-stream-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn pure_and_from_store_spills_are_byte_identical() {
+        let profile = StoreProfile::anzhi().scaled_down(64);
+        let seed = Seed::new(2013).child("stores").child(&profile.name);
+        let dir_pure = temp_dir("pure");
+        let dir_replay = temp_dir("replay");
+        let pure = spill_generate(&profile, seed, &dir_pure, 3).unwrap();
+        let store = generate(&profile, StoreId(0), seed);
+        let replay = spill_from_store(&profile, &store, &dir_replay, 3).unwrap();
+
+        assert_eq!(pure.total_downloads, replay.total_downloads);
+        assert_eq!(pure.total_comments, replay.total_comments);
+        assert_eq!(pure.total_paid, replay.total_paid);
+        assert_eq!(pure.app_category, replay.app_category);
+        assert_eq!(pure.total_downloads, store.outcome.events.len() as u64);
+        assert_eq!(pure.total_comments, store.dataset.comments.len() as u64);
+        for (a, b) in pure
+            .shard_downloads
+            .iter()
+            .chain(&pure.shard_comments)
+            .chain([&pure.paid_downloads])
+            .zip(
+                replay
+                    .shard_downloads
+                    .iter()
+                    .chain(&replay.shard_comments)
+                    .chain([&replay.paid_downloads]),
+            )
+        {
+            let left = std::fs::read(a).unwrap();
+            let right = std::fs::read(b).unwrap();
+            assert_eq!(left, right, "{a:?} vs {b:?} differ");
+        }
+        std::fs::remove_dir_all(&dir_pure).ok();
+        std::fs::remove_dir_all(&dir_replay).ok();
+    }
+
+    #[test]
+    fn shards_partition_users_in_ascending_ranges() {
+        let profile = StoreProfile::anzhi().scaled_down(64);
+        let seed = Seed::new(7);
+        let dir = temp_dir("ranges");
+        let spill = spill_generate(&profile, seed, &dir, 4).unwrap();
+        let plan = spill.plan();
+        let mut rows = 0u64;
+        for (shard, path) in spill.shard_downloads.iter().enumerate() {
+            let (start, end) = plan.range_of(shard);
+            fold_spill_file(path, |kind, cols| {
+                assert_eq!(kind, KIND_DOWNLOAD);
+                for &user in &cols[0] {
+                    assert!(
+                        start <= user && user < end,
+                        "user {user} outside shard {shard}"
+                    );
+                }
+                rows += cols[0].len() as u64;
+            })
+            .unwrap();
+        }
+        assert_eq!(rows, spill.total_downloads);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

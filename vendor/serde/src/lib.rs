@@ -122,6 +122,25 @@ impl Value {
         }
     }
 
+    /// The value as a mutable object entry list, if it is one.
+    pub fn as_object_mut(&mut self) -> Option<&mut Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Sets `key` in an object, replacing an existing entry in place or
+    /// appending a new one. No-op on non-objects.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Object(entries) = self {
+            match entries.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = value,
+                None => entries.push((key.to_string(), value)),
+            }
+        }
+    }
+
     /// Whether the value is an object.
     pub fn is_object(&self) -> bool {
         matches!(self, Value::Object(_))
