@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--scale N] [--seed S] [--threads T] [--json DIR]
-//!       [--metrics FILE] [--no-timings] <experiment>...
+//!       [--metrics FILE] [--no-timings] [--progress] <experiment>...
 //! repro all                 # every table/figure + ablations
 //! repro list                # print the experiment ids
 //! repro fig3 fig19          # a subset
@@ -34,7 +34,13 @@
 //! `fig8`) run in this mode — `all` narrows to exactly that set — and
 //! their stdout is byte-identical to the in-memory path. Peak RSS is
 //! reported on stderr; with `--mem-cap-mb` the run exits 3 (after
-//! writing every output) if the peak exceeded the cap.
+//! writing every output) if the peak exceeded the cap. `--progress`
+//! adds a per-shard heartbeat on stderr (rows/s, spill bytes read,
+//! quarantine count) so long streaming folds are observably alive.
+//!
+//! `repro report --flight FILE` additionally dumps every non-PASS row
+//! of a failed grade as a flight-recorder event stream, for CI
+//! artifact upload.
 
 use appstore_core::Seed;
 use appstore_obs::Registry;
@@ -58,6 +64,7 @@ struct Args {
     trace_folded_path: Option<String>,
     trace_folded_wall_path: Option<String>,
     streaming: bool,
+    progress: bool,
     shards: usize,
     spill_dir: Option<String>,
     mem_cap_mb: Option<u64>,
@@ -76,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         trace_folded_path: None,
         trace_folded_wall_path: None,
         streaming: false,
+        progress: false,
         shards: 4,
         spill_dir: None,
         mem_cap_mb: None,
@@ -119,6 +127,9 @@ fn parse_args() -> Result<Args, String> {
             "--streaming" => {
                 args.streaming = true;
             }
+            "--progress" => {
+                args.progress = true;
+            }
             "--shards" => {
                 let v = iter.next().ok_or("--shards needs a value")?;
                 args.shards = v.parse().map_err(|_| format!("bad shard count: {v}"))?;
@@ -137,9 +148,10 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: repro [--scale N] [--seed S] [--threads T] [--json DIR] \
                      [--metrics FILE] [--no-timings] [--trace FILE] [--trace-folded FILE] \
-                     [--trace-folded-wall FILE] [--streaming] [--shards N] [--spill-dir DIR] \
-                     [--mem-cap-mb MB] <experiment>|all|list\n\
-                     \x20      repro report [--results DIR] [--metrics FILE] [--md FILE]"
+                     [--trace-folded-wall FILE] [--streaming] [--progress] [--shards N] \
+                     [--spill-dir DIR] [--mem-cap-mb MB] <experiment>|all|list\n\
+                     \x20      repro report [--results DIR] [--metrics FILE] [--md FILE] \
+                     [--flight FILE]"
                 );
                 std::process::exit(0);
             }
@@ -161,6 +173,7 @@ fn report_main(rest: &[String]) -> ! {
     let mut results_dir = "results".to_string();
     let mut metrics_path: Option<String> = None;
     let mut md_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -182,6 +195,13 @@ fn report_main(rest: &[String]) -> ! {
                 Some(v) => md_path = Some(v.clone()),
                 None => {
                     eprintln!("--md needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--flight" => match iter.next() {
+                Some(v) => flight_path = Some(v.clone()),
+                None => {
+                    eprintln!("--flight needs a file path");
                     std::process::exit(2);
                 }
             },
@@ -223,7 +243,41 @@ fn report_main(rest: &[String]) -> ! {
             .expect("write markdown report");
         eprintln!("fidelity report written to {path}");
     }
-    if bench::report::has_fail(&rows) {
+    let failed = bench::report::has_fail(&rows);
+    if let Some(path) = &flight_path {
+        if failed {
+            // On a failed grade, leave a flight dump behind: every
+            // non-PASS row as a structured event, so CI artifacts carry
+            // the shape of the failure without re-running the report.
+            let flight = appstore_obs::FlightRecorder::default();
+            for row in rows
+                .iter()
+                .filter(|r| r.verdict != bench::report::Verdict::Pass)
+            {
+                flight.record(
+                    "report-row",
+                    &[
+                        ("figure", row.figure.to_string()),
+                        ("metric", row.metric.to_string()),
+                        ("verdict", row.verdict.label().to_string()),
+                        (
+                            "observed",
+                            row.observed
+                                .map_or_else(|| "missing".to_string(), |v| format!("{v}")),
+                        ),
+                        ("paper", row.paper.to_string()),
+                    ],
+                );
+            }
+            flight
+                .dump_to_file(std::path::Path::new(path))
+                .expect("write flight dump");
+            eprintln!("flight dump written to {path}");
+        } else {
+            eprintln!("report clean; no flight dump written to {path}");
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -241,6 +295,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Heartbeat lines go to stderr only; stdout stays byte-identical.
+    bench::set_progress(args.progress);
 
     if args.experiments.iter().any(|e| e == "list") {
         for id in EXPERIMENT_IDS {

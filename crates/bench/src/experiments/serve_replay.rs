@@ -23,11 +23,14 @@ use appstore_core::{
     Developer, DeveloperId, PricingTier, Seed, StoreId, StoreMeta,
 };
 use appstore_models::{ModelKind, Simulator};
+use appstore_serve::http::{read_response, HttpResponse};
 use appstore_serve::{
-    replay, with_server, ReplayConfig, ReplayStats, ServeConfig, Workload, SITE_SERVE_BACKING,
-    SITE_SERVE_HANDLER,
+    replay, with_server, ReplayConfig, ReplayStats, ServeConfig, SloPolicy, SloSummary, Workload,
+    SITE_SERVE_BACKING, SITE_SERVE_HANDLER,
 };
 use serde_json::json;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
 
 /// Edge cache size as a fraction of the app population (the 15% point
 /// of Fig. 19, where both workloads sit comfortably inside their
@@ -43,6 +46,15 @@ const CHAOS_END: u64 = 5_600;
 /// slowdown, at fixed request indices.
 const PANIC_INDICES: [u64; 3] = [5_050, 5_250, 5_450];
 const DELAY_INDICES: [u64; 2] = [5_150, 5_350];
+
+/// Disjoint `X-Trace-Id` bases per replay phase, so all four phases
+/// share one timeline without colliding tracks. Every base is a
+/// multiple of the trace sampling period, so each phase's first
+/// request is always sampled.
+const TRACE_BASE_ZIPF: u64 = 0;
+const TRACE_BASE_CLUSTERING: u64 = 10_000_000;
+const TRACE_BASE_CHAOS: u64 = 20_000_000;
+const TRACE_BASE_PROBE: u64 = 30_000_000;
 
 /// A single-day marketplace whose app ids are popularity ranks — the
 /// store the §5 workload models assume. The serving layer fronts this
@@ -126,6 +138,65 @@ fn chaos_plan() -> FaultPlan {
     plan
 }
 
+/// One mid-replay scrape of a telemetry endpoint, over its own
+/// connection but through the same admission queue as product traffic.
+fn scrape(addr: SocketAddr, path: &str, now_ms: u64) -> HttpResponse {
+    let stream = TcpStream::connect(addr).expect("connect for scrape");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone scrape stream"));
+    let mut writer = BufWriter::new(stream);
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nX-Client: 0\r\nX-Now-Ms: {now_ms}\r\n\r\n"
+    )
+    .expect("write scrape");
+    writer.flush().expect("flush scrape");
+    read_response(&mut reader).expect("read scrape response")
+}
+
+/// The value of a bare `name value` sample line in a Prometheus text
+/// exposition body.
+fn prometheus_value(body: &str, name: &str) -> Option<u64> {
+    let prefix = format!("{name} ");
+    body.lines()
+        .find_map(|line| line.strip_prefix(&prefix)?.trim().parse().ok())
+}
+
+/// The string value of `"key": "value"` in a flat JSON body.
+fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let start = body.find(&needle)? + needle.len();
+    let end = body[start..].find('"')?;
+    Some(&body[start..start + end])
+}
+
+/// The numeric value of `"key": N` in a flat JSON body.
+fn json_u64_field(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = body.find(&needle)? + needle.len();
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn slo_json(summary: &SloSummary) -> serde_json::Value {
+    json!({
+        "good": summary.good,
+        "errors": summary.errors,
+        "sheds_excluded": summary.sheds_excluded,
+        "availability_ppm": summary.availability_ppm,
+        "fast_burn_fired": summary.fast_burn_fired,
+        "fast_burn_recovered": summary.fast_burn_recovered,
+        "slow_burn_fired": summary.slow_burn_fired,
+        "slow_burn_recovered": summary.slow_burn_recovered,
+        "max_burn_centi": summary.max_burn_centi,
+        "p99_checks": summary.p99_checks,
+        "p99_breaches": summary.p99_breaches,
+        "p99_max_ms": summary.p99_max_ms,
+    })
+}
+
 fn stats_json(stats: &ReplayStats) -> serde_json::Value {
     json!({
         "requests_sent": stats.requests_sent,
@@ -173,7 +244,11 @@ pub fn run(seed: Seed) -> ExperimentResult {
             Simulator::for_kind(kind, params).simulate_trace(serve_seed.child(kind.name()), 30);
         let workload = Workload::from_trace(kind.name(), &trace.events);
         let config = serve_config(serve_seed, cache_apps);
-        let replay_config = ReplayConfig::new(serve_seed.child("client").child(kind.name()));
+        let mut replay_config = ReplayConfig::new(serve_seed.child("client").child(kind.name()));
+        replay_config.trace_base = match kind {
+            ModelKind::Zipf => TRACE_BASE_ZIPF,
+            _ => TRACE_BASE_CLUSTERING,
+        };
         let stats = with_server(&dataset, &config, |handle| {
             replay(handle.addr(), &workload, &replay_config).expect("loopback replay")
         });
@@ -201,22 +276,45 @@ pub fn run(seed: Seed) -> ExperimentResult {
     // stale, and the tail of the stream recovers.
     let trace = clustering_trace.expect("phase 1 always runs the clustering workload");
     let workload = Workload::from_trace("clustering-chaos", &trace.events);
-    let config = serve_config(serve_seed, cache_apps);
-    let replay_config = ReplayConfig::new(serve_seed.child("client").child("chaos"));
+    let mut config = serve_config(serve_seed, cache_apps);
+    // Optional flight-recorder dump on caught panics: CI points this at
+    // an artifact path. Purely a side-channel — stdout and the JSON are
+    // identical with or without it.
+    config.flight_dump = std::env::var_os("SERVE_FLIGHT_DUMP").map(std::path::PathBuf::from);
+    let mut replay_config = ReplayConfig::new(serve_seed.child("client").child("chaos"));
+    replay_config.trace_base = TRACE_BASE_CHAOS;
+    replay_config.slo = Some(SloPolicy::replay_default());
+    let mut probe_config = replay_config.clone();
+    probe_config.trace_base = TRACE_BASE_PROBE;
     let probe_events: Vec<_> = workload.events[workload.events.len() - 2_000..].to_vec();
     let probe_workload = Workload {
         name: "recovery-probe".into(),
         events: probe_events,
     };
     let injector = FaultInjector::new(chaos_plan());
-    let (chaos, probe, panics_caught) = with_injector(&injector, || {
+    let (chaos, scrapes, probe, panics_caught, flight_events) = with_injector(&injector, || {
         with_server(&dataset, &config, |handle| {
             let chaos = replay(handle.addr(), &workload, &replay_config).expect("loopback replay");
+            // Mid-run telemetry scrape: the server is still up between
+            // the chaos replay and the probe, and must answer all three
+            // reserved routes through the normal request path.
+            let now_ms = chaos.final_clock_ms;
+            let scrapes = [
+                scrape(handle.addr(), "/metrics", now_ms),
+                scrape(handle.addr(), "/healthz", now_ms),
+                scrape(handle.addr(), "/statusz", now_ms),
+            ];
             // The window is long past: the breaker must have closed and
             // fresh serving resumed. The probe sees a healthy server.
             let probe =
-                replay(handle.addr(), &probe_workload, &replay_config).expect("loopback replay");
-            (chaos, probe, handle.panics_caught())
+                replay(handle.addr(), &probe_workload, &probe_config).expect("loopback replay");
+            (
+                chaos,
+                scrapes,
+                probe,
+                handle.panics_caught(),
+                handle.flight().len() as u64,
+            )
         })
     });
     let events = injector.events();
@@ -261,6 +359,55 @@ pub fn run(seed: Seed) -> ExperimentResult {
         recovered
     ));
 
+    // Mid-run scrape extracts: only deterministic values make stdout
+    // (the raw bodies also carry volatile wall-clock series).
+    let metrics_body = String::from_utf8_lossy(&scrapes[0].body).into_owned();
+    let healthz_body = String::from_utf8_lossy(&scrapes[1].body).into_owned();
+    let statusz_body = String::from_utf8_lossy(&scrapes[2].body).into_owned();
+    let scraped_requests = prometheus_value(&metrics_body, "serve_requests").unwrap_or(0);
+    let health_state = json_str_field(&healthz_body, "state")
+        .unwrap_or("?")
+        .to_string();
+    let uptime_virtual_ms = json_u64_field(&statusz_body, "uptime_virtual_ms").unwrap_or(0);
+    lines.push(format!(
+        "mid-run scrape: /metrics serve_requests {}, /healthz {}, /statusz uptime {} virtual ms",
+        scraped_requests, health_state, uptime_virtual_ms
+    ));
+    if let Some(dir) = std::env::var_os("SERVE_SCRAPE_DIR") {
+        // Raw scrape bodies as CI artifacts; never part of the output.
+        let dir = std::path::PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(dir.join("metrics.prom"), &metrics_body);
+        let _ = std::fs::write(dir.join("healthz.json"), &healthz_body);
+        let _ = std::fs::write(dir.join("statusz.json"), &statusz_body);
+    }
+
+    // SLO grading: the chaos window must trip the fast-burn alert and
+    // recover before the replay ends; the probe must burn nothing.
+    let chaos_slo = chaos
+        .slo
+        .clone()
+        .expect("chaos replay runs the SLO monitor");
+    let probe_slo = probe
+        .slo
+        .clone()
+        .expect("probe replay runs the SLO monitor");
+    lines.push(format!(
+        "slo chaos: fast-burn fired {} / recovered {}, max burn {}.{:02}x, availability {} ppm",
+        chaos_slo.fast_burn_fired,
+        chaos_slo.fast_burn_recovered,
+        chaos_slo.max_burn_centi / 100,
+        chaos_slo.max_burn_centi % 100,
+        chaos_slo.availability_ppm
+    ));
+    lines.push(format!(
+        "slo probe: fast-burn fired {}, availability {} ppm, p99 breaches {}/{}",
+        probe_slo.fast_burn_fired,
+        probe_slo.availability_ppm,
+        probe_slo.p99_breaches,
+        probe_slo.p99_checks
+    ));
+
     let fault_log: Vec<_> = events
         .iter()
         .map(|e| {
@@ -292,6 +439,20 @@ pub fn run(seed: Seed) -> ExperimentResult {
             "panics_escaped": panics_escaped,
             "p99_virtual_ms": chaos.p99_virtual_ms(),
             "recovered": if recovered { 1.0 } else { 0.0 },
+            "slo": {
+                "chaos": slo_json(&chaos_slo),
+                "probe": slo_json(&probe_slo),
+                "fast_burn_fired": chaos_slo.fast_burn_fired.min(1),
+                "fast_burn_recovered": chaos_slo.fast_burn_recovered.min(1),
+                "probe_availability_ppm": probe_slo.availability_ppm,
+            },
+            "telemetry": {
+                "scrapes": 3,
+                "scraped_requests": scraped_requests,
+                "health_state": health_state,
+                "uptime_virtual_ms": uptime_virtual_ms,
+                "flight_events": flight_events,
+            },
             "fault_log": fault_log,
         }),
     }

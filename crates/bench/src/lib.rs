@@ -24,6 +24,6 @@ pub use experiments::{
 };
 pub use stores::{StoreBundle, Stores};
 pub use streaming::{
-    fold_comments, fold_downloads, is_streaming_id, run_streaming_experiment, StreamingStores,
-    STREAMING_IDS,
+    fold_comments, fold_downloads, is_streaming_id, run_streaming_experiment, set_progress,
+    StreamingStores, STREAMING_IDS,
 };

@@ -43,7 +43,8 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    fn label(self) -> &'static str {
+    /// Uppercase grade label as printed in the report tables.
+    pub fn label(self) -> &'static str {
         match self {
             Verdict::Pass => "PASS",
             Verdict::Warn => "WARN",
@@ -522,6 +523,41 @@ fn targets() -> Vec<TargetSpec> {
             warn_tol: 0.5,
             invariant: true,
             extract: |r| num(r.get("serve-replay")?, &["p99_virtual_ms"]),
+        },
+        // SLO burn-rate grading: the chaos window must push the error
+        // budget hard enough to trip the fast-burn alert, the alert
+        // must clear before the chaos replay ends, and the recovery
+        // probe must meet the availability objective outright. All
+        // three run on virtual time, so they are scale-free invariants.
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "fast-burn alert fired in chaos",
+            paper: "a 10x error-budget burn must page within its short window",
+            goal: Goal::Min(1.0),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["slo", "fast_burn_fired"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "fast-burn alert recovered",
+            paper: "the alert clears once the window drains past the chaos",
+            goal: Goal::Min(1.0),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["slo", "fast_burn_recovered"]),
+        },
+        TargetSpec {
+            figure: "serve-replay",
+            metric: "probe availability (ppm)",
+            paper: "post-chaos serving meets the 99.5% availability objective",
+            goal: Goal::Min(995_000.0),
+            pass_tol: 0.0,
+            warn_tol: 0.001,
+            invariant: true,
+            extract: |r| num(r.get("serve-replay")?, &["slo", "probe_availability_ppm"]),
         },
     ]
 }

@@ -112,7 +112,9 @@ fn required_keys(id: &str) -> &'static [&'static str] {
             "probe",
             "recovered",
             "sheds",
+            "slo",
             "stale_served",
+            "telemetry",
             "zipf_hit_rate",
         ],
         _ => &[],

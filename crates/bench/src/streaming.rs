@@ -41,6 +41,45 @@ use appstore_synth::{spill_from_store, spill_generate, StoreProfile, StoreSpill}
 use serde_json::json;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Whether streaming folds emit the `--progress` stderr heartbeat.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enables (or disables) the per-shard progress heartbeat on stderr.
+/// Heartbeat lines carry wall-clock rates and never touch stdout, so
+/// the printed tables stay byte-identical either way.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// One per-shard heartbeat line: cumulative rows, wall-clock rate,
+/// spill bytes read so far, and quarantined chunk count.
+fn heartbeat(
+    stage: &str,
+    shard: usize,
+    shards: usize,
+    rows: u64,
+    started: Instant,
+    bytes_read: u64,
+    quarantined: u64,
+) {
+    if !PROGRESS.load(Ordering::Relaxed) {
+        return;
+    }
+    let secs = started.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "progress: {stage} shard {shard}/{shards}: {rows} rows, {:.0} rows/s, \
+         {bytes_read} spill bytes read, {quarantined} quarantined",
+        rows as f64 / secs
+    );
+}
+
+/// Size of a spill file on disk, for heartbeat accounting only.
+fn file_bytes(path: &Path) -> u64 {
+    std::fs::metadata(path).map_or(0, |m| m.len())
+}
 
 /// Experiment ids with a fold-based streaming implementation.
 pub const STREAMING_IDS: [&str; 3] = ["fig3", "fig5", "fig8"];
@@ -261,6 +300,8 @@ fn fold_downloads_inner(spill: &StoreSpill, merge_log: Option<&Path>) -> io::Res
             heavy = checkpoint.heavy;
         }
     }
+    let started = Instant::now();
+    let mut bytes_read = 0u64;
     for shard in first_shard..spill.shard_downloads.len() {
         let health = fold_spill_file(&spill.shard_downloads[shard], |kind, cols| {
             if kind != KIND_DOWNLOAD || cols.len() != 3 {
@@ -276,6 +317,16 @@ fn fold_downloads_inner(spill: &StoreSpill, merge_log: Option<&Path>) -> io::Res
         })?;
         quarantined += health.quarantined;
         torn_tails += u64::from(health.torn_tail);
+        bytes_read += file_bytes(&spill.shard_downloads[shard]);
+        heartbeat(
+            "download-fold",
+            shard + 1,
+            spill.shard_downloads.len(),
+            rows,
+            started,
+            bytes_read,
+            quarantined,
+        );
         if let Some(log) = merge_log {
             write_checkpoint(log, shard + 1, rows, quarantined, &free_counts, &heavy)?;
         }
@@ -330,7 +381,10 @@ fn fold_comments_inner(spill: &StoreSpill) -> io::Result<CommentFold> {
     let mut comment_quantiles = QuantileSketch::new(QUANTILE_K);
     let mut quarantined = 0u64;
     let mut torn_tails = 0u64;
-    for path in &spill.shard_comments {
+    let started = Instant::now();
+    let mut bytes_read = 0u64;
+    let mut rows = 0u64;
+    for (shard, path) in spill.shard_comments.iter().enumerate() {
         let mut events: Vec<CommentEvent> = Vec::new();
         let health = fold_spill_file(path, |kind, cols| {
             if kind != KIND_COMMENT || cols.len() != 5 {
@@ -354,6 +408,17 @@ fn fold_comments_inner(spill: &StoreSpill) -> io::Result<CommentFold> {
         })?;
         quarantined += health.quarantined;
         torn_tails += u64::from(health.torn_tail);
+        rows += events.len() as u64;
+        bytes_read += file_bytes(path);
+        heartbeat(
+            "comment-fold",
+            shard + 1,
+            spill.shard_comments.len(),
+            rows,
+            started,
+            bytes_read,
+            quarantined,
+        );
         let streams = build_user_streams(&events, |a| {
             CategoryId(spill.app_category.get(a.index()).copied().unwrap_or(0))
         });

@@ -34,7 +34,7 @@ fn every_snapshot_metric_key_is_declared() {
     let doc = golden_metrics();
     let mut checked = 0usize;
     for (owner, registry) in registries(&doc) {
-        for family in ["counters", "gauges", "histograms"] {
+        for family in ["counters", "gauges", "histograms", "hdr"] {
             let Some(map) = registry.get(family).and_then(Value::as_object) else {
                 continue;
             };

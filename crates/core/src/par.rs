@@ -287,7 +287,7 @@ mod tests {
             appstore_obs::with_registry(&registry, || {
                 appstore_obs::span("batch", || {
                     par_map_indexed((0..23).collect::<Vec<u64>>(), threads, |_, x| {
-                        appstore_obs::counter("items.seen", 1);
+                        appstore_obs::counter("test.items.seen", 1);
                         appstore_obs::span("item", || x * 2)
                     })
                 })
@@ -297,7 +297,7 @@ mod tests {
         for threads in [1, 2, 8] {
             let registry = run(threads);
             assert_eq!(
-                registry.counter_value("items.seen"),
+                registry.counter_value("test.items.seen"),
                 23,
                 "threads = {threads}"
             );

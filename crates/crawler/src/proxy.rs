@@ -196,7 +196,10 @@ impl ProxyPool {
         if self.open[i] {
             self.open[i] = false;
             appstore_obs::counter(appstore_obs::names::CRAWL_BREAKER_CLOSES, 1);
-            appstore_obs::instant(appstore_obs::names::INSTANT_CRAWL_BREAKER_CLOSE);
+            appstore_obs::instant_args(
+                appstore_obs::names::INSTANT_CRAWL_BREAKER_CLOSE,
+                &[("proxy", &proxy.addr.to_string())],
+            );
         }
     }
 
@@ -225,7 +228,14 @@ impl ProxyPool {
             self.quarantines[i] = self.quarantines[i].saturating_add(1);
             self.open[i] = true;
             appstore_obs::counter(appstore_obs::names::CRAWL_BREAKER_TRIPS, 1);
-            appstore_obs::instant(appstore_obs::names::INSTANT_CRAWL_BREAKER_TRIP);
+            appstore_obs::instant_args(
+                appstore_obs::names::INSTANT_CRAWL_BREAKER_TRIP,
+                &[
+                    ("proxy", &proxy.addr.to_string()),
+                    ("until_ms", &self.quarantined_until[i].to_string()),
+                    ("next_probation_ms", &self.probation_ms[i].to_string()),
+                ],
+            );
             // A fresh streak starts after the probe.
             self.streak[i] = 0;
         }

@@ -1,0 +1,180 @@
+//! Flight recorder: a bounded ring of recent structured events, dumped
+//! to a file when something goes wrong.
+//!
+//! Where the [`Registry`](crate::Registry) aggregates and the
+//! [`Tracer`](crate::Tracer) timelines, the flight recorder keeps the
+//! *last N things that happened* — one JSON object per event — so a
+//! handler panic or a FAILing report can dump the immediate run-up to
+//! the failure without the cost of always-on full logging. Events are
+//! sequence-numbered; evicted events are counted so a dump says how much
+//! history was lost.
+//!
+//! The dump format is JSON Lines: a header object
+//! (`{"flight_recorder": ...}`) followed by the buffered events oldest
+//! first. Field values are strings — this is a black-box stream for
+//! humans and `jq`, not a metrics surface.
+
+use crate::registry::json_string;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: enough run-up to diagnose a panic without
+/// holding a whole replay in memory.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+struct FlightState {
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+    events: VecDeque<String>,
+}
+
+/// A shared handle to a bounded ring of structured events. Cheap to
+/// clone; safe to record into from many threads.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<FlightState>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder whose ring holds at most `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(FlightState {
+                capacity: capacity.max(1),
+                seq: 0,
+                dropped: 0,
+                events: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Appends one event of kind `kind` with string fields, evicting the
+    /// oldest event if the ring is full.
+    pub fn record(&self, kind: &str, fields: &[(&str, String)]) {
+        let mut line = String::new();
+        let mut state = self.inner.lock().unwrap();
+        state.seq += 1;
+        write!(
+            line,
+            "{{\"seq\": {}, \"kind\": {}",
+            state.seq,
+            json_string(kind)
+        )
+        .unwrap();
+        for (key, value) in fields {
+            write!(line, ", {}: {}", json_string(key), json_string(value)).unwrap();
+        }
+        line.push('}');
+        if state.events.len() >= state.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(line);
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the ring as JSON Lines: a header object followed by the
+    /// buffered events, oldest first.
+    pub fn dump(&self) -> String {
+        let state = self.inner.lock().unwrap();
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{{\"flight_recorder\": {{\"events\": {}, \"dropped\": {}, \"capacity\": {}}}}}",
+            state.events.len(),
+            state.dropped,
+            state.capacity
+        )
+        .unwrap();
+        for line in &state.events {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`FlightRecorder::dump`] to `path`, creating parent
+    /// directories as needed.
+    pub fn dump_to_file(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.dump().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_sequence_numbered_json_lines() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record("request", &[("status", "200".to_string())]);
+        recorder.record(
+            "panic",
+            &[("route", "/app".to_string()), ("index", "3".to_string())],
+        );
+        let dump = recorder.dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 events: {dump}");
+        assert!(lines[0].contains("\"events\": 2"));
+        assert!(lines[1].contains("\"seq\": 1"));
+        assert!(lines[2].contains("\"kind\": \"panic\""));
+        assert!(lines[2].contains("\"route\": \"/app\""));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_dropped() {
+        let recorder = FlightRecorder::new(2);
+        for i in 0..5 {
+            recorder.record("e", &[("i", i.to_string())]);
+        }
+        assert_eq!(recorder.len(), 2);
+        let dump = recorder.dump();
+        assert!(dump.contains("\"dropped\": 3"), "{dump}");
+        assert!(!dump.contains("\"i\": \"0\""), "oldest gone: {dump}");
+        assert!(dump.contains("\"i\": \"4\""), "{dump}");
+    }
+
+    #[test]
+    fn dump_to_file_round_trips() {
+        let recorder = FlightRecorder::default();
+        recorder.record("row", &[("grade", "FAIL".to_string())]);
+        let path = std::env::temp_dir().join(format!("flight-test-{}.jsonl", std::process::id()));
+        recorder.dump_to_file(&path).expect("write dump");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, recorder.dump());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escapes_field_values() {
+        let recorder = FlightRecorder::default();
+        recorder.record("msg", &[("text", "a\"b\nc".to_string())]);
+        let dump = recorder.dump();
+        assert!(dump.contains("\"a\\\"b\\nc\""), "{dump}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Log-linear (HDR-style) latency histogram with deterministic bucket
+//! boundaries and exact quantile accessors.
+//!
+//! Values `0..64` get singleton buckets (exact). Above that, each
+//! power-of-two octave is split into 32 equal-width sub-buckets, so the
+//! relative quantization error is bounded by 1/32 (~3.1%) everywhere.
+//! Bucket boundaries are a pure function of the value — no configuration,
+//! no floating point — so two histograms fed the same multiset of values
+//! are bit-identical regardless of insertion order or thread count.
+//!
+//! A quantile is reported as the **highest equivalent value** of the
+//! bucket where the cumulative count first reaches `ceil(q * count)`,
+//! clamped to the exact observed maximum. For values below 64 (one value
+//! per bucket) every quantile is exact; the serve replay's virtual-time
+//! p99 lands in this regime at golden scale, which is why the golden p99
+//! line survives the switch from the sort-based percentile unchanged.
+
+/// Number of singleton buckets covering values `0..SUB_BUCKETS`.
+const SUB_BUCKETS: u64 = 64;
+/// Sub-buckets per octave above the singleton range.
+const OCTAVE_SLOTS: u64 = 32;
+
+/// Index of the bucket holding `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        return value as usize;
+    }
+    let msb = 63 - u64::leading_zeros(value) as u64; // >= 6
+    let shift = msb - 5; // bucket width is 2^shift
+    let offset = (value >> shift) - OCTAVE_SLOTS; // in 0..32
+    (SUB_BUCKETS + (shift - 1) * OCTAVE_SLOTS + offset) as usize
+}
+
+/// Highest value mapping to bucket `index` (inclusive upper bound).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let shift = (index - SUB_BUCKETS) / OCTAVE_SLOTS + 1;
+    let offset = (index - SUB_BUCKETS) % OCTAVE_SLOTS;
+    // Split base + width so the top bucket (upper == u64::MAX) cannot
+    // overflow the shift.
+    ((OCTAVE_SLOTS + offset) << shift) + ((1u64 << shift) - 1)
+}
+
+/// A deterministic log-linear histogram of `u64` samples.
+///
+/// Storage grows lazily to the highest recorded bucket, so an empty or
+/// low-range histogram stays small enough to embed in per-request stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogLinearHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LogLinearHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let index = bucket_index(value);
+        if self.counts.len() <= index {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (slot, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the highest equivalent
+    /// value of the bucket where the cumulative count reaches
+    /// `ceil(q * count)`, clamped to the exact observed maximum.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let clamped = q.clamp(0.0, 1.0);
+        // ceil without floating-point drift for representable counts.
+        let target = ((clamped * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (see [`Self::quantile`]).
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order — the exposition/rendering view.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(index, &c)| (bucket_upper(index), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_deterministic_and_cover_u64() {
+        // Singleton range: one value per bucket.
+        for v in 0..64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // Every value maps into a bucket whose range contains it, and
+        // uppers are strictly increasing with the index.
+        let probes = [
+            64,
+            65,
+            80,
+            81,
+            127,
+            128,
+            1000,
+            4096,
+            1 << 20,
+            u64::MAX / 3,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let index = bucket_index(v);
+            assert!(bucket_upper(index) >= v, "upper({index}) < {v}");
+            if index > 0 {
+                assert!(bucket_upper(index - 1) < v, "lower bound misses {v}");
+            }
+        }
+        for index in 1..bucket_index(u64::MAX) {
+            assert!(bucket_upper(index) > bucket_upper(index - 1));
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_thirty_second() {
+        for &v in &[64u64, 100, 999, 12_345, 1 << 30, u64::MAX / 7] {
+            let upper = bucket_upper(bucket_index(v));
+            let err = (upper - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0, "error {err} too large for {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_in_the_singleton_range() {
+        let mut h = LogLinearHistogram::new();
+        for v in 1..=100u64 {
+            // values 1..=63 exact; keep all below 64 to stay exact
+            h.record(v % 64);
+        }
+        // Cross-check against a sorted vector using the same "first
+        // index where cumulative >= ceil(q*n)" definition.
+        let mut sorted: Vec<u64> = (1..=100u64).map(|v| v % 64).collect();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            assert_eq!(h.quantile(q), sorted[rank - 1], "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_golden_p99_value_is_exact() {
+        // The serve-replay chaos golden pins p99 = 81 virtual ms; 81 is
+        // the inclusive upper bound of its bucket {80, 81}, so the
+        // histogram reports it exactly.
+        assert_eq!(bucket_upper(bucket_index(81)), 81);
+        let mut h = LogLinearHistogram::new();
+        for _ in 0..98 {
+            h.record(5);
+        }
+        h.record(81);
+        h.record(81);
+        assert_eq!(h.p99(), 81);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let values = [0u64, 1, 63, 64, 81, 1000, 1 << 30];
+        let mut whole = LogLinearHistogram::new();
+        let mut left = LogLinearHistogram::new();
+        let mut right = LogLinearHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_the_histogram() {
+        let mut forward = LogLinearHistogram::new();
+        let mut backward = LogLinearHistogram::new();
+        let values: Vec<u64> = (0..1000).map(|i| i * 37 % 4096).collect();
+        for &v in &values {
+            forward.record(v);
+        }
+        for &v in values.iter().rev() {
+            backward.record(v);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.count(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max() {
+        let mut h = LogLinearHistogram::new();
+        h.record(1 << 20); // wide bucket up here
+        assert_eq!(h.p999(), 1 << 20);
+        assert_eq!(h.max(), 1 << 20);
+    }
+}

@@ -38,11 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
+pub mod hdr;
 pub mod names;
 mod registry;
 pub mod trace;
 
-pub use registry::{Registry, POW2_BUCKET_BOUNDS};
+pub use flight::FlightRecorder;
+pub use hdr::LogLinearHistogram;
+pub use registry::{prometheus_escape, prometheus_name, Registry, POW2_BUCKET_BOUNDS};
 pub use trace::{TimeBase, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use std::cell::RefCell;
@@ -163,12 +167,48 @@ fn with_current(f: impl FnOnce(&Registry)) {
     });
 }
 
+/// The registry installed on the current thread, if any — a cheap
+/// shared handle. Lets long-lived components (like the serve telemetry
+/// endpoints) capture the registry once and render snapshots from other
+/// threads later.
+pub fn current_registry() -> Option<Registry> {
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|ctx| ctx.registry.clone()))
+}
+
+/// The names-drift guard: true when recording under `name` may proceed.
+///
+/// Undeclared names (not in [`names::ALL_METRICS`], not a declared
+/// `cache.*` family member, not `test.*`) panic in debug/test builds so
+/// drift is caught at the call site; in release builds the emission is
+/// dropped and the volatile counter [`names::OBS_UNDECLARED`] is
+/// incremented instead, keeping production snapshots clean.
+fn declared(name: &str, registry: Option<&Registry>) -> bool {
+    if names::is_declared_metric(name) {
+        return true;
+    }
+    if cfg!(debug_assertions) {
+        panic!(
+            "undeclared metric name {name:?} — declare it in appstore_obs::names \
+             (unit tests may use the `test.` prefix)"
+        );
+    }
+    if let Some(registry) = registry {
+        registry.counter_add(names::OBS_UNDECLARED, 1, true);
+    }
+    false
+}
+
 /// Adds `delta` to the deterministic counter `name`. With a tracer
 /// installed the increment is also recorded as a timeline counter
 /// sample on the current track.
 pub fn counter(name: &str, delta: u64) {
     CURRENT.with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
+            if (ctx.registry.is_some() || ctx.tracer.is_some())
+                && !declared(name, ctx.registry.as_ref())
+            {
+                return;
+            }
             if let Some(registry) = &ctx.registry {
                 registry.counter_add(name, delta, false);
             }
@@ -183,30 +223,72 @@ pub fn counter(name: &str, delta: u64) {
 /// snapshots; use for values that depend on worker count or machine).
 /// Never traced: its call placement is scheduler-dependent.
 pub fn counter_volatile(name: &str, delta: u64) {
-    with_current(|r| r.counter_add(name, delta, true));
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.counter_add(name, delta, true);
+        }
+    });
 }
 
 /// Sets the deterministic gauge `name` to `value` (last write wins).
 pub fn gauge(name: &str, value: i64) {
-    with_current(|r| r.gauge_set(name, value, false));
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.gauge_set(name, value, false);
+        }
+    });
 }
 
 /// Sets the volatile gauge `name` to `value` (zeroed in no-timings
 /// snapshots).
 pub fn gauge_volatile(name: &str, value: i64) {
-    with_current(|r| r.gauge_set(name, value, true));
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.gauge_set(name, value, true);
+        }
+    });
 }
 
 /// Records `value` into the deterministic histogram `name` (fixed
 /// power-of-two bucket layout, see [`POW2_BUCKET_BOUNDS`]).
 pub fn observe(name: &str, value: u64) {
-    with_current(|r| r.histogram_observe(name, value, false));
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.histogram_observe(name, value, false);
+        }
+    });
 }
 
 /// Records `value` into the volatile histogram `name` (all fields zeroed
 /// in no-timings snapshots).
 pub fn observe_volatile(name: &str, value: u64) {
-    with_current(|r| r.histogram_observe(name, value, true));
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.histogram_observe(name, value, true);
+        }
+    });
+}
+
+/// Records `value` into the deterministic log-linear histogram `name`
+/// (HDR-style buckets, see [`LogLinearHistogram`]) with exact
+/// p50/p90/p99/p999 accessors in snapshots and via
+/// [`Registry::hdr_quantile`].
+pub fn observe_hdr(name: &str, value: u64) {
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.hdr_observe(name, value, false);
+        }
+    });
+}
+
+/// Records `value` into the volatile log-linear histogram `name` (all
+/// fields zeroed in no-timings snapshots).
+pub fn observe_hdr_volatile(name: &str, value: u64) {
+    with_current(|r| {
+        if declared(name, Some(r)) {
+            r.hdr_observe(name, value, true);
+        }
+    });
 }
 
 /// Records an instant event named `name` on the current track. Trace
@@ -214,10 +296,18 @@ pub fn observe_volatile(name: &str, value: u64) {
 /// are free to mark high-frequency moments (a screened candidate, a
 /// breaker trip) without touching the golden metric surface.
 pub fn instant(name: &str) {
+    instant_args(name, &[]);
+}
+
+/// Like [`instant`], but annotates the event with key/value args that
+/// render into the Chrome export's `args` object. The deterministic
+/// collapsed export ignores args, so annotating never perturbs the
+/// logical-timestamp golden surface.
+pub fn instant_args(name: &str, args: &[(&str, &str)]) {
     CURRENT.with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
             if let Some(tracer) = &ctx.tracer {
-                tracer.instant_event(&ctx.track, name);
+                tracer.instant_event_args(&ctx.track, name, args);
             }
         }
     });
@@ -303,13 +393,21 @@ impl Drop for TrackGuard {
 /// With no registry or tracer installed, `f` runs untimed with zero
 /// overhead.
 pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    span_args(name, &[], f)
+}
+
+/// Like [`span`], but annotates the begin event with key/value args
+/// that render into the Chrome export's `args` object (shed reasons,
+/// degradation classes, deadline burn). The deterministic collapsed
+/// export ignores args.
+pub fn span_args<R>(name: &str, args: &[(&str, &str)], f: impl FnOnce() -> R) -> R {
     let entered = CURRENT.with(|c| {
         let mut borrow = c.borrow_mut();
         match borrow.as_mut() {
             Some(ctx) => {
                 ctx.span_path.push(name.to_string());
                 if let Some(tracer) = &ctx.tracer {
-                    tracer.begin(&ctx.track, name, false);
+                    tracer.begin_args(&ctx.track, name, false, args);
                 }
                 true
             }
@@ -375,19 +473,19 @@ mod tests {
     fn counters_gauges_and_histograms_export_sorted() {
         let registry = Registry::new();
         with_registry(&registry, || {
-            counter("b.count", 2);
-            counter("a.count", 1);
-            counter("b.count", 3);
-            gauge("z.level", -4);
-            observe("sizes", 5);
-            observe("sizes", 100);
+            counter("test.b.count", 2);
+            counter("test.a.count", 1);
+            counter("test.b.count", 3);
+            gauge("test.z.level", -4);
+            observe("test.sizes", 5);
+            observe("test.sizes", 100);
         });
         let json = registry.snapshot_json(false);
-        let a = json.find("\"a.count\": 1").expect("a.count");
-        let b = json.find("\"b.count\": 5").expect("b.count");
+        let a = json.find("\"test.a.count\": 1").expect("test.a.count");
+        let b = json.find("\"test.b.count\": 5").expect("test.b.count");
         assert!(a < b, "keys must sort");
-        assert!(json.contains("\"z.level\": -4"));
-        assert!(json.contains("\"sizes\""));
+        assert!(json.contains("\"test.z.level\": -4"));
+        assert!(json.contains("\"test.sizes\""));
         assert!(json.contains("\"count\": 2"));
         assert!(json.contains("\"sum\": 105"));
     }
@@ -396,20 +494,20 @@ mod tests {
     fn volatile_metrics_zero_under_no_timings() {
         let registry = Registry::new();
         with_registry(&registry, || {
-            counter("det", 7);
-            counter_volatile("vol", 9);
-            gauge_volatile("vg", 11);
-            observe_volatile("vh", 13);
+            counter("test.det", 7);
+            counter_volatile("test.vol", 9);
+            gauge_volatile("test.vg", 11);
+            observe_volatile("test.vh", 13);
             span("work", || {
                 std::thread::sleep(std::time::Duration::from_millis(1))
             });
         });
         let timed = registry.snapshot_json(false);
-        assert!(timed.contains("\"vol\": 9"));
+        assert!(timed.contains("\"test.vol\": 9"));
         let zeroed = registry.snapshot_json(true);
-        assert!(zeroed.contains("\"det\": 7"), "deterministic survives");
-        assert!(zeroed.contains("\"vol\": 0"), "volatile zeroed");
-        assert!(zeroed.contains("\"vg\": 0"));
+        assert!(zeroed.contains("\"test.det\": 7"), "deterministic survives");
+        assert!(zeroed.contains("\"test.vol\": 0"), "volatile zeroed");
+        assert!(zeroed.contains("\"test.vg\": 0"));
         assert!(zeroed.contains("\"calls\": 1"), "span calls survive");
         assert!(zeroed.contains("\"total_ns\": 0"), "span time zeroed");
         assert!(!zeroed.contains("\"total_ns\": 0,\n"), "stable tail");
@@ -422,10 +520,10 @@ mod tests {
             with_registry(&registry, || {
                 span("outer", || {
                     span("inner", || {
-                        counter("n", 3);
+                        counter("test.n", 3);
                     });
                 });
-                observe("h", 42);
+                observe("test.h", 42);
             });
             registry.snapshot_json(true)
         };
@@ -455,7 +553,7 @@ mod tests {
                 std::thread::scope(|scope| {
                     scope.spawn(|| {
                         ctx.run(|| {
-                            span("task", || counter("done", 1));
+                            span("task", || counter("test.done", 1));
                         });
                     });
                 });
@@ -463,7 +561,7 @@ mod tests {
         });
         let json = registry.snapshot_json(true);
         assert!(json.contains("\"job/task\""), "worker inherits span path");
-        assert!(json.contains("\"done\": 1"));
+        assert!(json.contains("\"test.done\": 1"));
     }
 
     #[test]
@@ -471,19 +569,19 @@ mod tests {
         let outer = Registry::new();
         let inner = Registry::new();
         with_registry(&outer, || {
-            counter("outer.only", 1);
-            with_registry(&inner, || counter("inner.only", 1));
-            counter("outer.only", 1);
+            counter("test.outer.only", 1);
+            with_registry(&inner, || counter("test.inner.only", 1));
+            counter("test.outer.only", 1);
         });
-        assert!(outer.snapshot_json(true).contains("\"outer.only\": 2"));
+        assert!(outer.snapshot_json(true).contains("\"test.outer.only\": 2"));
         assert!(!outer.snapshot_json(true).contains("inner.only"));
-        assert!(inner.snapshot_json(true).contains("\"inner.only\": 1"));
+        assert!(inner.snapshot_json(true).contains("\"test.inner.only\": 1"));
     }
 
     #[test]
     fn snapshot_indent_embeds_cleanly() {
         let registry = Registry::new();
-        with_registry(&registry, || counter("k", 1));
+        with_registry(&registry, || counter("test.k", 1));
         let embedded = registry.snapshot_json_indented(true, 2);
         assert!(embedded.starts_with('{'));
         assert!(embedded.ends_with("    }"), "closing brace at level 2");
@@ -495,11 +593,11 @@ mod tests {
         with_tracer(&tracer, || {
             span("work", || {
                 instant("mark");
-                counter("n", 2);
+                counter("test.n", 2);
             });
         });
         let folded = tracer.export_collapsed(TimeBase::Logical);
-        assert_eq!(folded, "work 1\nwork;mark 1\nwork;n 1\n");
+        assert_eq!(folded, "work 1\nwork;mark 1\nwork;test.n 1\n");
     }
 
     #[test]
@@ -508,10 +606,10 @@ mod tests {
         let registry = Registry::new();
         with_tracer(&tracer, || {
             with_registry(&registry, || {
-                span("inside", || counter("c", 1));
+                span("inside", || counter("test.c", 1));
             });
         });
-        assert_eq!(registry.counter_value("c"), 1);
+        assert_eq!(registry.counter_value("test.c"), 1);
         let folded = tracer.export_collapsed(TimeBase::Logical);
         assert!(
             folded.contains("inside 1"),
@@ -524,9 +622,9 @@ mod tests {
         let tracer = Tracer::new();
         let registry = Registry::new();
         with_registry(&registry, || {
-            with_tracer(&tracer, || counter("c", 5));
+            with_tracer(&tracer, || counter("test.c", 5));
         });
-        assert_eq!(registry.counter_value("c"), 5);
+        assert_eq!(registry.counter_value("test.c"), 5);
         assert_eq!(tracer.len(), 1);
     }
 
@@ -556,12 +654,79 @@ mod tests {
         let registry = Registry::new();
         with_tracer(&tracer, || {
             with_registry(&registry, || {
-                counter_volatile("vol", 3);
-                observe_volatile("h", 1);
-                gauge("g", 2);
+                counter_volatile("test.vol", 3);
+                observe_volatile("test.h", 1);
+                gauge("test.g", 2);
             });
         });
         assert!(tracer.is_empty(), "only deterministic counters trace");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn undeclared_metric_name_panics_in_debug() {
+        let registry = Registry::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_registry(&registry, || counter("definitely.not.declared", 1));
+        }));
+        assert!(outcome.is_err(), "debug builds must panic on drift");
+        // Declared and test-family names record normally.
+        with_registry(&registry, || {
+            counter(names::SERVE_REQUESTS, 1);
+            counter("test.scratch", 2);
+        });
+        assert_eq!(registry.counter_value(names::SERVE_REQUESTS), 1);
+        assert_eq!(registry.counter_value("test.scratch"), 2);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn undeclared_metric_name_counts_obs_undeclared_in_release() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            counter("definitely.not.declared", 1);
+            observe("also.not.declared", 7);
+        });
+        assert_eq!(registry.counter_value("definitely.not.declared"), 0);
+        assert_eq!(registry.counter_value(names::OBS_UNDECLARED), 2);
+    }
+
+    #[test]
+    fn hdr_facade_records_into_registry() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            for v in [1u64, 2, 81] {
+                observe_hdr("test.lat", v);
+            }
+            observe_hdr_volatile("test.vlat", 5);
+        });
+        assert_eq!(registry.hdr_quantile("test.lat", 0.99), Some(81));
+        let zeroed = registry.snapshot_json(true);
+        assert!(zeroed.contains("\"test.vlat\": {\"count\": 0"), "{zeroed}");
+    }
+
+    #[test]
+    fn span_args_and_instant_args_annotate_chrome_only() {
+        let tracer = Tracer::new();
+        with_tracer(&tracer, || {
+            span_args("req", &[("route", "/app")], || {
+                instant_args("edge", &[("result", "stale")]);
+            });
+        });
+        let chrome = tracer.export_chrome();
+        assert!(chrome.contains("\"route\": \"/app\""), "{chrome}");
+        assert!(chrome.contains("\"result\": \"stale\""), "{chrome}");
+        let folded = tracer.export_collapsed(TimeBase::Logical);
+        assert_eq!(folded, "req 1\nreq;edge 1\n");
+    }
+
+    #[test]
+    fn current_registry_returns_installed_handle() {
+        assert!(current_registry().is_none());
+        let registry = Registry::new();
+        let handle = with_registry(&registry, || current_registry().expect("installed"));
+        handle.counter_add(names::SERVE_REQUESTS, 3, false);
+        assert_eq!(registry.counter_value(names::SERVE_REQUESTS), 3);
     }
 
     #[test]

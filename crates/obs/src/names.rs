@@ -170,6 +170,32 @@ pub const SERVE_RATE_LIMITED: &str = "serve.rate_limited";
 pub const SERVE_LATENCY_VIRTUAL_MS: &str = "serve.latency.virtual_ms";
 /// Per-request wall-clock latency (volatile histogram, microseconds).
 pub const SERVE_LATENCY_REAL_US: &str = "serve.latency.real_us";
+/// Virtual latency of `/rankings` requests (log-linear histogram).
+pub const SERVE_LATENCY_ROUTE_RANKINGS: &str = "serve.latency.route.rankings";
+/// Virtual latency of `/app` requests (log-linear histogram).
+pub const SERVE_LATENCY_ROUTE_APP: &str = "serve.latency.route.app";
+/// Virtual latency of `/download` requests (log-linear histogram).
+pub const SERVE_LATENCY_ROUTE_DOWNLOAD: &str = "serve.latency.route.download";
+/// Virtual latency of telemetry (`/metrics`, `/healthz`, `/statusz`)
+/// requests (log-linear histogram).
+pub const SERVE_LATENCY_ROUTE_TELEMETRY: &str = "serve.latency.route.telemetry";
+/// Virtual latency of unrecognized-route requests (log-linear histogram).
+pub const SERVE_LATENCY_ROUTE_OTHER: &str = "serve.latency.route.other";
+/// Virtual latency of responses served fresh (log-linear histogram).
+pub const SERVE_LATENCY_CLASS_FRESH: &str = "serve.latency.class.fresh";
+/// Virtual latency of responses degraded to stale (log-linear histogram).
+pub const SERVE_LATENCY_CLASS_STALE: &str = "serve.latency.class.stale";
+/// Virtual latency of shed responses (log-linear histogram).
+pub const SERVE_LATENCY_CLASS_SHED: &str = "serve.latency.class.shed";
+/// Virtual latency of error responses (log-linear histogram).
+pub const SERVE_LATENCY_CLASS_ERROR: &str = "serve.latency.class.error";
+/// Telemetry-endpoint scrapes served (`/metrics`, `/healthz`, `/statusz`).
+pub const SERVE_TELEMETRY_SCRAPES: &str = "serve.telemetry.scrapes";
+
+/// Emissions of metric names not declared in this module (release
+/// builds only; debug builds panic instead). Volatile by construction —
+/// its very presence marks a names-drift bug.
+pub const OBS_UNDECLARED: &str = "obs.undeclared";
 
 /// Synthetic stores generated.
 pub const SYNTH_STORES: &str = "synth.stores";
@@ -275,6 +301,17 @@ pub const ALL_METRICS: &[&str] = &[
     SERVE_RATE_LIMITED,
     SERVE_LATENCY_VIRTUAL_MS,
     SERVE_LATENCY_REAL_US,
+    SERVE_LATENCY_ROUTE_RANKINGS,
+    SERVE_LATENCY_ROUTE_APP,
+    SERVE_LATENCY_ROUTE_DOWNLOAD,
+    SERVE_LATENCY_ROUTE_TELEMETRY,
+    SERVE_LATENCY_ROUTE_OTHER,
+    SERVE_LATENCY_CLASS_FRESH,
+    SERVE_LATENCY_CLASS_STALE,
+    SERVE_LATENCY_CLASS_SHED,
+    SERVE_LATENCY_CLASS_ERROR,
+    SERVE_TELEMETRY_SCRAPES,
+    OBS_UNDECLARED,
     SYNTH_STORES,
     SYNTH_APPS,
     SYNTH_DOWNLOADS,
@@ -329,6 +366,10 @@ pub const SPAN_STORES_GENERATE: &str = "stores.generate";
 pub const SPAN_SPILL_STORE: &str = "spill.store";
 /// One shard-merge fold over spill files.
 pub const SPAN_SPILL_FOLD: &str = "spill.fold";
+/// Server-side handling of one traced request (per-request track).
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+/// Client-side view of one traced replay request (per-request track).
+pub const SPAN_SERVE_CLIENT: &str = "serve.client";
 
 /// Every declared span name.
 pub const ALL_SPANS: &[&str] = &[
@@ -339,6 +380,8 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_STORES_GENERATE,
     SPAN_SPILL_STORE,
     SPAN_SPILL_FOLD,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_CLIENT,
 ];
 
 // Instant-event names (trace-only; never appear in metric snapshots).
@@ -351,6 +394,14 @@ pub const INSTANT_FIT_CANDIDATE_REFINED: &str = "fit.candidate.refined";
 pub const INSTANT_CRAWL_BREAKER_TRIP: &str = "crawl.breaker.trip";
 /// A proxy circuit breaker closed after a successful probe.
 pub const INSTANT_CRAWL_BREAKER_CLOSE: &str = "crawl.breaker.close";
+/// Queue-admission stage of a traced serve request (depth annotation).
+pub const INSTANT_SERVE_STAGE_QUEUE: &str = "serve.stage.queue";
+/// Edge-cache stage of a traced serve request (hit/miss/stale).
+pub const INSTANT_SERVE_STAGE_EDGE: &str = "serve.stage.edge";
+/// Backing-fetch stage of a traced serve request (breaker state).
+pub const INSTANT_SERVE_STAGE_BACKING: &str = "serve.stage.backing";
+/// Deadline-budget stage of a traced serve request (burn annotation).
+pub const INSTANT_SERVE_STAGE_DEADLINE: &str = "serve.stage.deadline";
 
 /// Every declared instant-event name.
 pub const ALL_INSTANTS: &[&str] = &[
@@ -358,13 +409,29 @@ pub const ALL_INSTANTS: &[&str] = &[
     INSTANT_FIT_CANDIDATE_REFINED,
     INSTANT_CRAWL_BREAKER_TRIP,
     INSTANT_CRAWL_BREAKER_CLOSE,
+    INSTANT_SERVE_STAGE_QUEUE,
+    INSTANT_SERVE_STAGE_EDGE,
+    INSTANT_SERVE_STAGE_BACKING,
+    INSTANT_SERVE_STAGE_DEADLINE,
 ];
 
 /// True when `name` is a declared counter/gauge/histogram name: either
-/// an exact [`ALL_METRICS`] entry or a `cache.<policy>.<suffix>` family
-/// member with a declared suffix and nonempty policy.
+/// an exact [`ALL_METRICS`] entry, a `cache.<policy>.<suffix>` family
+/// member with a declared suffix and nonempty policy, or a `test.`
+/// scratch name.
+///
+/// The `test.` prefix is the unit-test escape hatch: test code may
+/// record ad-hoc names under it without registering them here, and the
+/// facade's undeclared-name guard lets them through. Production code
+/// must never use it — the prefix makes such names easy to grep for.
 pub fn is_declared_metric(name: &str) -> bool {
     if ALL_METRICS.contains(&name) {
+        return true;
+    }
+    if name
+        .strip_prefix("test.")
+        .is_some_and(|rest| !rest.is_empty())
+    {
         return true;
     }
     if let Some(rest) = name.strip_prefix("cache.") {
@@ -408,6 +475,14 @@ mod tests {
         assert!(is_declared_span_path("stores.generate/synth.generate"));
         assert!(!is_declared_span_path("stores.generate/unknown"));
         assert!(!is_declared_span_path(""));
+    }
+
+    #[test]
+    fn test_prefix_is_a_unit_test_escape_hatch() {
+        assert!(is_declared_metric("test.anything.goes"));
+        assert!(is_declared_metric("test.c"));
+        assert!(!is_declared_metric("test."));
+        assert!(!is_declared_metric("testing.c"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! interleaving. Exported values are integers only — no floats — so the
 //! rendered JSON is byte-stable.
 
+use crate::hdr::LogLinearHistogram;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -61,11 +62,18 @@ struct Span {
     total_ns: u64,
 }
 
+#[derive(Clone, Default)]
+struct HdrCell {
+    hist: LogLinearHistogram,
+    volatile: bool,
+}
+
 #[derive(Default)]
 struct State {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    hdr: BTreeMap<String, HdrCell>,
     spans: BTreeMap<String, Span>,
 }
 
@@ -109,6 +117,13 @@ impl Registry {
         cell.volatile |= volatile;
     }
 
+    pub(crate) fn hdr_observe(&self, name: &str, value: u64, volatile: bool) {
+        let mut state = self.inner.lock().unwrap();
+        let cell = state.hdr.entry(name.to_string()).or_default();
+        cell.hist.record(value);
+        cell.volatile |= volatile;
+    }
+
     pub(crate) fn span_record(&self, path: &str, elapsed_ns: u64) {
         let mut state = self.inner.lock().unwrap();
         let cell = state.spans.entry(path.to_string()).or_default();
@@ -121,6 +136,13 @@ impl Registry {
     pub fn counter_value(&self, name: &str) -> u64 {
         let state = self.inner.lock().unwrap();
         state.counters.get(name).map_or(0, |c| c.value)
+    }
+
+    /// Reads a quantile of a log-linear histogram previously fed through
+    /// [`crate::observe_hdr`]. `None` if the histogram was never recorded.
+    pub fn hdr_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        let state = self.inner.lock().unwrap();
+        state.hdr.get(name).map(|cell| cell.hist.quantile(q))
     }
 
     /// Renders the registry as pretty-printed JSON with stable key order.
@@ -209,6 +231,39 @@ impl Registry {
             write!(out, "\n{pad}  }},\n").unwrap();
         }
 
+        write!(out, "{pad}  \"hdr\": {{").unwrap();
+        for (i, (name, cell)) in state.hdr.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let zero = no_timings && cell.volatile;
+            write!(
+                out,
+                "{sep}\n{pad}    {}: {{\"count\": {}, \"sum\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+                json_string(name),
+                render_u64(zero, cell.hist.count()),
+                render_u64(zero, cell.hist.sum()),
+                render_u64(zero, cell.hist.p50()),
+                render_u64(zero, cell.hist.p90()),
+                render_u64(zero, cell.hist.p99()),
+                render_u64(zero, cell.hist.p999()),
+            )
+            .unwrap();
+            if !zero {
+                for (b, (upper, count)) in cell.hist.buckets().enumerate() {
+                    if b > 0 {
+                        out.push_str(", ");
+                    }
+                    write!(out, "[{upper}, {count}]").unwrap();
+                }
+            }
+            out.push_str("]}");
+        }
+        if state.hdr.is_empty() {
+            out.push_str("},\n");
+        } else {
+            write!(out, "\n{pad}  }},\n").unwrap();
+        }
+
         write!(out, "{pad}  \"spans\": {{").unwrap();
         for (i, (path, s)) in state.spans.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
@@ -230,6 +285,136 @@ impl Registry {
         write!(out, "\n{pad}}}").unwrap();
         out
     }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4).
+    ///
+    /// Guarantees:
+    /// * **Deterministic ordering** — sections render counters, gauges,
+    ///   pow-2 histograms, log-linear histograms, spans; metric names
+    ///   within a section come out in `BTreeMap` (lexicographic) order.
+    /// * **Volatility flagging** — every volatile metric carries a
+    ///   `# CLASS <name> volatile` comment line so scrapers can tell
+    ///   timing-dependent series from deterministic ones.
+    /// * **Cumulative histograms** — `_bucket{le="..."}` counts are
+    ///   cumulative and the `le="+Inf"` sample always equals `_count`.
+    ///
+    /// With `no_timings`, volatile values render as zero (keys stay), so
+    /// the exposition is byte-identical across thread counts and runs.
+    pub fn render_prometheus(&self, no_timings: bool) -> String {
+        let state = self.inner.lock().unwrap();
+        let mut out = String::new();
+        let render_u64 = |vol: bool, v: u64| if no_timings && vol { 0 } else { v };
+
+        for (name, c) in &state.counters {
+            let pname = prometheus_name(name);
+            writeln!(out, "# TYPE {pname} counter").unwrap();
+            if c.volatile {
+                writeln!(out, "# CLASS {pname} volatile").unwrap();
+            }
+            writeln!(out, "{pname} {}", render_u64(c.volatile, c.value)).unwrap();
+        }
+
+        for (name, g) in &state.gauges {
+            let pname = prometheus_name(name);
+            writeln!(out, "# TYPE {pname} gauge").unwrap();
+            if g.volatile {
+                writeln!(out, "# CLASS {pname} volatile").unwrap();
+            }
+            let value = if no_timings && g.volatile { 0 } else { g.value };
+            writeln!(out, "{pname} {value}").unwrap();
+        }
+
+        for (name, h) in &state.histograms {
+            let pname = prometheus_name(name);
+            let zero = no_timings && h.volatile;
+            writeln!(out, "# TYPE {pname} histogram").unwrap();
+            if h.volatile {
+                writeln!(out, "# CLASS {pname} volatile").unwrap();
+            }
+            let mut running = 0u64;
+            if !zero {
+                for (b, &count) in h.counts.iter().enumerate() {
+                    if count == 0 || b >= POW2_BUCKET_BOUNDS.len() {
+                        continue; // overflow folds into +Inf below
+                    }
+                    running += count;
+                    writeln!(
+                        out,
+                        "{pname}_bucket{{le=\"{}\"}} {running}",
+                        POW2_BUCKET_BOUNDS[b]
+                    )
+                    .unwrap();
+                }
+            }
+            let total = render_u64(zero, h.count);
+            writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {total}").unwrap();
+            writeln!(out, "{pname}_sum {}", render_u64(zero, h.sum)).unwrap();
+            writeln!(out, "{pname}_count {total}").unwrap();
+        }
+
+        for (name, cell) in &state.hdr {
+            let pname = prometheus_name(name);
+            let zero = no_timings && cell.volatile;
+            writeln!(out, "# TYPE {pname} histogram").unwrap();
+            if cell.volatile {
+                writeln!(out, "# CLASS {pname} volatile").unwrap();
+            }
+            let mut running = 0u64;
+            if !zero {
+                for (upper, count) in cell.hist.buckets() {
+                    running += count;
+                    writeln!(out, "{pname}_bucket{{le=\"{upper}\"}} {running}").unwrap();
+                }
+            }
+            let total = render_u64(zero, cell.hist.count());
+            writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {total}").unwrap();
+            writeln!(out, "{pname}_sum {}", render_u64(zero, cell.hist.sum())).unwrap();
+            writeln!(out, "{pname}_count {total}").unwrap();
+        }
+
+        for (path, s) in &state.spans {
+            let pname = prometheus_name(path);
+            writeln!(out, "# TYPE {pname}_calls counter").unwrap();
+            writeln!(out, "{pname}_calls {}", s.calls).unwrap();
+            // Wall-clock span time is inherently volatile.
+            writeln!(out, "# TYPE {pname}_ns counter").unwrap();
+            writeln!(out, "# CLASS {pname}_ns volatile").unwrap();
+            writeln!(out, "{pname}_ns {}", render_u64(true, s.total_ns)).unwrap();
+        }
+
+        out
+    }
+}
+
+/// Maps a metric name onto the Prometheus identifier charset
+/// `[a-zA-Z0-9_:]`: every other character (dots, slashes, dashes)
+/// becomes `_`, and a leading digit gains a `_` prefix.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let valid = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if valid { ch } else { '_' });
+    }
+    out
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline per the text exposition format.
+pub fn prometheus_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders a JSON string literal (quotes + escapes).
@@ -300,5 +485,144 @@ mod tests {
         r.counter_add("x", 4, false);
         assert_eq!(r.counter_value("x"), 7);
         assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn hdr_section_renders_quantiles_and_buckets() {
+        let r = Registry::new();
+        for v in [1u64, 2, 3, 81] {
+            r.hdr_observe("lat", v, false);
+        }
+        let json = r.snapshot_json(false);
+        assert!(json.contains("\"hdr\": {"), "{json}");
+        assert!(json.contains("\"p99\": 81"), "{json}");
+        assert!(json.contains("[81, 1]"), "{json}");
+        assert_eq!(r.hdr_quantile("lat", 0.5), Some(2));
+        assert_eq!(r.hdr_quantile("missing", 0.5), None);
+    }
+
+    #[test]
+    fn hdr_volatile_zeroes_under_no_timings() {
+        let r = Registry::new();
+        r.hdr_observe("vlat", 100, true);
+        let json = r.snapshot_json(true);
+        assert!(
+            json.contains("\"vlat\": {\"count\": 0, \"sum\": 0"),
+            "{json}"
+        );
+        assert!(json.contains("\"buckets\": []"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("serve.latency.p99"), "serve_latency_p99");
+        assert_eq!(prometheus_name("a/b-c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:x"), "ok_name:x");
+    }
+
+    #[test]
+    fn prometheus_escape_handles_backslash_quote_newline() {
+        assert_eq!(prometheus_escape(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(prometheus_escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(prometheus_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn prometheus_exposition_orders_sections_and_flags_volatile() {
+        let r = Registry::new();
+        r.counter_add("b.count", 2, false);
+        r.counter_add("a.count", 1, true);
+        r.gauge_set("depth", 7, false);
+        r.histogram_observe("h.sizes", 3, false);
+        r.hdr_observe("lat", 81, false);
+        r.span_record("outer/inner", 999);
+        let text = r.render_prometheus(false);
+        // Lexicographic within a section, counters before gauges before
+        // histograms before hdr before spans.
+        let order = [
+            "a_count 1",
+            "b_count 2",
+            "depth 7",
+            "h_sizes_count 1",
+            "lat_count 1",
+            "outer_inner_calls 1",
+        ];
+        let mut at = 0;
+        for needle in order {
+            let pos = text[at..]
+                .find(needle)
+                .unwrap_or_else(|| panic!("{needle} missing or out of order:\n{text}"));
+            at += pos;
+        }
+        assert!(text.contains("# CLASS a_count volatile"), "{text}");
+        assert!(
+            !text.contains("# CLASS b_count"),
+            "deterministic metrics carry no CLASS line:\n{text}"
+        );
+        assert!(text.contains("# TYPE depth gauge"), "{text}");
+        assert!(text.contains("# CLASS outer_inner_ns volatile"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_inf_matches_count() {
+        let r = Registry::new();
+        for v in [1u64, 1, 2, 3, 100, u64::MAX] {
+            r.histogram_observe("h", v, false);
+            r.hdr_observe("lat", v, false);
+        }
+        let text = r.render_prometheus(false);
+        for metric in ["h", "lat"] {
+            let mut last = 0u64;
+            let mut inf = None;
+            let mut count = None;
+            for line in text.lines() {
+                if let Some(rest) = line.strip_prefix(&format!("{metric}_bucket{{le=\"")) {
+                    let (le, tail) = rest.split_once("\"} ").expect("bucket line shape");
+                    let v: u64 = tail.trim().parse().expect("bucket count");
+                    if le == "+Inf" {
+                        inf = Some(v);
+                    } else {
+                        assert!(v >= last, "non-monotone cumulative bucket in {metric}");
+                        last = v;
+                    }
+                } else if let Some(rest) = line.strip_prefix(&format!("{metric}_count ")) {
+                    count = Some(rest.trim().parse::<u64>().expect("count"));
+                }
+            }
+            assert_eq!(inf, Some(6), "{metric} +Inf must cover overflow too");
+            assert_eq!(inf, count, "{metric} le=+Inf must equal _count");
+        }
+    }
+
+    #[test]
+    fn prometheus_no_timings_is_byte_identical_across_interleavings() {
+        // Record the same multiset of metrics from different thread
+        // interleavings; with no_timings the exposition must come out
+        // byte-identical (volatile values zeroed, order lexicographic).
+        let run = |threads: usize| {
+            let r = Registry::new();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let r = r.clone();
+                    scope.spawn(move || {
+                        for i in 0..100u64 {
+                            if i % threads as u64 == t as u64 {
+                                r.counter_add("det", 1, false);
+                                r.counter_add("vol", i, true);
+                                r.hdr_observe("lat", i, false);
+                                r.histogram_observe("sizes", i, false);
+                            }
+                        }
+                    });
+                }
+            });
+            r.render_prometheus(true)
+        };
+        let reference = run(1);
+        assert_eq!(reference, run(2));
+        assert_eq!(reference, run(8));
+        assert!(reference.contains("vol 0"), "{reference}");
+        assert!(reference.contains("det 100"), "{reference}");
     }
 }

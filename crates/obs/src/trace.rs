@@ -67,6 +67,10 @@ enum EventKind {
     Begin {
         name: String,
         synthetic: bool,
+        /// Extra key/value annotations rendered only into the Chrome
+        /// export's `args` object; the collapsed export ignores them so
+        /// logical weights stay byte-identical with or without args.
+        args: Vec<(String, String)>,
     },
     End {
         name: String,
@@ -74,6 +78,7 @@ enum EventKind {
     },
     Instant {
         name: String,
+        args: Vec<(String, String)>,
     },
     Counter {
         name: String,
@@ -189,11 +194,22 @@ impl Tracer {
     }
 
     pub(crate) fn begin(&self, track: &[u64], name: &str, synthetic: bool) {
+        self.begin_args(track, name, synthetic, &[]);
+    }
+
+    pub(crate) fn begin_args(
+        &self,
+        track: &[u64],
+        name: &str,
+        synthetic: bool,
+        args: &[(&str, &str)],
+    ) {
         self.inner.lock().unwrap().record(
             track,
             EventKind::Begin {
                 name: name.to_string(),
                 synthetic,
+                args: own_args(args),
             },
         );
     }
@@ -208,11 +224,12 @@ impl Tracer {
         );
     }
 
-    pub(crate) fn instant_event(&self, track: &[u64], name: &str) {
+    pub(crate) fn instant_event_args(&self, track: &[u64], name: &str, args: &[(&str, &str)]) {
         self.inner.lock().unwrap().record(
             track,
             EventKind::Instant {
                 name: name.to_string(),
+                args: own_args(args),
             },
         );
     }
@@ -314,13 +331,18 @@ impl Tracer {
                 // them out of span statistics.
                 let cat = |synthetic: &bool| if *synthetic { "context" } else { "span" };
                 match &event.kind {
-                    EventKind::Begin { name, synthetic } => writeln!(
+                    EventKind::Begin {
+                        name,
+                        synthetic,
+                        args,
+                    } => writeln!(
                         out,
                         "    ,{{\"ph\": \"B\", \"pid\": 1, \"tid\": {tid}, \
                          \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"{}\", \"name\": {}, \
-                         \"args\": {{\"logical\": {logical}}}}}",
+                         \"args\": {{\"logical\": {logical}{}}}}}",
                         cat(synthetic),
-                        json_string(name)
+                        json_string(name),
+                        render_args(args)
                     )
                     .unwrap(),
                     EventKind::End { name, synthetic } => writeln!(
@@ -332,12 +354,13 @@ impl Tracer {
                         json_string(name)
                     )
                     .unwrap(),
-                    EventKind::Instant { name } => writeln!(
+                    EventKind::Instant { name, args } => writeln!(
                         out,
                         "    ,{{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, \"tid\": {tid}, \
                          \"ts\": {ts_us}.{ts_frac:03}, \"cat\": \"instant\", \"name\": {}, \
-                         \"args\": {{\"logical\": {logical}}}}}",
-                        json_string(name)
+                         \"args\": {{\"logical\": {logical}{}}}}}",
+                        json_string(name),
+                        render_args(args)
                     )
                     .unwrap(),
                     EventKind::Counter { name, delta } => {
@@ -394,7 +417,9 @@ impl Tracer {
                     prev_wall = Some(event.wall_ns);
                 }
                 match &event.kind {
-                    EventKind::Begin { name, synthetic } => {
+                    EventKind::Begin {
+                        name, synthetic, ..
+                    } => {
                         stack.push(name);
                         if base == TimeBase::Logical && !synthetic {
                             *weights.entry(stack.join(";")).or_insert(0) += 1;
@@ -403,7 +428,7 @@ impl Tracer {
                     EventKind::End { .. } => {
                         stack.pop();
                     }
-                    EventKind::Instant { name } | EventKind::Counter { name, .. } => {
+                    EventKind::Instant { name, .. } | EventKind::Counter { name, .. } => {
                         if base == TimeBase::Logical {
                             let key = if stack.is_empty() {
                                 name.clone()
@@ -426,6 +451,22 @@ impl Tracer {
     }
 }
 
+fn own_args(args: &[(&str, &str)]) -> Vec<(String, String)> {
+    args.iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Renders trace-event annotations as `, "key": "value"` JSON fragments
+/// appended after the `logical` arg, in the order they were recorded.
+fn render_args(args: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (key, value) in args {
+        write!(out, ", {}: {}", json_string(key), json_string(value)).unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,7 +475,7 @@ mod tests {
     fn ring_drops_oldest_and_counts() {
         let tracer = Tracer::with_capacity(3);
         for i in 0..5u64 {
-            tracer.instant_event(&[], &format!("e{i}"));
+            tracer.instant_event_args(&[], &format!("e{i}"), &[]);
         }
         assert_eq!(tracer.len(), 3);
         assert_eq!(tracer.dropped(), 2);
@@ -446,9 +487,9 @@ mod tests {
     #[test]
     fn logical_clock_is_per_track() {
         let tracer = Tracer::new();
-        tracer.instant_event(&[0], "a");
-        tracer.instant_event(&[1], "b");
-        tracer.instant_event(&[0], "c");
+        tracer.instant_event_args(&[0], "a", &[]);
+        tracer.instant_event_args(&[1], "b", &[]);
+        tracer.instant_event_args(&[0], "c", &[]);
         let state = tracer.inner.lock().unwrap();
         let clocks: Vec<u64> = state.tracks.iter().map(|t| t.clock).collect();
         assert_eq!(clocks, vec![2, 1]);
@@ -459,7 +500,7 @@ mod tests {
         let tracer = Tracer::new();
         tracer.begin(&[], "outer", false);
         tracer.begin(&[], "inner", false);
-        tracer.instant_event(&[], "tick");
+        tracer.instant_event_args(&[], "tick", &[]);
         tracer.end(&[], "inner", false);
         tracer.counter_sample(&[], "n", 3);
         tracer.end(&[], "outer", false);
@@ -499,7 +540,7 @@ mod tests {
     fn chrome_export_names_tracks_and_balances_pairs() {
         let tracer = Tracer::new();
         tracer.begin(&[], "root", false);
-        tracer.instant_event(&[3], "spark");
+        tracer.instant_event_args(&[3], "spark", &[]);
         tracer.label(&[3], "fig9");
         tracer.counter_sample(&[3], "n", 2);
         tracer.counter_sample(&[3], "n", 5);
@@ -511,6 +552,29 @@ mod tests {
         assert!(json.contains("\"value\": 7"), "running counter: {json}");
         assert_eq!(json.matches("\"ph\": \"B\"").count(), 1);
         assert_eq!(json.matches("\"ph\": \"E\"").count(), 1);
+    }
+
+    #[test]
+    fn args_render_in_chrome_but_not_in_collapsed() {
+        let with_args = Tracer::new();
+        with_args.begin_args(&[], "req", false, &[("route", "/app"), ("class", "stale")]);
+        with_args.instant_event_args(&[], "edge", &[("result", "hit")]);
+        with_args.end(&[], "req", false);
+
+        let without = Tracer::new();
+        without.begin(&[], "req", false);
+        without.instant_event_args(&[], "edge", &[]);
+        without.end(&[], "req", false);
+
+        let chrome = with_args.export_chrome();
+        assert!(chrome.contains("\"route\": \"/app\""), "{chrome}");
+        assert!(chrome.contains("\"class\": \"stale\""), "{chrome}");
+        assert!(chrome.contains("\"result\": \"hit\""), "{chrome}");
+        // Args never leak into the deterministic collapsed export.
+        assert_eq!(
+            with_args.export_collapsed(TimeBase::Logical),
+            without.export_collapsed(TimeBase::Logical)
+        );
     }
 
     #[test]

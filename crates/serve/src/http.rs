@@ -19,7 +19,13 @@
 //!   (`stale`, `deadline`, `panic`, ...);
 //! * `X-Source` — where a 200 came from (`edge`, `backing`);
 //! * `X-Virtual-Ms` — the deterministic virtual latency the request
-//!   was charged.
+//!   was charged;
+//! * `X-Trace-Id` — the request's cross-tier trace identity: both the
+//!   replay client and the server emit their timeline spans on the
+//!   track this id names, which is what stitches client → queue →
+//!   edge → backing into one Perfetto lane;
+//! * `X-Parent-Span` — the client-side span name the server's request
+//!   span records as its parent (an annotation, not control flow).
 
 use bytes::Bytes;
 use std::io::{self, BufRead, Write};

@@ -28,7 +28,17 @@
 //!   APP-CLUSTERING / ZIPF download traces at a configurable QPS over a
 //!   real socket, with jittered-backoff retries governed by an
 //!   [`appstore_core::backoff::RetryBudget`] so retries cannot amplify
-//!   overload.
+//!   overload;
+//! * **a live telemetry plane** ([`telemetry`]) — `GET /metrics`
+//!   (Prometheus text exposition of the installed registry),
+//!   `GET /healthz` (degradation-ladder state plus breaker ledgers),
+//!   and `GET /statusz` (queue depth, shed counters, virtual uptime)
+//!   served through the normal request path, so the server stays
+//!   scrapeable mid-replay;
+//! * **SLO burn-rate grading** ([`slo`]) — declarative availability and
+//!   p99 objectives evaluated over rolling virtual-time windows with
+//!   multi-window burn-rate alerting, so a chaos window trips a
+//!   fast-burn alert and provably recovers.
 //!
 //! The degradation ladder is always *fresh → stale → shed*: serve live
 //! data when the backing store is healthy, serve a stale edge copy when
@@ -49,13 +59,17 @@ pub mod http;
 pub mod queue;
 pub mod replay;
 pub mod server;
+pub mod slo;
+pub mod telemetry;
 
 pub use deadline::Deadline;
 pub use edge::{EdgeCache, RankingsView};
 pub use http::{HttpRequest, HttpResponse};
 pub use queue::{Admission, AdmissionPolicy, BoundedQueue};
 pub use replay::{replay, ReplayConfig, ReplayStats, Workload};
-pub use server::{with_server, ServeConfig, ServerHandle};
+pub use server::{with_server, ServeConfig, ServerHandle, TRACE_SAMPLE_EVERY};
+pub use slo::{SloMonitor, SloPolicy, SloSummary};
+pub use telemetry::{BreakerState, HealthState, StatusSnapshot};
 
 /// Fault-injection site: one roll per request at the handler boundary
 /// (worker panics, injected handler delays and I/O errors).

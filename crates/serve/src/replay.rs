@@ -20,10 +20,22 @@
 //! server sees its load *drop*, not multiply. `Retry-After` hints are
 //! honored by advancing the virtual clock past them, which is what
 //! lets a tripped breaker's probation actually expire mid-replay.
+//!
+//! The client is also the origin of the cross-tier trace: every
+//! request is stamped with `X-Trace-Id` (sequential from
+//! [`ReplayConfig::trace_base`]) and `X-Parent-Span`, and completed
+//! requests emit a client-side span on the same per-trace track the
+//! server annotates — so one trace id stitches client, queue, edge,
+//! and backing on a single timeline. With [`ReplayConfig::slo`] set,
+//! every completed request also feeds a [`SloMonitor`] grading
+//! availability and p99 objectives over rolling virtual-time windows.
 
 use crate::http::{read_response, HttpResponse};
+use crate::server::TRACE_SAMPLE_EVERY;
+use crate::slo::{SloMonitor, SloPolicy, SloSummary};
 use appstore_core::backoff::{BackoffSchedule, RetryBudget};
 use appstore_core::{DownloadEvent, Seed};
+use appstore_obs::{names, LogLinearHistogram};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
 
@@ -83,6 +95,13 @@ pub struct ReplayConfig {
     pub retry_budget_burst: u64,
     /// Seed for the jittered backoff schedule.
     pub seed: Seed,
+    /// Base for the `X-Trace-Id` stamped on each request (the id is
+    /// `trace_base + requests_sent`, so distinct replay phases get
+    /// disjoint id ranges on one shared timeline).
+    pub trace_base: u64,
+    /// Service-level objectives to grade this replay against (`None`
+    /// disables the monitor).
+    pub slo: Option<SloPolicy>,
 }
 
 impl ReplayConfig {
@@ -100,6 +119,8 @@ impl ReplayConfig {
             retry_budget_ratio: 0.1,
             retry_budget_burst: 50,
             seed,
+            trace_base: 0,
+            slo: None,
         }
     }
 }
@@ -153,6 +174,8 @@ pub struct ReplayStats {
     pub latencies_virtual_ms: Vec<u64>,
     /// Virtual clock value when the replay finished.
     pub final_clock_ms: u64,
+    /// SLO grading, when [`ReplayConfig::slo`] enabled the monitor.
+    pub slo: Option<SloSummary>,
 }
 
 impl ReplayStats {
@@ -171,14 +194,23 @@ impl ReplayStats {
         self.shed_503 + self.shed_504
     }
 
-    /// The p99 of the deterministic virtual latencies (0 when empty).
+    /// The p99 of the deterministic virtual latencies (0 when empty),
+    /// computed through the same log-linear histogram the server's
+    /// telemetry plane uses, so the client-side number and a scraped
+    /// `/metrics` quantile can never disagree about bucketing.
     pub fn p99_virtual_ms(&self) -> u64 {
-        if self.latencies_virtual_ms.is_empty() {
-            return 0;
+        self.latency_histogram().p99()
+    }
+
+    /// The deterministic virtual latencies folded into a log-linear
+    /// histogram (exact up to bucket resolution: values ≤ 64 exact,
+    /// above that within 1/32 of an octave).
+    pub fn latency_histogram(&self) -> LogLinearHistogram {
+        let mut hist = LogLinearHistogram::new();
+        for &latency in &self.latencies_virtual_ms {
+            hist.record(latency);
         }
-        let mut sorted = self.latencies_virtual_ms.clone();
-        sorted.sort_unstable();
-        sorted[(sorted.len() - 1) * 99 / 100]
+        hist
     }
 }
 
@@ -186,15 +218,25 @@ fn retryable(status: u16) -> bool {
     matches!(status, 429 | 500 | 502 | 503 | 504)
 }
 
-fn write_op(writer: &mut impl Write, op: Op, now_ms: u64, deadline_ms: u64) -> io::Result<()> {
-    let (target, client) = match op {
+fn op_target(op: Op) -> (String, u32) {
+    match op {
         Op::App { client, app } => (format!("/app?id={app}"), client),
         Op::Rankings => ("/rankings".to_string(), 0),
         Op::Download { app } => (format!("/download?app={app}"), 0),
-    };
+    }
+}
+
+fn write_op(
+    writer: &mut impl Write,
+    op: Op,
+    now_ms: u64,
+    deadline_ms: u64,
+    trace_id: u64,
+) -> io::Result<()> {
+    let (target, client) = op_target(op);
     write!(
         writer,
-        "GET {target} HTTP/1.1\r\nX-Client: {client}\r\nX-Now-Ms: {now_ms}\r\nX-Deadline-Ms: {deadline_ms}\r\n\r\n"
+        "GET {target} HTTP/1.1\r\nX-Client: {client}\r\nX-Now-Ms: {now_ms}\r\nX-Deadline-Ms: {deadline_ms}\r\nX-Trace-Id: {trace_id}\r\nX-Parent-Span: client-{trace_id}\r\n\r\n"
     )
 }
 
@@ -233,6 +275,44 @@ fn record(stats: &mut ReplayStats, op: Op, response: &HttpResponse) {
     }
 }
 
+/// Feeds one completed request into the SLO monitor (if enabled), on
+/// the virtual clock the request was stamped with.
+fn observe_slo(monitor: &mut Option<SloMonitor>, sent_ms: u64, response: &HttpResponse) {
+    if let Some(monitor) = monitor {
+        monitor.observe(
+            sent_ms,
+            response.status,
+            response.header_u64("x-virtual-ms").unwrap_or(0),
+        );
+    }
+}
+
+/// Emits the client-side leg of the cross-tier trace: a
+/// [`names::SPAN_SERVE_CLIENT`] frame on the track named by the trace
+/// id, using the same deterministic gate as the server (sampled id, or
+/// anything degraded/erroring), so client and server legs always
+/// stitch for the same requests.
+fn trace_client(op: Op, trace_id: u64, sent_ms: u64, response: &HttpResponse) {
+    let degraded = response.header("x-degraded");
+    if !trace_id.is_multiple_of(TRACE_SAMPLE_EVERY) && response.status < 500 && degraded.is_none() {
+        return;
+    }
+    let (target, _) = op_target(op);
+    appstore_obs::with_track(trace_id, || {
+        appstore_obs::span_args(
+            names::SPAN_SERVE_CLIENT,
+            &[
+                ("trace_id", &trace_id.to_string()),
+                ("target", &target),
+                ("status", &response.status.to_string()),
+                ("degraded", degraded.unwrap_or("")),
+                ("now_ms", &sent_ms.to_string()),
+            ],
+            || {},
+        );
+    });
+}
+
 /// Replays `workload` against the server at `addr`, returning
 /// client-side statistics. Deterministic for a fixed workload, config,
 /// and server state: the virtual clock, retry schedule, and request
@@ -262,6 +342,7 @@ pub fn replay(
     let schedule = BackoffSchedule::new(config.backoff_base_ms, config.seed.child("backoff"));
     let mut budget = RetryBudget::new(config.retry_budget_ratio, config.retry_budget_burst);
     let mut stats = ReplayStats::default();
+    let mut monitor = config.slo.clone().map(SloMonitor::new);
     let mut clock_ms = 0u64;
 
     for batch in ops.chunks(config.batch.max(1)) {
@@ -270,18 +351,21 @@ pub fn replay(
         for &op in batch {
             clock_ms += step_ms;
             budget.deposit();
-            write_op(&mut writer, op, clock_ms, config.deadline_ms)?;
+            let trace_id = config.trace_base + stats.requests_sent;
+            write_op(&mut writer, op, clock_ms, config.deadline_ms, trace_id)?;
             stats.requests_sent += 1;
-            pending.push(op);
+            pending.push((op, clock_ms, trace_id));
         }
         writer.flush()?;
         // Read the batch back in order; queue failures for retry only
         // after the batch is fully drained (a mid-batch resend would
         // interleave with responses still in flight).
         let mut retry_queue = Vec::new();
-        for op in pending {
+        for (op, sent_ms, trace_id) in pending {
             let response = read_response(&mut reader)?;
             record(&mut stats, op, &response);
+            observe_slo(&mut monitor, sent_ms, &response);
+            trace_client(op, trace_id, sent_ms, &response);
             if retryable(response.status) {
                 retry_queue.push((op, response));
             }
@@ -299,12 +383,15 @@ pub fn replay(
                 clock_ms = clock_ms
                     .saturating_add(hinted)
                     .saturating_add(schedule.delay_ms(attempt));
-                write_op(&mut writer, op, clock_ms, config.deadline_ms)?;
+                let trace_id = config.trace_base + stats.requests_sent;
+                write_op(&mut writer, op, clock_ms, config.deadline_ms, trace_id)?;
                 writer.flush()?;
                 stats.requests_sent += 1;
                 stats.retries += 1;
                 response = read_response(&mut reader)?;
                 record(&mut stats, op, &response);
+                observe_slo(&mut monitor, clock_ms, &response);
+                trace_client(op, trace_id, clock_ms, &response);
                 attempt += 1;
             }
             if retryable(response.status) {
@@ -313,6 +400,7 @@ pub fn replay(
         }
     }
     stats.final_clock_ms = clock_ms;
+    stats.slo = monitor.map(SloMonitor::finish);
     Ok(stats)
 }
 
@@ -470,6 +558,38 @@ mod tests {
         assert_eq!(stats.app_ok, 4, "all four app pages served in the end");
         assert_eq!(stats.exhausted, 0);
         assert_eq!(stats.requests_sent, 5);
+    }
+
+    #[test]
+    fn slo_monitor_grades_a_clean_replay_without_alerts() {
+        let dataset = test_dataset(16);
+        let events: Vec<(u32, u32)> = (0..30).map(|i| (i, i % 4)).collect();
+        let workload = Workload::from_trace("clean", &trace(&events));
+        let mut config = ReplayConfig::new(Seed::new(12));
+        config.slo = Some(SloPolicy::replay_default());
+        let stats = with_server(&dataset, &serve_config(), |handle| {
+            replay(handle.addr(), &workload, &config).unwrap()
+        });
+        let slo = stats.slo.expect("monitor enabled");
+        assert_eq!(slo.errors, 0);
+        assert_eq!(slo.fast_burn_fired, 0);
+        assert_eq!(slo.slow_burn_fired, 0);
+        assert_eq!(slo.availability_ppm, 1_000_000);
+        assert_eq!(slo.good, stats.requests_sent);
+    }
+
+    #[test]
+    fn p99_comes_from_the_log_linear_histogram() {
+        let stats = ReplayStats {
+            latencies_virtual_ms: (0..100).map(|i| if i < 99 { 5 } else { 81 }).collect(),
+            ..ReplayStats::default()
+        };
+        // Rank ceil(0.99 * 100) = 99 lands on the last of the 5 ms
+        // observations; both 5 and 81 are exactly representable.
+        assert_eq!(stats.p99_virtual_ms(), 5);
+        let hist = stats.latency_histogram();
+        assert_eq!(hist.count(), 100);
+        assert_eq!(hist.max(), 81);
     }
 
     #[test]

@@ -21,11 +21,27 @@
 //! [`crate::SITE_SERVE_HANDLER`] (per request) and
 //! [`crate::SITE_SERVE_BACKING`] (per backing call), both keyed by
 //! sequential indices so chaos schedules replay deterministically.
+//!
+//! The server is also its own telemetry plane. Three reserved routes —
+//! `/metrics` (Prometheus text exposition of the installed registry),
+//! `/healthz` (degradation-ladder state plus breaker ledgers), and
+//! `/statusz` (queue depth, shed counters, virtual uptime) — are served
+//! through the normal request path (see [`crate::telemetry`]), so they
+//! stay scrapeable mid-replay and their latencies land in the same
+//! histograms as product traffic. Requests carrying an `X-Trace-Id`
+//! header are stitched into the cross-tier trace: sampled (and every
+//! degraded or erroring) requests emit a [`names::SPAN_SERVE_REQUEST`]
+//! span on the track named by the trace id, annotated with per-stage
+//! instants (queue admission, edge cache, backing fetch, deadline
+//! burn). A bounded [`FlightRecorder`] keeps the recent degraded/error
+//! history and dumps it to `ServeConfig::flight_dump` when a handler
+//! panic is caught.
 
 use crate::deadline::Deadline;
 use crate::edge::{EdgeCache, RankingsView};
 use crate::http::{read_request, HttpRequest, HttpResponse};
 use crate::queue::{AdmissionPolicy, BoundedQueue};
+use crate::telemetry::{self, BreakerState, HealthState, StatusSnapshot};
 use crate::{SITE_SERVE_BACKING, SITE_SERVE_HANDLER};
 use appstore_core::faults::{self, FaultKind};
 use appstore_core::{Dataset, Day, Seed};
@@ -33,11 +49,12 @@ use appstore_crawler::wire::encode_response;
 use appstore_crawler::{
     MarketplaceServer, Proxy, ProxyPool, Region, Request, Response, ServerPolicy, WireError,
 };
-use appstore_obs::names;
+use appstore_obs::{names, FlightRecorder, Registry};
 use bytes::Bytes;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
@@ -46,6 +63,12 @@ use std::time::Instant;
 /// (kept away from real client ids so the refresher has its own token
 /// bucket at the backing store).
 pub const EDGE_CLIENT_ADDR: u32 = u32::MAX;
+
+/// One in this many `X-Trace-Id`-carrying requests emits a full
+/// request-path span even when nothing went wrong; degraded and
+/// erroring requests always emit. Sampling keys off the trace id, not
+/// the arrival order, so the traced set is thread-count invariant.
+pub const TRACE_SAMPLE_EVERY: u64 = 500;
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +94,9 @@ pub struct ServeConfig {
     pub day: Day,
     /// Backing-store policy (per-client token buckets, latency).
     pub backing: ServerPolicy,
+    /// Where to dump the flight recorder when a handler panic is
+    /// caught (`None` disables the dump, not the recorder).
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -92,6 +118,7 @@ impl ServeConfig {
                 burst: 4_000,
                 ..ServerPolicy::default()
             },
+            flight_dump: None,
         }
     }
 }
@@ -101,6 +128,7 @@ impl ServeConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     panics_caught: Arc<AtomicU64>,
+    flight: FlightRecorder,
 }
 
 impl ServerHandle {
@@ -112,6 +140,11 @@ impl ServerHandle {
     /// Handler panics caught at the worker boundary so far.
     pub fn panics_caught(&self) -> u64 {
         self.panics_caught.load(Ordering::SeqCst)
+    }
+
+    /// The server's flight recorder (recent degraded/error events).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 }
 
@@ -145,10 +178,23 @@ struct Shared<'a> {
     request_index: AtomicU64,
     fallback_clock_ms: AtomicU64,
     panics_caught: Arc<AtomicU64>,
+    /// The accept queue, shared so `/statusz` can report its depth.
+    queue: Arc<BoundedQueue<TcpStream>>,
+    /// The registry installed when the server started, so `/metrics`
+    /// and `/statusz` can render it from any worker thread.
+    registry: Option<Registry>,
+    /// Highest `X-Now-Ms` any request has carried: the virtual uptime.
+    last_now_ms: AtomicU64,
+    /// Recent degraded/error events, dumped on a caught panic.
+    flight: FlightRecorder,
 }
 
 impl<'a> Shared<'a> {
-    fn new(dataset: &'a Dataset, config: ServeConfig) -> Shared<'a> {
+    fn new(
+        dataset: &'a Dataset,
+        config: ServeConfig,
+        queue: Arc<BoundedQueue<TcpStream>>,
+    ) -> Shared<'a> {
         let mut edge = EdgeCache::new(config.cache_capacity, config.rankings_ttl_ms);
         // Warm start (the paper's §5 setup): the most popular apps —
         // app id == popularity rank — are already at the edge.
@@ -178,8 +224,29 @@ impl<'a> Shared<'a> {
             request_index: AtomicU64::new(0),
             fallback_clock_ms: AtomicU64::new(0),
             panics_caught: Arc::new(AtomicU64::new(0)),
+            queue,
+            registry: appstore_obs::current_registry(),
+            last_now_ms: AtomicU64::new(0),
+            flight: FlightRecorder::default(),
         }
     }
+}
+
+/// What a traced request saw at each tier, gathered while handling and
+/// rendered post-hoc as span args and stage instants. Everything here
+/// is diagnostic annotation — it never feeds a resilience decision.
+#[derive(Debug, Default)]
+struct TraceNotes {
+    /// Accept-queue depth when the handler picked the request up.
+    queue_depth: u64,
+    /// Edge-cache verdict (`hit` / `miss` / `fresh` / `stale` / `missing`).
+    edge: Option<&'static str>,
+    /// Backing-fetch verdict (`ok` / `open` / `failed` / ...).
+    backing: Option<&'static str>,
+    /// Deadline budget the request carried (virtual ms).
+    deadline_budget_ms: u64,
+    /// Virtual ms the request actually burned.
+    deadline_burned_ms: u64,
 }
 
 /// Why a backing fetch did not produce a payload.
@@ -206,6 +273,7 @@ fn call_backing(
     now_ms: u64,
     index: u64,
     deadline: &mut Deadline,
+    notes: &mut TraceNotes,
     request: Request,
 ) -> Result<Bytes, BackingError> {
     let mut breaker = lock(&shared.breaker);
@@ -214,10 +282,12 @@ fn call_backing(
             .acquire(now_ms, None)
             .map(|(_, at)| at)
             .unwrap_or(now_ms);
+        notes.backing = Some("open");
         return Err(BackingError::Open { retry_at_ms });
     }
     // Deadline propagation: don't start a fetch the budget can't cover.
     if !deadline.covers(shared.config.backing.latency_ms) {
+        notes.backing = Some("deadline");
         return Err(BackingError::Deadline);
     }
     appstore_obs::counter(names::SERVE_BACKING_CALLS, 1);
@@ -225,6 +295,7 @@ fn call_backing(
         Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
             appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
             breaker.record_failure(shared.backing_proxy, now_ms);
+            notes.backing = Some("failed");
             return Err(BackingError::Failed);
         }
         // An injected slowdown: charge it; past the deadline the fetch
@@ -233,6 +304,7 @@ fn call_backing(
         Some(FaultKind::Delay { virtual_ms }) if !deadline.charge(virtual_ms) => {
             appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
             breaker.record_failure(shared.backing_proxy, now_ms);
+            notes.backing = Some("deadline");
             return Err(BackingError::Deadline);
         }
         Some(FaultKind::WorkerPanic) => panic!("injected panic in backing call"),
@@ -245,17 +317,26 @@ fn call_backing(
         Ok((payload, latency_ms)) => {
             deadline.charge(latency_ms);
             breaker.record_success(shared.backing_proxy);
+            notes.backing = Some("ok");
             Ok(payload)
         }
         Err(WireError::RateLimited { retry_after_ms }) => {
             appstore_obs::counter(names::SERVE_RATE_LIMITED, 1);
+            notes.backing = Some("rate-limited");
             Err(BackingError::RateLimited { retry_after_ms })
         }
-        Err(WireError::Blacklisted) => Err(BackingError::Blacklisted),
-        Err(WireError::NotFound) => Err(BackingError::NotFound),
+        Err(WireError::Blacklisted) => {
+            notes.backing = Some("blacklisted");
+            Err(BackingError::Blacklisted)
+        }
+        Err(WireError::NotFound) => {
+            notes.backing = Some("not-found");
+            Err(BackingError::NotFound)
+        }
         Err(_) => {
             appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
             breaker.record_failure(shared.backing_proxy, now_ms);
+            notes.backing = Some("failed");
             Err(BackingError::Failed)
         }
     }
@@ -268,8 +349,19 @@ fn shed(status: u16, reason: &str, retry_after_ms: u64) -> HttpResponse {
         .with_header("X-Retry-After-Ms", retry_after_ms.max(1))
 }
 
-fn rankings(shared: &Shared<'_>, now_ms: u64, index: u64, deadline: &mut Deadline) -> HttpResponse {
+fn rankings(
+    shared: &Shared<'_>,
+    now_ms: u64,
+    index: u64,
+    deadline: &mut Deadline,
+    notes: &mut TraceNotes,
+) -> HttpResponse {
     let view = lock(&shared.edge).rankings(now_ms);
+    notes.edge = Some(match &view {
+        RankingsView::Fresh(_) => "fresh",
+        RankingsView::Stale(_) => "stale",
+        RankingsView::Missing => "missing",
+    });
     if let RankingsView::Fresh(payload) = view {
         appstore_obs::counter(names::SERVE_RANKINGS_FRESH, 1);
         return HttpResponse::new(200)
@@ -284,6 +376,7 @@ fn rankings(shared: &Shared<'_>, now_ms: u64, index: u64, deadline: &mut Deadlin
         now_ms,
         index,
         deadline,
+        notes,
         Request::Index { day },
     ) {
         Ok(payload) => {
@@ -330,16 +423,19 @@ fn app_page(
     now_ms: u64,
     index: u64,
     deadline: &mut Deadline,
+    notes: &mut TraceNotes,
 ) -> HttpResponse {
     let Some(app) = request.query_u64("id") else {
         return HttpResponse::new(400);
     };
     let app = app as u32;
     if let Some(payload) = lock(&shared.edge).lookup_app(app) {
+        notes.edge = Some("hit");
         return HttpResponse::new(200)
             .with_header("X-Source", "edge")
             .with_body(payload);
     }
+    notes.edge = Some("miss");
     let day = shared.config.day;
     match call_backing(
         shared,
@@ -347,6 +443,7 @@ fn app_page(
         now_ms,
         index,
         deadline,
+        notes,
         Request::AppPage {
             app: appstore_core::AppId(app),
             day,
@@ -405,43 +502,198 @@ fn handle_request(
     request: &HttpRequest,
     index: u64,
     now_ms: u64,
+    notes: &mut TraceNotes,
 ) -> HttpResponse {
     let budget = request
         .header_u64("x-deadline-ms")
         .unwrap_or(shared.config.deadline_ms);
     let mut deadline = Deadline::new(budget);
+    notes.deadline_budget_ms = budget;
+    let response = route_request(shared, request, index, now_ms, &mut deadline, notes);
+    notes.deadline_burned_ms = deadline.charged_ms();
+    finalize(response, &deadline)
+}
+
+/// The routing body of [`handle_request`], separated so the deadline
+/// is charged and stamped (and the trace notes closed out) in exactly
+/// one place regardless of which arm produced the response.
+fn route_request(
+    shared: &Shared<'_>,
+    request: &HttpRequest,
+    index: u64,
+    now_ms: u64,
+    deadline: &mut Deadline,
+    notes: &mut TraceNotes,
+) -> HttpResponse {
     match faults::roll(SITE_SERVE_HANDLER, index, 0) {
         Some(FaultKind::WorkerPanic) => panic!("injected worker panic in handler"),
         Some(FaultKind::Delay { virtual_ms }) => {
             deadline.charge(virtual_ms);
         }
         Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
-            let response = HttpResponse::new(500).with_header("X-Degraded", "io-error");
-            return finalize(response, &deadline);
+            return HttpResponse::new(500).with_header("X-Degraded", "io-error");
         }
         None => {}
     }
     deadline.charge(shared.config.handler_cost_ms);
     if deadline.exceeded() {
         appstore_obs::counter(names::SERVE_SHEDS_DEADLINE, 1);
-        return finalize(shed(504, "deadline", 1_000), &deadline);
+        return shed(504, "deadline", 1_000);
     }
     if request.method != "GET" {
-        return finalize(HttpResponse::new(400), &deadline);
+        return HttpResponse::new(400);
     }
     let client = request.header_u64("x-client").unwrap_or(0) as u32;
-    let response = match request.path.as_str() {
-        "/rankings" => rankings(shared, now_ms, index, &mut deadline),
-        "/app" => app_page(shared, request, client, now_ms, index, &mut deadline),
-        "/download" => download(shared, request, &mut deadline),
+    match request.path.as_str() {
+        "/rankings" => rankings(shared, now_ms, index, deadline, notes),
+        "/app" => app_page(shared, request, client, now_ms, index, deadline, notes),
+        "/download" => download(shared, request, deadline),
+        path if telemetry::is_telemetry_path(path) => telemetry_route(shared, path, now_ms),
         _ => HttpResponse::new(404),
+    }
+}
+
+/// Serves the three reserved telemetry routes. Scrapes ride the normal
+/// request path (queue, deadline, histograms); only the response body
+/// construction differs.
+fn telemetry_route(shared: &Shared<'_>, path: &str, now_ms: u64) -> HttpResponse {
+    appstore_obs::counter(names::SERVE_TELEMETRY_SCRAPES, 1);
+    match path {
+        "/metrics" => telemetry::metrics_response(shared.registry.as_ref()),
+        "/healthz" => healthz(shared, now_ms),
+        "/statusz" => telemetry::statusz_response(&status_snapshot(shared)),
+        _ => HttpResponse::new(404),
+    }
+}
+
+/// Samples the degradation ladder and breaker ledgers for `/healthz`.
+fn healthz(shared: &Shared<'_>, now_ms: u64) -> HttpResponse {
+    let breaker = lock(&shared.breaker);
+    let open = breaker.is_quarantined(shared.backing_proxy, now_ms);
+    let breakers: Vec<BreakerState> = breaker
+        .health()
+        .iter()
+        .map(|h| BreakerState {
+            name: format!("backing-{}", h.proxy.addr),
+            open: breaker.is_quarantined(h.proxy, now_ms),
+            successes: h.successes,
+            failures: h.failures,
+            quarantines: h.quarantines,
+            banned: h.banned,
+        })
+        .collect();
+    drop(breaker);
+    let state = if open {
+        HealthState::Shedding
+    } else {
+        // Missing counts as fresh: with a closed breaker the backing
+        // store can repopulate the edge on the next product request.
+        match lock(&shared.edge).rankings(now_ms) {
+            RankingsView::Stale(_) => HealthState::Stale,
+            _ => HealthState::Fresh,
+        }
     };
-    finalize(response, &deadline)
+    telemetry::healthz_response(state, &breakers)
+}
+
+/// Samples the queue/shed/uptime counters for `/statusz`.
+fn status_snapshot(shared: &Shared<'_>) -> StatusSnapshot {
+    let counter = |name: &str| {
+        shared
+            .registry
+            .as_ref()
+            .map(|r| r.counter_value(name))
+            .unwrap_or(0)
+    };
+    StatusSnapshot {
+        queue_depth: shared.queue.len() as u64,
+        requests: shared.request_index.load(Ordering::SeqCst),
+        uptime_virtual_ms: shared.last_now_ms.load(Ordering::SeqCst),
+        sheds_queue: counter(names::SERVE_SHEDS_QUEUE),
+        sheds_deadline: counter(names::SERVE_SHEDS_DEADLINE),
+        sheds_breaker: counter(names::SERVE_SHEDS_BREAKER),
+        panics_caught: shared.panics_caught.load(Ordering::SeqCst),
+    }
 }
 
 /// Stamps the deterministic virtual latency onto a response.
 fn finalize(response: HttpResponse, deadline: &Deadline) -> HttpResponse {
     response.with_header("X-Virtual-Ms", deadline.charged_ms())
+}
+
+/// The per-route latency histogram a path lands in.
+fn route_metric(path: &str) -> &'static str {
+    match path {
+        "/rankings" => names::SERVE_LATENCY_ROUTE_RANKINGS,
+        "/app" => names::SERVE_LATENCY_ROUTE_APP,
+        "/download" => names::SERVE_LATENCY_ROUTE_DOWNLOAD,
+        path if telemetry::is_telemetry_path(path) => names::SERVE_LATENCY_ROUTE_TELEMETRY,
+        _ => names::SERVE_LATENCY_ROUTE_OTHER,
+    }
+}
+
+/// The degradation class of a finished response: which latency
+/// histogram it lands in, and the `class` arg on its trace span.
+fn degradation_class(status: u16, degraded: Option<&str>) -> (&'static str, &'static str) {
+    match (status, degraded) {
+        (503 | 504 | 429, _) => (names::SERVE_LATENCY_CLASS_SHED, "shed"),
+        (500 | 502, _) => (names::SERVE_LATENCY_CLASS_ERROR, "error"),
+        (200, Some(_)) => (names::SERVE_LATENCY_CLASS_STALE, "stale"),
+        _ => (names::SERVE_LATENCY_CLASS_FRESH, "fresh"),
+    }
+}
+
+/// Emits the cross-tier request span for a traced request: one
+/// [`names::SPAN_SERVE_REQUEST`] frame on the track named by the trace
+/// id, with per-stage instants (queue admission, edge cache, backing
+/// fetch, deadline burn) nested inside it. Runs after the response is
+/// built, so a handler panic can never lose the trace machinery.
+fn trace_request(
+    request: &HttpRequest,
+    trace_id: u64,
+    status: u16,
+    class: &str,
+    now_ms: u64,
+    notes: &TraceNotes,
+) {
+    appstore_obs::with_track(trace_id, || {
+        appstore_obs::span_args(
+            names::SPAN_SERVE_REQUEST,
+            &[
+                ("trace_id", &trace_id.to_string()),
+                ("parent_span", request.header("x-parent-span").unwrap_or("")),
+                ("route", &request.path),
+                ("status", &status.to_string()),
+                ("class", class),
+                ("now_ms", &now_ms.to_string()),
+            ],
+            || {
+                appstore_obs::instant_args(
+                    names::INSTANT_SERVE_STAGE_QUEUE,
+                    &[("depth", &notes.queue_depth.to_string())],
+                );
+                if let Some(edge) = notes.edge {
+                    appstore_obs::instant_args(
+                        names::INSTANT_SERVE_STAGE_EDGE,
+                        &[("verdict", edge)],
+                    );
+                }
+                if let Some(backing) = notes.backing {
+                    appstore_obs::instant_args(
+                        names::INSTANT_SERVE_STAGE_BACKING,
+                        &[("verdict", backing)],
+                    );
+                }
+                appstore_obs::instant_args(
+                    names::INSTANT_SERVE_STAGE_DEADLINE,
+                    &[
+                        ("burned_ms", &notes.deadline_burned_ms.to_string()),
+                        ("budget_ms", &notes.deadline_budget_ms.to_string()),
+                    ],
+                );
+            },
+        );
+    });
 }
 
 /// Panic-isolated request dispatch plus response classification.
@@ -452,30 +704,78 @@ fn guarded_handle(shared: &Shared<'_>, request: &HttpRequest) -> HttpResponse {
     let now_ms = request
         .header_u64("x-now-ms")
         .unwrap_or_else(|| shared.fallback_clock_ms.fetch_add(1, Ordering::SeqCst));
-    let response = catch_unwind(AssertUnwindSafe(|| {
-        handle_request(shared, request, index, now_ms)
-    }))
-    .unwrap_or_else(|_| {
-        shared.panics_caught.fetch_add(1, Ordering::SeqCst);
-        appstore_obs::counter(names::SERVE_PANICS_CAUGHT, 1);
-        HttpResponse::new(500)
-            .with_header("X-Degraded", "panic")
-            .with_header("X-Virtual-Ms", 0u64)
-    });
-    match (response.status, response.header("x-degraded")) {
+    shared.last_now_ms.fetch_max(now_ms, Ordering::SeqCst);
+    let queue_depth = shared.queue.len() as u64;
+    let handled = catch_unwind(AssertUnwindSafe(|| {
+        let mut notes = TraceNotes {
+            queue_depth,
+            ..TraceNotes::default()
+        };
+        let response = handle_request(shared, request, index, now_ms, &mut notes);
+        (response, notes)
+    }));
+    let (response, notes, panicked) = match handled {
+        Ok((response, notes)) => (response, notes, false),
+        Err(_) => {
+            shared.panics_caught.fetch_add(1, Ordering::SeqCst);
+            appstore_obs::counter(names::SERVE_PANICS_CAUGHT, 1);
+            let response = HttpResponse::new(500)
+                .with_header("X-Degraded", "panic")
+                .with_header("X-Virtual-Ms", 0u64);
+            let notes = TraceNotes {
+                queue_depth,
+                ..TraceNotes::default()
+            };
+            (response, notes, true)
+        }
+    };
+    let degraded = response.header("x-degraded");
+    match (response.status, degraded) {
         (200, None) => appstore_obs::counter(names::SERVE_RESPONSES_FRESH, 1),
         (200, Some(_)) => appstore_obs::counter(names::SERVE_RESPONSES_STALE, 1),
         (503 | 504, _) => appstore_obs::counter(names::SERVE_RESPONSES_SHED, 1),
         _ => {}
     }
-    appstore_obs::observe(
-        names::SERVE_LATENCY_VIRTUAL_MS,
-        response.header_u64("x-virtual-ms").unwrap_or(0),
-    );
+    let virtual_ms = response.header_u64("x-virtual-ms").unwrap_or(0);
+    let (class_metric, class) = degradation_class(response.status, degraded);
+    appstore_obs::observe(names::SERVE_LATENCY_VIRTUAL_MS, virtual_ms);
+    appstore_obs::observe_hdr(route_metric(&request.path), virtual_ms);
+    appstore_obs::observe_hdr(class_metric, virtual_ms);
     appstore_obs::observe_volatile(
         names::SERVE_LATENCY_REAL_US,
         started.elapsed().as_micros() as u64,
     );
+    // Flight recorder: every degraded/error response leaves a breadcrumb
+    // in the bounded ring; a caught panic additionally dumps the ring.
+    if response.status >= 400 || degraded.is_some() {
+        shared.flight.record(
+            if panicked { "panic" } else { "request" },
+            &[
+                ("index", index.to_string()),
+                ("route", request.path.clone()),
+                ("status", response.status.to_string()),
+                ("degraded", degraded.unwrap_or("").to_string()),
+                ("now_ms", now_ms.to_string()),
+            ],
+        );
+    }
+    if panicked {
+        if let Some(path) = &shared.config.flight_dump {
+            let _ = shared.flight.dump_to_file(path);
+        }
+    }
+    // Cross-tier tracing: requests carrying X-Trace-Id emit the full
+    // request-path span when sampled or when anything went wrong. The
+    // gate depends only on the trace id and the response, never on
+    // timing, so the traced set is identical across thread counts.
+    if let Some(trace_id) = request.header_u64("x-trace-id") {
+        if trace_id.is_multiple_of(TRACE_SAMPLE_EVERY)
+            || response.status >= 500
+            || degraded.is_some()
+        {
+            trace_request(request, trace_id, response.status, class, now_ms, &notes);
+        }
+    }
     response
 }
 
@@ -515,16 +815,17 @@ pub fn with_server<R>(
     config: &ServeConfig,
     f: impl FnOnce(&ServerHandle) -> R,
 ) -> R {
-    let shared = Shared::new(dataset, config.clone());
+    let queue: Arc<BoundedQueue<TcpStream>> = Arc::new(BoundedQueue::new(config.admission.clone()));
+    let shared = Shared::new(dataset, config.clone(), Arc::clone(&queue));
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
-    let queue: BoundedQueue<TcpStream> = BoundedQueue::new(config.admission.clone());
     let stop = AtomicBool::new(false);
     let obs_context = appstore_obs::capture();
     let injector = faults::capture();
     let handle = ServerHandle {
         addr,
         panics_caught: Arc::clone(&shared.panics_caught),
+        flight: shared.flight.clone(),
     };
 
     std::thread::scope(|scope| {
@@ -715,5 +1016,133 @@ mod tests {
             assert!(body.contains("\"app\": 3"), "{body}");
             assert_eq!(get(handle.addr(), "/download?app=99", 1).status, 404);
         });
+    }
+
+    fn body_string(response: &HttpResponse) -> String {
+        String::from_utf8(response.body.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn telemetry_endpoints_scrape_over_the_socket() {
+        let dataset = test_dataset(16);
+        let registry = Registry::new();
+        appstore_obs::with_registry(&registry, || {
+            with_server(&dataset, &test_config(), |handle| {
+                assert_eq!(get(handle.addr(), "/app?id=1", 100).status, 200);
+                let metrics = get(handle.addr(), "/metrics", 200);
+                assert_eq!(metrics.status, 200);
+                assert_eq!(
+                    metrics.header("content-type"),
+                    Some(telemetry::METRICS_CONTENT_TYPE)
+                );
+                let body = body_string(&metrics);
+                assert!(body.contains("# TYPE serve_requests counter"), "{body}");
+                assert!(body.contains("serve_latency_route_app_bucket"), "{body}");
+                let health = get(handle.addr(), "/healthz", 300);
+                assert_eq!(health.status, 200);
+                let body = body_string(&health);
+                assert!(body.contains("\"state\": \"fresh\""), "{body}");
+                assert!(body.contains("\"name\": \"backing-0\""), "{body}");
+                let status = get(handle.addr(), "/statusz", 400);
+                assert_eq!(status.status, 200);
+                let body = body_string(&status);
+                assert!(body.contains("\"uptime_virtual_ms\": 400"), "{body}");
+                assert!(body.contains("\"queue_depth\""), "{body}");
+            });
+        });
+        // The scrapes themselves landed in the telemetry histograms.
+        assert_eq!(registry.counter_value(names::SERVE_TELEMETRY_SCRAPES), 3);
+    }
+
+    #[test]
+    fn healthz_reports_shedding_while_the_breaker_is_open() {
+        let dataset = test_dataset(16);
+        // Three straight backing failures trip the breaker.
+        let plan = FaultPlan::seeded(8)
+            .rule(
+                SITE_SERVE_BACKING,
+                FaultKind::IoError,
+                FaultTrigger::AtIndex(0),
+            )
+            .rule(
+                SITE_SERVE_BACKING,
+                FaultKind::IoError,
+                FaultTrigger::AtIndex(1),
+            )
+            .rule(
+                SITE_SERVE_BACKING,
+                FaultKind::IoError,
+                FaultTrigger::AtIndex(2),
+            );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            with_server(&dataset, &test_config(), |handle| {
+                for i in 0..3 {
+                    let response = get(handle.addr(), &format!("/app?id={}", 20 + i), i);
+                    assert_ne!(response.status, 200);
+                }
+                let health = get(handle.addr(), "/healthz", 10);
+                let body = body_string(&health);
+                assert!(body.contains("\"state\": \"shedding\""), "{body}");
+                assert!(body.contains("\"open\": true"), "{body}");
+            });
+        });
+    }
+
+    #[test]
+    fn caught_panic_dumps_the_flight_recorder() {
+        let dataset = test_dataset(16);
+        let dir = std::env::temp_dir().join(format!("serve-flight-test-{}", std::process::id()));
+        let path = dir.join("flight.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::seeded(9).rule(
+            SITE_SERVE_HANDLER,
+            FaultKind::WorkerPanic,
+            FaultTrigger::AtIndex(1),
+        );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            let config = ServeConfig {
+                flight_dump: Some(path.clone()),
+                ..test_config()
+            };
+            with_server(&dataset, &config, |handle| {
+                assert_eq!(get(handle.addr(), "/app?id=1", 0).status, 200);
+                assert_eq!(get(handle.addr(), "/app?id=2", 1).status, 500);
+                assert!(!handle.flight().is_empty());
+            });
+        });
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(dump.contains("\"flight_recorder\""), "{dump}");
+        assert!(dump.contains("\"kind\": \"panic\""), "{dump}");
+        assert!(dump.contains("\"route\": \"/app\""), "{dump}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_requests_record_the_request_span_path() {
+        let dataset = test_dataset(16);
+        let registry = Registry::new();
+        appstore_obs::with_registry(&registry, || {
+            with_server(&dataset, &test_config(), |handle| {
+                // Trace id 0 samples (0 % TRACE_SAMPLE_EVERY == 0);
+                // trace id 1 does not, and the request succeeds.
+                for trace_id in [0u64, 1] {
+                    let stream = TcpStream::connect(handle.addr()).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = BufWriter::new(stream);
+                    write!(
+                        writer,
+                        "GET /app?id=1 HTTP/1.1\r\nX-Client: 1\r\nX-Now-Ms: {trace_id}\r\n\
+                         X-Trace-Id: {trace_id}\r\nX-Parent-Span: client-{trace_id}\r\n\r\n"
+                    )
+                    .unwrap();
+                    writer.flush().unwrap();
+                    assert_eq!(read_response(&mut reader).unwrap().status, 200);
+                }
+            });
+        });
+        let exposition = registry.render_prometheus(false);
+        assert!(exposition.contains("serve_request_calls 1"), "{exposition}");
     }
 }

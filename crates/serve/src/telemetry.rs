@@ -1,0 +1,251 @@
+//! The live telemetry plane: `/metrics`, `/healthz`, and `/statusz`
+//! response builders.
+//!
+//! These are pure functions from observed server state to
+//! [`HttpResponse`]s, so they unit-test without sockets; the server
+//! routes the three reserved paths here from its normal request path,
+//! which means scrapes flow through the same admission queue, deadline
+//! accounting, and latency histograms as product traffic — a scrape
+//! that can't get in *is* a signal.
+//!
+//! * `GET /metrics` — the installed [`Registry`] in Prometheus text
+//!   exposition format (version 0.0.4): deterministic ordering,
+//!   cumulative histogram buckets, and a `# CLASS <name> volatile`
+//!   comment on every timing-dependent series so scrapers can separate
+//!   deterministic counters from wall-clock noise.
+//! * `GET /healthz` — the degradation ladder's current rung
+//!   (`fresh` / `stale` / `shedding`) plus the backing breaker's health
+//!   ledger, as JSON.
+//! * `GET /statusz` — queue depth, shed counters, request count, and
+//!   uptime on the virtual clock, as JSON.
+
+use crate::http::HttpResponse;
+use appstore_obs::Registry;
+use std::fmt::Write as _;
+
+/// The Prometheus text exposition content type.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The degradation ladder's current rung, as reported by `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Backing store reachable, rankings within TTL.
+    Fresh,
+    /// Serving, but the edge's rankings copy is past its TTL.
+    Stale,
+    /// The backing breaker is open: requests that miss the edge shed.
+    Shedding,
+}
+
+impl HealthState {
+    /// The lowercase wire label (`fresh` / `stale` / `shedding`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HealthState::Fresh => "fresh",
+            HealthState::Stale => "stale",
+            HealthState::Shedding => "shedding",
+        }
+    }
+}
+
+/// One circuit breaker's health ledger, as reported by `/healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerState {
+    /// Breaker label (the backing proxy's display name).
+    pub name: String,
+    /// True while the breaker is open (quarantined) at the probe time.
+    pub open: bool,
+    /// Successful calls recorded.
+    pub successes: u64,
+    /// Failed calls recorded.
+    pub failures: u64,
+    /// Times the breaker has tripped into quarantine.
+    pub quarantines: u64,
+    /// True when the backing store banned this identity outright.
+    pub banned: bool,
+}
+
+/// The counters `/statusz` reports, sampled at scrape time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Connections waiting in the bounded accept queue.
+    pub queue_depth: u64,
+    /// Requests parsed off sockets so far (including this scrape).
+    pub requests: u64,
+    /// Highest virtual clock value any request has carried (ms).
+    pub uptime_virtual_ms: u64,
+    /// Connections shed at the accept queue.
+    pub sheds_queue: u64,
+    /// Requests shed on deadline exhaustion (504).
+    pub sheds_deadline: u64,
+    /// Requests shed behind an open breaker (503).
+    pub sheds_breaker: u64,
+    /// Handler panics caught at the worker boundary.
+    pub panics_caught: u64,
+}
+
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds the `/metrics` response: the registry in Prometheus text
+/// exposition format. With no registry installed the scrape still
+/// succeeds, with a comment-only body, so probes don't conflate "no
+/// observer" with "server down".
+pub fn metrics_response(registry: Option<&Registry>) -> HttpResponse {
+    let body = match registry {
+        Some(registry) => registry.render_prometheus(false),
+        None => "# no registry installed\n".to_string(),
+    };
+    HttpResponse::new(200)
+        .with_header("Content-Type", METRICS_CONTENT_TYPE)
+        .with_body(body)
+}
+
+/// Builds the `/healthz` response: the ladder state plus breaker
+/// ledgers, as deterministic JSON (breakers render in the given order).
+pub fn healthz_response(state: HealthState, breakers: &[BreakerState]) -> HttpResponse {
+    let mut body = String::new();
+    let _ = write!(body, "{{\"state\": \"{}\", \"breakers\": [", state.label());
+    for (i, breaker) in breakers.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(
+            body,
+            "{{\"name\": \"{}\", \"open\": {}, \"successes\": {}, \"failures\": {}, \
+             \"quarantines\": {}, \"banned\": {}}}",
+            json_escape(&breaker.name),
+            breaker.open,
+            breaker.successes,
+            breaker.failures,
+            breaker.quarantines,
+            breaker.banned
+        );
+    }
+    body.push_str("]}");
+    HttpResponse::new(200)
+        .with_header("Content-Type", "application/json")
+        .with_body(body)
+}
+
+/// Builds the `/statusz` response from a sampled [`StatusSnapshot`].
+pub fn statusz_response(status: &StatusSnapshot) -> HttpResponse {
+    let body = format!(
+        "{{\"queue_depth\": {}, \"requests\": {}, \"uptime_virtual_ms\": {}, \
+         \"sheds\": {{\"queue\": {}, \"deadline\": {}, \"breaker\": {}}}, \
+         \"panics_caught\": {}}}",
+        status.queue_depth,
+        status.requests,
+        status.uptime_virtual_ms,
+        status.sheds_queue,
+        status.sheds_deadline,
+        status.sheds_breaker,
+        status.panics_caught
+    );
+    HttpResponse::new(200)
+        .with_header("Content-Type", "application/json")
+        .with_body(body)
+}
+
+/// True when `path` is one of the reserved telemetry routes.
+pub fn is_telemetry_path(path: &str) -> bool {
+    matches!(path, "/metrics" | "/healthz" | "/statusz")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use appstore_obs::{names, with_registry};
+
+    #[test]
+    fn metrics_exposes_the_installed_registry_as_prometheus_text() {
+        let registry = Registry::new();
+        with_registry(&registry, || {
+            appstore_obs::counter(names::SERVE_REQUESTS, 3);
+            appstore_obs::observe_hdr(names::SERVE_LATENCY_ROUTE_APP, 81);
+        });
+        let response = metrics_response(Some(&registry));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("content-type"), Some(METRICS_CONTENT_TYPE));
+        let body = String::from_utf8(response.body.to_vec()).unwrap();
+        assert!(body.contains("# TYPE serve_requests counter"), "{body}");
+        assert!(body.contains("serve_requests 3"), "{body}");
+        assert!(
+            body.contains("serve_latency_route_app_bucket{le=\"81\"} 1"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn metrics_without_a_registry_still_scrapes() {
+        let response = metrics_response(None);
+        assert_eq!(response.status, 200);
+        let body = String::from_utf8(response.body.to_vec()).unwrap();
+        assert!(body.starts_with('#'), "{body}");
+    }
+
+    #[test]
+    fn healthz_renders_ladder_state_and_breaker_ledger() {
+        let breakers = [BreakerState {
+            name: "backing".to_string(),
+            open: true,
+            successes: 41,
+            failures: 7,
+            quarantines: 2,
+            banned: false,
+        }];
+        let response = healthz_response(HealthState::Shedding, &breakers);
+        let body = String::from_utf8(response.body.to_vec()).unwrap();
+        assert!(body.contains("\"state\": \"shedding\""), "{body}");
+        assert!(body.contains("\"name\": \"backing\""), "{body}");
+        assert!(body.contains("\"open\": true"), "{body}");
+        assert!(body.contains("\"quarantines\": 2"), "{body}");
+    }
+
+    #[test]
+    fn statusz_renders_queue_and_shed_counters() {
+        let response = statusz_response(&StatusSnapshot {
+            queue_depth: 3,
+            requests: 120,
+            uptime_virtual_ms: 30_000,
+            sheds_queue: 1,
+            sheds_deadline: 4,
+            sheds_breaker: 9,
+            panics_caught: 2,
+        });
+        let body = String::from_utf8(response.body.to_vec()).unwrap();
+        assert!(body.contains("\"queue_depth\": 3"), "{body}");
+        assert!(body.contains("\"uptime_virtual_ms\": 30000"), "{body}");
+        assert!(body.contains("\"breaker\": 9"), "{body}");
+        assert!(body.contains("\"panics_caught\": 2"), "{body}");
+    }
+
+    #[test]
+    fn health_state_labels_are_the_ladder_rungs() {
+        assert_eq!(HealthState::Fresh.label(), "fresh");
+        assert_eq!(HealthState::Stale.label(), "stale");
+        assert_eq!(HealthState::Shedding.label(), "shedding");
+    }
+
+    #[test]
+    fn telemetry_paths_are_reserved() {
+        assert!(is_telemetry_path("/metrics"));
+        assert!(is_telemetry_path("/healthz"));
+        assert!(is_telemetry_path("/statusz"));
+        assert!(!is_telemetry_path("/app"));
+    }
+}

@@ -65,6 +65,15 @@ PARALLEL="$(run_repro "$CPUS" "$TMP/parallel.log" --metrics "$METRICS_OUT")"
 echo "   ${PARALLEL}s"
 echo "   metrics snapshot: $METRICS_OUT"
 
+# Peak RSS from repro's own stderr accounting ("peak RSS <N> MiB",
+# via /proc/self/status VmHWM) — 0 when the platform can't report it.
+rss_of() { # rss_of <stderr-log>; prints MiB
+    sed -n 's/^peak RSS \([0-9]*\) MiB$/\1/p' "$1" | tail -1 | grep . || echo 0
+}
+SERIAL_RSS="$(rss_of "$TMP/serial.log")"
+PARALLEL_RSS="$(rss_of "$TMP/parallel.log")"
+echo "   peak RSS: ${SERIAL_RSS} MiB serial, ${PARALLEL_RSS} MiB parallel"
+
 echo "== kernel benches (bench/model_fit) =="
 cargo bench -q -p bench --bench model_fit | tee "$TMP/kernels.log"
 
@@ -90,6 +99,8 @@ jq -n \
     --arg parallel "$PARALLEL" \
     --arg baseline "${BASELINE_SECONDS:-}" \
     --arg notes "${BENCH_NOTES:-}" \
+    --arg serial_rss "$SERIAL_RSS" \
+    --arg parallel_rss "$PARALLEL_RSS" \
     --slurpfile experiments "$TMP/experiments.json" \
     --slurpfile kernels "$TMP/kernels.json" \
     '({
@@ -101,6 +112,10 @@ jq -n \
             threads: { serial: 1, parallel: ($cpus | tonumber) },
             threads_1_seconds: ($serial | tonumber),
             threads_ncpu_seconds: ($parallel | tonumber),
+            peak_rss_mib: {
+                threads_1: ($serial_rss | tonumber),
+                threads_ncpu: ($parallel_rss | tonumber)
+            },
             per_experiment_seconds: $experiments[0]
         } + (if $baseline == "" then {} else {
             baseline_seconds: ($baseline | tonumber),
