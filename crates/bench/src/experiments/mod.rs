@@ -3,6 +3,7 @@
 pub mod behavior;
 pub mod breakeven;
 pub mod cache;
+pub mod failover;
 pub mod income;
 pub mod model_fit;
 pub mod popularity;
@@ -61,7 +62,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id the harness knows, in paper order.
-pub const EXPERIMENT_IDS: [&str; 31] = [
+pub const EXPERIMENT_IDS: [&str; 32] = [
     "table1",
     "fig2",
     "fig3",
@@ -93,6 +94,7 @@ pub const EXPERIMENT_IDS: [&str; 31] = [
     "ablate-cutoff",
     "ablate-p",
     "serve-replay",
+    "serve-failover",
 ];
 
 /// Runs a batch of experiments on up to `threads` workers (0 ⇒ one per
@@ -212,6 +214,7 @@ pub fn run_experiment(id: &str, stores: &Stores, seed: Seed) -> Option<Experimen
         "ablate-cutoff" => popularity::ablate_cutoff(stores),
         "ablate-p" => model_fit::ablate_p(stores, seed),
         "serve-replay" => serve_replay::run(seed),
+        "serve-failover" => failover::run(seed),
         _ => return None,
     })
 }

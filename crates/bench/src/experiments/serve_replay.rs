@@ -59,7 +59,7 @@ const TRACE_BASE_PROBE: u64 = 30_000_000;
 /// A single-day marketplace whose app ids are popularity ranks — the
 /// store the §5 workload models assume. The serving layer fronts this
 /// dataset; the backing `MarketplaceServer` serves its pages.
-fn rank_ordered_dataset(apps: usize, categories: usize) -> Dataset {
+pub(crate) fn rank_ordered_dataset(apps: usize, categories: usize) -> Dataset {
     let registry: Vec<App> = (0..apps)
         .map(|i| App {
             id: AppId(i as u32),
@@ -140,7 +140,7 @@ fn chaos_plan() -> FaultPlan {
 
 /// One mid-replay scrape of a telemetry endpoint, over its own
 /// connection but through the same admission queue as product traffic.
-fn scrape(addr: SocketAddr, path: &str, now_ms: u64) -> HttpResponse {
+pub(crate) fn scrape(addr: SocketAddr, path: &str, now_ms: u64) -> HttpResponse {
     let stream = TcpStream::connect(addr).expect("connect for scrape");
     let mut reader = BufReader::new(stream.try_clone().expect("clone scrape stream"));
     let mut writer = BufWriter::new(stream);
@@ -162,7 +162,7 @@ fn prometheus_value(body: &str, name: &str) -> Option<u64> {
 }
 
 /// The string value of `"key": "value"` in a flat JSON body.
-fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\": \"");
     let start = body.find(&needle)? + needle.len();
     let end = body[start..].find('"')?;
@@ -170,7 +170,7 @@ fn json_str_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// The numeric value of `"key": N` in a flat JSON body.
-fn json_u64_field(body: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64_field(body: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\": ");
     let start = body.find(&needle)? + needle.len();
     let digits: String = body[start..]
@@ -180,7 +180,7 @@ fn json_u64_field(body: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-fn slo_json(summary: &SloSummary) -> serde_json::Value {
+pub(crate) fn slo_json(summary: &SloSummary) -> serde_json::Value {
     json!({
         "good": summary.good,
         "errors": summary.errors,
@@ -197,7 +197,7 @@ fn slo_json(summary: &SloSummary) -> serde_json::Value {
     })
 }
 
-fn stats_json(stats: &ReplayStats) -> serde_json::Value {
+pub(crate) fn stats_json(stats: &ReplayStats) -> serde_json::Value {
     json!({
         "requests_sent": stats.requests_sent,
         "app_ok": stats.app_ok,

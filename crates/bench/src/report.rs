@@ -559,6 +559,39 @@ fn targets() -> Vec<TargetSpec> {
             invariant: true,
             extract: |r| num(r.get("serve-replay")?, &["slo", "probe_availability_ppm"]),
         },
+        // serve-failover: the replicated backing tier must hide replica
+        // crashes, partitions, and drift from clients. All rows are
+        // invariant — the experiment is scale-free by construction.
+        TargetSpec {
+            figure: "serve-failover",
+            metric: "availability under replica chaos (ppm)",
+            paper: "hedged failover keeps availability ≥ 99.5% through replica loss",
+            goal: Goal::Min(995_000.0),
+            pass_tol: 0.0,
+            warn_tol: 0.001,
+            invariant: true,
+            extract: |r| num(r.get("serve-failover")?, &["availability_ppm"]),
+        },
+        TargetSpec {
+            figure: "serve-failover",
+            metric: "hedge rate ceiling",
+            paper: "retry budgets cap hedges at ~10% of backing calls",
+            goal: Goal::Band(0.0, 0.10),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-failover")?, &["hedge_rate"]),
+        },
+        TargetSpec {
+            figure: "serve-failover",
+            metric: "post-rejoin rankings fingerprint match",
+            paper: "anti-entropy restores bit-identical rankings after rejoin",
+            goal: Goal::Min(1.0),
+            pass_tol: 0.0,
+            warn_tol: 0.0,
+            invariant: true,
+            extract: |r| num(r.get("serve-failover")?, &["fingerprint_match"]),
+        },
     ]
 }
 

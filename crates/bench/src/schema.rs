@@ -117,6 +117,21 @@ fn required_keys(id: &str) -> &'static [&'static str] {
             "telemetry",
             "zipf_hit_rate",
         ],
+        "serve-failover" => &[
+            "availability_ppm",
+            "chaos",
+            "fault_log",
+            "fingerprint_match",
+            "hedge_rate",
+            "hedges",
+            "panics_caught",
+            "panics_escaped",
+            "probe",
+            "reconcile",
+            "reference",
+            "replicas",
+            "slo",
+        ],
         _ => &[],
     }
 }

@@ -48,6 +48,25 @@ pub enum FaultKind {
     WorkerPanic,
     /// The written bytes are silently corrupted.
     Corrupt,
+    /// The replica behind this site crashes and stays down until an
+    /// explicit rejoin (serving tier only).
+    ReplicaCrash,
+    /// The replica behind this site is unreachable for `virtual_ms` of
+    /// simulated time, then heals on its own (serving tier only).
+    ReplicaPartition {
+        /// How long the partition lasts in virtual milliseconds.
+        virtual_ms: u64,
+    },
+    /// The replica behind this site answers, but `virtual_ms` late —
+    /// the hedging trigger (serving tier only).
+    ReplicaSlow {
+        /// Extra latency in virtual milliseconds.
+        virtual_ms: u64,
+    },
+    /// The replica behind this site silently diverges from its peers
+    /// (a `Corrupt`-style ranking drift), repaired only by an
+    /// anti-entropy reconciliation pass (serving tier only).
+    ReplicaDrift,
 }
 
 impl FaultKind {
@@ -59,6 +78,10 @@ impl FaultKind {
             FaultKind::Delay { .. } => "delay",
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::Corrupt => "corrupt",
+            FaultKind::ReplicaCrash => "replica-crash",
+            FaultKind::ReplicaPartition { .. } => "replica-partition",
+            FaultKind::ReplicaSlow { .. } => "replica-slow",
+            FaultKind::ReplicaDrift => "replica-drift",
         }
     }
 }
@@ -384,6 +407,16 @@ mod tests {
     fn fault_kind_labels_are_stable() {
         assert_eq!(FaultKind::IoError.label(), "io-error");
         assert_eq!(FaultKind::Delay { virtual_ms: 3 }.label(), "delay");
+        assert_eq!(FaultKind::ReplicaCrash.label(), "replica-crash");
+        assert_eq!(
+            FaultKind::ReplicaPartition { virtual_ms: 5 }.label(),
+            "replica-partition"
+        );
+        assert_eq!(
+            FaultKind::ReplicaSlow { virtual_ms: 7 }.label(),
+            "replica-slow"
+        );
+        assert_eq!(FaultKind::ReplicaDrift.label(), "replica-drift");
     }
 
     #[test]
@@ -394,7 +427,19 @@ mod tests {
                 FaultKind::Delay { virtual_ms: 9 },
                 FaultTrigger::Probability(0.25),
             )
-            .rule("w", FaultKind::PartialWrite, FaultTrigger::AtIndex(7));
+            .rule("w", FaultKind::PartialWrite, FaultTrigger::AtIndex(7))
+            .rule("r", FaultKind::ReplicaCrash, FaultTrigger::AtIndex(3))
+            .rule(
+                "r",
+                FaultKind::ReplicaPartition { virtual_ms: 500 },
+                FaultTrigger::AtIndex(4),
+            )
+            .rule(
+                "r",
+                FaultKind::ReplicaSlow { virtual_ms: 90 },
+                FaultTrigger::Probability(0.5),
+            )
+            .rule("r", FaultKind::ReplicaDrift, FaultTrigger::AtIndex(9));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);

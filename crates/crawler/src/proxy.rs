@@ -246,6 +246,28 @@ impl ProxyPool {
         self.quarantined_until[self.index_of(proxy)] > now_ms
     }
 
+    /// True while `proxy`'s breaker episode is open — from trip until
+    /// the next success — even after its quarantine window has expired.
+    /// An expired window with the episode still open is exactly the
+    /// half-open state: the node deserves a probe, not full traffic.
+    pub fn breaker_open(&self, proxy: Proxy) -> bool {
+        self.open[self.index_of(proxy)]
+    }
+
+    /// One proxy's health ledger without allocating the whole vector —
+    /// the serving balancer compares replica scores on every routed
+    /// request, so this sits on a hot path.
+    pub fn health_of(&self, proxy: Proxy) -> ProxyHealth {
+        let i = self.index_of(proxy);
+        ProxyHealth {
+            proxy: self.proxies[i],
+            successes: self.successes[i],
+            failures: self.failures[i],
+            quarantines: self.quarantines[i],
+            banned: self.banned[i],
+        }
+    }
+
     /// Per-proxy health ledgers, in pool order.
     pub fn health(&self) -> Vec<ProxyHealth> {
         self.proxies
@@ -321,11 +343,16 @@ mod tests {
         assert!(!pool.is_quarantined(proxy, 1_100), "two failures: closed");
         pool.record_failure(proxy, 1_200);
         assert!(pool.is_quarantined(proxy, 1_200), "third failure trips");
+        assert!(pool.breaker_open(proxy));
         // Not eligible until probation ends; acquire defers to the probe
         // time instead of failing.
         let (_, at) = pool.acquire(1_300, None).unwrap();
         assert_eq!(at, 1_200 + 5_000);
         assert!(!pool.is_quarantined(proxy, at));
+        // Quarantine expired but no success yet: half-open, still open.
+        assert!(pool.breaker_open(proxy));
+        pool.record_success(proxy);
+        assert!(!pool.breaker_open(proxy));
     }
 
     #[test]
@@ -355,6 +382,7 @@ mod tests {
         assert_eq!(health.quarantines, 3);
         assert!(!health.banned);
         assert!(health.score() < 0.2);
+        assert_eq!(pool.health_of(proxy), *health);
     }
 
     #[test]

@@ -160,6 +160,15 @@ impl<'a> MarketplaceServer<'a> {
         Ok((encode_response(&response), self.policy.latency_ms))
     }
 
+    /// Serves one request outside admission control: no token bucket,
+    /// no blacklist, no latency. This is the internal replication
+    /// channel — anti-entropy reconciliation reads the authoritative
+    /// payload without competing with (or being throttled like) client
+    /// traffic.
+    pub fn peek(&self, request: Request) -> Result<Bytes, WireError> {
+        Ok(encode_response(&self.serve(request)?))
+    }
+
     fn snapshot_for(&self, day: Day) -> Result<&appstore_core::DailySnapshot, WireError> {
         self.dataset
             .snapshots
@@ -368,6 +377,28 @@ mod tests {
             server.handle(9, Region::Europe, 60_000, Request::Index { day }),
             Err(WireError::Blacklisted)
         );
+    }
+
+    #[test]
+    fn peek_bypasses_admission_and_matches_the_metered_payload() {
+        let dataset = tiny_dataset();
+        let policy = ServerPolicy {
+            requests_per_second: 1.0,
+            burst: 1,
+            ..ServerPolicy::default()
+        };
+        let server = MarketplaceServer::new(&dataset, policy);
+        let day = dataset.last().day;
+        let (metered, _) = server
+            .handle(3, Region::Europe, 0, Request::Index { day })
+            .unwrap();
+        // The bucket is now empty, but peek still answers — and with
+        // byte-identical content.
+        assert!(matches!(
+            server.handle(3, Region::Europe, 0, Request::Index { day }),
+            Err(WireError::RateLimited { .. })
+        ));
+        assert_eq!(server.peek(Request::Index { day }).unwrap(), metered);
     }
 
     #[test]

@@ -192,6 +192,22 @@ pub const SERVE_LATENCY_CLASS_ERROR: &str = "serve.latency.class.error";
 /// Telemetry-endpoint scrapes served (`/metrics`, `/healthz`, `/statusz`).
 pub const SERVE_TELEMETRY_SCRAPES: &str = "serve.telemetry.scrapes";
 
+/// Backing calls routed through the replica balancer.
+pub const BALANCER_ROUTED: &str = "balancer.routed";
+/// Hedged (second) requests actually fired.
+pub const BALANCER_HEDGES_FIRED: &str = "balancer.hedges.fired";
+/// Hedges whose response was used instead of the primary's.
+pub const BALANCER_HEDGES_WON: &str = "balancer.hedges.won";
+/// Hedges suppressed because the target replica's retry budget was
+/// exhausted.
+pub const BALANCER_HEDGES_DENIED: &str = "balancer.hedges.denied";
+/// Primary-attempt failures recovered by a successful hedge.
+pub const BALANCER_FAILOVERS: &str = "balancer.failovers";
+/// Replica rankings fingerprints checked by anti-entropy passes.
+pub const BALANCER_RECONCILE_CHECKS: &str = "balancer.reconcile.checks";
+/// Divergent replicas repaired by anti-entropy passes.
+pub const BALANCER_RECONCILE_REPAIRS: &str = "balancer.reconcile.repairs";
+
 /// Emissions of metric names not declared in this module (release
 /// builds only; debug builds panic instead). Volatile by construction —
 /// its very presence marks a names-drift bug.
@@ -311,6 +327,13 @@ pub const ALL_METRICS: &[&str] = &[
     SERVE_LATENCY_CLASS_SHED,
     SERVE_LATENCY_CLASS_ERROR,
     SERVE_TELEMETRY_SCRAPES,
+    BALANCER_ROUTED,
+    BALANCER_HEDGES_FIRED,
+    BALANCER_HEDGES_WON,
+    BALANCER_HEDGES_DENIED,
+    BALANCER_FAILOVERS,
+    BALANCER_RECONCILE_CHECKS,
+    BALANCER_RECONCILE_REPAIRS,
     OBS_UNDECLARED,
     SYNTH_STORES,
     SYNTH_APPS,

@@ -107,6 +107,14 @@ impl EdgeCache {
         self.rankings = Some((payload, now_ms));
     }
 
+    /// Discards the cached rankings copy entirely (fresh or stale).
+    /// Anti-entropy calls this after repairing a divergent replica: a
+    /// copy cached off drifted state must not outlive the repair, not
+    /// even as a stale fallback.
+    pub fn drop_rankings(&mut self) {
+        self.rankings = None;
+    }
+
     /// App-page hits since construction.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -174,5 +182,8 @@ mod tests {
         // A refresh restarts the TTL.
         edge.put_rankings(payload(8), 2_000);
         assert_eq!(edge.rankings(2_400), RankingsView::Fresh(payload(8)));
+        // Dropping leaves nothing, not even a stale copy.
+        edge.drop_rankings();
+        assert_eq!(edge.rankings(2_400), RankingsView::Missing);
     }
 }

@@ -15,11 +15,15 @@
 //!   work queue with a seeded admission policy; past the high watermark
 //!   the server sheds with an explicit `503 Retry-After` instead of
 //!   letting latency grow without bound;
-//! * **circuit-broken backing fetches** ([`server`]) — misses go to the
-//!   backing [`appstore_crawler::MarketplaceServer`] (reusing its
-//!   per-client token-bucket rate limits) through the same
-//!   [`appstore_crawler::ProxyPool`] circuit breaker the crawler uses,
-//!   so a sick backing store is probed, not hammered;
+//! * **a replicated backing tier** ([`balancer`], [`replica`],
+//!   [`hedge`]) — misses go to one of N deterministic
+//!   [`appstore_crawler::MarketplaceServer`] replicas (reusing their
+//!   per-client token-bucket rate limits) picked by seeded
+//!   power-of-two-choices routing over per-replica
+//!   [`appstore_crawler::ProxyPool`] circuit breakers, with hedged
+//!   reads under a per-replica retry budget and an anti-entropy pass
+//!   that fingerprints and repairs divergent replicas — so a sick
+//!   replica is routed around, probed, and reconciled, not hammered;
 //! * **graceful degradation** ([`edge`]) — rankings are cached at the
 //!   edge with stale-while-revalidate: while the breaker is open the
 //!   server serves the stale copy (marked `X-Degraded: stale`) instead
@@ -52,21 +56,28 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+pub mod balancer;
 pub mod deadline;
 pub mod edge;
+pub mod hedge;
 pub mod http;
 pub mod queue;
 pub mod replay;
+pub mod replica;
 pub mod server;
 pub mod slo;
 pub mod telemetry;
 
+pub use balancer::{replica_site, BackingTier, ReconcileReport, TierError, TierStats};
 pub use deadline::Deadline;
 pub use edge::{EdgeCache, RankingsView};
+pub use hedge::HedgePolicy;
 pub use http::{HttpRequest, HttpResponse};
 pub use queue::{Admission, AdmissionPolicy, BoundedQueue};
 pub use replay::{replay, ReplayConfig, ReplayStats, Workload};
+pub use replica::{fingerprint64, Replica, ReplicaError, ReplicaState};
 pub use server::{with_server, ServeConfig, ServerHandle, TRACE_SAMPLE_EVERY};
 pub use slo::{SloMonitor, SloPolicy, SloSummary};
 pub use telemetry::{BreakerState, HealthState, StatusSnapshot};

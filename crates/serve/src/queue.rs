@@ -104,11 +104,20 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Locks the queue state, recovering from poisoning: a panicking
+    /// worker must not wedge the accept queue for every other thread.
+    fn state(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Offers one item. On a shed outcome the item is returned to the
     /// caller (who owns the explicit 503 response); a closed queue
     /// sheds as if full.
     pub fn push(&self, item: T) -> (Admission, Option<T>) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.state();
         let index = inner.arrivals;
         inner.arrivals += 1;
         if inner.closed {
@@ -128,7 +137,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available (FIFO) or the queue is closed
     /// and drained; `None` means shutdown.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.state();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -136,20 +145,23 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = match self.ready.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 
     /// Closes the queue: pending items still drain, new offers shed,
     /// and blocked poppers wake with `None` once empty.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.state().closed = true;
         self.ready.notify_all();
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.state().items.len()
     }
 
     /// True when nothing is queued.

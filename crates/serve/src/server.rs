@@ -6,9 +6,10 @@
 //! closure returns. Connections flow acceptor → bounded queue →
 //! worker; each request then runs the degradation ladder:
 //!
-//! 1. **fresh** — edge hit, or a live backing fetch through the
-//!    circuit breaker (reusing the backing store's per-client token
-//!    buckets for rate limiting);
+//! 1. **fresh** — edge hit, or a live fetch through the replicated
+//!    backing tier ([`crate::balancer`]): seeded two-choice routing
+//!    over per-replica circuit breakers, budgeted hedges on slow or
+//!    failed primaries, per-client token buckets at every replica;
 //! 2. **stale** — the breaker is open or the deadline cannot cover a
 //!    backing fetch, but the edge holds a stale rankings copy: serve
 //!    it, marked `X-Degraded: stale`;
@@ -37,18 +38,18 @@
 //! history and dumps it to `ServeConfig::flight_dump` when a handler
 //! panic is caught.
 
+use crate::balancer::{BackingTier, TierError as BackingError};
 use crate::deadline::Deadline;
 use crate::edge::{EdgeCache, RankingsView};
+use crate::hedge::HedgePolicy;
 use crate::http::{read_request, HttpRequest, HttpResponse};
 use crate::queue::{AdmissionPolicy, BoundedQueue};
-use crate::telemetry::{self, BreakerState, HealthState, StatusSnapshot};
-use crate::{SITE_SERVE_BACKING, SITE_SERVE_HANDLER};
+use crate::telemetry::{self, HealthState, StatusSnapshot};
+use crate::SITE_SERVE_HANDLER;
 use appstore_core::faults::{self, FaultKind};
 use appstore_core::{Dataset, Day, Seed};
 use appstore_crawler::wire::encode_response;
-use appstore_crawler::{
-    MarketplaceServer, Proxy, ProxyPool, Region, Request, Response, ServerPolicy, WireError,
-};
+use appstore_crawler::{Request, Response, ServerPolicy};
 use appstore_obs::{names, FlightRecorder, Registry};
 use bytes::Bytes;
 use std::io::{BufReader, BufWriter, Write};
@@ -92,8 +93,18 @@ pub struct ServeConfig {
     pub rankings_ttl_ms: u64,
     /// The day of store state this server fronts.
     pub day: Day,
-    /// Backing-store policy (per-client token buckets, latency).
+    /// Backing-store policy (per-client token buckets, latency),
+    /// applied to every replica in the tier.
     pub backing: ServerPolicy,
+    /// Replicas in the backing tier (clamped to at least one). One
+    /// replica reproduces the single-backing behaviour exactly.
+    pub replicas: usize,
+    /// Hedged-read policy for the backing tier (delay clamp, hedge
+    /// fraction, per-replica retry budget).
+    pub hedge: HedgePolicy,
+    /// Seed driving the tier's routing and hedge decisions (and each
+    /// replica's drift direction).
+    pub seed: Seed,
     /// Where to dump the flight recorder when a handler panic is
     /// caught (`None` disables the dump, not the recorder).
     pub flight_dump: Option<PathBuf>,
@@ -118,6 +129,9 @@ impl ServeConfig {
                 burst: 4_000,
                 ..ServerPolicy::default()
             },
+            replicas: 1,
+            hedge: HedgePolicy::default(),
+            seed: seed.child("tier"),
             flight_dump: None,
         }
     }
@@ -169,12 +183,10 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 struct Shared<'a> {
-    backing: MarketplaceServer<'a>,
+    tier: Mutex<BackingTier<'a>>,
     dataset: &'a Dataset,
     config: ServeConfig,
     edge: Mutex<EdgeCache>,
-    breaker: Mutex<ProxyPool>,
-    backing_proxy: Proxy,
     request_index: AtomicU64,
     fallback_clock_ms: AtomicU64,
     panics_caught: Arc<AtomicU64>,
@@ -206,21 +218,23 @@ impl<'a> Shared<'a> {
                 edge.warm_app(observation.app.0, payload);
             }
         }
-        // A single-proxy pool: the one "proxy" stands for the backing
-        // store itself, giving its circuit breaker (streaks, doubling
-        // probation, health ledger) to the serving path unchanged.
-        let breaker = ProxyPool::planetlab(0, 1);
-        let backing_proxy = breaker
-            .acquire(0, None)
-            .map(|(proxy, _)| proxy)
-            .expect("pool has one proxy");
+        // The replicated backing tier: N marketplace servers behind
+        // per-replica circuit breakers (streaks, doubling probation,
+        // health ledgers — the crawler's state machine unchanged),
+        // seeded two-choice routing, and budgeted hedges. One replica
+        // degenerates to the old single-backing path exactly.
+        let tier = BackingTier::new(
+            dataset,
+            config.replicas,
+            config.backing,
+            config.hedge,
+            config.seed,
+        );
         Shared {
-            backing: MarketplaceServer::new(dataset, config.backing),
+            tier: Mutex::new(tier),
             dataset,
             config,
             edge: Mutex::new(edge),
-            breaker: Mutex::new(breaker),
-            backing_proxy,
             request_index: AtomicU64::new(0),
             fallback_clock_ms: AtomicU64::new(0),
             panics_caught: Arc::new(AtomicU64::new(0)),
@@ -249,24 +263,9 @@ struct TraceNotes {
     deadline_burned_ms: u64,
 }
 
-/// Why a backing fetch did not produce a payload.
-enum BackingError {
-    /// Breaker open: not probing until the given virtual time.
-    Open { retry_at_ms: u64 },
-    /// The call failed (injected I/O error or transport fault).
-    Failed,
-    /// The deadline cannot cover (or no longer covers) the fetch.
-    Deadline,
-    /// Per-client token bucket said wait.
-    RateLimited { retry_after_ms: u64 },
-    /// The client is blacklisted at the backing store.
-    Blacklisted,
-    /// Unknown app or day.
-    NotFound,
-}
-
-/// One backing-store fetch through the circuit breaker, charging the
-/// deadline for the latency actually incurred.
+/// One backing fetch through the replicated tier: routing, breakers,
+/// and hedging live in [`crate::balancer`]; this wrapper just holds the
+/// tier lock for the call and threads the trace note through.
 fn call_backing(
     shared: &Shared<'_>,
     client: u32,
@@ -276,70 +275,7 @@ fn call_backing(
     notes: &mut TraceNotes,
     request: Request,
 ) -> Result<Bytes, BackingError> {
-    let mut breaker = lock(&shared.breaker);
-    if breaker.is_quarantined(shared.backing_proxy, now_ms) {
-        let retry_at_ms = breaker
-            .acquire(now_ms, None)
-            .map(|(_, at)| at)
-            .unwrap_or(now_ms);
-        notes.backing = Some("open");
-        return Err(BackingError::Open { retry_at_ms });
-    }
-    // Deadline propagation: don't start a fetch the budget can't cover.
-    if !deadline.covers(shared.config.backing.latency_ms) {
-        notes.backing = Some("deadline");
-        return Err(BackingError::Deadline);
-    }
-    appstore_obs::counter(names::SERVE_BACKING_CALLS, 1);
-    match faults::roll(SITE_SERVE_BACKING, index, 0) {
-        Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
-            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
-            breaker.record_failure(shared.backing_proxy, now_ms);
-            notes.backing = Some("failed");
-            return Err(BackingError::Failed);
-        }
-        // An injected slowdown: charge it; past the deadline the fetch
-        // counts as a timeout — a breaker failure. (A covered delay
-        // charges in the guard and falls through to the live call.)
-        Some(FaultKind::Delay { virtual_ms }) if !deadline.charge(virtual_ms) => {
-            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
-            breaker.record_failure(shared.backing_proxy, now_ms);
-            notes.backing = Some("deadline");
-            return Err(BackingError::Deadline);
-        }
-        Some(FaultKind::WorkerPanic) => panic!("injected panic in backing call"),
-        Some(FaultKind::Delay { .. }) | None => {}
-    }
-    match shared
-        .backing
-        .handle(client, Region::Europe, now_ms, request)
-    {
-        Ok((payload, latency_ms)) => {
-            deadline.charge(latency_ms);
-            breaker.record_success(shared.backing_proxy);
-            notes.backing = Some("ok");
-            Ok(payload)
-        }
-        Err(WireError::RateLimited { retry_after_ms }) => {
-            appstore_obs::counter(names::SERVE_RATE_LIMITED, 1);
-            notes.backing = Some("rate-limited");
-            Err(BackingError::RateLimited { retry_after_ms })
-        }
-        Err(WireError::Blacklisted) => {
-            notes.backing = Some("blacklisted");
-            Err(BackingError::Blacklisted)
-        }
-        Err(WireError::NotFound) => {
-            notes.backing = Some("not-found");
-            Err(BackingError::NotFound)
-        }
-        Err(_) => {
-            appstore_obs::counter(names::SERVE_BACKING_FAILURES, 1);
-            breaker.record_failure(shared.backing_proxy, now_ms);
-            notes.backing = Some("failed");
-            Err(BackingError::Failed)
-        }
-    }
+    lock(&shared.tier).call(client, now_ms, index, deadline, &mut notes.backing, request)
 }
 
 fn shed(status: u16, reason: &str, retry_after_ms: u64) -> HttpResponse {
@@ -533,7 +469,9 @@ fn route_request(
         Some(FaultKind::IoError | FaultKind::Corrupt | FaultKind::PartialWrite) => {
             return HttpResponse::new(500).with_header("X-Degraded", "io-error");
         }
-        None => {}
+        // Replica faults target the tier's sites, not the handler; any
+        // kind that leaks here is a no-op by construction.
+        _ => {}
     }
     deadline.charge(shared.config.handler_cost_ms);
     if deadline.exceeded() {
@@ -548,9 +486,73 @@ fn route_request(
         "/rankings" => rankings(shared, now_ms, index, deadline, notes),
         "/app" => app_page(shared, request, client, now_ms, index, deadline, notes),
         "/download" => download(shared, request, deadline),
+        "/admin/rejoin" => admin_rejoin(shared),
+        "/admin/reconcile" => admin_reconcile(shared),
+        "/admin/tier" => admin_tier(shared),
         path if telemetry::is_telemetry_path(path) => telemetry_route(shared, path, now_ms),
         _ => HttpResponse::new(404),
     }
+}
+
+/// `GET /admin/rejoin` — heals every crashed or partitioned replica
+/// (the operator's "bring the node back" knob). Drift is deliberately
+/// untouched: a rejoined node keeps its bad state until reconciled.
+fn admin_rejoin(shared: &Shared<'_>) -> HttpResponse {
+    let mut tier = lock(&shared.tier);
+    let rejoined = tier.rejoin_all();
+    let replicas = tier.len();
+    drop(tier);
+    HttpResponse::new(200).with_body(format!(
+        "{{\"rejoined\": {rejoined}, \"replicas\": {replicas}}}"
+    ))
+}
+
+/// `GET /admin/reconcile` — one anti-entropy pass over the rankings
+/// page. Any repair also drops the edge's cached rankings copy: a copy
+/// cached off drifted state must not outlive the repair.
+fn admin_reconcile(shared: &Shared<'_>) -> HttpResponse {
+    let report = lock(&shared.tier).reconcile(shared.config.day);
+    if report.repaired() > 0 {
+        lock(&shared.edge).drop_rankings();
+    }
+    let divergent = report
+        .divergent
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    HttpResponse::new(200).with_body(format!(
+        "{{\"checked\": {}, \"divergent\": [{}], \"repaired\": {}, \"reference_fingerprint\": \"{:016x}\"}}",
+        report.checked,
+        divergent,
+        report.repaired(),
+        report.reference_fingerprint
+    ))
+}
+
+/// `GET /admin/tier` — the tier's deterministic routing and hedging
+/// counters (what the failover experiment asserts its budgets from).
+fn admin_tier(shared: &Shared<'_>) -> HttpResponse {
+    let stats = lock(&shared.tier).stats();
+    let budgets = stats
+        .budget_available
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    HttpResponse::new(200).with_body(format!(
+        "{{\"replicas\": {}, \"calls\": {}, \"hedges_fired\": {}, \"hedges_won\": {}, \
+         \"hedges_denied\": {}, \"failovers\": {}, \"hedge_delay_ms\": {}, \
+         \"budget_available\": [{}]}}",
+        stats.replicas,
+        stats.calls,
+        stats.hedges_fired,
+        stats.hedges_won,
+        stats.hedges_denied,
+        stats.failovers,
+        stats.hedge_delay_ms,
+        budgets
+    ))
 }
 
 /// Serves the three reserved telemetry routes. Scrapes ride the normal
@@ -568,21 +570,12 @@ fn telemetry_route(shared: &Shared<'_>, path: &str, now_ms: u64) -> HttpResponse
 
 /// Samples the degradation ladder and breaker ledgers for `/healthz`.
 fn healthz(shared: &Shared<'_>, now_ms: u64) -> HttpResponse {
-    let breaker = lock(&shared.breaker);
-    let open = breaker.is_quarantined(shared.backing_proxy, now_ms);
-    let breakers: Vec<BreakerState> = breaker
-        .health()
-        .iter()
-        .map(|h| BreakerState {
-            name: format!("backing-{}", h.proxy.addr),
-            open: breaker.is_quarantined(h.proxy, now_ms),
-            successes: h.successes,
-            failures: h.failures,
-            quarantines: h.quarantines,
-            banned: h.banned,
-        })
-        .collect();
-    drop(breaker);
+    let tier = lock(&shared.tier);
+    // Shedding only when *every* replica's breaker is open: with one
+    // replica this is the old single-breaker condition exactly.
+    let open = tier.all_open(now_ms);
+    let breakers = tier.breaker_states(now_ms);
+    drop(tier);
     let state = if open {
         HealthState::Shedding
     } else {
@@ -885,8 +878,10 @@ pub fn with_server<R>(
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::balancer::replica_site;
     use crate::http::read_response;
     use crate::replay::test_dataset;
+    use crate::SITE_SERVE_BACKING;
     use appstore_core::faults::{with_injector, FaultInjector, FaultPlan, FaultTrigger};
 
     fn get(addr: SocketAddr, target: &str, now_ms: u64) -> HttpResponse {
@@ -1117,6 +1112,75 @@ mod tests {
         assert!(dump.contains("\"kind\": \"panic\""), "{dump}");
         assert!(dump.contains("\"route\": \"/app\""), "{dump}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_replica_is_invisible_to_clients_behind_the_tier() {
+        let dataset = test_dataset(64);
+        let config = ServeConfig {
+            replicas: 3,
+            ..test_config()
+        };
+        // Replica 1 crashes on the tier's very first backing call.
+        let plan = FaultPlan::seeded(21).rule(
+            &replica_site(1),
+            FaultKind::ReplicaCrash,
+            FaultTrigger::AtIndex(0),
+        );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            with_server(&dataset, &config, |handle| {
+                // Cold app pages force backing calls; every one of them
+                // must succeed even though a third of primaries are dead
+                // (the hedge fails over), and the breaker learns.
+                for i in 0..40u64 {
+                    let response = get(handle.addr(), &format!("/app?id={}", 10 + i), i * 10);
+                    assert_eq!(response.status, 200, "request {i}");
+                }
+                let health = get(handle.addr(), "/healthz", 500);
+                let body = body_string(&health);
+                assert!(body.contains("\"name\": \"backing-1\""), "{body}");
+                assert!(!body.contains("\"state\": \"shedding\""), "{body}");
+            });
+        });
+    }
+
+    #[test]
+    fn admin_routes_rejoin_and_reconcile_the_tier() {
+        let dataset = test_dataset(32);
+        let config = ServeConfig {
+            replicas: 3,
+            ..test_config()
+        };
+        // Replica 2 drifts on the tier's first backing call.
+        let plan = FaultPlan::seeded(22).rule(
+            &replica_site(2),
+            FaultKind::ReplicaDrift,
+            FaultTrigger::AtIndex(0),
+        );
+        let injector = FaultInjector::new(plan);
+        with_injector(&injector, || {
+            with_server(&dataset, &config, |handle| {
+                // Force one backing call so the drift fault fires.
+                assert_eq!(get(handle.addr(), "/rankings", 0).status, 200);
+                let reconcile = get(handle.addr(), "/admin/reconcile", 10);
+                assert_eq!(reconcile.status, 200);
+                let body = body_string(&reconcile);
+                assert!(body.contains("\"checked\": 3"), "{body}");
+                assert!(body.contains("\"divergent\": [2]"), "{body}");
+                assert!(body.contains("\"repaired\": 1"), "{body}");
+                // A second pass finds nothing left to repair.
+                let again = body_string(&get(handle.addr(), "/admin/reconcile", 20));
+                assert!(again.contains("\"divergent\": []"), "{again}");
+                // Nothing was down, so rejoin heals zero replicas.
+                let rejoin = body_string(&get(handle.addr(), "/admin/rejoin", 30));
+                assert!(rejoin.contains("\"rejoined\": 0"), "{rejoin}");
+                assert!(rejoin.contains("\"replicas\": 3"), "{rejoin}");
+                let tier = body_string(&get(handle.addr(), "/admin/tier", 40));
+                assert!(tier.contains("\"replicas\": 3"), "{tier}");
+                assert!(tier.contains("\"calls\": "), "{tier}");
+            });
+        });
     }
 
     #[test]
